@@ -1,0 +1,20 @@
+//! CRC-32 throughput microbench (block checksums are on every data path).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use octopus_common::checksum::crc32;
+use std::hint::black_box;
+
+fn bench_crc32(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crc32");
+    for size in [4usize << 10, 64 << 10, 1 << 20] {
+        let data: Vec<u8> = (0..size).map(|i| (i * 31) as u8).collect();
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{}KB", size >> 10), |b| {
+            b.iter(|| crc32(black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_crc32);
+criterion_main!(benches);

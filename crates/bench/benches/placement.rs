@@ -1,0 +1,116 @@
+//! Placement policy microbenches: the MOOP greedy algorithm's O(s·r²)
+//! latency versus cluster size and replica count (paper §3.3 argues it is
+//! essentially linear in the number of media), the ablations from
+//! DESIGN.md §5 (rack pruning on/off; greedy vs exhaustive), and the
+//! baseline policies for comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use octopus_common::config::PolicyConfig;
+use octopus_common::{ClientLocation, MediaStats};
+use octopus_policies::objectives::{score, Objective, ObjectiveContext};
+use octopus_policies::{
+    ClusterSnapshot, GreedyPolicy, HdfsPolicy, PlacementPolicy, PlacementRequest,
+    RuleBasedPolicy,
+};
+use std::hint::black_box;
+
+fn mem_cfg() -> PolicyConfig {
+    PolicyConfig { memory_placement_enabled: true, ..PolicyConfig::default() }
+}
+
+fn bench_moop_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("moop/cluster_size");
+    for workers in [9u32, 30, 100] {
+        let snap = ClusterSnapshot::synthetic(workers, 3, 3);
+        let policy = GreedyPolicy::moop(mem_cfg());
+        let req = PlacementRequest::unspecified(3, 128 << 20, ClientLocation::OffCluster);
+        g.bench_function(format!("workers={workers}"), |b| {
+            b.iter(|| policy.place(black_box(&snap), black_box(&req)).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("moop/replicas");
+    let snap = ClusterSnapshot::synthetic(9, 3, 3);
+    let policy = GreedyPolicy::moop(mem_cfg());
+    for r in [1usize, 3, 6, 10] {
+        let req = PlacementRequest::unspecified(r, 128 << 20, ClientLocation::OffCluster);
+        g.bench_function(format!("r={r}"), |b| {
+            b.iter(|| policy.place(black_box(&snap), black_box(&req)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_rack_pruning_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("moop/rack_pruning");
+    let snap = ClusterSnapshot::synthetic(30, 3, 3);
+    let req = PlacementRequest::unspecified(3, 128 << 20, ClientLocation::OffCluster);
+    for pruning in [true, false] {
+        let policy =
+            GreedyPolicy::moop(PolicyConfig { rack_pruning: pruning, ..mem_cfg() });
+        g.bench_function(format!("pruning={pruning}"), |b| {
+            b.iter(|| policy.place(black_box(&snap), black_box(&req)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Greedy vs exhaustive enumeration (O(s·r²) vs O(r·sʳ)) — the paper's
+/// §3.3 complexity argument on a small cluster where exhaustive is even
+/// feasible.
+fn bench_greedy_vs_exhaustive(c: &mut Criterion) {
+    let snap = ClusterSnapshot::synthetic(3, 2, 1); // s = 9 media
+    let refs: Vec<&MediaStats> = snap.media.iter().collect();
+    let ctx = ObjectiveContext::new(&refs, 128 << 20, 3, 3, 2);
+    let mut g = c.benchmark_group("moop/greedy_vs_exhaustive_s9_r3");
+    let policy = GreedyPolicy::moop(mem_cfg());
+    let req = PlacementRequest::unspecified(3, 128 << 20, ClientLocation::OffCluster);
+    g.bench_function("greedy", |b| {
+        b.iter(|| policy.place(black_box(&snap), black_box(&req)).unwrap())
+    });
+    g.bench_function("exhaustive", |b| {
+        b.iter(|| {
+            let n = refs.len();
+            let mut best = f64::INFINITY;
+            let mut arg = (0, 0, 0);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    for k in (j + 1)..n {
+                        let s = score(&[refs[i], refs[j], refs[k]], &ctx, &Objective::ALL);
+                        if s < best {
+                            best = s;
+                            arg = (i, j, k);
+                        }
+                    }
+                }
+            }
+            black_box(arg)
+        })
+    });
+    g.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let snap = ClusterSnapshot::synthetic(9, 3, 3);
+    let req = PlacementRequest::unspecified(3, 128 << 20, ClientLocation::OffCluster);
+    let mut g = c.benchmark_group("placement/baselines");
+    let rule = RuleBasedPolicy::new(mem_cfg(), 7);
+    g.bench_function("rule_based", |b| {
+        b.iter(|| rule.place(black_box(&snap), black_box(&req)).unwrap())
+    });
+    let hdfs = HdfsPolicy::hdd_only(7);
+    g.bench_function("hdfs_default", |b| {
+        b.iter(|| hdfs.place(black_box(&snap), black_box(&req)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_moop_scaling,
+    bench_rack_pruning_ablation,
+    bench_greedy_vs_exhaustive,
+    bench_baselines
+);
+criterion_main!(benches);

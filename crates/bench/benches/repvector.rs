@@ -1,0 +1,27 @@
+//! Replication-vector codec microbench: the paper stresses the 64-bit
+//! encoding is "very efficient to use and store" (§2.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use octopus_common::ReplicationVector;
+use std::hint::black_box;
+
+fn bench_repvector(c: &mut Criterion) {
+    let v = ReplicationVector::mshru(1, 2, 3, 0, 2);
+    c.bench_function("repvector/encode_decode", |b| {
+        b.iter(|| {
+            let bits = black_box(v).to_bits();
+            black_box(ReplicationVector::from_bits(bits)).total()
+        })
+    });
+    c.bench_function("repvector/diff", |b| {
+        let target = ReplicationVector::mshru(0, 3, 2, 1, 0);
+        b.iter(|| black_box(v).diff(black_box(target)).net_total())
+    });
+    c.bench_function("repvector/parse", |b| {
+        b.iter(|| "<1,2,3,0;2>".parse::<ReplicationVector>().unwrap())
+    });
+    c.bench_function("repvector/display", |b| b.iter(|| black_box(v).to_string()));
+}
+
+criterion_group!(benches, bench_repvector);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Retrieval-policy ordering latency (invoked on every block open).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use octopus_common::{ClientLocation, Location, WorkerId};
+use octopus_policies::{ClusterSnapshot, HdfsLocalityPolicy, RateBasedPolicy, RetrievalPolicy};
+use std::hint::black_box;
+
+fn locations(snap: &ClusterSnapshot, count: usize) -> Vec<Location> {
+    snap.media
+        .iter()
+        .step_by(snap.media.len() / count.max(1))
+        .take(count)
+        .map(|m| Location { worker: m.worker, media: m.media, tier: m.tier })
+        .collect()
+}
+
+fn bench_retrieval(c: &mut Criterion) {
+    let snap = ClusterSnapshot::synthetic(9, 3, 3);
+    let client = ClientLocation::OnWorker(WorkerId(4));
+    for count in [3usize, 10] {
+        let locs = locations(&snap, count);
+        let rate = RateBasedPolicy::new(1);
+        c.bench_function(&format!("retrieval/rate_based/{count}"), |b| {
+            b.iter(|| rate.order(black_box(&snap), client, black_box(&locs)))
+        });
+        let hdfs = HdfsLocalityPolicy::new(1);
+        c.bench_function(&format!("retrieval/hdfs_locality/{count}"), |b| {
+            b.iter(|| hdfs.order(black_box(&snap), client, black_box(&locs)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_retrieval);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Simulator engine throughput: events/sec with many concurrent flows
+//! (bounds how large an experiment the harness can drive).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use octopus_simnet::SimNet;
+use std::hint::black_box;
+
+fn bench_simnet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simnet/drain");
+    for flows in [50usize, 200] {
+        g.bench_function(format!("flows={flows}"), |b| {
+            b.iter(|| {
+                let mut net = SimNet::new();
+                let res: Vec<_> =
+                    (0..10).map(|i| net.add_resource(&format!("r{i}"), 1000.0)).collect();
+                for i in 0..flows {
+                    let a = res[i % res.len()];
+                    let b2 = res[(i * 7 + 3) % res.len()];
+                    net.start_flow(1000.0 + i as f64, vec![a, b2]);
+                }
+                let mut n = 0;
+                while net.next_event().is_some() {
+                    n += 1;
+                }
+                black_box(n)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simnet);
+criterion_main!(benches);

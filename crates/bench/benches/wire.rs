@@ -1,0 +1,66 @@
+//! Wire-protocol codec throughput (every RPC pays this cost).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use octopus_common::wire::{decode, encode};
+use octopus_common::{
+    Block, BlockId, GenStamp, LocatedBlock, Location, MediaId, MediaStats, RackId, TierId,
+    WorkerId,
+};
+use std::hint::black_box;
+
+fn sample_located() -> Vec<LocatedBlock> {
+    (0..8u64)
+        .map(|i| LocatedBlock {
+            block: Block { id: BlockId(i), gen: GenStamp(1), len: 128 << 20 },
+            offset: i * (128 << 20),
+            locations: (0..3u32)
+                .map(|r| Location {
+                    worker: WorkerId(r),
+                    media: MediaId(r * 5),
+                    tier: TierId((r % 3) as u8),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+fn sample_stats() -> Vec<MediaStats> {
+    (0..45u32)
+        .map(|i| MediaStats {
+            media: MediaId(i),
+            worker: WorkerId(i / 5),
+            rack: RackId((i % 3) as u16),
+            tier: TierId((i % 3) as u8),
+            capacity: 1 << 37,
+            remaining: 1 << 36,
+            nr_conn: i % 7,
+            write_thru: 1.3e8,
+            read_thru: 1.8e8,
+        })
+        .collect()
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let located = sample_located();
+    let enc = encode(&located);
+    let mut g = c.benchmark_group("wire/located_blocks_8x3");
+    g.throughput(Throughput::Bytes(enc.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| encode(black_box(&located))));
+    g.bench_function("decode", |b| {
+        b.iter(|| decode::<Vec<LocatedBlock>>(black_box(&enc)).unwrap())
+    });
+    g.finish();
+
+    let stats = sample_stats();
+    let enc = encode(&stats);
+    let mut g = c.benchmark_group("wire/heartbeat_45_media");
+    g.throughput(Throughput::Bytes(enc.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| encode(black_box(&stats))));
+    g.bench_function("decode", |b| {
+        b.iter(|| decode::<Vec<MediaStats>>(black_box(&enc)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

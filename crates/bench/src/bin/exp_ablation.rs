@@ -1,0 +1,5 @@
+//! Regenerates the MOOP ablation study (DESIGN.md §5). Run with --release.
+
+fn main() {
+    octopus_bench::experiments::ablation::run();
+}

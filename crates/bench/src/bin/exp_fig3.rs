@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig3 (see DESIGN.md §4). Run with --release.
+
+fn main() {
+    octopus_bench::experiments::fig3::run();
+}

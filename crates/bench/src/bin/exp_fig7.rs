@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig7 (see DESIGN.md §4). Run with --release.
+
+fn main() {
+    octopus_bench::experiments::fig7::run();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the placement-scalability study (DESIGN.md §5 / paper
+//! §3.3). Run with --release.
+
+fn main() {
+    octopus_bench::experiments::scalability::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table2 (see DESIGN.md §4). Run with --release.
+
+fn main() {
+    octopus_bench::experiments::table2::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table3 (see DESIGN.md §4). Run with --release.
+
+fn main() {
+    octopus_bench::experiments::table3::run();
+}

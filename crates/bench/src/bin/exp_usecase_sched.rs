@@ -1,0 +1,6 @@
+//! Regenerates the §6 tier-aware-scheduling use-case study. Run with
+//! --release.
+
+fn main() {
+    octopus_bench::experiments::usecase_sched::run();
+}

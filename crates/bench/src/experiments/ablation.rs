@@ -1,0 +1,120 @@
+//! Ablation study (DESIGN.md §5): how much does each MOOP objective, the
+//! rack-pruning heuristic, and the memory cap contribute? Each variant
+//! runs the Figure 3 engine (DFSIO 40 GB, d=27, U=3) and reports mean
+//! write/read throughput plus fault-tolerance statistics of the resulting
+//! placements (distinct workers and racks per block).
+
+use octopus_common::config::PlacementPolicyKind;
+use octopus_common::{ClientLocation, ClusterConfig};
+use octopus_core::SimCluster;
+
+use crate::experiments::fig3::{config_for_policy, run_config};
+use crate::table::{emit, f1, f2, render};
+
+struct Variant {
+    label: &'static str,
+    config: ClusterConfig,
+}
+
+fn variants() -> Vec<Variant> {
+    let mut v = vec![Variant {
+        label: "MOOP (full)",
+        config: config_for_policy(PlacementPolicyKind::Moop),
+    }];
+    for (i, label) in
+        [(0u8, "MOOP - DB"), (1, "MOOP - LB"), (2, "MOOP - FT"), (3, "MOOP - TM")]
+    {
+        v.push(Variant {
+            label,
+            config: config_for_policy(PlacementPolicyKind::MoopDropObjective(i)),
+        });
+    }
+    let mut no_pruning = config_for_policy(PlacementPolicyKind::Moop);
+    no_pruning.policy.rack_pruning = false;
+    v.push(Variant { label: "MOOP, no rack pruning", config: no_pruning });
+    let mut uncapped = config_for_policy(PlacementPolicyKind::Moop);
+    uncapped.policy.max_memory_fraction = 1.0;
+    v.push(Variant { label: "MOOP, memory cap off", config: uncapped });
+    v
+}
+
+/// Mean distinct workers and racks per block of every file in the sim —
+/// the placement-quality side of the ablation.
+fn fault_tolerance_stats(sim: &SimCluster) -> (f64, f64) {
+    let master = sim.master();
+    let snap = master.snapshot();
+    let rack_of = |w: octopus_common::WorkerId| {
+        snap.worker_stats(w).map(|s| s.rack)
+    };
+    let mut blocks = 0usize;
+    let mut workers_sum = 0usize;
+    let mut racks_sum = 0usize;
+    for path in (0..27).map(|i| format!("/dfsio/part-{i}")) {
+        let Ok(lbs) =
+            master.get_file_block_locations(&path, 0, u64::MAX, ClientLocation::OffCluster)
+        else {
+            continue;
+        };
+        for lb in lbs {
+            let mut ws: Vec<_> = lb.locations.iter().map(|l| l.worker).collect();
+            ws.sort_unstable();
+            ws.dedup();
+            let mut rs: Vec<_> = lb.locations.iter().filter_map(|l| rack_of(l.worker)).collect();
+            rs.sort_unstable();
+            rs.dedup();
+            blocks += 1;
+            workers_sum += ws.len();
+            racks_sum += rs.len();
+        }
+    }
+    if blocks == 0 {
+        (0.0, 0.0)
+    } else {
+        (workers_sum as f64 / blocks as f64, racks_sum as f64 / blocks as f64)
+    }
+}
+
+/// Runs the ablation and returns the report text.
+pub fn run() -> String {
+    let mut rows = Vec::new();
+    for v in variants() {
+        // Re-run the fig3 engine; also open a second sim of the same
+        // config to measure placement quality without the read phase
+        // perturbing statistics.
+        let run = run_config(v.config.clone(), v.label);
+        let mut quality_sim = SimCluster::new(v.config).unwrap();
+        {
+            use octopus_common::{ReplicationVector, WorkerId, GB};
+            quality_sim.master().mkdir("/dfsio").unwrap();
+            for i in 0..27u32 {
+                quality_sim
+                    .submit_write(
+                        &format!("/dfsio/part-{i}"),
+                        40 * GB / 27,
+                        ReplicationVector::from_replication_factor(3),
+                        ClientLocation::OnWorker(WorkerId(i % 9)),
+                    )
+                    .unwrap();
+            }
+            quality_sim.run_to_completion();
+        }
+        let (avg_workers, avg_racks) = fault_tolerance_stats(&quality_sim);
+        rows.push(vec![
+            v.label.to_string(),
+            f1(run.write_mean),
+            f1(run.read_mean),
+            f2(avg_workers),
+            f2(avg_racks),
+        ]);
+    }
+    let out = format!(
+        "Ablation — MOOP variants on the Figure 3 workload (DFSIO 40 GB, d=27, U=3)\n\
+         write/read = mean per-task MB/s; workers/racks = mean distinct per block (3 replicas)\n\n{}",
+        render(
+            &["Variant", "Write MB/s", "Read MB/s", "workers/blk", "racks/blk"],
+            &rows
+        )
+    );
+    emit("ablation", &out);
+    out
+}

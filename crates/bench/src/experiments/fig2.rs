@@ -1,0 +1,50 @@
+//! Figure 2: average write (a) and read (b) throughput per worker for five
+//! degrees of parallelism and six replication vectors (§7.1).
+//!
+//! DFSIO writes 10 GB (replication 3 ⇒ 30 GB stored), then reads it back,
+//! for every ⟨M,S,H⟩ vector and d ∈ {1,3,9,27,54}. Replica placement is
+//! controlled by pinning the vector at file creation, exactly as §7.1
+//! does. Reads run with a worker shift so only a fraction of reads are
+//! node-local (the paper observed ~1/3 locality).
+
+use octopus_common::{ClusterConfig, GB};
+
+use crate::dfsio::{read_workload, write_workload};
+use crate::experiments::{fig2_vectors, DEGREES};
+use crate::table::{emit, f1, render};
+
+const TOTAL_BYTES: u64 = 10 * GB;
+
+/// Runs the experiment and returns the report text.
+pub fn run() -> String {
+    let vectors = fig2_vectors();
+    let mut write_rows = Vec::new();
+    let mut read_rows = Vec::new();
+    for &d in &DEGREES {
+        let mut wrow = vec![format!("d={d}")];
+        let mut rrow = vec![format!("d={d}")];
+        for (_, rv) in &vectors {
+            let mut sim = fresh_sim();
+            let (w, paths) = write_workload(&mut sim, "/dfsio", d, TOTAL_BYTES, *rv).unwrap();
+            wrow.push(f1(w.mean_task_mbps()));
+            let r = read_workload(&mut sim, &paths, 3).unwrap();
+            rrow.push(format!("{}±{}", f1(r.mean_task_mbps()), f1(r.sem_task_mbps())));
+        }
+        write_rows.push(wrow);
+        read_rows.push(rrow);
+    }
+    let mut headers = vec!["parallelism"];
+    headers.extend(vectors.iter().map(|(l, _)| *l));
+    let out = format!(
+        "Figure 2(a) — average WRITE throughput per worker (MB/s), DFSIO 10 GB\n\n{}\n\
+         Figure 2(b) — average READ throughput per worker (MB/s ± SEM)\n\n{}",
+        render(&headers, &write_rows),
+        render(&headers, &read_rows),
+    );
+    emit("fig2", &out);
+    out
+}
+
+fn fresh_sim() -> octopus_core::SimCluster {
+    octopus_core::SimCluster::new(ClusterConfig::paper_cluster()).unwrap()
+}

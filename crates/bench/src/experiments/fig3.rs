@@ -1,0 +1,226 @@
+//! Figure 3: average write (a) and read (b) throughput per worker over
+//! time for the eight data placement policies (§7.2).
+//!
+//! DFSIO writes 40 GB with d = 27 and U = 3, then reads it back, under
+//! each policy. Memory placement is enabled for the policy-driven
+//! placements ("we enabled the use of the Memory tier for fairness" —
+//! §7.2); the HDFS baselines never use memory by construction. Throughput
+//! is sampled in fixed windows of virtual time; the per-worker value is
+//! the cluster-aggregate goodput divided by the nine workers.
+
+use octopus_common::config::PlacementPolicyKind;
+use octopus_common::{ClusterConfig, ReplicationVector, GB, MB};
+use octopus_core::{SimCluster, SimEvent};
+
+
+use crate::experiments::{fig3_policies, policy_label};
+use crate::table::{emit, f1, render};
+
+const TOTAL_BYTES: u64 = 40 * GB;
+const D: u32 = 27;
+const SAMPLE_SECS: f64 = 10.0;
+
+/// Cluster config for one policy, §7.2 settings.
+pub fn config_for_policy(kind: PlacementPolicyKind) -> ClusterConfig {
+    let mut c = ClusterConfig::paper_cluster();
+    c.policy.placement = kind;
+    c.policy.memory_placement_enabled = true;
+    c
+}
+
+/// A sampled time series plus the phase summary.
+pub struct PolicyRun {
+    /// Policy label.
+    pub label: &'static str,
+    /// `(time s, write MB/s per worker)` samples.
+    pub write_series: Vec<(f64, f64)>,
+    /// `(time s, read MB/s per worker)` samples.
+    pub read_series: Vec<(f64, f64)>,
+    /// Mean per-task write throughput (MB/s).
+    pub write_mean: f64,
+    /// Mean per-task read throughput (MB/s).
+    pub read_mean: f64,
+    /// Remaining-capacity percent per tier over time (for Figure 4):
+    /// `(time s, [Memory %, SSD %, HDD %])`.
+    pub capacity_series: Vec<(f64, [f64; 3])>,
+}
+
+fn tier_remaining_pct(sim: &SimCluster) -> [f64; 3] {
+    let mut out = [0.0; 3];
+    for report in sim.master().get_storage_tier_reports() {
+        let idx = match report.name.as_str() {
+            "Memory" => 0,
+            "SSD" => 1,
+            _ => 2,
+        };
+        out[idx] = report.stats.remaining_fraction() * 100.0;
+    }
+    out
+}
+
+/// Drives submitted jobs to completion, sampling goodput every
+/// `SAMPLE_SECS` via `bytes_fn` (a monotone byte counter).
+/// `(time, MB/s-per-worker)` samples.
+type RateSeries = Vec<(f64, f64)>;
+/// `(time, [Memory %, SSD %, HDD %])` samples.
+type CapacitySeries = Vec<(f64, [f64; 3])>;
+
+fn drive_sampled(
+    sim: &mut SimCluster,
+    workers: f64,
+    read_phase: bool,
+) -> (RateSeries, CapacitySeries) {
+    let mut series = Vec::new();
+    let mut caps = Vec::new();
+    let mut last_bytes =
+        if read_phase { sim.logical_bytes_read() } else { sim.logical_bytes_written() };
+    let mut last_t = sim.now().as_secs_f64();
+    sim.schedule_timer(SAMPLE_SECS, 1);
+    while !sim.all_jobs_done() {
+        match sim.next_sim_event() {
+            Some(SimEvent::Timer(1)) => {
+                let now = sim.now().as_secs_f64();
+                let bytes = if read_phase {
+                    sim.logical_bytes_read()
+                } else {
+                    sim.logical_bytes_written()
+                };
+                let rate =
+                    (bytes - last_bytes) as f64 / (now - last_t).max(1e-9) / MB as f64 / workers;
+                series.push((now, rate));
+                caps.push((now, tier_remaining_pct(sim)));
+                last_bytes = bytes;
+                last_t = now;
+                if !sim.all_jobs_done() {
+                    sim.schedule_timer(SAMPLE_SECS, 1);
+                }
+            }
+            Some(_) => {}
+            None => break,
+        }
+    }
+    caps.push((sim.now().as_secs_f64(), tier_remaining_pct(sim)));
+    (series, caps)
+}
+
+/// Runs the 40 GB write+read experiment for one policy.
+pub fn run_policy(kind: PlacementPolicyKind) -> PolicyRun {
+    run_config(config_for_policy(kind), policy_label(kind))
+}
+
+/// Runs the 40 GB write+read experiment for an arbitrary configuration
+/// (shared with the ablation study).
+pub fn run_config(config: octopus_common::ClusterConfig, label: &'static str) -> PolicyRun {
+    let mut sim = SimCluster::new(config).unwrap();
+    let workers = sim.master().snapshot().workers.len() as f64;
+    let rv = ReplicationVector::from_replication_factor(3);
+
+    // Write phase: submit all writers, then drive with sampling.
+    sim.master().mkdir("/dfsio").unwrap();
+    let n = workers as u32;
+    let per_task = TOTAL_BYTES / D as u64;
+    let mut paths = Vec::new();
+    for i in 0..D {
+        let path = format!("/dfsio/part-{i}");
+        sim.submit_write(
+            &path,
+            per_task,
+            rv,
+            octopus_common::ClientLocation::OnWorker(octopus_common::WorkerId(i % n)),
+        )
+        .unwrap();
+        paths.push(path);
+    }
+    let (write_series, capacity_series) = drive_sampled(&mut sim, workers, false);
+    let write_reports = sim.reports();
+    let write_mean = write_reports.iter().map(|r| r.throughput_mbps()).sum::<f64>()
+        / write_reports.len() as f64;
+
+    // Read phase.
+    let read_start_jobs = sim.reports().len();
+    for (i, path) in paths.iter().enumerate() {
+        sim.submit_read(
+            path,
+            octopus_common::ClientLocation::OnWorker(octopus_common::WorkerId(
+                (i as u32 + 3) % n,
+            )),
+        )
+        .unwrap();
+    }
+    let (read_series, _) = drive_sampled(&mut sim, workers, true);
+    let read_reports = &sim.reports()[read_start_jobs..];
+    let read_mean = read_reports.iter().map(|r| r.throughput_mbps()).sum::<f64>()
+        / read_reports.len().max(1) as f64;
+
+    PolicyRun {
+        label,
+        write_series,
+        read_series,
+        write_mean,
+        read_mean,
+        capacity_series,
+    }
+}
+
+/// Runs all eight policies (shared with Figure 4).
+pub fn run_all_policies() -> Vec<PolicyRun> {
+    fig3_policies().into_iter().map(run_policy).collect()
+}
+
+fn series_table(runs: &[PolicyRun], write: bool) -> String {
+    // Align series on sample index.
+    let max_len = runs
+        .iter()
+        .map(|r| if write { r.write_series.len() } else { r.read_series.len() })
+        .max()
+        .unwrap_or(0);
+    let mut headers = vec!["t(s)".to_string()];
+    headers.extend(runs.iter().map(|r| r.label.to_string()));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut rows = Vec::new();
+    for i in 0..max_len {
+        let t = (i as f64 + 1.0) * SAMPLE_SECS;
+        let mut row = vec![f1(t)];
+        for r in runs {
+            let s = if write { &r.write_series } else { &r.read_series };
+            row.push(s.get(i).map(|&(_, v)| f1(v)).unwrap_or_default());
+        }
+        rows.push(row);
+    }
+    render(&headers_ref, &rows)
+}
+
+/// Runs the experiment and returns the report text.
+pub fn run() -> String {
+    let runs = run_all_policies();
+    let mut summary_rows = Vec::new();
+    for r in &runs {
+        summary_rows.push(vec![
+            r.label.to_string(),
+            f1(r.write_mean),
+            f1(r.read_mean),
+        ]);
+    }
+    let moop = runs.iter().find(|r| r.label == "MOOP").unwrap();
+    let hdfs = runs.iter().find(|r| r.label == "Original HDFS").unwrap();
+    let hdfs_ssd = runs.iter().find(|r| r.label == "HDFS with SSD").unwrap();
+    let rule = runs.iter().find(|r| r.label == "Rule-based").unwrap();
+    let out = format!(
+        "Figure 3 — DFSIO 40 GB, d=27, U=3, eight placement policies (§7.2)\n\n\
+         Mean per-task throughput (MB/s):\n{}\n\
+         MOOP vs Original HDFS:  write +{:.0}%  read {:.1}x\n\
+         MOOP vs HDFS with SSD:  write +{:.0}%\n\
+         MOOP vs Rule-based:     write +{:.0}%\n\n\
+         Figure 3(a) — write throughput per worker over time (MB/s):\n{}\n\
+         Figure 3(b) — read throughput per worker over time (MB/s):\n{}",
+        render(&["Policy", "Write MB/s", "Read MB/s"], &summary_rows),
+        (moop.write_mean / hdfs.write_mean - 1.0) * 100.0,
+        moop.read_mean / hdfs.read_mean,
+        (moop.write_mean / hdfs_ssd.write_mean - 1.0) * 100.0,
+        (moop.write_mean / rule.write_mean - 1.0) * 100.0,
+        series_table(&runs, true),
+        series_table(&runs, false),
+    );
+    emit("fig3", &out);
+    out
+}

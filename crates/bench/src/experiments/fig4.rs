@@ -1,0 +1,30 @@
+//! Figure 4: remaining capacity percent per storage tier over time for the
+//! eight placement policies (§7.2). Shares the 40 GB / d=27 write engine
+//! with Figure 3 and reports the per-tier capacity trajectories.
+
+use crate::experiments::fig3::run_all_policies;
+use crate::table::{emit, f1, render};
+
+/// Runs the experiment and returns the report text.
+pub fn run() -> String {
+    let runs = run_all_policies();
+    let mut out = String::from(
+        "Figure 4 — remaining capacity percent per tier during the 40 GB write (§7.2)\n\n",
+    );
+    for r in &runs {
+        let rows: Vec<Vec<String>> = r
+            .capacity_series
+            .iter()
+            .map(|(t, caps)| {
+                vec![f1(*t), f1(caps[0]), f1(caps[1]), f1(caps[2])]
+            })
+            .collect();
+        out.push_str(&format!(
+            "{}:\n{}\n",
+            r.label,
+            render(&["t(s)", "Memory %", "SSD %", "HDD %"], &rows)
+        ));
+    }
+    emit("fig4", &out);
+    out
+}

@@ -1,0 +1,44 @@
+//! Figure 6: normalized execution time of the nine HiBench workloads on
+//! Hadoop MapReduce and Spark, using OctopusFS versus HDFS (§7.5).
+
+use octopus_compute::{hibench_workloads, run_hibench, FsMode, Platform};
+
+use crate::table::{emit, f2, render};
+
+/// Runs the experiment and returns the report text.
+pub fn run() -> String {
+    let mut rows = Vec::new();
+    let mut gains = (Vec::new(), Vec::new());
+    for w in hibench_workloads() {
+        let h_hdfs = run_hibench(&w, Platform::Hadoop, FsMode::Hdfs).unwrap();
+        let h_octo = run_hibench(&w, Platform::Hadoop, FsMode::OctopusFs).unwrap();
+        let s_hdfs = run_hibench(&w, Platform::Spark, FsMode::Hdfs).unwrap();
+        let s_octo = run_hibench(&w, Platform::Spark, FsMode::OctopusFs).unwrap();
+        let hn = h_octo / h_hdfs;
+        let sn = s_octo / s_hdfs;
+        gains.0.push(1.0 - hn);
+        gains.1.push(1.0 - sn);
+        rows.push(vec![
+            w.name.to_string(),
+            w.category.to_string(),
+            f2(hn),
+            format!("{:.0}%", (1.0 - hn) * 100.0),
+            f2(sn),
+            format!("{:.0}%", (1.0 - sn) * 100.0),
+        ]);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let out = format!(
+        "Figure 6 — normalized execution time with OctopusFS over HDFS\n\
+         (lower is better; 1.00 = HDFS baseline)\n\n{}\n\
+         Average improvement: Hadoop {:.0}%  Spark {:.0}%\n",
+        render(
+            &["Workload", "category", "Hadoop norm", "gain", "Spark norm", "gain"],
+            &rows
+        ),
+        avg(&gains.0) * 100.0,
+        avg(&gains.1) * 100.0,
+    );
+    emit("fig6", &out);
+    out
+}

@@ -1,0 +1,30 @@
+//! Figure 7: normalized execution time of the four Pegasus workloads with
+//! the controllability optimizations (§7.6).
+
+use octopus_compute::{pegasus_workloads, run_pegasus, PegasusMode};
+
+use crate::table::{emit, f2, render};
+
+/// Runs the experiment and returns the report text.
+pub fn run() -> String {
+    let mut rows = Vec::new();
+    for w in pegasus_workloads() {
+        let base = run_pegasus(&w, PegasusMode::Hdfs).unwrap();
+        let mut row = vec![w.name.to_string()];
+        for mode in PegasusMode::ALL {
+            let t = run_pegasus(&w, mode).unwrap();
+            row.push(f2(t / base));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("Workload")
+        .chain(PegasusMode::ALL.iter().map(|m| m.label()))
+        .collect();
+    let out = format!(
+        "Figure 7 — normalized execution time of Pegasus workloads over HDFS\n\
+         (lower is better; 1.00 = unmodified Pegasus on HDFS)\n\n{}",
+        render(&headers, &rows)
+    );
+    emit("fig7", &out);
+    out
+}

@@ -1,0 +1,124 @@
+//! Error types shared across the OctopusFS crates.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, FsError>;
+
+/// The error type for all OctopusFS operations.
+///
+/// The variants mirror the failure classes of a distributed file system:
+/// namespace errors (missing paths, conflicts), capacity/quota violations,
+/// placement failures (no media satisfies the constraints), data-path errors
+/// (corruption, unavailable replicas), and configuration problems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// The requested path does not exist.
+    NotFound(String),
+    /// The path (or a file with that name) already exists.
+    AlreadyExists(String),
+    /// A path component that must be a directory is not one.
+    NotADirectory(String),
+    /// The operation requires a file but the path names a directory.
+    IsADirectory(String),
+    /// A directory that must be empty is not (e.g. non-recursive delete).
+    DirectoryNotEmpty(String),
+    /// The supplied path is syntactically invalid.
+    InvalidPath(String),
+    /// The replication vector is invalid for this operation.
+    InvalidReplicationVector(String),
+    /// The placement policy could not find enough storage media.
+    PlacementFailed(String),
+    /// No replica of the block could be read.
+    BlockUnavailable(String),
+    /// Stored data failed its checksum.
+    ChecksumMismatch { expected: u32, actual: u32 },
+    /// A storage medium has no room for the block.
+    OutOfCapacity(String),
+    /// A per-tier quota would be exceeded.
+    QuotaExceeded(String),
+    /// The referenced worker is not registered or is dead.
+    UnknownWorker(String),
+    /// The referenced storage medium is not registered.
+    UnknownMedia(String),
+    /// The referenced storage tier is not configured.
+    UnknownTier(String),
+    /// The file is open for writing by another client.
+    LeaseConflict(String),
+    /// Generic invalid-argument error.
+    InvalidArgument(String),
+    /// The master is not in a state to serve the request (e.g. safe mode).
+    NotReady(String),
+    /// An underlying OS-level I/O error (message only, to stay `Clone + Eq`).
+    Io(String),
+    /// Configuration is inconsistent or incomplete.
+    Config(String),
+    /// Internal invariant violation; indicates a bug.
+    Internal(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "path not found: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "path already exists: {p}"),
+            FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            FsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            FsError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
+            FsError::InvalidPath(p) => write!(f, "invalid path: {p}"),
+            FsError::InvalidReplicationVector(m) => {
+                write!(f, "invalid replication vector: {m}")
+            }
+            FsError::PlacementFailed(m) => write!(f, "placement failed: {m}"),
+            FsError::BlockUnavailable(m) => write!(f, "block unavailable: {m}"),
+            FsError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
+            ),
+            FsError::OutOfCapacity(m) => write!(f, "out of capacity: {m}"),
+            FsError::QuotaExceeded(m) => write!(f, "quota exceeded: {m}"),
+            FsError::UnknownWorker(m) => write!(f, "unknown worker: {m}"),
+            FsError::UnknownMedia(m) => write!(f, "unknown media: {m}"),
+            FsError::UnknownTier(m) => write!(f, "unknown tier: {m}"),
+            FsError::LeaseConflict(m) => write!(f, "lease conflict: {m}"),
+            FsError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            FsError::NotReady(m) => write!(f, "not ready: {m}"),
+            FsError::Io(m) => write!(f, "I/O error: {m}"),
+            FsError::Config(m) => write!(f, "configuration error: {m}"),
+            FsError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<std::io::Error> for FsError {
+    fn from(e: std::io::Error) -> Self {
+        FsError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_path() {
+        let e = FsError::NotFound("/a/b".into());
+        assert_eq!(e.to_string(), "path not found: /a/b");
+    }
+
+    #[test]
+    fn checksum_mismatch_is_hex() {
+        let e = FsError::ChecksumMismatch { expected: 0xdeadbeef, actual: 0x1 };
+        assert!(e.to_string().contains("0xdeadbeef"));
+        assert!(e.to_string().contains("0x00000001"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("boom");
+        let e: FsError = io.into();
+        assert!(matches!(e, FsError::Io(m) if m.contains("boom")));
+    }
+}

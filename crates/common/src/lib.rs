@@ -1,0 +1,35 @@
+//! Shared foundation types for OctopusFS.
+//!
+//! This crate defines the vocabulary every other OctopusFS crate speaks:
+//! storage tiers, the 64-bit [`ReplicationVector`] from the paper's API
+//! extensions (§2.3), cluster network topology (racks and workers), the
+//! statistics that workers report to the master via heartbeats, block
+//! metadata, checksums, configuration, and errors.
+//!
+//! Nothing in this crate performs I/O; it is pure data and arithmetic, which
+//! keeps it trivially testable and lets the policy crate stay free of any
+//! dependency on the running system.
+
+pub mod block;
+pub mod checksum;
+pub mod config;
+pub mod error;
+pub mod fstypes;
+pub mod ids;
+pub mod repvector;
+pub mod stats;
+pub mod tier;
+pub mod wire;
+pub mod topology;
+pub mod units;
+
+pub use block::{Block, BlockData, LocatedBlock, Location};
+pub use config::{ClusterConfig, MediaConfig, WorkerConfig};
+pub use error::{FsError, Result};
+pub use fstypes::{DirEntry, FileStatus};
+pub use ids::{BlockId, GenStamp, IdGenerator, INodeId, MediaId, WorkerId};
+pub use repvector::{ReplicationVector, VectorDiff};
+pub use stats::{MediaStats, StorageTierReport, TierStats, WorkerStats};
+pub use tier::{StorageTier, TierId, TierRegistry, MAX_TIERS, UNSPECIFIED_SLOT};
+pub use topology::{ClientLocation, NetDistance, RackId, Topology};
+pub use units::{DEFAULT_BLOCK_SIZE, GB, KB, MB, TB};

@@ -1,0 +1,652 @@
+//! The task execution engine: locality-aware slot scheduling of map and
+//! reduce tasks over a [`SimCluster`].
+
+use std::collections::HashMap;
+
+use octopus_common::{ClientLocation, FsError, ReplicationVector, Result, WorkerId, MB};
+use octopus_core::{JobId, SimCluster, SimEvent};
+
+/// CPU inflation applied to Spark tasks relative to Hadoop's for the same
+/// logical work (JVM object churn, RDD serialization). Calibration knob
+/// for the §7.5 reproduction; see DESIGN.md.
+pub const SPARK_CPU_FACTOR: f64 = 2.5;
+
+/// Which platform semantics to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// Chained jobs pass data through the DFS.
+    Hadoop,
+    /// Chained jobs keep intermediate data in executor memory; only the
+    /// first read and last write touch the DFS.
+    Spark,
+}
+
+/// Engine tunables.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Concurrent task slots per worker node (the paper's nodes have
+    /// 8 cores; 4 concurrent containers is a typical Hadoop setup).
+    pub slots_per_node: usize,
+    /// Replication vector for job/chain outputs.
+    pub output_rv: ReplicationVector,
+    /// Replication vector for intermediate (chained) outputs.
+    pub intermediate_rv: ReplicationVector,
+    /// Pipeline task I/O with task CPU (Spark-style execution: stage time
+    /// = max(io, cpu) instead of io + cpu, for map reads and reduce
+    /// output writes alike).
+    pub pipelined_maps: bool,
+    /// Multiplier on all task CPU costs (Spark's JVM/RDD serialization
+    /// overhead makes its tasks more CPU-bound than Hadoop's for the same
+    /// logical work, diluting the share of time the file system can
+    /// improve — the paper's "lesser benefits for Spark are expected").
+    pub cpu_factor: f64,
+    /// Tier-aware task scheduling (paper §6, "MapReduce Task Scheduling"):
+    /// when true, map tasks prefer the replica node whose copy sits on the
+    /// fastest tier (the retrieval-policy ordering); when false —
+    /// unmodified-Hadoop semantics — any replica-local node is equally
+    /// good and ties break by worker id.
+    pub tier_aware_scheduling: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            slots_per_node: 4,
+            output_rv: ReplicationVector::from_replication_factor(3),
+            intermediate_rv: ReplicationVector::from_replication_factor(3),
+            pipelined_maps: false,
+            cpu_factor: 1.0,
+            tier_aware_scheduling: false,
+        }
+    }
+}
+
+/// One MapReduce-style job.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// DFS input paths (every block of every input becomes a map task).
+    pub input_paths: Vec<String>,
+    /// DFS output directory (reducers write `part-<r>` files).
+    pub output_path: String,
+    /// Map CPU seconds per MB of input.
+    pub map_cpu_secs_per_mb: f64,
+    /// Reduce CPU seconds per MB of shuffled data.
+    pub reduce_cpu_secs_per_mb: f64,
+    /// Shuffled bytes as a fraction of input bytes.
+    pub shuffle_ratio: f64,
+    /// Total reduce output bytes.
+    pub output_bytes: u64,
+    /// Number of reduce tasks.
+    pub reducers: u32,
+}
+
+/// Phase timings of one executed job (virtual seconds).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobStats {
+    /// Map phase duration.
+    pub map_secs: f64,
+    /// Shuffle phase duration.
+    pub shuffle_secs: f64,
+    /// Reduce phase duration.
+    pub reduce_secs: f64,
+}
+
+impl JobStats {
+    /// Total job duration.
+    pub fn total(&self) -> f64 {
+        self.map_secs + self.shuffle_secs + self.reduce_secs
+    }
+}
+
+/// One schedulable task: optional block read, CPU, optional DFS write.
+/// With `pipelined` set, the read and the CPU run concurrently (Spark-style
+/// pipelining: the stage finishes at max(read, cpu) instead of their sum).
+struct Task {
+    preferred: Vec<WorkerId>,
+    read: Option<(String, u64)>,
+    cpu_secs: f64,
+    write: Option<(String, u64, ReplicationVector)>,
+    pipelined: bool,
+}
+
+/// What a task still has to do after the currently outstanding jobs finish.
+enum NextStage {
+    Cpu,
+    Write,
+    Done,
+}
+
+struct TaskCtx {
+    node: WorkerId,
+    task: Task,
+    outstanding: usize,
+    next: NextStage,
+}
+
+/// Runs a set of tasks under per-node slot limits, preferring
+/// replica-local placement. Returns when every task completes.
+fn run_tasks(sim: &mut SimCluster, tasks: Vec<Task>, slots_per_node: usize) -> Result<f64> {
+    let start = sim.now();
+    let n = sim.master().snapshot().workers.len();
+    if n == 0 {
+        return Err(FsError::NotReady("no live workers".into()));
+    }
+    let mut free: Vec<usize> = vec![slots_per_node; n];
+    let mut queue: Vec<(usize, Task)> = tasks
+        .into_iter()
+        .filter(|t| t.read.is_some() || t.cpu_secs > 0.0 || t.write.is_some())
+        .enumerate()
+        .collect();
+    queue.reverse(); // pop() from the front of the original order
+    let mut running: HashMap<JobId, usize> = HashMap::new();
+    let mut ctxs: HashMap<usize, TaskCtx> = HashMap::new();
+    let mut remaining = queue.len();
+    if remaining == 0 {
+        return Ok(0.0);
+    }
+
+    fn submit_write_stage(
+        sim: &mut SimCluster,
+        ctx: &TaskCtx,
+    ) -> Result<Option<JobId>> {
+        match &ctx.task.write {
+            Some((path, bytes, rv)) => Ok(Some(sim.submit_write(
+                path,
+                *bytes,
+                *rv,
+                ClientLocation::OnWorker(ctx.node),
+            )?)),
+            None => Ok(None),
+        }
+    }
+
+    // Launches the initial stage(s) of a task; returns the submitted jobs
+    // and the follow-up stage.
+    fn launch(
+        sim: &mut SimCluster,
+        task: &Task,
+        node: WorkerId,
+    ) -> Result<(Vec<JobId>, NextStage)> {
+        let client = ClientLocation::OnWorker(node);
+        match (&task.read, task.cpu_secs > 0.0) {
+            (Some((path, offset)), true) if task.pipelined => {
+                let read = sim.submit_block_read(path, *offset, client)?;
+                let cpu = sim.submit_delay(task.cpu_secs);
+                Ok((vec![read, cpu], NextStage::Write))
+            }
+            (Some((path, offset)), _) => {
+                let read = sim.submit_block_read(path, *offset, client)?;
+                let next = if task.cpu_secs > 0.0 { NextStage::Cpu } else { NextStage::Write };
+                Ok((vec![read], next))
+            }
+            (None, true) if task.pipelined && task.write.is_some() => {
+                let cpu = sim.submit_delay(task.cpu_secs);
+                let (path, bytes, rv) = task.write.as_ref().expect("checked");
+                let write = sim.submit_write(path, *bytes, *rv, client)?;
+                Ok((vec![cpu, write], NextStage::Done))
+            }
+            (None, true) => Ok((vec![sim.submit_delay(task.cpu_secs)], NextStage::Write)),
+            (None, false) => {
+                // Write-only task (filtered tasks guarantee a write exists).
+                Ok((Vec::new(), NextStage::Write))
+            }
+        }
+    }
+
+    // Admission: schedule queued tasks into free slots, locality first.
+    macro_rules! schedule {
+        () => {
+            while !queue.is_empty() && free.iter().any(|&f| f > 0) {
+                let (idx, task) = queue.pop().expect("non-empty");
+                let node = task
+                    .preferred
+                    .iter()
+                    .copied()
+                    .find(|w| free.get(w.0 as usize).is_some_and(|&f| f > 0))
+                    .unwrap_or_else(|| {
+                        let (best, _) = free
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|&(_, &f)| f)
+                            .expect("non-empty cluster");
+                        WorkerId(best as u32)
+                    });
+                free[node.0 as usize] -= 1;
+                let (jobs, next) = launch(sim, &task, node)?;
+                if jobs.is_empty() {
+                    // Immediate write-only task.
+                    let ctx = TaskCtx { node, task, outstanding: 0, next: NextStage::Done };
+                    let job = submit_write_stage(sim, &ctx)?
+                        .expect("no-op tasks are filtered before scheduling");
+                    running.insert(job, idx);
+                    ctxs.insert(idx, TaskCtx { outstanding: 1, ..ctx });
+                } else {
+                    let outstanding = jobs.len();
+                    for j in jobs {
+                        running.insert(j, idx);
+                    }
+                    ctxs.insert(idx, TaskCtx { node, task, outstanding, next });
+                }
+            }
+        };
+    }
+
+    schedule!();
+
+    while remaining > 0 {
+        let Some(ev) = sim.next_sim_event() else {
+            return Err(FsError::Internal(format!(
+                "simulator drained with {remaining} tasks outstanding"
+            )));
+        };
+        let SimEvent::JobDone(job) = ev else { continue };
+        let Some(idx) = running.remove(&job) else { continue };
+        if let Some(report) = sim.report(job) {
+            if let Some(f) = report.failed {
+                return Err(FsError::Internal(format!("task {idx} failed: {f}")));
+            }
+        }
+        enum Advance {
+            Cpu(f64),
+            Write,
+            Done,
+        }
+        let advance = {
+            let ctx = ctxs.get_mut(&idx).expect("running task has a context");
+            ctx.outstanding -= 1;
+            if ctx.outstanding > 0 {
+                continue;
+            }
+            match ctx.next {
+                NextStage::Cpu => {
+                    ctx.next = NextStage::Write;
+                    Advance::Cpu(ctx.task.cpu_secs)
+                }
+                NextStage::Write => {
+                    ctx.next = NextStage::Done;
+                    Advance::Write
+                }
+                NextStage::Done => Advance::Done,
+            }
+        };
+        let finished = match advance {
+            Advance::Cpu(secs) => {
+                let j = sim.submit_delay(secs);
+                running.insert(j, idx);
+                ctxs.get_mut(&idx).expect("context").outstanding = 1;
+                false
+            }
+            Advance::Write => {
+                let job = {
+                    let ctx = ctxs.get(&idx).expect("context");
+                    submit_write_stage(sim, ctx)?
+                };
+                match job {
+                    Some(j) => {
+                        running.insert(j, idx);
+                        ctxs.get_mut(&idx).expect("context").outstanding = 1;
+                        false
+                    }
+                    None => true,
+                }
+            }
+            Advance::Done => true,
+        };
+        if finished {
+            let ctx = ctxs.remove(&idx).expect("context");
+            free[ctx.node.0 as usize] += 1;
+            remaining -= 1;
+            schedule!();
+        }
+    }
+    Ok(sim.now().secs_since(start))
+}
+
+/// Drives a set of already-submitted jobs to completion.
+fn drain_jobs(sim: &mut SimCluster, mut outstanding: usize) -> Result<f64> {
+    let start = sim.now();
+    while outstanding > 0 {
+        match sim.next_sim_event() {
+            Some(SimEvent::JobDone(_)) => outstanding -= 1,
+            Some(_) => {}
+            None => {
+                return Err(FsError::Internal("simulator drained mid-shuffle".into()));
+            }
+        }
+    }
+    Ok(sim.now().secs_since(start))
+}
+
+/// Executes one MapReduce job over the simulated cluster.
+pub fn run_job(sim: &mut SimCluster, spec: &JobSpec, cfg: &EngineConfig) -> Result<JobStats> {
+    let mut stats = JobStats::default();
+    let nodes: Vec<WorkerId> =
+        sim.master().snapshot().workers.iter().map(|w| w.worker).collect();
+    if nodes.is_empty() {
+        return Err(FsError::NotReady("no live workers".into()));
+    }
+
+    // ---- Map phase -------------------------------------------------------
+    let mut map_tasks = Vec::new();
+    let mut input_bytes = 0u64;
+    let mut node_input: HashMap<WorkerId, u64> = HashMap::new();
+    for path in &spec.input_paths {
+        let blocks = sim.master().get_file_block_locations(
+            path,
+            0,
+            u64::MAX,
+            ClientLocation::OffCluster,
+        )?;
+        for lb in blocks {
+            input_bytes += lb.block.len;
+            let mut preferred: Vec<WorkerId> = lb.locations.iter().map(|l| l.worker).collect();
+            if !cfg.tier_aware_scheduling {
+                // Unmodified Hadoop: any replica-local node is equivalent.
+                preferred.sort_unstable();
+            }
+            // Approximate per-node input attribution by the first replica.
+            if let Some(w) = preferred.first() {
+                *node_input.entry(*w).or_insert(0) += lb.block.len;
+            }
+            map_tasks.push(Task {
+                preferred,
+                read: Some((path.clone(), lb.offset)),
+                cpu_secs: cfg.cpu_factor * spec.map_cpu_secs_per_mb * (lb.block.len as f64 / MB as f64),
+                write: None,
+                pipelined: cfg.pipelined_maps,
+            });
+        }
+    }
+    stats.map_secs = run_tasks(sim, map_tasks, cfg.slots_per_node)?;
+
+    // ---- Shuffle phase -----------------------------------------------------
+    let shuffle_bytes = (input_bytes as f64 * spec.shuffle_ratio) as u64;
+    let reducers = spec.reducers.max(1) as usize;
+    let reduce_nodes: Vec<WorkerId> =
+        (0..reducers).map(|r| nodes[r % nodes.len()]).collect();
+    let mut transfers = 0usize;
+    if shuffle_bytes > 0 {
+        for (&map_node, &bytes) in &node_input {
+            let from_node = (bytes as f64 / input_bytes.max(1) as f64) * shuffle_bytes as f64;
+            let per_reducer = (from_node / reducers as f64) as u64;
+            if per_reducer == 0 {
+                continue;
+            }
+            for &rn in &reduce_nodes {
+                sim.submit_transfer(map_node, rn, per_reducer);
+                transfers += 1;
+            }
+        }
+    }
+    stats.shuffle_secs = drain_jobs(sim, transfers)?;
+
+    // ---- Reduce phase --------------------------------------------------------
+    sim.master().mkdir(&spec.output_path)?;
+    let out_per_reducer = spec.output_bytes / reducers as u64;
+    let reduce_cpu = cfg.cpu_factor
+        * spec.reduce_cpu_secs_per_mb
+        * (shuffle_bytes as f64 / reducers as f64 / MB as f64);
+    let reduce_tasks: Vec<Task> = reduce_nodes
+        .iter()
+        .enumerate()
+        .map(|(r, &node)| Task {
+            preferred: vec![node],
+            read: None,
+            cpu_secs: reduce_cpu,
+            write: (out_per_reducer > 0).then(|| {
+                (format!("{}/part-{r}", spec.output_path), out_per_reducer, cfg.output_rv)
+            }),
+            pipelined: cfg.pipelined_maps,
+        })
+        .collect();
+    stats.reduce_secs = run_tasks(sim, reduce_tasks, cfg.slots_per_node)?;
+
+    Ok(stats)
+}
+
+/// Executes a chain of jobs with platform semantics. For Hadoop every job
+/// runs fully (through the DFS). For Spark, jobs after the first skip the
+/// DFS read (cached RDD partitions) and only the final job writes output.
+pub fn run_chain(
+    sim: &mut SimCluster,
+    chain: &[JobSpec],
+    platform: Platform,
+    cfg: &EngineConfig,
+) -> Result<Vec<JobStats>> {
+    let mut out = Vec::with_capacity(chain.len());
+    for (i, spec) in chain.iter().enumerate() {
+        let last = i == chain.len() - 1;
+        match platform {
+            Platform::Hadoop => {
+                let mut cfg_i = cfg.clone();
+                if !last {
+                    cfg_i.output_rv = cfg.intermediate_rv;
+                }
+                out.push(run_job(sim, spec, &cfg_i)?);
+            }
+            Platform::Spark => {
+                let mut spec_i = spec.clone();
+                if i > 0 {
+                    // Cached partitions: no DFS input read.
+                    spec_i.input_paths = Vec::new();
+                }
+                if !last {
+                    // Intermediate stays in memory: no DFS output.
+                    spec_i.output_bytes = 0;
+                }
+                let stats = run_spark_stage(sim, &spec_i, spec, cfg, i > 0)?;
+                out.push(stats);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A Spark stage: like a job, but a cached-input stage replaces the map
+/// read with pure CPU over the original input volume.
+fn run_spark_stage(
+    sim: &mut SimCluster,
+    spec: &JobSpec,
+    original: &JobSpec,
+    cfg: &EngineConfig,
+    cached: bool,
+) -> Result<JobStats> {
+    if !cached {
+        let cfg =
+            EngineConfig { pipelined_maps: true, cpu_factor: SPARK_CPU_FACTOR, ..cfg.clone() };
+        return run_job(sim, spec, &cfg);
+    }
+    let mut stats = JobStats::default();
+    let nodes: Vec<WorkerId> =
+        sim.master().snapshot().workers.iter().map(|w| w.worker).collect();
+    // CPU over cached partitions, spread evenly.
+    let first_input = &original.input_paths;
+    let mut input_bytes = 0u64;
+    for p in first_input {
+        input_bytes += sim.master().status(p).map(|s| s.len).unwrap_or(0);
+    }
+    let blocks = (input_bytes / (128 * MB)).max(nodes.len() as u64) as usize;
+    let cpu_per_task = SPARK_CPU_FACTOR
+        * original.map_cpu_secs_per_mb
+        * (input_bytes as f64 / blocks as f64 / MB as f64);
+    let tasks: Vec<Task> = (0..blocks)
+        .map(|i| Task {
+            preferred: vec![nodes[i % nodes.len()]],
+            read: None,
+            cpu_secs: cpu_per_task,
+            write: None,
+            pipelined: false,
+        })
+        .collect();
+    stats.map_secs = run_tasks(sim, tasks, cfg.slots_per_node)?;
+
+    // Shuffle over the network as usual.
+    let shuffle_bytes = (input_bytes as f64 * original.shuffle_ratio) as u64;
+    let reducers = original.reducers.max(1) as usize;
+    let reduce_nodes: Vec<WorkerId> = (0..reducers).map(|r| nodes[r % nodes.len()]).collect();
+    let mut transfers = 0;
+    if shuffle_bytes > 0 {
+        let per = shuffle_bytes / (nodes.len() * reducers) as u64;
+        if per > 0 {
+            for &m in &nodes {
+                for &r in &reduce_nodes {
+                    sim.submit_transfer(m, r, per);
+                    transfers += 1;
+                }
+            }
+        }
+    }
+    stats.shuffle_secs = drain_jobs(sim, transfers)?;
+
+    // Reduce CPU (+ output write only when requested).
+    sim.master().mkdir(&spec.output_path).ok();
+    let out_per = spec.output_bytes / reducers as u64;
+    let reduce_cpu = SPARK_CPU_FACTOR
+        * original.reduce_cpu_secs_per_mb
+        * (shuffle_bytes as f64 / reducers as f64 / MB as f64);
+    let tasks: Vec<Task> = reduce_nodes
+        .iter()
+        .enumerate()
+        .map(|(r, &node)| Task {
+            preferred: vec![node],
+            read: None,
+            cpu_secs: reduce_cpu,
+            write: (out_per > 0)
+                .then(|| (format!("{}/part-{r}", spec.output_path), out_per, cfg.output_rv)),
+            pipelined: true,
+        })
+        .collect();
+    stats.reduce_secs = run_tasks(sim, tasks, cfg.slots_per_node)?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_common::{ClientLocation, ClusterConfig, GB};
+    use octopus_core::SimCluster;
+
+    fn sim() -> SimCluster {
+        let mut c = ClusterConfig::paper_cluster_scaled(0.05);
+        c.block_size = 32 * MB;
+        SimCluster::new(c).unwrap()
+    }
+
+    fn load_input(sim: &mut SimCluster, paths: &[&str], bytes: u64) {
+        sim.master().mkdir("/in").unwrap();
+        for (i, p) in paths.iter().enumerate() {
+            sim.submit_write(
+                p,
+                bytes,
+                ReplicationVector::from_replication_factor(3),
+                ClientLocation::OnWorker(octopus_common::WorkerId(i as u32 % 9)),
+            )
+            .unwrap();
+        }
+        sim.run_to_completion();
+    }
+
+    fn spec(inputs: &[&str], out: &str) -> JobSpec {
+        JobSpec {
+            input_paths: inputs.iter().map(|s| s.to_string()).collect(),
+            output_path: out.to_string(),
+            map_cpu_secs_per_mb: 0.005,
+            reduce_cpu_secs_per_mb: 0.005,
+            shuffle_ratio: 0.5,
+            output_bytes: 64 * MB,
+            reducers: 6,
+        }
+    }
+
+    #[test]
+    fn run_job_produces_output_parts() {
+        let mut s = sim();
+        load_input(&mut s, &["/in/a", "/in/b"], GB / 4);
+        let stats = run_job(&mut s, &spec(&["/in/a", "/in/b"], "/out"), &EngineConfig::default())
+            .unwrap();
+        assert!(stats.map_secs > 0.0);
+        assert!(stats.shuffle_secs > 0.0);
+        assert!(stats.reduce_secs > 0.0);
+        assert!(stats.total() > 0.0);
+        // Six reducers wrote six parts.
+        let parts = s.master().list("/out").unwrap();
+        assert_eq!(parts.len(), 6);
+        let total: u64 = parts.iter().map(|e| e.len).sum();
+        assert!((total as i64 - (64 * MB) as i64).abs() < 7, "output ≈ 64 MB");
+    }
+
+    #[test]
+    fn hadoop_chain_passes_through_dfs() {
+        let mut s = sim();
+        load_input(&mut s, &["/in/a"], GB / 4);
+        let mut j1 = spec(&["/in/a"], "/c/job0");
+        let j2 = JobSpec {
+            input_paths: (0..6).map(|r| format!("/c/job0/part-{r}")).collect(),
+            output_path: "/c/job1".into(),
+            ..spec(&[], "/c/job1")
+        };
+        j1.output_bytes = 128 * MB;
+        let stats = run_chain(&mut s, &[j1, j2], Platform::Hadoop, &EngineConfig::default())
+            .unwrap();
+        assert_eq!(stats.len(), 2);
+        // Job 1 read job 0's DFS output, so its map phase did real I/O.
+        assert!(stats[1].map_secs > 0.0);
+        assert_eq!(s.master().list("/c/job1").unwrap().len(), 6);
+    }
+
+    #[test]
+    fn spark_chain_skips_intermediate_dfs_io() {
+        // Same two-stage chain, Spark semantics: stage 1 must not create
+        // job0 output parts in the DFS (cached in executor memory).
+        let mut s = sim();
+        load_input(&mut s, &["/in/a"], GB / 4);
+        let j1 = spec(&["/in/a"], "/sp/job0");
+        let j2 = JobSpec {
+            input_paths: (0..6).map(|r| format!("/sp/job0/part-{r}")).collect(),
+            output_path: "/sp/job1".into(),
+            ..spec(&[], "/sp/job1")
+        };
+        let stats =
+            run_chain(&mut s, &[j1, j2], Platform::Spark, &EngineConfig::default()).unwrap();
+        assert_eq!(stats.len(), 2);
+        // No intermediate parts were materialized.
+        let job0 = s.master().list("/sp/job0");
+        assert!(job0.is_err() || job0.unwrap().is_empty());
+        // Final output exists.
+        assert_eq!(s.master().list("/sp/job1").unwrap().len(), 6);
+    }
+
+    #[test]
+    fn locality_prefers_replica_nodes() {
+        // With free slots everywhere, every map task should read locally:
+        // total map time ≈ blocks/slots waves of a local read + cpu.
+        let mut s = sim();
+        load_input(&mut s, &["/in/a"], GB / 4);
+        let mut spec1 = spec(&["/in/a"], "/loc/out");
+        spec1.shuffle_ratio = 0.0;
+        spec1.output_bytes = 0;
+        spec1.map_cpu_secs_per_mb = 0.0;
+        let stats = run_job(&mut s, &spec1, &EngineConfig::default()).unwrap();
+        // 8 blocks of 32 MB over 36 slots → one wave of local reads. A
+        // local memory/SSD read of 32 MB takes well under a second; an
+        // all-remote schedule would not finish this fast.
+        assert!(stats.map_secs < 1.0, "map phase {:.2}s suggests remote reads", stats.map_secs);
+    }
+
+    #[test]
+    fn empty_job_is_trivial() {
+        let mut s = sim();
+        let empty = JobSpec {
+            input_paths: vec![],
+            output_path: "/e".into(),
+            map_cpu_secs_per_mb: 0.0,
+            reduce_cpu_secs_per_mb: 0.0,
+            shuffle_ratio: 0.0,
+            output_bytes: 0,
+            reducers: 2,
+        };
+        let stats = run_job(&mut s, &empty, &EngineConfig::default()).unwrap();
+        assert_eq!(stats.map_secs, 0.0);
+        assert_eq!(stats.shuffle_secs, 0.0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Workload descriptors for the paper's end-to-end experiments.
+//!
+//! The nine HiBench workloads of §7.5 (micro benchmarks, OLAP queries,
+//! machine-learning analytics) and the four Pegasus graph-mining workloads
+//! of §7.6. The CPU/shuffle/output coefficients are calibration knobs: the
+//! paper does not publish per-workload parameters, so these are chosen to
+//! match each workload's published character (Sort is I/O-bound and
+//! shuffle-heavy, Wordcount is map-CPU-bound with a small shuffle, the ML
+//! workloads are iterative and chained, HADI produces ~18 GB of
+//! intermediate data per iteration on a 3.3 GB graph, ...).
+
+use octopus_common::{GB, MB};
+
+use crate::engine::JobSpec;
+
+/// One HiBench-style workload.
+#[derive(Debug, Clone)]
+pub struct HiBenchWorkload {
+    /// Workload name as in Figure 6.
+    pub name: &'static str,
+    /// Category: "micro", "olap", or "ml".
+    pub category: &'static str,
+    /// Input dataset size in GB.
+    pub input_gb: f64,
+    /// Number of chained MapReduce jobs.
+    pub jobs: u32,
+    /// Map CPU seconds per MB of input.
+    pub map_cpu_secs_per_mb: f64,
+    /// Reduce CPU seconds per MB of shuffle input.
+    pub reduce_cpu_secs_per_mb: f64,
+    /// Shuffle volume as a fraction of input.
+    pub shuffle_ratio: f64,
+    /// Output volume as a fraction of input (per job).
+    pub output_ratio: f64,
+    /// Whether chained jobs re-read the original input (iterative ML).
+    pub reread_input: bool,
+    /// Reduce task count.
+    pub reducers: u32,
+}
+
+impl HiBenchWorkload {
+    /// Input bytes.
+    pub fn input_bytes(&self) -> u64 {
+        (self.input_gb * GB as f64) as u64
+    }
+
+    /// Expands the workload into its job chain. `input_paths` are the
+    /// pre-generated input files; intermediate outputs are wired
+    /// job-to-job under `/out/<name>/`.
+    pub fn to_chain(&self, input_paths: &[String]) -> Vec<JobSpec> {
+        let mut chain = Vec::with_capacity(self.jobs as usize);
+        let out_bytes = (self.input_bytes() as f64 * self.output_ratio) as u64;
+        let mut prev_outputs: Vec<String> = Vec::new();
+        for j in 0..self.jobs {
+            let mut inputs: Vec<String> = if j == 0 {
+                input_paths.to_vec()
+            } else if self.reread_input {
+                let mut v = input_paths.to_vec();
+                v.extend(prev_outputs.clone());
+                v
+            } else {
+                prev_outputs.clone()
+            };
+            inputs.sort();
+            let output_path = format!("/out/{}/job{}", self.name, j);
+            let reducers = self.reducers;
+            prev_outputs = (0..reducers)
+                .map(|r| format!("{output_path}/part-{r}"))
+                .collect();
+            chain.push(JobSpec {
+                input_paths: inputs,
+                output_path,
+                map_cpu_secs_per_mb: self.map_cpu_secs_per_mb,
+                reduce_cpu_secs_per_mb: self.reduce_cpu_secs_per_mb,
+                shuffle_ratio: self.shuffle_ratio,
+                output_bytes: out_bytes.max(MB),
+                reducers,
+            });
+        }
+        chain
+    }
+}
+
+/// The nine §7.5 workloads.
+pub fn hibench_workloads() -> Vec<HiBenchWorkload> {
+    vec![
+        HiBenchWorkload {
+            name: "Sort",
+            category: "micro",
+            input_gb: 12.0,
+            jobs: 1,
+            map_cpu_secs_per_mb: 0.002,
+            reduce_cpu_secs_per_mb: 0.002,
+            shuffle_ratio: 1.0,
+            output_ratio: 1.0,
+            reread_input: false,
+            reducers: 18,
+        },
+        HiBenchWorkload {
+            name: "Wordcount",
+            category: "micro",
+            input_gb: 12.0,
+            jobs: 1,
+            map_cpu_secs_per_mb: 0.020,
+            reduce_cpu_secs_per_mb: 0.005,
+            shuffle_ratio: 0.10,
+            output_ratio: 0.05,
+            reread_input: false,
+            reducers: 18,
+        },
+        HiBenchWorkload {
+            name: "Terasort",
+            category: "micro",
+            input_gb: 12.0,
+            jobs: 1,
+            map_cpu_secs_per_mb: 0.005,
+            reduce_cpu_secs_per_mb: 0.005,
+            shuffle_ratio: 1.0,
+            output_ratio: 1.0,
+            reread_input: false,
+            reducers: 18,
+        },
+        HiBenchWorkload {
+            name: "Scan",
+            category: "olap",
+            input_gb: 10.0,
+            jobs: 1,
+            map_cpu_secs_per_mb: 0.004,
+            reduce_cpu_secs_per_mb: 0.001,
+            shuffle_ratio: 0.20,
+            output_ratio: 0.20,
+            reread_input: false,
+            reducers: 18,
+        },
+        HiBenchWorkload {
+            name: "Join",
+            category: "olap",
+            input_gb: 10.0,
+            jobs: 2,
+            map_cpu_secs_per_mb: 0.006,
+            reduce_cpu_secs_per_mb: 0.006,
+            shuffle_ratio: 0.60,
+            output_ratio: 0.30,
+            reread_input: false,
+            reducers: 18,
+        },
+        HiBenchWorkload {
+            name: "Aggregation",
+            category: "olap",
+            input_gb: 10.0,
+            jobs: 1,
+            map_cpu_secs_per_mb: 0.006,
+            reduce_cpu_secs_per_mb: 0.004,
+            shuffle_ratio: 0.25,
+            output_ratio: 0.08,
+            reread_input: false,
+            reducers: 18,
+        },
+        HiBenchWorkload {
+            name: "Pagerank",
+            category: "ml",
+            input_gb: 6.0,
+            jobs: 3,
+            map_cpu_secs_per_mb: 0.008,
+            reduce_cpu_secs_per_mb: 0.006,
+            shuffle_ratio: 0.50,
+            output_ratio: 0.50,
+            reread_input: true,
+            reducers: 18,
+        },
+        HiBenchWorkload {
+            name: "Bayes",
+            category: "ml",
+            input_gb: 8.0,
+            jobs: 2,
+            map_cpu_secs_per_mb: 0.025,
+            reduce_cpu_secs_per_mb: 0.010,
+            shuffle_ratio: 0.35,
+            output_ratio: 0.15,
+            reread_input: true,
+            reducers: 18,
+        },
+        HiBenchWorkload {
+            name: "Kmeans",
+            category: "ml",
+            input_gb: 8.0,
+            jobs: 3,
+            map_cpu_secs_per_mb: 0.030,
+            reduce_cpu_secs_per_mb: 0.004,
+            shuffle_ratio: 0.05,
+            output_ratio: 0.02,
+            reread_input: true,
+            reducers: 18,
+        },
+    ]
+}
+
+/// One Pegasus graph-mining workload (§7.6): GIM-V iterations over a
+/// 2M-vertex, 3.3 GB graph.
+#[derive(Debug, Clone)]
+pub struct PegasusWorkload {
+    /// Workload name as in Figure 7.
+    pub name: &'static str,
+    /// Graph size in GB (3.3 in the paper).
+    pub graph_gb: f64,
+    /// Number of iterations (all §7.6 workloads converge within four).
+    pub iterations: u32,
+    /// Intermediate bytes per iteration as a multiple of the graph size
+    /// (HADI produces ~18 GB per iteration on the 3.3 GB graph).
+    pub interm_ratio: f64,
+    /// Map CPU seconds per MB.
+    pub map_cpu_secs_per_mb: f64,
+    /// Reduce CPU seconds per MB of shuffle.
+    pub reduce_cpu_secs_per_mb: f64,
+    /// Shuffle fraction of input.
+    pub shuffle_ratio: f64,
+}
+
+impl PegasusWorkload {
+    /// Graph bytes.
+    pub fn graph_bytes(&self) -> u64 {
+        (self.graph_gb * GB as f64) as u64
+    }
+
+    /// Intermediate bytes per iteration.
+    pub fn interm_bytes(&self) -> u64 {
+        (self.graph_bytes() as f64 * self.interm_ratio) as u64
+    }
+}
+
+/// The four §7.6 workloads.
+pub fn pegasus_workloads() -> Vec<PegasusWorkload> {
+    vec![
+        PegasusWorkload {
+            name: "Pagerank",
+            graph_gb: 3.3,
+            iterations: 4,
+            interm_ratio: 0.6,
+            map_cpu_secs_per_mb: 0.006,
+            reduce_cpu_secs_per_mb: 0.006,
+            shuffle_ratio: 0.7,
+        },
+        PegasusWorkload {
+            name: "ConComp",
+            graph_gb: 3.3,
+            iterations: 4,
+            interm_ratio: 0.8,
+            map_cpu_secs_per_mb: 0.006,
+            reduce_cpu_secs_per_mb: 0.006,
+            shuffle_ratio: 0.7,
+        },
+        PegasusWorkload {
+            name: "HADI",
+            graph_gb: 3.3,
+            iterations: 4,
+            interm_ratio: 5.4, // ≈18 GB of intermediate data per iteration
+            map_cpu_secs_per_mb: 0.005,
+            reduce_cpu_secs_per_mb: 0.005,
+            shuffle_ratio: 0.9,
+        },
+        PegasusWorkload {
+            name: "RWR",
+            graph_gb: 3.3,
+            iterations: 4,
+            interm_ratio: 0.7,
+            map_cpu_secs_per_mb: 0.007,
+            reduce_cpu_secs_per_mb: 0.006,
+            shuffle_ratio: 0.7,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_hibench_workloads_across_three_categories() {
+        let w = hibench_workloads();
+        assert_eq!(w.len(), 9);
+        assert_eq!(w.iter().filter(|x| x.category == "micro").count(), 3);
+        assert_eq!(w.iter().filter(|x| x.category == "olap").count(), 3);
+        assert_eq!(w.iter().filter(|x| x.category == "ml").count(), 3);
+    }
+
+    #[test]
+    fn chain_wiring() {
+        let w = hibench_workloads().into_iter().find(|w| w.name == "Pagerank").unwrap();
+        let chain = w.to_chain(&["/in/a".into(), "/in/b".into()]);
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain[0].input_paths, vec!["/in/a", "/in/b"]);
+        // Iterative: job 1 reads the original input plus job 0's parts.
+        assert!(chain[1].input_paths.contains(&"/in/a".to_string()));
+        assert!(chain[1]
+            .input_paths
+            .iter()
+            .any(|p| p.starts_with("/out/Pagerank/job0/part-")));
+        assert_eq!(chain[1].input_paths.len(), 2 + w.reducers as usize);
+    }
+
+    #[test]
+    fn non_iterative_chain_forwards_only_outputs() {
+        let w = hibench_workloads().into_iter().find(|w| w.name == "Join").unwrap();
+        let chain = w.to_chain(&["/in/x".into()]);
+        assert_eq!(chain.len(), 2);
+        assert!(chain[1].input_paths.iter().all(|p| p.starts_with("/out/Join/job0/")));
+    }
+
+    #[test]
+    fn pegasus_hadi_intermediate_is_huge() {
+        let hadi = pegasus_workloads().into_iter().find(|w| w.name == "HADI").unwrap();
+        let gb = hadi.interm_bytes() as f64 / GB as f64;
+        assert!((gb - 17.8).abs() < 0.5, "HADI intermediate ≈ 18 GB, got {gb:.1}");
+    }
+}

@@ -1,0 +1,437 @@
+//! The OctopusFS client (paper §2.3): the file system API with the Table 1
+//! tiered-storage extensions, plus the write-pipeline and read-failover
+//! data paths (§3.1, §4.1).
+
+use bytes::Bytes;
+use std::sync::Arc;
+
+use octopus_common::{
+    BlockData, ClientLocation, FsError, LocatedBlock, Location, ReplicationVector, Result,
+    StorageTierReport,
+};
+use octopus_master::{ClientId, DirEntry, FileStatus, Master, TierQuota};
+
+use crate::cluster::DataPlane;
+
+static NEXT_CLIENT_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// A client handle. Cheap to clone; clones share the same lease identity.
+#[derive(Clone)]
+pub struct Client {
+    master: Arc<Master>,
+    plane: Arc<DataPlane>,
+    location: ClientLocation,
+    id: ClientId,
+}
+
+impl Client {
+    pub(crate) fn new(
+        master: Arc<Master>,
+        plane: Arc<DataPlane>,
+        location: ClientLocation,
+    ) -> Self {
+        let id = ClientId(NEXT_CLIENT_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
+        Self { master, plane, location, id }
+    }
+
+    /// Where this client runs.
+    pub fn location(&self) -> ClientLocation {
+        self.location
+    }
+
+    /// This client's lease identity.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    // -- Namespace operations ------------------------------------------------
+
+    /// Creates a directory and any missing parents.
+    pub fn mkdir(&self, path: &str) -> Result<()> {
+        self.master.mkdir(path)
+    }
+
+    /// Status of a path.
+    pub fn status(&self, path: &str) -> Result<FileStatus> {
+        self.master.status(path)
+    }
+
+    /// Lists a directory.
+    pub fn list(&self, path: &str) -> Result<Vec<DirEntry>> {
+        self.master.list(path)
+    }
+
+    /// Renames a file or directory.
+    pub fn rename(&self, src: &str, dst: &str) -> Result<()> {
+        self.master.rename(src, dst)
+    }
+
+    /// Deletes a path, invalidating replicas at the workers.
+    pub fn delete(&self, path: &str, recursive: bool) -> Result<()> {
+        let dropped = self.master.delete(path, recursive)?;
+        for (block, loc) in dropped {
+            if let Ok(w) = self.plane.worker(loc.worker) {
+                let _ = w.delete_block(loc.media, block);
+            }
+        }
+        Ok(())
+    }
+
+    /// Sets a per-tier quota on a directory.
+    pub fn set_quota(&self, path: &str, quota: TierQuota) -> Result<()> {
+        self.master.set_quota(path, quota)
+    }
+
+    // -- Table 1 API extensions ----------------------------------------------
+
+    /// `create(Path, ReplicationVector, blockSize)`: opens a new file for
+    /// writing and returns the output stream.
+    pub fn create(
+        &self,
+        path: &str,
+        rv: ReplicationVector,
+        block_size: Option<u64>,
+    ) -> Result<FileWriter> {
+        let status = self.master.create_file_as(path, rv, block_size, self.id)?;
+        Ok(FileWriter {
+            client: self.clone(),
+            path: path.to_string(),
+            block_size: status.block_size,
+            buf: Vec::new(),
+            closed: false,
+        })
+    }
+
+    /// `setReplication(Path, ReplicationVector)`: records the new vector;
+    /// replica movement happens asynchronously (§5). Returns the previous
+    /// vector.
+    pub fn set_replication(&self, path: &str, rv: ReplicationVector) -> Result<ReplicationVector> {
+        self.master.set_replication(path, rv)
+    }
+
+    /// `getFileBlockLocations(Path, start, len)`: block locations (with
+    /// their storage tiers) overlapping the byte range, ordered by the
+    /// retrieval policy for this client's location.
+    pub fn get_file_block_locations(
+        &self,
+        path: &str,
+        start: u64,
+        len: u64,
+    ) -> Result<Vec<LocatedBlock>> {
+        self.master.get_file_block_locations(path, start, len, self.location)
+    }
+
+    /// `getStorageTierReports()`: the active tiers with capacity and
+    /// throughput information.
+    pub fn get_storage_tier_reports(&self) -> Vec<StorageTierReport> {
+        self.master.get_storage_tier_reports()
+    }
+
+    // -- Data path -------------------------------------------------------------
+
+    /// Convenience: creates `path` and writes `data` in one call.
+    pub fn write_file(&self, path: &str, data: &[u8], rv: ReplicationVector) -> Result<()> {
+        let mut w = self.create(path, rv, None)?;
+        w.write(data)?;
+        w.close()
+    }
+
+    /// Reads a whole file, verifying checksums, failing over across
+    /// replicas (§4.1). Paths under an external mount are served by the
+    /// mounted catalog (§2.4).
+    pub fn read_file(&self, path: &str) -> Result<Vec<u8>> {
+        if self.master.is_external(path) {
+            return self.master.read_external(path);
+        }
+        self.read_range(path, 0, u64::MAX)
+    }
+
+    /// Imports a file from a mounted external catalog into the cluster's
+    /// tiers (the MixApart-style caching pattern of §2.4): reads through
+    /// the mount and writes a tiered copy at `dst` with vector `rv`.
+    pub fn import_external(
+        &self,
+        src: &str,
+        dst: &str,
+        rv: ReplicationVector,
+    ) -> Result<()> {
+        let data = self.master.read_external(src)?;
+        self.write_file(dst, &data, rv)
+    }
+
+    /// Opens a file for positional reading.
+    pub fn open(&self, path: &str) -> Result<FileReader> {
+        let status = self.master.status(path)?;
+        if status.is_dir {
+            return Err(FsError::IsADirectory(path.to_string()));
+        }
+        Ok(FileReader {
+            client: self.clone(),
+            path: path.to_string(),
+            len: status.len,
+            pos: 0,
+            cached: None,
+        })
+    }
+
+    /// Reopens a complete file for appending. New data starts a fresh
+    /// block (the existing final block is immutable).
+    pub fn append(&self, path: &str) -> Result<FileWriter> {
+        let status = self.master.append_file_as(path, self.id)?;
+        Ok(FileWriter {
+            client: self.clone(),
+            path: path.to_string(),
+            block_size: status.block_size,
+            buf: Vec::new(),
+            closed: false,
+        })
+    }
+
+    /// Reads the byte range `[start, start+len)` of a file.
+    pub fn read_range(&self, path: &str, start: u64, len: u64) -> Result<Vec<u8>> {
+        if self.master.is_external(path) {
+            let all = self.master.read_external(path)?;
+            let end = start.saturating_add(len).min(all.len() as u64) as usize;
+            let start = (start as usize).min(all.len());
+            return Ok(all[start..end.max(start)].to_vec());
+        }
+        let status = self.master.status(path)?;
+        if status.is_dir {
+            return Err(FsError::IsADirectory(path.to_string()));
+        }
+        let end = start.saturating_add(len).min(status.len);
+        if start >= end {
+            return Ok(Vec::new());
+        }
+        let blocks = self.get_file_block_locations(path, start, end - start)?;
+        let mut out = Vec::with_capacity((end - start) as usize);
+        for lb in blocks {
+            let data = self.read_block(&lb)?;
+            let BlockData::Real(bytes) = data else {
+                return Err(FsError::Internal(
+                    "synthetic block payload reached the real read path".into(),
+                ));
+            };
+            let b_start = start.max(lb.offset) - lb.offset;
+            let b_end = end.min(lb.end()) - lb.offset;
+            out.extend_from_slice(&bytes[b_start as usize..b_end as usize]);
+        }
+        Ok(out)
+    }
+
+    /// Reads one block, trying replicas in policy order (§4.1: on failure,
+    /// contact the next worker on the list).
+    pub fn read_block(&self, lb: &LocatedBlock) -> Result<BlockData> {
+        let mut last_err =
+            FsError::BlockUnavailable(format!("{}: no replicas", lb.block.id));
+        for loc in &lb.locations {
+            match self.try_read_replica(lb, loc) {
+                Ok(d) => return Ok(d),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    fn try_read_replica(&self, lb: &LocatedBlock, loc: &Location) -> Result<BlockData> {
+        let w = self.plane.worker(loc.worker)?;
+        // Remote transfers hold a NIC connection for accounting.
+        let _net = match self.location {
+            ClientLocation::OnWorker(me) if me == loc.worker => None,
+            _ => Some(w.connect_net()),
+        };
+        let data = w.read_block(loc.media, lb.block.id)?;
+        if data.len() != lb.block.len {
+            return Err(FsError::BlockUnavailable(format!(
+                "{}: replica length {} != {}",
+                lb.block.id,
+                data.len(),
+                lb.block.len
+            )));
+        }
+        Ok(data)
+    }
+
+    /// Writes one block through the worker pipeline (§3.1). Returns the
+    /// locations that acknowledged.
+    fn write_block_pipeline(&self, path: &str, payload: Bytes) -> Result<Vec<Location>> {
+        let len = payload.len() as u64;
+        let (block, pipeline) = self.master.add_block_as(path, len, self.location, self.id)?;
+        let data = BlockData::Real(payload);
+        let mut stored = Vec::new();
+        for loc in &pipeline {
+            let res = (|| -> Result<()> {
+                let w = self.plane.worker(loc.worker)?;
+                let _net = match self.location {
+                    ClientLocation::OnWorker(me) if me == loc.worker && stored.is_empty() => {
+                        None
+                    }
+                    _ => Some(w.connect_net()),
+                };
+                w.write_block(loc.media, block, &data)
+            })();
+            match res {
+                Ok(()) => {
+                    self.master.commit_replica(block, *loc)?;
+                    stored.push(*loc);
+                }
+                Err(_) => {
+                    // The pipeline skips the failed stage; the replication
+                    // monitor heals the block later (§5).
+                    self.master.abort_replica(block, *loc);
+                }
+            }
+        }
+        if stored.is_empty() {
+            return Err(FsError::BlockUnavailable(format!(
+                "block {} could not be stored on any pipeline stage",
+                block.id
+            )));
+        }
+        Ok(stored)
+    }
+}
+
+/// An output stream for one file (returned by [`Client::create`]).
+///
+/// Bytes are buffered into blocks of the file's block size; each full block
+/// is pushed through a fresh pipeline obtained from the master (§3.1).
+pub struct FileWriter {
+    client: Client,
+    path: String,
+    block_size: u64,
+    buf: Vec<u8>,
+    closed: bool,
+}
+
+impl FileWriter {
+    /// Appends bytes, flushing complete blocks.
+    pub fn write(&mut self, data: &[u8]) -> Result<()> {
+        if self.closed {
+            return Err(FsError::InvalidArgument("writer is closed".into()));
+        }
+        self.buf.extend_from_slice(data);
+        while self.buf.len() as u64 >= self.block_size {
+            let rest = self.buf.split_off(self.block_size as usize);
+            let block = std::mem::replace(&mut self.buf, rest);
+            self.client.write_block_pipeline(&self.path, Bytes::from(block))?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the final partial block and closes the file.
+    pub fn close(&mut self) -> Result<()> {
+        if self.closed {
+            return Ok(());
+        }
+        if !self.buf.is_empty() {
+            let block = std::mem::take(&mut self.buf);
+            self.client.write_block_pipeline(&self.path, Bytes::from(block))?;
+        }
+        self.closed = true;
+        self.client.master.complete_file_as(&self.path, self.client.id)
+    }
+
+    /// The path being written.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for FileWriter {
+    fn drop(&mut self) {
+        if !self.closed {
+            let _ = self.close();
+        }
+    }
+}
+
+/// A positional reader over one file (returned by [`Client::open`]).
+///
+/// Small sequential reads are served from a one-block cache so each block
+/// is fetched (and checksum-verified) once per pass.
+pub struct FileReader {
+    client: Client,
+    path: String,
+    len: u64,
+    pos: u64,
+    /// `(block byte range start, payload)` of the most recently read block.
+    cached: Option<(u64, Bytes)>,
+}
+
+impl FileReader {
+    /// Total file length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current read position.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Moves the read position (clamped to the file length).
+    pub fn seek(&mut self, pos: u64) {
+        self.pos = pos.min(self.len);
+    }
+
+    /// Reads up to `buf.len()` bytes at the current position, returning
+    /// the count (0 at EOF). Fails over across replicas per §4.1.
+    pub fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        if self.pos >= self.len || buf.is_empty() {
+            return Ok(0);
+        }
+        // Serve from the cached block when possible.
+        let in_cache = self
+            .cached
+            .as_ref()
+            .filter(|(start, data)| {
+                self.pos >= *start && self.pos < *start + data.len() as u64
+            })
+            .is_some();
+        if !in_cache {
+            let lbs = self.client.get_file_block_locations(&self.path, self.pos, 1)?;
+            let Some(lb) = lbs.first() else {
+                return Err(FsError::Internal(format!(
+                    "no block at offset {} of {}",
+                    self.pos, self.path
+                )));
+            };
+            let BlockData::Real(bytes) = self.client.read_block(lb)? else {
+                return Err(FsError::Internal(
+                    "synthetic block payload reached the real read path".into(),
+                ));
+            };
+            self.cached = Some((lb.offset, bytes));
+        }
+        let (start, data) = self.cached.as_ref().expect("cache just filled");
+        let off = (self.pos - start) as usize;
+        let n = buf.len().min(data.len() - off).min((self.len - self.pos) as usize);
+        buf[..n].copy_from_slice(&data[off..off + n]);
+        self.pos += n as u64;
+        Ok(n)
+    }
+
+    /// Reads exactly `buf.len()` bytes or fails.
+    pub fn read_exact(&mut self, buf: &mut [u8]) -> Result<()> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            let n = self.read(&mut buf[filled..])?;
+            if n == 0 {
+                return Err(FsError::InvalidArgument(format!(
+                    "unexpected EOF at {} of {} ({} bytes short)",
+                    self.pos,
+                    self.path,
+                    buf.len() - filled
+                )));
+            }
+            filled += n;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,228 @@
+//! Namespace federation (paper §2.1): multiple independent primary
+//! masters, each owning one namespace *volume*, sharing the same worker
+//! fleet — the HDFS-federation model the paper adopts to "scale the name
+//! service horizontally".
+//!
+//! A [`FederatedClient`] routes each path to the master owning the
+//! longest-matching volume prefix; each master issues block ids from a
+//! disjoint range (a "block pool"), so blocks from different volumes
+//! coexist on the shared workers without collision.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use octopus_common::{
+    ClientLocation, ClusterConfig, FsError, LocatedBlock, ReplicationVector, Result,
+    StorageTierReport,
+};
+use octopus_master::Master;
+
+use crate::client::Client;
+use crate::cluster::{build_workers_for, DataPlane, StorageMode};
+use crate::worker::Worker;
+
+/// Size of each master's private block-id range.
+const BLOCK_POOL_SPAN: u64 = 1 << 40;
+
+/// A federated deployment: one worker fleet, several masters.
+///
+/// ```
+/// use octopus_common::{ClientLocation, ClusterConfig, ReplicationVector};
+/// use octopus_core::Federation;
+///
+/// let config = ClusterConfig::test_cluster(4, 32 << 20, 1 << 20);
+/// let fed = Federation::start(config, &["/users", "/data"]).unwrap();
+/// let client = fed.client(ClientLocation::OffCluster);
+/// client.write_file("/users/alice", b"hi",
+///                   ReplicationVector::from_replication_factor(2)).unwrap();
+/// assert_eq!(client.read_file("/users/alice").unwrap(), b"hi");
+/// // Each master owns only its own volume.
+/// assert!(fed.route("/users/alice").unwrap().status("/data").is_err());
+/// ```
+pub struct Federation {
+    volumes: Vec<(String, Arc<Master>)>,
+    plane: Arc<DataPlane>,
+    clock_ms: AtomicU64,
+    heartbeat_ms: u64,
+}
+
+impl Federation {
+    /// Starts a federation with one master per volume prefix (e.g.
+    /// `["/users", "/data"]`). Prefixes must be absolute, non-`/`, and
+    /// non-overlapping.
+    pub fn start(config: ClusterConfig, volumes: &[&str]) -> Result<Self> {
+        config.validate()?;
+        if volumes.is_empty() {
+            return Err(FsError::Config("a federation needs at least one volume".into()));
+        }
+        for (i, v) in volumes.iter().enumerate() {
+            if !v.starts_with('/') || *v == "/" {
+                return Err(FsError::Config(format!("bad volume prefix {v:?}")));
+            }
+            for other in &volumes[..i] {
+                if v.starts_with(&format!("{other}/")) || other.starts_with(&format!("{v}/"))
+                    || v == other
+                {
+                    return Err(FsError::Config(format!(
+                        "volume {v:?} overlaps {other:?}"
+                    )));
+                }
+            }
+        }
+        let workers = build_workers_for(&config, &StorageMode::InMemory)?;
+        let plane =
+            Arc::new(DataPlane { workers, dead: RwLock::new(HashSet::new()) });
+        let heartbeat_ms = config.heartbeat_ms;
+        let mut vols = Vec::with_capacity(volumes.len());
+        for (i, v) in volumes.iter().enumerate() {
+            let master = Arc::new(Master::new(config.clone())?);
+            master.reserve_block_id_space((i as u64) * BLOCK_POOL_SPAN);
+            // Each master owns (and pre-creates) its volume root.
+            master.mkdir(v)?;
+            for w in &plane.workers {
+                master.register_worker(w.id(), w.rack(), w.net_bps(), 0);
+            }
+            vols.push((v.to_string(), master));
+        }
+        let fed = Self { volumes: vols, plane, clock_ms: AtomicU64::new(0), heartbeat_ms };
+        fed.pump_heartbeats();
+        Ok(fed)
+    }
+
+    /// The master owning `path`'s volume.
+    pub fn route(&self, path: &str) -> Result<&Arc<Master>> {
+        self.volumes
+            .iter()
+            .find(|(prefix, _)| {
+                path == prefix || path.starts_with(&format!("{prefix}/"))
+            })
+            .map(|(_, m)| m)
+            .ok_or_else(|| FsError::NotFound(format!("no federation volume owns {path}")))
+    }
+
+    /// All volumes as `(prefix, master)`.
+    pub fn volumes(&self) -> &[(String, Arc<Master>)] {
+        &self.volumes
+    }
+
+    /// The shared workers.
+    pub fn workers(&self) -> &[Arc<Worker>] {
+        &self.plane.workers
+    }
+
+    /// Delivers heartbeats from every worker to every master.
+    pub fn pump_heartbeats(&self) {
+        let now =
+            self.clock_ms.fetch_add(self.heartbeat_ms, Ordering::Relaxed) + self.heartbeat_ms;
+        for (_, master) in &self.volumes {
+            for w in &self.plane.workers {
+                let (stats, conns) = w.heartbeat_stats();
+                let _ = master.heartbeat(w.id(), stats, conns, now);
+            }
+            master.tick(now);
+        }
+    }
+
+    /// Runs one replication round for every volume's master, executing
+    /// tasks against the shared worker fleet. Returns the total number of
+    /// tasks executed.
+    pub fn run_replication_round(&self) -> Result<usize> {
+        let mut total = 0;
+        for (_, master) in &self.volumes {
+            total += crate::cluster::execute_replication_tasks(master, &self.plane)?;
+        }
+        self.pump_heartbeats();
+        Ok(total)
+    }
+
+    /// A client that routes across all volumes.
+    pub fn client(&self, location: ClientLocation) -> FederatedClient {
+        FederatedClient {
+            volumes: self
+                .volumes
+                .iter()
+                .map(|(prefix, master)| {
+                    (
+                        prefix.clone(),
+                        Client::new(Arc::clone(master), Arc::clone(&self.plane), location),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A client-side router over the federation's volumes (the viewfs role).
+pub struct FederatedClient {
+    volumes: Vec<(String, Client)>,
+}
+
+impl FederatedClient {
+    fn route(&self, path: &str) -> Result<&Client> {
+        self.volumes
+            .iter()
+            .find(|(prefix, _)| path == prefix || path.starts_with(&format!("{prefix}/")))
+            .map(|(_, c)| c)
+            .ok_or_else(|| FsError::NotFound(format!("no federation volume owns {path}")))
+    }
+
+    /// Creates a directory in the owning volume.
+    pub fn mkdir(&self, path: &str) -> Result<()> {
+        self.route(path)?.mkdir(path)
+    }
+
+    /// Writes a file into the owning volume.
+    pub fn write_file(&self, path: &str, data: &[u8], rv: ReplicationVector) -> Result<()> {
+        self.route(path)?.write_file(path, data, rv)
+    }
+
+    /// Reads a file from the owning volume.
+    pub fn read_file(&self, path: &str) -> Result<Vec<u8>> {
+        self.route(path)?.read_file(path)
+    }
+
+    /// Deletes a path in the owning volume.
+    pub fn delete(&self, path: &str, recursive: bool) -> Result<()> {
+        self.route(path)?.delete(path, recursive)
+    }
+
+    /// Block locations from the owning volume's master.
+    pub fn get_file_block_locations(
+        &self,
+        path: &str,
+        start: u64,
+        len: u64,
+    ) -> Result<Vec<LocatedBlock>> {
+        self.route(path)?.get_file_block_locations(path, start, len)
+    }
+
+    /// Sets the replication vector in the owning volume.
+    pub fn set_replication(&self, path: &str, rv: ReplicationVector) -> Result<ReplicationVector> {
+        self.route(path)?.set_replication(path, rv)
+    }
+
+    /// Tier reports (identical across volumes — the workers are shared;
+    /// served by the first volume's master).
+    pub fn get_storage_tier_reports(&self) -> Vec<StorageTierReport> {
+        self.volumes
+            .first()
+            .map(|(_, c)| c.get_storage_tier_reports())
+            .unwrap_or_default()
+    }
+
+    /// Renames within one volume (cross-volume renames are rejected, as
+    /// in HDFS federation).
+    pub fn rename(&self, src: &str, dst: &str) -> Result<()> {
+        let sc = self.route(src)?;
+        let dc = self.route(dst)?;
+        if !std::ptr::eq(sc, dc) {
+            return Err(FsError::InvalidArgument(
+                "rename across federation volumes is not supported".into(),
+            ));
+        }
+        sc.rename(src, dst)
+    }
+}

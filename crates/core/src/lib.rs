@@ -1,0 +1,50 @@
+//! OctopusFS — a distributed file system with tiered storage management.
+//!
+//! This crate is the system facade: it assembles the master
+//! ([`octopus_master`]), workers ([`octopus_storage`]), and the management
+//! policies ([`octopus_policies`]) into a running file system and exposes
+//! the client API of the paper's Table 1.
+//!
+//! Two deployment shapes share all control-plane code:
+//!
+//! - [`Cluster`]: a real in-process cluster — workers store actual bytes
+//!   (heap or disk), the client pipelines real data through them, checksums
+//!   are verified end to end. Used by applications, examples, and tests.
+//! - [`SimCluster`]: the same master/policies driven by the
+//!   [`octopus_simnet`] flow simulator — every transfer becomes a max-min
+//!   fair flow over calibrated device/NIC resources and time is virtual.
+//!   Used by the benchmark harness to reproduce the paper's experiments at
+//!   40 GB scale in milliseconds.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use octopus_core::Cluster;
+//! use octopus_common::{ClusterConfig, ReplicationVector, ClientLocation};
+//!
+//! let config = ClusterConfig::test_cluster(4, 64 << 20, 1 << 20);
+//! let cluster = Cluster::start(config).unwrap();
+//! let client = cluster.client(ClientLocation::OffCluster);
+//!
+//! client.mkdir("/demo").unwrap();
+//! // One replica in memory, two on HDDs: the paper's ⟨1,0,2⟩.
+//! let rv = ReplicationVector::msh(1, 0, 2);
+//! client.write_file("/demo/hello", b"tiered storage!", rv).unwrap();
+//! assert_eq!(client.read_file("/demo/hello").unwrap(), b"tiered storage!");
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod cluster;
+pub mod federation;
+pub mod net;
+pub mod sim;
+pub mod worker;
+
+pub use cache::{CacheAction, CacheManager};
+pub use client::{Client, FileReader, FileWriter};
+pub use cluster::{build_single_worker, Cluster, StorageMode};
+pub use federation::{FederatedClient, Federation};
+pub use net::{NetCluster, RemoteFs};
+pub use sim::{JobId, JobReport, SimCluster, SimEvent};
+pub use worker::Worker;

@@ -1,0 +1,249 @@
+//! [`RemoteFs`]: the Table 1 client API over the network.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+
+use octopus_common::{
+    BlockData, ClientLocation, DirEntry, FileStatus, FsError, LocatedBlock, ReplicationVector,
+    Result, StorageTierReport,
+};
+
+use super::proto::{MasterRequest, MasterResponse, WorkerRequest, WorkerResponse};
+use super::worker_server::{call_master, call_worker, AddressMap};
+
+static NEXT_HOLDER: AtomicU64 = AtomicU64::new(1 << 32);
+
+/// A networked OctopusFS client.
+#[derive(Clone)]
+pub struct RemoteFs {
+    master: SocketAddr,
+    workers: AddressMap,
+    location: ClientLocation,
+    holder: u64,
+}
+
+impl RemoteFs {
+    /// Creates a client against the given master, with `workers` resolving
+    /// data-server addresses.
+    pub fn new(master: SocketAddr, workers: AddressMap, location: ClientLocation) -> Self {
+        Self {
+            master,
+            workers,
+            location,
+            holder: NEXT_HOLDER.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Connects to a master by address alone, fetching the worker
+    /// data-server addresses from its registry (daemon deployments).
+    pub fn connect(master: SocketAddr, location: ClientLocation) -> Result<Self> {
+        let client = Self::new(
+            master,
+            std::sync::Arc::new(parking_lot::RwLock::new(Default::default())),
+            location,
+        );
+        client.refresh_workers()?;
+        Ok(client)
+    }
+
+    /// Re-fetches the worker address registry from the master.
+    pub fn refresh_workers(&self) -> Result<()> {
+        match self.call(MasterRequest::WorkerAddresses)? {
+            MasterResponse::Addresses(list) => {
+                let mut map = self.workers.write();
+                for (w, a) in list {
+                    if let Ok(mut it) = std::net::ToSocketAddrs::to_socket_addrs(a.as_str()) {
+                        if let Some(sa) = it.next() {
+                            map.insert(w, sa);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            r => Err(FsError::Io(format!("unexpected response {r:?}"))),
+        }
+    }
+
+    fn call(&self, req: MasterRequest) -> Result<MasterResponse> {
+        call_master(self.master, &req)
+    }
+
+    fn worker_addr(&self, w: octopus_common::WorkerId) -> Result<SocketAddr> {
+        self.workers
+            .read()
+            .get(&w)
+            .copied()
+            .ok_or_else(|| FsError::UnknownWorker(w.to_string()))
+    }
+
+    /// Creates a directory and parents.
+    pub fn mkdir(&self, path: &str) -> Result<()> {
+        self.call(MasterRequest::Mkdir(path.into())).map(|_| ())
+    }
+
+    /// Status of a path.
+    pub fn status(&self, path: &str) -> Result<FileStatus> {
+        match self.call(MasterRequest::Status(path.into()))? {
+            MasterResponse::Status(s) => Ok(s),
+            r => Err(FsError::Io(format!("unexpected response {r:?}"))),
+        }
+    }
+
+    /// Lists a directory.
+    pub fn list(&self, path: &str) -> Result<Vec<DirEntry>> {
+        match self.call(MasterRequest::List(path.into()))? {
+            MasterResponse::Entries(e) => Ok(e),
+            r => Err(FsError::Io(format!("unexpected response {r:?}"))),
+        }
+    }
+
+    /// Renames a file or directory.
+    pub fn rename(&self, src: &str, dst: &str) -> Result<()> {
+        self.call(MasterRequest::Rename(src.into(), dst.into())).map(|_| ())
+    }
+
+    /// Deletes a path, invalidating replicas at the workers.
+    pub fn delete(&self, path: &str, recursive: bool) -> Result<()> {
+        let dropped = match self.call(MasterRequest::Delete(path.into(), recursive))? {
+            MasterResponse::Dropped(d) => d,
+            r => return Err(FsError::Io(format!("unexpected response {r:?}"))),
+        };
+        for (block, loc) in dropped {
+            if let Ok(addr) = self.worker_addr(loc.worker) {
+                let _ = call_worker(addr, &WorkerRequest::DeleteBlock(loc.media, block));
+            }
+        }
+        Ok(())
+    }
+
+    /// `setReplication` (Table 1).
+    pub fn set_replication(&self, path: &str, rv: ReplicationVector) -> Result<ReplicationVector> {
+        match self.call(MasterRequest::SetReplication(path.into(), rv))? {
+            MasterResponse::Vector(v) => Ok(v),
+            r => Err(FsError::Io(format!("unexpected response {r:?}"))),
+        }
+    }
+
+    /// `getFileBlockLocations` (Table 1).
+    pub fn get_file_block_locations(
+        &self,
+        path: &str,
+        start: u64,
+        len: u64,
+    ) -> Result<Vec<LocatedBlock>> {
+        match self.call(MasterRequest::GetBlockLocations(path.into(), start, len, self.location))? {
+            MasterResponse::Located(l) => Ok(l),
+            r => Err(FsError::Io(format!("unexpected response {r:?}"))),
+        }
+    }
+
+    /// `getStorageTierReports` (Table 1).
+    pub fn get_storage_tier_reports(&self) -> Result<Vec<StorageTierReport>> {
+        match self.call(MasterRequest::TierReports)? {
+            MasterResponse::Reports(r) => Ok(r),
+            r => Err(FsError::Io(format!("unexpected response {r:?}"))),
+        }
+    }
+
+    /// Creates `path` and writes `data` through worker pipelines (§3.1).
+    pub fn write_file(&self, path: &str, data: &[u8], rv: ReplicationVector) -> Result<()> {
+        let status = match self.call(MasterRequest::CreateFile(
+            path.into(),
+            rv,
+            None,
+            self.holder,
+        ))? {
+            MasterResponse::Status(s) => s,
+            r => return Err(FsError::Io(format!("unexpected response {r:?}"))),
+        };
+        let block_size = status.block_size as usize;
+        let mut offset = 0;
+        while offset < data.len() || (data.is_empty() && offset == 0 && false) {
+            let end = (offset + block_size).min(data.len());
+            let chunk = Bytes::copy_from_slice(&data[offset..end]);
+            self.write_one_block(path, chunk)?;
+            offset = end;
+        }
+        if data.is_empty() {
+            // Zero-length files have no blocks; just close.
+        }
+        self.call(MasterRequest::CompleteFile(path.into(), self.holder)).map(|_| ())
+    }
+
+    fn write_one_block(&self, path: &str, payload: Bytes) -> Result<()> {
+        let len = payload.len() as u64;
+        let (block, pipeline) = match self.call(MasterRequest::AddBlock(
+            path.into(),
+            len,
+            self.location,
+            self.holder,
+        ))? {
+            MasterResponse::Allocated(b, p) => (b, p),
+            r => return Err(FsError::Io(format!("unexpected response {r:?}"))),
+        };
+        let Some((first, rest)) = pipeline.split_first() else {
+            return Err(FsError::PlacementFailed(format!("empty pipeline for {path}")));
+        };
+        let addr = self.worker_addr(first.worker)?;
+        match call_worker(
+            addr,
+            &WorkerRequest::WriteBlock(
+                block,
+                first.media,
+                rest.to_vec(),
+                BlockData::Real(payload),
+            ),
+        )? {
+            WorkerResponse::Stored(locs) if !locs.is_empty() => Ok(()),
+            WorkerResponse::Stored(_) => Err(FsError::BlockUnavailable(format!(
+                "no pipeline stage stored block {}",
+                block.id
+            ))),
+            r => Err(FsError::Io(format!("unexpected response {r:?}"))),
+        }
+    }
+
+    /// Reads a whole file, failing over across replicas (§4.1).
+    pub fn read_file(&self, path: &str) -> Result<Vec<u8>> {
+        let status = self.status(path)?;
+        if status.is_dir {
+            return Err(FsError::IsADirectory(path.into()));
+        }
+        let blocks = self.get_file_block_locations(path, 0, u64::MAX)?;
+        let mut out = Vec::with_capacity(status.len as usize);
+        for lb in blocks {
+            out.extend_from_slice(&self.read_block(&lb)?);
+        }
+        Ok(out)
+    }
+
+    fn read_block(&self, lb: &LocatedBlock) -> Result<Bytes> {
+        let mut last_err =
+            FsError::BlockUnavailable(format!("{}: no replicas", lb.block.id));
+        for loc in &lb.locations {
+            let attempt = self.worker_addr(loc.worker).and_then(|addr| {
+                call_worker(addr, &WorkerRequest::ReadBlock(loc.media, lb.block.id))
+            });
+            match attempt {
+                Ok(WorkerResponse::Data(BlockData::Real(b)))
+                    if b.len() as u64 == lb.block.len =>
+                {
+                    return Ok(b)
+                }
+                Ok(WorkerResponse::Data(d)) => {
+                    last_err = FsError::BlockUnavailable(format!(
+                        "{}: replica length {} != {}",
+                        lb.block.id,
+                        d.len(),
+                        lb.block.len
+                    ));
+                }
+                Ok(r) => last_err = FsError::Io(format!("unexpected response {r:?}")),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+}

@@ -1,0 +1,162 @@
+//! [`NetCluster`]: boots a full networked deployment on loopback — one
+//! master RPC server, one data server per worker, and real heartbeat
+//! threads — from a [`ClusterConfig`].
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+
+use octopus_common::{ClientLocation, ClusterConfig, Result, WorkerId};
+use octopus_master::Master;
+
+use super::client::RemoteFs;
+use super::master_server::MasterServer;
+use super::proto::MasterRequest;
+use super::worker_server::{call_master, AddressMap, WorkerServer};
+use crate::cluster::{build_workers_for, StorageMode};
+use crate::worker::Worker;
+
+/// A running networked cluster (loopback TCP).
+pub struct NetCluster {
+    master: Arc<Master>,
+    master_server: MasterServer,
+    worker_servers: Vec<WorkerServer>,
+    workers: Vec<Arc<Worker>>,
+    addrs: AddressMap,
+    hb_stop: Arc<AtomicBool>,
+    hb_threads: Vec<JoinHandle<()>>,
+}
+
+impl NetCluster {
+    /// Starts the deployment: master server, one data server per worker,
+    /// registration, first heartbeats, and background heartbeat threads.
+    pub fn start(config: ClusterConfig) -> Result<Self> {
+        Self::start_with_mode(config, StorageMode::InMemory)
+    }
+
+    /// Starts with a specific storage mode (e.g. on-disk stores).
+    pub fn start_with_mode(config: ClusterConfig, mode: StorageMode) -> Result<Self> {
+        config.validate()?;
+        let heartbeat_ms = config.heartbeat_ms;
+        let workers = build_workers_for(&config, &mode)?;
+        let master = Arc::new(Master::new(config)?);
+        let master_server = MasterServer::spawn(Arc::clone(&master))?;
+        let master_addr = master_server.addr();
+
+        let addrs: AddressMap = Arc::new(RwLock::new(HashMap::new()));
+        let mut worker_servers = Vec::with_capacity(workers.len());
+        for w in &workers {
+            let server =
+                WorkerServer::spawn(Arc::clone(w), master_addr, Arc::clone(&addrs))?;
+            addrs.write().insert(w.id(), server.addr());
+            worker_servers.push(server);
+        }
+
+        // Register + first heartbeat + block report over real RPC.
+        let epoch = Instant::now();
+        for w in &workers {
+            let my_addr = addrs.read()[&w.id()].to_string();
+            call_master(
+                master_addr,
+                &MasterRequest::RegisterWorker(w.id(), w.rack(), w.net_bps(), 0, my_addr),
+            )?;
+            let (stats, conns) = w.heartbeat_stats();
+            call_master(master_addr, &MasterRequest::Heartbeat(w.id(), stats, conns, 0))?;
+            call_master(master_addr, &MasterRequest::BlockReport(w.id(), w.block_report()))?;
+        }
+
+        // Background heartbeat threads.
+        let hb_stop = Arc::new(AtomicBool::new(false));
+        let mut hb_threads = Vec::new();
+        for w in &workers {
+            let w = Arc::clone(w);
+            let stop = Arc::clone(&hb_stop);
+            let handle = std::thread::Builder::new()
+                .name(format!("octopus-{}-hb", w.id()))
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(std::time::Duration::from_millis(heartbeat_ms));
+                        let now_ms = epoch.elapsed().as_millis() as u64;
+                        let (stats, conns) = w.heartbeat_stats();
+                        let _ = call_master(
+                            master_addr,
+                            &MasterRequest::Heartbeat(w.id(), stats, conns, now_ms),
+                        );
+                    }
+                })
+                .map_err(|e| octopus_common::FsError::Io(e.to_string()))?;
+            hb_threads.push(handle);
+        }
+
+        Ok(Self {
+            master,
+            master_server,
+            worker_servers,
+            workers,
+            addrs,
+            hb_stop,
+            hb_threads,
+        })
+    }
+
+    /// The master's RPC address.
+    pub fn master_addr(&self) -> SocketAddr {
+        self.master_server.addr()
+    }
+
+    /// Data-server address of a worker.
+    pub fn worker_addr(&self, id: WorkerId) -> Option<SocketAddr> {
+        self.addrs.read().get(&id).copied()
+    }
+
+    /// Direct access to the master (administration/diagnostics).
+    pub fn master(&self) -> &Arc<Master> {
+        &self.master
+    }
+
+    /// Direct access to the workers (diagnostics).
+    pub fn workers(&self) -> &[Arc<Worker>] {
+        &self.workers
+    }
+
+    /// A networked client at the given location.
+    pub fn client(&self, location: ClientLocation) -> RemoteFs {
+        RemoteFs::new(self.master_addr(), Arc::clone(&self.addrs), location)
+    }
+
+    /// Runs one replication round over RPC (§5) — see
+    /// [`super::monitor::run_replication_round`].
+    pub fn run_replication_round(&self) -> Result<usize> {
+        let snapshot = self.addrs.read().clone();
+        super::monitor::run_replication_round(&self.master, &snapshot)
+    }
+
+    /// Runs one fleet-wide scrub round over RPC.
+    pub fn run_scrub_round(&self) -> Result<u32> {
+        let snapshot = self.addrs.read().clone();
+        super::monitor::run_scrub_round(&snapshot)
+    }
+
+    /// Stops heartbeats and servers.
+    pub fn shutdown(&mut self) {
+        self.hb_stop.store(true, Ordering::Relaxed);
+        for h in self.hb_threads.drain(..) {
+            let _ = h.join();
+        }
+        for s in &mut self.worker_servers {
+            s.shutdown();
+        }
+        self.master_server.shutdown();
+    }
+}
+
+impl Drop for NetCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,71 @@
+//! Length-prefixed message framing over a TCP stream.
+
+use std::io::{Read, Write};
+
+use octopus_common::{FsError, Result};
+
+/// Upper bound on a single frame: one block (≤1 GiB here) plus headroom.
+/// Protects servers from hostile or corrupt length prefixes.
+pub const MAX_FRAME: usize = (1 << 30) + (1 << 20);
+
+/// Writes one `[u32 len][payload]` frame.
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(FsError::Io(format!("frame of {} bytes exceeds cap", payload.len())));
+    }
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. Returns `None` on clean EOF at a frame boundary.
+pub fn read_frame(stream: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(FsError::Io(format!("incoming frame of {len} bytes exceeds cap")));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 1000]).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), vec![7u8; 1000]);
+        assert!(read_frame(&mut cur).unwrap().is_none()); // clean EOF
+    }
+
+    #[test]
+    fn truncated_frame_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cur = Cursor::new(buf);
+        assert!(read_frame(&mut cur).is_err());
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        let mut cur = Cursor::new(u32::MAX.to_le_bytes().to_vec());
+        assert!(read_frame(&mut cur).is_err());
+    }
+}

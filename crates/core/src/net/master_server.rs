@@ -1,0 +1,216 @@
+//! The master's RPC server: a blocking, thread-per-connection loop that
+//! dispatches [`MasterRequest`]s onto an [`octopus_master::Master`].
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::RwLock;
+
+use octopus_common::wire::decode;
+use octopus_common::{Result, WorkerId};
+use octopus_master::{ClientId, Master};
+
+use super::frame::{read_frame, write_frame};
+use super::proto::{encode_result, MasterRequest, MasterResponse};
+
+/// Server-side state: the master plus the registry of worker data-server
+/// addresses (populated by `RegisterWorker`, served by `WorkerAddresses`).
+pub struct MasterState {
+    /// The master.
+    pub master: Arc<Master>,
+    /// Worker data-server addresses.
+    pub addrs: Arc<RwLock<HashMap<WorkerId, String>>>,
+}
+
+impl MasterState {
+    /// Resolves the registered worker addresses to socket addresses.
+    pub fn resolved_addrs(&self) -> super::monitor::Addrs {
+        let mut out = HashMap::new();
+        for (w, a) in self.addrs.read().iter() {
+            if let Ok(mut it) = a.as_str().to_socket_addrs() {
+                if let Some(sa) = it.next() {
+                    out.insert(*w, sa);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A running master RPC server.
+pub struct MasterServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    state: Arc<MasterState>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MasterServer {
+    /// Binds to `127.0.0.1:0` and starts serving `master`.
+    pub fn spawn(master: Arc<Master>) -> Result<Self> {
+        Self::spawn_on(master, "127.0.0.1:0")
+    }
+
+    /// Binds to an explicit address (daemon deployments).
+    pub fn spawn_on(master: Arc<Master>, bind: impl ToSocketAddrs) -> Result<Self> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let state = Arc::new(MasterState {
+            master,
+            addrs: Arc::new(RwLock::new(HashMap::new())),
+        });
+        let loop_state = Arc::clone(&state);
+        let handle = std::thread::Builder::new()
+            .name("octopus-master-rpc".into())
+            .spawn(move || accept_loop(listener, loop_state, flag))
+            .map_err(|e| octopus_common::FsError::Io(e.to_string()))?;
+        Ok(Self { addr, shutdown, state, handle: Some(handle) })
+    }
+
+    /// The server's shared state (master + worker-address registry).
+    pub fn state(&self) -> &Arc<MasterState> {
+        &self.state
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept loop.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MasterServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<MasterState>, shutdown: Arc<AtomicBool>) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let state = Arc::clone(&state);
+                let _ = stream.set_nodelay(true);
+                let _ = std::thread::Builder::new()
+                    .name("octopus-master-conn".into())
+                    .spawn(move || connection_loop(stream, state));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, state: Arc<MasterState>) {
+    let _ = stream.set_nonblocking(false);
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(f)) => f,
+            Ok(None) | Err(_) => return,
+        };
+        let result = decode::<MasterRequest>(&frame).and_then(|req| dispatch(&state, req));
+        if write_frame(&mut stream, &encode_result(&result)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Maps one request onto the master API.
+pub fn dispatch(state: &MasterState, req: MasterRequest) -> Result<MasterResponse> {
+    use MasterRequest as Q;
+    use MasterResponse as A;
+    let master = &*state.master;
+    Ok(match req {
+        Q::Mkdir(path) => {
+            master.mkdir(&path)?;
+            A::Unit
+        }
+        Q::CreateFile(path, rv, bs, holder) => {
+            A::Status(master.create_file_as(&path, rv, bs, ClientId(holder))?)
+        }
+        Q::AddBlock(path, len, client, holder) => {
+            let (block, pipeline) = master.add_block_as(&path, len, client, ClientId(holder))?;
+            A::Allocated(block, pipeline)
+        }
+        Q::CommitReplica(block, loc) => {
+            master.commit_replica(block, loc)?;
+            A::Unit
+        }
+        Q::AbortReplica(block, loc) => {
+            master.abort_replica(block, loc);
+            A::Unit
+        }
+        Q::CompleteFile(path, holder) => {
+            master.complete_file_as(&path, ClientId(holder))?;
+            A::Unit
+        }
+        Q::AppendFile(path, holder) => {
+            A::Status(master.append_file_as(&path, ClientId(holder))?)
+        }
+        Q::GetBlockLocations(path, start, len, client) => {
+            A::Located(master.get_file_block_locations(&path, start, len, client)?)
+        }
+        Q::SetReplication(path, rv) => A::Vector(master.set_replication(&path, rv)?),
+        Q::Delete(path, recursive) => A::Dropped(master.delete(&path, recursive)?),
+        Q::Rename(src, dst) => {
+            master.rename(&src, &dst)?;
+            A::Unit
+        }
+        Q::List(path) => A::Entries(master.list(&path)?),
+        Q::Status(path) => A::Status(master.status(&path)?),
+        Q::TierReports => A::Reports(master.get_storage_tier_reports()),
+        Q::RegisterWorker(worker, rack, net_bps, now_ms, addr) => {
+            master.register_worker(worker, rack, net_bps, now_ms);
+            state.addrs.write().insert(worker, addr);
+            A::Unit
+        }
+        Q::Heartbeat(worker, media, nr_conn, now_ms) => {
+            master.heartbeat(worker, media, nr_conn, now_ms)?;
+            master.tick(now_ms);
+            A::Unit
+        }
+        Q::BlockReport(worker, blocks) => {
+            A::Invalidate(master.block_report(worker, &blocks)?)
+        }
+        Q::ReportCorrupt(block, loc) => {
+            master.report_corrupt(block, loc);
+            A::Unit
+        }
+        Q::EditsSince(from) => {
+            let ops = master.edits_since(from as usize);
+            let mut buf = Vec::new();
+            for op in &ops {
+                let body = op.encode();
+                buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+                buf.extend_from_slice(
+                    &octopus_common::checksum::crc32(&body).to_le_bytes(),
+                );
+                buf.extend_from_slice(&body);
+            }
+            A::Edits(bytes::Bytes::from(buf))
+        }
+        Q::WorkerAddresses => A::Addresses(
+            state
+                .addrs
+                .read()
+                .iter()
+                .map(|(w, a)| (*w, a.clone()))
+                .collect(),
+        ),
+    })
+}

@@ -1,0 +1,32 @@
+//! The networked deployment mode: the same master, workers, and policies
+//! as the in-process [`crate::Cluster`], but wired over TCP with a
+//! hand-rolled RPC protocol — the shape the paper's system actually runs
+//! in (§2: clients talk to the master for metadata and stream block data
+//! through worker-to-worker pipelines).
+//!
+//! - [`proto`]: request/response message types over the
+//!   [`octopus_common::wire`] codec;
+//! - [`frame`]: length-prefixed message framing over a TCP stream;
+//! - [`master_server`] / [`worker_server`]: blocking thread-per-connection
+//!   servers around the existing [`octopus_master::Master`] and
+//!   [`crate::Worker`];
+//! - [`client`]: [`RemoteFs`], the Table 1 client API over the network,
+//!   including the worker-to-worker write pipeline (§3.1) and read
+//!   failover (§4.1);
+//! - [`cluster`]: [`NetCluster`], which boots a master and N workers on
+//!   loopback ports with real heartbeat threads.
+
+pub mod backup;
+pub mod client;
+pub mod cluster;
+pub mod frame;
+pub mod master_server;
+pub mod monitor;
+pub mod proto;
+pub mod worker_server;
+
+pub use backup::NetBackup;
+pub use client::RemoteFs;
+pub use cluster::NetCluster;
+pub use master_server::MasterServer;
+pub use worker_server::WorkerServer;

@@ -1,0 +1,60 @@
+//! The networked replication monitor: executes the master's §5 tasks by
+//! RPC — copies via the target worker's `Replicate` handler, deletions via
+//! `DeleteBlock` — and drives scrub rounds across the fleet.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+
+use octopus_common::{Result, WorkerId};
+use octopus_master::{Master, ReplicationTask};
+
+use super::proto::{WorkerRequest, WorkerResponse};
+use super::worker_server::call_worker;
+
+/// Snapshot of worker data-server addresses.
+pub type Addrs = HashMap<WorkerId, SocketAddr>;
+
+/// Runs one replication scan and executes the tasks over RPC. Returns the
+/// number of tasks attempted.
+pub fn run_replication_round(master: &Master, addrs: &Addrs) -> Result<usize> {
+    let tasks = master.replication_scan();
+    let n = tasks.len();
+    for task in tasks {
+        match task {
+            ReplicationTask::Copy { block, sources, target } => {
+                let addr = addrs.get(&target.worker).copied();
+                match addr {
+                    Some(a) => {
+                        if call_worker(
+                            a,
+                            &WorkerRequest::Replicate(block, sources, target.media),
+                        )
+                        .is_err()
+                        {
+                            master.abort_replica(block, target);
+                        }
+                    }
+                    None => master.abort_replica(block, target),
+                }
+            }
+            ReplicationTask::Delete { block, location } => {
+                if let Some(a) = addrs.get(&location.worker).copied() {
+                    let _ = call_worker(a, &WorkerRequest::DeleteBlock(location.media, block.id));
+                }
+            }
+        }
+    }
+    Ok(n)
+}
+
+/// Asks every registered worker to scrub its replicas. Returns the total
+/// number of corrupt replicas found (and dropped) fleet-wide.
+pub fn run_scrub_round(addrs: &Addrs) -> Result<u32> {
+    let mut total = 0;
+    for (_, addr) in addrs.iter().map(|(w, a)| (*w, *a)).collect::<Vec<_>>() {
+        if let Ok(WorkerResponse::Scrubbed(n)) = call_worker(addr, &WorkerRequest::Scrub) {
+            total += n;
+        }
+    }
+    Ok(total)
+}

@@ -1,0 +1,371 @@
+//! RPC message types. Every message implements [`Wire`]; responses are
+//! framed as `[status u8][body]` where status 0 carries the response and
+//! status 1 carries a [`FsError`] with its variant preserved.
+
+use octopus_common::wire::{Wire, WireReader};
+use octopus_common::{
+    Block, BlockData, BlockId, ClientLocation, DirEntry, FileStatus, FsError, LocatedBlock,
+    Location, MediaId, MediaStats, RackId, ReplicationVector, Result, StorageTierReport,
+    WorkerId,
+};
+
+/// A request to the master.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MasterRequest {
+    /// `mkdir -p`.
+    Mkdir(String),
+    /// Create a file; `(path, rv, block_size, lease holder)`.
+    CreateFile(String, ReplicationVector, Option<u64>, u64),
+    /// Allocate the next block; `(path, len, client location, holder)`.
+    AddBlock(String, u64, ClientLocation, u64),
+    /// A pipeline stage stored its replica.
+    CommitReplica(Block, Location),
+    /// A pipeline stage failed.
+    AbortReplica(Block, Location),
+    /// Close a file; `(path, holder)`.
+    CompleteFile(String, u64),
+    /// Reopen for append; `(path, holder)`.
+    AppendFile(String, u64),
+    /// `getFileBlockLocations`; `(path, start, len, client location)`.
+    GetBlockLocations(String, u64, u64, ClientLocation),
+    /// `setReplication`.
+    SetReplication(String, ReplicationVector),
+    /// Delete; `(path, recursive)`.
+    Delete(String, bool),
+    /// Rename; `(src, dst)`.
+    Rename(String, String),
+    /// List a directory.
+    List(String),
+    /// Status of a path.
+    Status(String),
+    /// `getStorageTierReports`.
+    TierReports,
+    /// Worker registration; `(worker, rack, net_bps, now_ms, data-server
+    /// address)`.
+    RegisterWorker(WorkerId, RackId, f64, u64, String),
+    /// Heartbeat; `(worker, media stats, nr_conn, now_ms)`.
+    Heartbeat(WorkerId, Vec<MediaStats>, u32, u64),
+    /// Full block report; `(worker, (block, media) pairs)`.
+    BlockReport(WorkerId, Vec<(Block, MediaId)>),
+    /// The data-server addresses of all registered workers.
+    WorkerAddresses,
+    /// Edit-log ops at or after the given index, wire-encoded with the
+    /// edit log's own framed format (tailed by a backup master — §2.1).
+    EditsSince(u64),
+    /// A scrubber found (and deleted) a corrupt replica (§5).
+    ReportCorrupt(BlockId, Location),
+}
+
+/// A successful response from the master.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MasterResponse {
+    /// No payload.
+    Unit,
+    /// A file status.
+    Status(FileStatus),
+    /// An allocated block and its pipeline.
+    Allocated(Block, Vec<Location>),
+    /// Located blocks.
+    Located(Vec<LocatedBlock>),
+    /// A replication vector (previous value from `setReplication`).
+    Vector(ReplicationVector),
+    /// Directory entries.
+    Entries(Vec<DirEntry>),
+    /// Tier reports.
+    Reports(Vec<StorageTierReport>),
+    /// Replicas dropped by a delete (for local invalidation).
+    Dropped(Vec<(BlockId, Location)>),
+    /// Block ids a worker should invalidate (block-report reply).
+    Invalidate(Vec<BlockId>),
+    /// Registered worker data-server addresses.
+    Addresses(Vec<(WorkerId, String)>),
+    /// A framed edit-log byte stream (see `octopus_master::editlog`).
+    Edits(bytes::Bytes),
+}
+
+macro_rules! tagged {
+    ($buf:expr, $tag:expr $(, $field:expr)*) => {{
+        $buf.push($tag);
+        $( $field.put($buf); )*
+    }};
+}
+
+impl Wire for MasterRequest {
+    fn put(&self, buf: &mut Vec<u8>) {
+        use MasterRequest::*;
+        match self {
+            Mkdir(p) => tagged!(buf, 0, p),
+            CreateFile(p, rv, bs, h) => tagged!(buf, 1, p, rv, bs, h),
+            AddBlock(p, len, c, h) => tagged!(buf, 2, p, len, c, h),
+            CommitReplica(b, l) => tagged!(buf, 3, b, l),
+            AbortReplica(b, l) => tagged!(buf, 4, b, l),
+            CompleteFile(p, h) => tagged!(buf, 5, p, h),
+            AppendFile(p, h) => tagged!(buf, 6, p, h),
+            GetBlockLocations(p, s, l, c) => tagged!(buf, 7, p, s, l, c),
+            SetReplication(p, rv) => tagged!(buf, 8, p, rv),
+            Delete(p, r) => tagged!(buf, 9, p, r),
+            Rename(s, d) => tagged!(buf, 10, s, d),
+            List(p) => tagged!(buf, 11, p),
+            Status(p) => tagged!(buf, 12, p),
+            TierReports => tagged!(buf, 13),
+            RegisterWorker(w, r, n, t, a) => tagged!(buf, 14, w, r, n, t, a),
+            Heartbeat(w, m, c, t) => tagged!(buf, 15, w, m, c, t),
+            BlockReport(w, b) => tagged!(buf, 16, w, b),
+            WorkerAddresses => tagged!(buf, 17),
+            EditsSince(n) => tagged!(buf, 18, n),
+            ReportCorrupt(b, l) => tagged!(buf, 19, b, l),
+        }
+    }
+
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        use MasterRequest::*;
+        Ok(match u8::get(r)? {
+            0 => Mkdir(Wire::get(r)?),
+            1 => CreateFile(Wire::get(r)?, Wire::get(r)?, Wire::get(r)?, Wire::get(r)?),
+            2 => AddBlock(Wire::get(r)?, Wire::get(r)?, Wire::get(r)?, Wire::get(r)?),
+            3 => CommitReplica(Wire::get(r)?, Wire::get(r)?),
+            4 => AbortReplica(Wire::get(r)?, Wire::get(r)?),
+            5 => CompleteFile(Wire::get(r)?, Wire::get(r)?),
+            6 => AppendFile(Wire::get(r)?, Wire::get(r)?),
+            7 => GetBlockLocations(Wire::get(r)?, Wire::get(r)?, Wire::get(r)?, Wire::get(r)?),
+            8 => SetReplication(Wire::get(r)?, Wire::get(r)?),
+            9 => Delete(Wire::get(r)?, Wire::get(r)?),
+            10 => Rename(Wire::get(r)?, Wire::get(r)?),
+            11 => List(Wire::get(r)?),
+            12 => Status(Wire::get(r)?),
+            13 => TierReports,
+            14 => RegisterWorker(
+                Wire::get(r)?,
+                Wire::get(r)?,
+                Wire::get(r)?,
+                Wire::get(r)?,
+                Wire::get(r)?,
+            ),
+            15 => Heartbeat(Wire::get(r)?, Wire::get(r)?, Wire::get(r)?, Wire::get(r)?),
+            16 => BlockReport(Wire::get(r)?, Wire::get(r)?),
+            17 => WorkerAddresses,
+            18 => EditsSince(Wire::get(r)?),
+            19 => ReportCorrupt(Wire::get(r)?, Wire::get(r)?),
+            t => return Err(FsError::Io(format!("bad master request tag {t}"))),
+        })
+    }
+}
+
+impl Wire for MasterResponse {
+    fn put(&self, buf: &mut Vec<u8>) {
+        use MasterResponse::*;
+        match self {
+            Unit => tagged!(buf, 0),
+            Status(s) => tagged!(buf, 1, s),
+            Allocated(b, locs) => tagged!(buf, 2, b, locs),
+            Located(l) => tagged!(buf, 3, l),
+            Vector(v) => tagged!(buf, 4, v),
+            Entries(e) => tagged!(buf, 5, e),
+            Reports(r) => tagged!(buf, 6, r),
+            Dropped(d) => tagged!(buf, 7, d),
+            Invalidate(i) => tagged!(buf, 8, i),
+            Addresses(a) => tagged!(buf, 9, a),
+            Edits(b) => tagged!(buf, 10, b),
+        }
+    }
+
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        use MasterResponse::*;
+        Ok(match u8::get(r)? {
+            0 => Unit,
+            1 => Status(Wire::get(r)?),
+            2 => Allocated(Wire::get(r)?, Wire::get(r)?),
+            3 => Located(Wire::get(r)?),
+            4 => Vector(Wire::get(r)?),
+            5 => Entries(Wire::get(r)?),
+            6 => Reports(Wire::get(r)?),
+            7 => Dropped(Wire::get(r)?),
+            8 => Invalidate(Wire::get(r)?),
+            9 => Addresses(Wire::get(r)?),
+            10 => Edits(Wire::get(r)?),
+            t => return Err(FsError::Io(format!("bad master response tag {t}"))),
+        })
+    }
+}
+
+/// A request to a worker's data server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerRequest {
+    /// Store a block on `media` and forward down the remaining pipeline;
+    /// `(block, media, rest of pipeline, payload)`. The worker commits its
+    /// replica to the master itself and the ack aggregates every stored
+    /// location.
+    WriteBlock(Block, MediaId, Vec<Location>, BlockData),
+    /// Read a block replica.
+    ReadBlock(MediaId, BlockId),
+    /// Invalidate a replica.
+    DeleteBlock(MediaId, BlockId),
+    /// Re-replicate: pull `block` from one of `sources` (best first),
+    /// store it on the local `media`, and commit to the master (§5).
+    Replicate(Block, Vec<Location>, MediaId),
+    /// Verify every local replica's checksum; corrupt ones are deleted
+    /// and reported to the master (the §5 scrubber). Responds with the
+    /// number of corrupt replicas found.
+    Scrub,
+}
+
+/// A successful response from a worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerResponse {
+    /// Locations that acknowledged the write, pipeline order.
+    Stored(Vec<Location>),
+    /// Block payload.
+    Data(BlockData),
+    /// No payload.
+    Unit,
+    /// Scrub outcome: number of corrupt replicas dropped.
+    Scrubbed(u32),
+}
+
+impl Wire for WorkerRequest {
+    fn put(&self, buf: &mut Vec<u8>) {
+        use WorkerRequest::*;
+        match self {
+            WriteBlock(b, m, rest, d) => tagged!(buf, 0, b, m, rest, d),
+            ReadBlock(m, b) => tagged!(buf, 1, m, b),
+            DeleteBlock(m, b) => tagged!(buf, 2, m, b),
+            Replicate(b, s, m) => tagged!(buf, 3, b, s, m),
+            Scrub => tagged!(buf, 4),
+        }
+    }
+
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        use WorkerRequest::*;
+        Ok(match u8::get(r)? {
+            0 => WriteBlock(Wire::get(r)?, Wire::get(r)?, Wire::get(r)?, Wire::get(r)?),
+            1 => ReadBlock(Wire::get(r)?, Wire::get(r)?),
+            2 => DeleteBlock(Wire::get(r)?, Wire::get(r)?),
+            3 => Replicate(Wire::get(r)?, Wire::get(r)?, Wire::get(r)?),
+            4 => Scrub,
+            t => return Err(FsError::Io(format!("bad worker request tag {t}"))),
+        })
+    }
+}
+
+impl Wire for WorkerResponse {
+    fn put(&self, buf: &mut Vec<u8>) {
+        use WorkerResponse::*;
+        match self {
+            Stored(l) => tagged!(buf, 0, l),
+            Data(d) => tagged!(buf, 1, d),
+            Unit => tagged!(buf, 2),
+            Scrubbed(n) => tagged!(buf, 3, n),
+        }
+    }
+
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        use WorkerResponse::*;
+        Ok(match u8::get(r)? {
+            0 => Stored(Wire::get(r)?),
+            1 => Data(Wire::get(r)?),
+            2 => Unit,
+            3 => Scrubbed(Wire::get(r)?),
+            t => return Err(FsError::Io(format!("bad worker response tag {t}"))),
+        })
+    }
+}
+
+/// Encodes `Result<R>` as a status-tagged payload.
+pub fn encode_result<R: Wire>(res: &Result<R>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match res {
+        Ok(r) => {
+            buf.push(0);
+            r.put(&mut buf);
+        }
+        Err(e) => {
+            buf.push(1);
+            e.put(&mut buf);
+        }
+    }
+    buf
+}
+
+/// Decodes a status-tagged payload back into `Result<R>`.
+pub fn decode_result<R: Wire>(buf: &[u8]) -> Result<R> {
+    let mut r = WireReader::new(buf);
+    match u8::get(&mut r)? {
+        0 => {
+            let v = R::get(&mut r)?;
+            r.expect_finished()?;
+            Ok(v)
+        }
+        1 => {
+            let e = FsError::get(&mut r)?;
+            r.expect_finished()?;
+            Err(e)
+        }
+        t => Err(FsError::Io(format!("bad result status {t}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_common::wire::{decode, encode};
+    use octopus_common::{GenStamp, TierId};
+
+    fn rt<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        assert_eq!(decode::<T>(&encode(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn master_messages_round_trip() {
+        rt(MasterRequest::Mkdir("/a".into()));
+        rt(MasterRequest::CreateFile(
+            "/f".into(),
+            ReplicationVector::msh(1, 0, 2),
+            Some(1 << 20),
+            42,
+        ));
+        rt(MasterRequest::AddBlock(
+            "/f".into(),
+            100,
+            ClientLocation::OnWorker(WorkerId(3)),
+            42,
+        ));
+        rt(MasterRequest::TierReports);
+        rt(MasterRequest::BlockReport(
+            WorkerId(1),
+            vec![(Block { id: BlockId(1), gen: GenStamp(0), len: 5 }, MediaId(2))],
+        ));
+        rt(MasterResponse::Unit);
+        rt(MasterResponse::Allocated(
+            Block { id: BlockId(9), gen: GenStamp(1), len: 7 },
+            vec![Location { worker: WorkerId(0), media: MediaId(1), tier: TierId(2) }],
+        ));
+        rt(MasterResponse::Invalidate(vec![BlockId(4), BlockId(5)]));
+    }
+
+    #[test]
+    fn worker_messages_round_trip() {
+        rt(WorkerRequest::WriteBlock(
+            Block { id: BlockId(1), gen: GenStamp(0), len: 3 },
+            MediaId(0),
+            vec![],
+            BlockData::Real(bytes::Bytes::from_static(b"abc")),
+        ));
+        rt(WorkerRequest::ReadBlock(MediaId(1), BlockId(2)));
+        rt(WorkerResponse::Data(BlockData::Synthetic { len: 10, seed: 3 }));
+        rt(WorkerResponse::Stored(vec![]));
+    }
+
+    #[test]
+    fn results_round_trip_with_error_variants() {
+        let ok: Result<MasterResponse> = Ok(MasterResponse::Unit);
+        let enc = encode_result(&ok);
+        assert_eq!(decode_result::<MasterResponse>(&enc).unwrap(), MasterResponse::Unit);
+
+        let err: Result<MasterResponse> = Err(FsError::LeaseConflict("held".into()));
+        let enc = encode_result(&err);
+        assert!(matches!(
+            decode_result::<MasterResponse>(&enc),
+            Err(FsError::LeaseConflict(m)) if m == "held"
+        ));
+    }
+}

@@ -1,0 +1,235 @@
+//! The worker's data server: stores and serves block replicas over TCP,
+//! forwarding pipelined writes to the next stage (§3.1) and committing its
+//! own replica to the master.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::RwLock;
+
+use octopus_common::wire::{decode, encode};
+use octopus_common::{FsError, Location, Result, WorkerId};
+
+use super::frame::{read_frame, write_frame};
+use super::proto::{
+    decode_result, encode_result, MasterRequest, MasterResponse, WorkerRequest, WorkerResponse,
+};
+use crate::worker::Worker;
+
+/// Shared map of worker data-server addresses (for pipeline forwarding).
+pub type AddressMap = Arc<RwLock<HashMap<WorkerId, SocketAddr>>>;
+
+/// One RPC round trip to the master.
+pub fn call_master(addr: SocketAddr, req: &MasterRequest) -> Result<MasterResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    write_frame(&mut stream, &encode(req))?;
+    let frame = read_frame(&mut stream)?
+        .ok_or_else(|| FsError::Io("master closed the connection".into()))?;
+    decode_result::<MasterResponse>(&frame)
+}
+
+/// One RPC round trip to a worker data server.
+pub fn call_worker(addr: SocketAddr, req: &WorkerRequest) -> Result<WorkerResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    write_frame(&mut stream, &encode(req))?;
+    let frame = read_frame(&mut stream)?
+        .ok_or_else(|| FsError::Io("worker closed the connection".into()))?;
+    decode_result::<WorkerResponse>(&frame)
+}
+
+/// A running worker data server.
+pub struct WorkerServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl WorkerServer {
+    /// Binds to `127.0.0.1:0` and starts serving `worker`. `master` is the
+    /// master's RPC address (for replica commits); `peers` resolves
+    /// pipeline-forwarding targets.
+    pub fn spawn(worker: Arc<Worker>, master: SocketAddr, peers: AddressMap) -> Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name(format!("octopus-{}-data", worker.id()))
+            .spawn(move || accept_loop(listener, worker, master, peers, flag))
+            .map_err(|e| FsError::Io(e.to_string()))?;
+        Ok(Self { addr, shutdown, handle: Some(handle) })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    worker: Arc<Worker>,
+    master: SocketAddr,
+    peers: AddressMap,
+    shutdown: Arc<AtomicBool>,
+) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let worker = Arc::clone(&worker);
+                let peers = Arc::clone(&peers);
+                let _ = stream.set_nodelay(true);
+                let _ = std::thread::Builder::new()
+                    .name("octopus-worker-conn".into())
+                    .spawn(move || connection_loop(stream, worker, master, peers));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn connection_loop(
+    mut stream: TcpStream,
+    worker: Arc<Worker>,
+    master: SocketAddr,
+    peers: AddressMap,
+) {
+    let _ = stream.set_nonblocking(false);
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(f)) => f,
+            Ok(None) | Err(_) => return,
+        };
+        let result = decode::<WorkerRequest>(&frame)
+            .and_then(|req| dispatch(&worker, master, &peers, req));
+        if write_frame(&mut stream, &encode_result(&result)).is_err() {
+            return;
+        }
+    }
+}
+
+fn dispatch(
+    worker: &Worker,
+    master: SocketAddr,
+    peers: &AddressMap,
+    req: WorkerRequest,
+) -> Result<WorkerResponse> {
+    match req {
+        WorkerRequest::WriteBlock(block, media, rest, data) => {
+            let _net = worker.connect_net();
+            worker.write_block(media, block, &data)?;
+            let my_loc =
+                Location { worker: worker.id(), media, tier: worker.tier_of(media)? };
+            // Commit our replica before forwarding, so the master's view
+            // converges even if the tail of the pipeline fails.
+            call_master(master, &MasterRequest::CommitReplica(block, my_loc))?;
+            let mut stored = vec![my_loc];
+
+            if let Some((next, remainder)) = rest.split_first() {
+                let next_addr = peers.read().get(&next.worker).copied();
+                let forwarded = next_addr
+                    .ok_or_else(|| FsError::UnknownWorker(next.worker.to_string()))
+                    .and_then(|addr| {
+                        call_worker(
+                            addr,
+                            &WorkerRequest::WriteBlock(
+                                block,
+                                next.media,
+                                remainder.to_vec(),
+                                data.clone(),
+                            ),
+                        )
+                    });
+                match forwarded {
+                    Ok(WorkerResponse::Stored(locs)) => stored.extend(locs),
+                    Ok(_) => {
+                        return Err(FsError::Internal(
+                            "unexpected forward response".into(),
+                        ))
+                    }
+                    Err(_) => {
+                        // Downstream failed: release the master's pending
+                        // reservations for the unreached stages; the
+                        // replication monitor heals the block later (§5).
+                        for loc in &rest {
+                            let _ =
+                                call_master(master, &MasterRequest::AbortReplica(block, *loc));
+                        }
+                    }
+                }
+            }
+            Ok(WorkerResponse::Stored(stored))
+        }
+        WorkerRequest::ReadBlock(media, block) => {
+            let _net = worker.connect_net();
+            Ok(WorkerResponse::Data(worker.read_block(media, block)?))
+        }
+        WorkerRequest::DeleteBlock(media, block) => {
+            worker.delete_block(media, block)?;
+            Ok(WorkerResponse::Unit)
+        }
+        WorkerRequest::Replicate(block, sources, media) => {
+            let mut data = None;
+            for src in &sources {
+                let Some(addr) = peers.read().get(&src.worker).copied() else { continue };
+                if let Ok(WorkerResponse::Data(d)) =
+                    call_worker(addr, &WorkerRequest::ReadBlock(src.media, block.id))
+                {
+                    data = Some(d);
+                    break;
+                }
+            }
+            let my_loc =
+                Location { worker: worker.id(), media, tier: worker.tier_of(media)? };
+            match data {
+                Some(d) => {
+                    worker.write_block(media, block, &d)?;
+                    call_master(master, &MasterRequest::CommitReplica(block, my_loc))?;
+                    Ok(WorkerResponse::Unit)
+                }
+                None => {
+                    let _ =
+                        call_master(master, &MasterRequest::AbortReplica(block, my_loc));
+                    Err(FsError::BlockUnavailable(format!(
+                        "{}: no reachable source replica",
+                        block.id
+                    )))
+                }
+            }
+        }
+        WorkerRequest::Scrub => {
+            let corrupt = worker.scrub();
+            let n = corrupt.len() as u32;
+            for (block, media) in corrupt {
+                let tier = worker.tier_of(media)?;
+                let loc = Location { worker: worker.id(), media, tier };
+                let _ = worker.delete_block(media, block);
+                let _ = call_master(master, &MasterRequest::ReportCorrupt(block, loc));
+            }
+            Ok(WorkerResponse::Scrubbed(n))
+        }
+    }
+}

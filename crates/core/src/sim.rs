@@ -1,0 +1,716 @@
+//! The simulated cluster: the real master, policies, namespace, and worker
+//! state driven by the [`octopus_simnet`] flow simulator.
+//!
+//! Every block write becomes one flow through the pipeline's resources
+//! (client/worker NIC directions and media write devices); every block read
+//! becomes a flow from the chosen replica's media read device through the
+//! source NIC to the reader. Max-min fair sharing reproduces the contention
+//! behaviour the paper's evaluation measures: device bandwidth splits among
+//! `NrConn` connections, pipelines run at their slowest stage, and network
+//! congestion grows with the degree of parallelism.
+//!
+//! Connection counts are tracked with the same RAII guards the real worker
+//! uses and fed back to the master through heartbeats after every event, so
+//! the placement (§3) and retrieval (§4) policies observe live load exactly
+//! as they would in deployment.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use octopus_common::{
+    Block, BlockData, ClientLocation, ClusterConfig, FsError, Location, MediaId, RackId,
+    ReplicationVector, Result, WorkerId,
+};
+use octopus_master::{Master, ReplicationTask};
+use octopus_simnet::{EventKind, FlowId, ResourceId, SimNet, SimTime};
+use octopus_storage::ConnGuard;
+
+use crate::cluster::StorageMode;
+use crate::worker::Worker;
+
+/// Identifier of a submitted I/O job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobId(pub usize);
+
+/// Outcome of a finished job.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The job.
+    pub job: JobId,
+    /// Logical bytes transferred (not multiplied by replication).
+    pub bytes: u64,
+    /// Submission time.
+    pub start: SimTime,
+    /// Completion time (equal to `start` for failed jobs).
+    pub end: SimTime,
+    /// Failure reason, if the job could not finish.
+    pub failed: Option<String>,
+}
+
+impl JobReport {
+    /// Mean throughput in bytes/s.
+    pub fn throughput_bps(&self) -> f64 {
+        let secs = self.end.secs_since(self.start);
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / secs
+        }
+    }
+
+    /// Mean throughput in MB/s (binary MB, as the paper reports).
+    pub fn throughput_mbps(&self) -> f64 {
+        self.throughput_bps() / (1 << 20) as f64
+    }
+}
+
+/// Events surfaced to drivers (benchmarks, the compute framework).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A submitted job finished (successfully or not — check its report).
+    JobDone(JobId),
+    /// A timer scheduled with [`SimCluster::schedule_timer`] fired.
+    Timer(u64),
+}
+
+enum JobKind {
+    Write {
+        path: String,
+        remaining: u64,
+        block_size: u64,
+        client: ClientLocation,
+        current: Option<(Block, Vec<Location>)>,
+    },
+    Read {
+        path: String,
+        offset: u64,
+        len: u64,
+        client: ClientLocation,
+        in_flight: u64,
+    },
+    /// A raw network transfer (shuffle traffic) or a pure delay (CPU).
+    Opaque,
+}
+
+/// Timer tokens at or above this value are reserved for internal use
+/// (delay jobs); user tokens passed to [`SimCluster::schedule_timer`] must
+/// stay below it.
+const DELAY_TOKEN_BASE: u64 = 1 << 62;
+
+struct Job {
+    kind: JobKind,
+    bytes_total: u64,
+    start: SimTime,
+    end: Option<SimTime>,
+    failed: Option<String>,
+}
+
+/// The simulated cluster.
+///
+/// ```
+/// use octopus_common::{ClientLocation, ClusterConfig, ReplicationVector, MB};
+/// use octopus_core::SimCluster;
+///
+/// let mut config = ClusterConfig::paper_cluster_scaled(0.01);
+/// config.block_size = MB;
+/// let mut sim = SimCluster::new(config).unwrap();
+/// sim.submit_write("/f", 10 * MB, ReplicationVector::msh(0, 0, 3),
+///                  ClientLocation::OffCluster).unwrap();
+/// let report = &sim.run_to_completion()[0];
+/// // A 3-replica HDD pipeline runs at one HDD's write rate (~126 MB/s).
+/// assert!((report.throughput_mbps() - 126.3).abs() < 5.0);
+/// ```
+pub struct SimCluster {
+    master: Arc<Master>,
+    workers: Vec<Arc<Worker>>,
+    net: SimNet,
+    nic_in: Vec<ResourceId>,
+    nic_out: Vec<ResourceId>,
+    /// Per-rack `(uplink out, uplink in)` resources when the config models
+    /// oversubscribed top-of-rack switches.
+    rack_uplinks: HashMap<RackId, (ResourceId, ResourceId)>,
+    media_write: HashMap<MediaId, ResourceId>,
+    media_read: HashMap<MediaId, ResourceId>,
+    jobs: Vec<Job>,
+    flow_jobs: HashMap<FlowId, JobId>,
+    flow_guards: HashMap<FlowId, Vec<ConnGuard>>,
+    repl_flows: HashMap<FlowId, (Block, Location)>,
+    bytes_written: u64,
+    bytes_read: u64,
+}
+
+impl SimCluster {
+    /// Builds a simulated cluster from configuration. Workers use
+    /// metadata-only stores; device/NIC rates come from the config.
+    pub fn new(config: ClusterConfig) -> Result<Self> {
+        config.validate()?;
+        let workers = crate::cluster::build_workers_for(&config, &StorageMode::Simulated)?;
+        let rack_uplink_bps = config.rack_uplink_bps;
+        let master = Arc::new(Master::new(config)?);
+        let mut net = SimNet::new();
+        let mut nic_in = Vec::new();
+        let mut nic_out = Vec::new();
+        let mut media_write = HashMap::new();
+        let mut media_read = HashMap::new();
+        let mut rack_uplinks = HashMap::new();
+        for w in &workers {
+            nic_in.push(net.add_resource(&format!("{}_in", w.id()), w.net_bps()));
+            nic_out.push(net.add_resource(&format!("{}_out", w.id()), w.net_bps()));
+            for m in w.media() {
+                let (wr, rd) = m.throughput();
+                media_write.insert(m.id, net.add_resource(&format!("{}_w", m.id), wr));
+                media_read.insert(m.id, net.add_resource(&format!("{}_r", m.id), rd));
+            }
+            if let Some(bps) = rack_uplink_bps {
+                rack_uplinks.entry(w.rack()).or_insert_with(|| {
+                    (
+                        net.add_resource(&format!("{}_up_out", w.rack()), bps),
+                        net.add_resource(&format!("{}_up_in", w.rack()), bps),
+                    )
+                });
+            }
+        }
+        let sim = Self {
+            master,
+            workers,
+            net,
+            nic_in,
+            nic_out,
+            rack_uplinks,
+            media_write,
+            media_read,
+            jobs: Vec::new(),
+            flow_jobs: HashMap::new(),
+            flow_guards: HashMap::new(),
+            repl_flows: HashMap::new(),
+            bytes_written: 0,
+            bytes_read: 0,
+        };
+        for w in &sim.workers {
+            sim.master.register_worker(w.id(), w.rack(), w.net_bps(), 0);
+        }
+        sim.push_heartbeats();
+        Ok(sim)
+    }
+
+    /// The master (for namespace operations and tier reports).
+    pub fn master(&self) -> &Arc<Master> {
+        &self.master
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Finished-job report.
+    pub fn report(&self, job: JobId) -> Option<JobReport> {
+        let j = self.jobs.get(job.0)?;
+        Some(JobReport {
+            job,
+            bytes: j.bytes_total,
+            start: j.start,
+            end: j.end.unwrap_or(j.start),
+            failed: j.failed.clone(),
+        })
+    }
+
+    /// Reports for all jobs, submission order.
+    pub fn reports(&self) -> Vec<JobReport> {
+        (0..self.jobs.len()).filter_map(|i| self.report(JobId(i))).collect()
+    }
+
+    /// Whether every submitted job has finished.
+    pub fn all_jobs_done(&self) -> bool {
+        self.jobs.iter().all(|j| j.end.is_some())
+    }
+
+    fn push_heartbeats(&self) {
+        let now_ms = self.net.now().as_millis();
+        for w in &self.workers {
+            let (stats, net_conn) = w.heartbeat_stats();
+            let _ = self.master.heartbeat(w.id(), stats, net_conn, now_ms);
+        }
+    }
+
+    /// Schedules a timer surfacing `SimEvent::Timer(token)` after `secs`.
+    /// Tokens at or above `1 << 62` are reserved for internal use.
+    pub fn schedule_timer(&mut self, secs: f64, token: u64) {
+        assert!(token < DELAY_TOKEN_BASE, "timer tokens >= 2^62 are reserved");
+        self.net.schedule_after(secs, token);
+    }
+
+    /// Creates a file and submits a job writing `bytes` to it.
+    pub fn submit_write(
+        &mut self,
+        path: &str,
+        bytes: u64,
+        rv: ReplicationVector,
+        client: ClientLocation,
+    ) -> Result<JobId> {
+        let status = self.master.create_file(path, rv, None)?;
+        let id = JobId(self.jobs.len());
+        self.jobs.push(Job {
+            kind: JobKind::Write {
+                path: path.to_string(),
+                remaining: bytes,
+                block_size: status.block_size,
+                client,
+                current: None,
+            },
+            bytes_total: bytes,
+            start: self.net.now(),
+            end: None,
+            failed: None,
+        });
+        self.advance_write_job(id);
+        Ok(id)
+    }
+
+    /// Submits a job reading the whole file.
+    pub fn submit_read(&mut self, path: &str, client: ClientLocation) -> Result<JobId> {
+        let status = self.master.status(path)?;
+        let id = JobId(self.jobs.len());
+        self.jobs.push(Job {
+            kind: JobKind::Read {
+                path: path.to_string(),
+                offset: 0,
+                len: status.len,
+                client,
+                in_flight: 0,
+            },
+            bytes_total: status.len,
+            start: self.net.now(),
+            end: None,
+            failed: None,
+        });
+        self.advance_read_job(id);
+        Ok(id)
+    }
+
+    /// Appends the network resources of one hop `from → to` to a flow
+    /// path: sender NIC out, (cross-rack uplinks when modelled), receiver
+    /// NIC in. `from = None` means an off-cluster endpoint reached through
+    /// the core (only the destination rack's uplink applies).
+    fn push_hop(
+        &self,
+        from: Option<WorkerId>,
+        to: Option<WorkerId>,
+        res: &mut Vec<ResourceId>,
+    ) {
+        if let Some(f) = from {
+            res.push(self.nic_out[f.0 as usize]);
+        }
+        if !self.rack_uplinks.is_empty() {
+            let rack_of = |w: WorkerId| self.workers[w.0 as usize].rack();
+            let fr = from.map(rack_of);
+            let tr = to.map(rack_of);
+            if fr != tr {
+                if let Some(r) = fr {
+                    res.push(self.rack_uplinks[&r].0);
+                }
+                if let Some(r) = tr {
+                    res.push(self.rack_uplinks[&r].1);
+                }
+            }
+        }
+        if let Some(t) = to {
+            res.push(self.nic_in[t.0 as usize]);
+        }
+    }
+
+    fn finish_job(&mut self, id: JobId, failed: Option<String>) {
+        let now = self.net.now();
+        let j = &mut self.jobs[id.0];
+        j.end = Some(now);
+        j.failed = failed;
+    }
+
+    /// Starts the next block write of a write job; finishes the job when
+    /// nothing remains.
+    fn advance_write_job(&mut self, id: JobId) {
+        let (path, len, client) = {
+            let j = &mut self.jobs[id.0];
+            let JobKind::Write { path, remaining, block_size, client, current } = &mut j.kind
+            else {
+                unreachable!("advance_write_job on a read job")
+            };
+            debug_assert!(current.is_none());
+            if *remaining == 0 {
+                let path = path.clone();
+                self.finish_job(id, None);
+                if let Err(e) = self.master.complete_file(&path) {
+                    self.jobs[id.0].failed = Some(e.to_string());
+                }
+                return;
+            }
+            let len = (*remaining).min(*block_size);
+            *remaining -= len;
+            (path.clone(), len, *client)
+        };
+
+        let (block, pipeline) = match self.master.add_block(&path, len, client) {
+            Ok(x) => x,
+            Err(e) => {
+                self.finish_job(id, Some(e.to_string()));
+                return;
+            }
+        };
+
+        // Build the pipeline flow: client → W1 → W2 → … with media writes.
+        let mut res: Vec<ResourceId> = Vec::new();
+        let mut guards: Vec<ConnGuard> = Vec::new();
+        let mut prev: Option<WorkerId> = match client {
+            ClientLocation::OnWorker(w) => Some(w),
+            ClientLocation::OffCluster => None,
+        };
+        for loc in &pipeline {
+            let widx = loc.worker.0 as usize;
+            if prev != Some(loc.worker) {
+                self.push_hop(prev, Some(loc.worker), &mut res);
+                if let Some(p) = prev {
+                    guards.push(self.workers[p.0 as usize].connect_net());
+                }
+                guards.push(self.workers[widx].connect_net());
+            }
+            res.push(self.media_write[&loc.media]);
+            guards.push(self.workers[widx].medium(loc.media).expect("pipeline media").connect());
+            prev = Some(loc.worker);
+        }
+        let flow = self.net.start_flow(len as f64, res);
+        self.flow_jobs.insert(flow, id);
+        self.flow_guards.insert(flow, guards);
+        if let JobKind::Write { current, .. } = &mut self.jobs[id.0].kind {
+            *current = Some((block, pipeline));
+        }
+        self.push_heartbeats();
+    }
+
+    /// Starts the next block read of a read job.
+    fn advance_read_job(&mut self, id: JobId) {
+        let (path, offset, len, client) = {
+            let j = &self.jobs[id.0];
+            let JobKind::Read { path, offset, len, client, .. } = &j.kind else {
+                unreachable!("advance_read_job on a write job")
+            };
+            if *offset >= *len {
+                self.finish_job(id, None);
+                return;
+            }
+            (path.clone(), *offset, *len, *client)
+        };
+
+        // Fetch the ordering for the next block only — the retrieval
+        // policy re-evaluates live load for every block (§4.2).
+        let lbs = match self.master.get_file_block_locations(&path, offset, 1, client) {
+            Ok(l) => l,
+            Err(e) => {
+                self.finish_job(id, Some(e.to_string()));
+                return;
+            }
+        };
+        let Some(lb) = lbs.into_iter().next() else {
+            self.finish_job(id, Some(format!("no block at offset {offset} of {path}")));
+            return;
+        };
+        let Some(loc) = lb.locations.first().copied() else {
+            self.finish_job(id, Some(format!("block {} has no replicas", lb.block.id)));
+            return;
+        };
+        if let JobKind::Read { offset, in_flight, .. } = &mut self.jobs[id.0].kind {
+            *offset = lb.end().min(len);
+            *in_flight = lb.block.len;
+        }
+
+        let src = loc.worker.0 as usize;
+        let mut res = vec![self.media_read[&loc.media]];
+        let mut guards =
+            vec![self.workers[src].medium(loc.media).expect("replica media").connect()];
+        let local = matches!(client, ClientLocation::OnWorker(w) if w == loc.worker);
+        if !local {
+            let dst = match client {
+                ClientLocation::OnWorker(c) => Some(c),
+                ClientLocation::OffCluster => None,
+            };
+            self.push_hop(Some(loc.worker), dst, &mut res);
+            guards.push(self.workers[src].connect_net());
+            if let Some(c) = dst {
+                guards.push(self.workers[c.0 as usize].connect_net());
+            }
+        }
+        let flow = self.net.start_flow(lb.block.len as f64, res);
+        self.flow_jobs.insert(flow, id);
+        self.flow_guards.insert(flow, guards);
+        self.push_heartbeats();
+    }
+
+    /// Submits a job reading exactly one block: the block overlapping
+    /// `offset` in `path`. Used by compute frameworks whose tasks process
+    /// one block each.
+    pub fn submit_block_read(
+        &mut self,
+        path: &str,
+        offset: u64,
+        client: ClientLocation,
+    ) -> Result<JobId> {
+        let lbs = self.master.get_file_block_locations(path, offset, 1, client)?;
+        let Some(lb) = lbs.first() else {
+            return Err(FsError::InvalidArgument(format!("no block at offset {offset} of {path}")));
+        };
+        let id = JobId(self.jobs.len());
+        self.jobs.push(Job {
+            kind: JobKind::Read {
+                path: path.to_string(),
+                offset: lb.offset,
+                len: lb.end(),
+                client,
+                in_flight: 0,
+            },
+            bytes_total: lb.block.len,
+            start: self.net.now(),
+            end: None,
+            failed: None,
+        });
+        self.advance_read_job(id);
+        Ok(id)
+    }
+
+    /// Submits a raw network transfer of `bytes` from one worker to
+    /// another (shuffle traffic). Same-node transfers complete at memory
+    /// speed (no NIC traversal).
+    pub fn submit_transfer(&mut self, from: WorkerId, to: WorkerId, bytes: u64) -> JobId {
+        let id = JobId(self.jobs.len());
+        self.jobs.push(Job {
+            kind: JobKind::Opaque,
+            bytes_total: bytes,
+            start: self.net.now(),
+            end: None,
+            failed: None,
+        });
+        let mut res = Vec::new();
+        let mut guards = Vec::new();
+        if from != to {
+            self.push_hop(Some(from), Some(to), &mut res);
+            guards.push(self.workers[from.0 as usize].connect_net());
+            guards.push(self.workers[to.0 as usize].connect_net());
+        }
+        let flow = self.net.start_flow(bytes as f64, res); // empty path ⇒ instant
+        self.flow_jobs.insert(flow, id);
+        self.flow_guards.insert(flow, guards);
+        self.push_heartbeats();
+        id
+    }
+
+    /// Submits a job that completes after `secs` of virtual time (CPU
+    /// work). CPU contention is modelled by the caller through slot
+    /// scheduling, not by the simulator.
+    pub fn submit_delay(&mut self, secs: f64) -> JobId {
+        let id = JobId(self.jobs.len());
+        self.jobs.push(Job {
+            kind: JobKind::Opaque,
+            bytes_total: 0,
+            start: self.net.now(),
+            end: None,
+            failed: None,
+        });
+        self.net.schedule_after(secs, DELAY_TOKEN_BASE + id.0 as u64);
+        id
+    }
+
+    /// Runs one replication scan and launches flows for the copy tasks
+    /// (deletions apply immediately). Returns the number of tasks started.
+    pub fn pump_replication(&mut self) -> usize {
+        let tasks = self.master.replication_scan();
+        let n = tasks.len();
+        for t in tasks {
+            match t {
+                ReplicationTask::Copy { block, sources, target } => {
+                    let Some(src) = sources.first() else {
+                        self.master.abort_replica(block, target);
+                        continue;
+                    };
+                    let sw = src.worker.0 as usize;
+                    let tw = target.worker.0 as usize;
+                    let mut res = vec![self.media_read[&src.media]];
+                    let mut guards = vec![self.workers[sw]
+                        .medium(src.media)
+                        .expect("source media")
+                        .connect()];
+                    if src.worker != target.worker {
+                        self.push_hop(Some(src.worker), Some(target.worker), &mut res);
+                        guards.push(self.workers[sw].connect_net());
+                        guards.push(self.workers[tw].connect_net());
+                    }
+                    res.push(self.media_write[&target.media]);
+                    guards.push(self.workers[tw]
+                        .medium(target.media)
+                        .expect("target media")
+                        .connect());
+                    let flow = self.net.start_flow(block.len as f64, res);
+                    self.flow_guards.insert(flow, guards);
+                    self.repl_flows.insert(flow, (block, target));
+                }
+                ReplicationTask::Delete { block, location } => {
+                    let w = location.worker.0 as usize;
+                    let _ = self.workers[w].delete_block(location.media, block.id);
+                }
+            }
+        }
+        self.push_heartbeats();
+        n
+    }
+
+    /// Number of replication copy flows still in flight.
+    pub fn replication_in_flight(&self) -> usize {
+        self.repl_flows.len()
+    }
+
+    /// Processes simulator events until one is worth surfacing (a job
+    /// completion or a user timer). Returns `None` when the simulation has
+    /// fully drained.
+    pub fn next_sim_event(&mut self) -> Option<SimEvent> {
+        loop {
+            let e = self.net.next_event()?;
+            match e.kind {
+                EventKind::Timer(token) if token >= DELAY_TOKEN_BASE => {
+                    let job = JobId((token - DELAY_TOKEN_BASE) as usize);
+                    self.finish_job(job, None);
+                    return Some(SimEvent::JobDone(job));
+                }
+                EventKind::Timer(token) => return Some(SimEvent::Timer(token)),
+                EventKind::FlowDone(f) => {
+                    self.flow_guards.remove(&f);
+                    if let Some((block, target)) = self.repl_flows.remove(&f) {
+                        self.complete_replica_write(block, target);
+                        self.push_heartbeats();
+                        continue;
+                    }
+                    let Some(job) = self.flow_jobs.remove(&f) else { continue };
+                    self.complete_job_flow(job);
+                    self.push_heartbeats();
+                    if self.jobs[job.0].end.is_some() {
+                        return Some(SimEvent::JobDone(job));
+                    }
+                }
+            }
+        }
+    }
+
+    fn complete_replica_write(&mut self, block: Block, target: Location) {
+        let w = target.worker.0 as usize;
+        let data = BlockData::Synthetic { len: block.len, seed: block.id.0 };
+        match self.workers[w].write_block(target.media, block, &data) {
+            Ok(()) => {
+                let _ = self.master.commit_replica(block, target);
+            }
+            Err(_) => self.master.abort_replica(block, target),
+        }
+    }
+
+    fn complete_job_flow(&mut self, id: JobId) {
+        if matches!(self.jobs[id.0].kind, JobKind::Opaque) {
+            self.finish_job(id, None);
+            return;
+        }
+        let is_write = matches!(self.jobs[id.0].kind, JobKind::Write { .. });
+        if is_write {
+            let current = {
+                let JobKind::Write { current, .. } = &mut self.jobs[id.0].kind else {
+                    unreachable!()
+                };
+                current.take()
+            };
+            if let Some((block, pipeline)) = current {
+                let data = BlockData::Synthetic { len: block.len, seed: block.id.0 };
+                for loc in pipeline {
+                    let w = loc.worker.0 as usize;
+                    match self.workers[w].write_block(loc.media, block, &data) {
+                        Ok(()) => {
+                            let _ = self.master.commit_replica(block, loc);
+                        }
+                        Err(_) => self.master.abort_replica(block, loc),
+                    }
+                }
+                self.bytes_written += block.len;
+            }
+            self.advance_write_job(id);
+        } else {
+            if let JobKind::Read { in_flight, .. } = &mut self.jobs[id.0].kind {
+                self.bytes_read += *in_flight;
+                *in_flight = 0;
+            }
+            self.advance_read_job(id);
+        }
+    }
+
+    /// Drives the simulation until every submitted job completes. Returns
+    /// the job reports.
+    pub fn run_to_completion(&mut self) -> Vec<JobReport> {
+        while !self.all_jobs_done() {
+            if self.next_sim_event().is_none() {
+                break;
+            }
+        }
+        self.reports()
+    }
+
+    /// Drives the simulation to completion, invoking `sampler(now)` every
+    /// `interval_secs` of virtual time (for time-series figures). The
+    /// sampler may inspect the master through a pre-cloned `Arc`.
+    pub fn run_with_sampler(
+        &mut self,
+        interval_secs: f64,
+        mut sampler: impl FnMut(SimTime),
+    ) -> Vec<JobReport> {
+        const SAMPLE_TOKEN: u64 = DELAY_TOKEN_BASE - 1;
+        self.schedule_timer(interval_secs, SAMPLE_TOKEN);
+        while !self.all_jobs_done() {
+            match self.next_sim_event() {
+                Some(SimEvent::Timer(SAMPLE_TOKEN)) => {
+                    sampler(self.now());
+                    if !self.all_jobs_done() {
+                        self.schedule_timer(interval_secs, SAMPLE_TOKEN);
+                    }
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+        self.reports()
+    }
+
+    /// Runs replication rounds until no more tasks are produced and all
+    /// copy flows have drained (used after `setReplication` to realize
+    /// moves/copies — §5).
+    pub fn settle_replication(&mut self) -> Result<()> {
+        loop {
+            let started = self.pump_replication();
+            if started == 0 && self.repl_flows.is_empty() {
+                return Ok(());
+            }
+            while !self.repl_flows.is_empty() {
+                if self.next_sim_event().is_none() && !self.repl_flows.is_empty() {
+                    return Err(FsError::Internal(
+                        "replication flows pending but simulator drained".into(),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Direct access to a worker (diagnostics/tests).
+    pub fn worker(&self, id: WorkerId) -> &Arc<Worker> {
+        &self.workers[id.0 as usize]
+    }
+
+    /// Logical bytes written by completed block writes so far (not
+    /// multiplied by replication). Used by time-series experiments.
+    pub fn logical_bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Logical bytes delivered by completed block reads so far.
+    pub fn logical_bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+}

@@ -1,0 +1,218 @@
+//! The worker runtime (paper §2.2): owns the node's storage media, serves
+//! block reads/writes, and produces heartbeat statistics and block reports.
+
+use std::sync::atomic::AtomicU32;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use octopus_common::{
+    Block, BlockData, BlockId, FsError, MediaId, MediaStats, RackId, Result, TierId, WorkerId,
+};
+use octopus_storage::{ConnGuard, Media, MediaManager};
+
+/// One worker node.
+pub struct Worker {
+    manager: MediaManager,
+    net_conns: Arc<AtomicU32>,
+    net_bps: f64,
+}
+
+impl Worker {
+    /// Assembles a worker from already-constructed media.
+    pub fn new(worker: WorkerId, rack: RackId, media: Vec<Arc<Media>>, net_bps: f64) -> Self {
+        Self {
+            manager: MediaManager::new(worker, rack, media),
+            net_conns: Arc::new(AtomicU32::new(0)),
+            net_bps,
+        }
+    }
+
+    /// This worker's id.
+    pub fn id(&self) -> WorkerId {
+        self.manager.worker()
+    }
+
+    /// This worker's rack.
+    pub fn rack(&self) -> RackId {
+        self.manager.rack()
+    }
+
+    /// NIC bandwidth, bytes/s.
+    pub fn net_bps(&self) -> f64 {
+        self.net_bps
+    }
+
+    /// The worker's media.
+    pub fn media(&self) -> &[Arc<Media>] {
+        self.manager.media()
+    }
+
+    /// Looks up one medium.
+    pub fn medium(&self, id: MediaId) -> Result<&Arc<Media>> {
+        self.manager.get(id)
+    }
+
+    /// Opens a network connection accounting guard (one per active remote
+    /// transfer touching this node).
+    pub fn connect_net(&self) -> ConnGuard {
+        ConnGuard::acquire(&self.net_conns)
+    }
+
+    /// Current active network connections.
+    pub fn net_conn_count(&self) -> u32 {
+        self.net_conns.load(Ordering::Relaxed)
+    }
+
+    /// Stores a replica on the given medium, with connection accounting.
+    pub fn write_block(&self, media: MediaId, block: Block, data: &BlockData) -> Result<()> {
+        let m = self.manager.get(media)?;
+        let _conn = m.connect();
+        m.store.put(block, data)
+    }
+
+    /// Reads a block from the given medium, verifying its checksum.
+    pub fn read_block(&self, media: MediaId, block: BlockId) -> Result<BlockData> {
+        let m = self.manager.get(media)?;
+        let _conn = m.connect();
+        m.store.get(block)
+    }
+
+    /// Reads a block from whichever local medium holds it.
+    pub fn read_block_any(&self, block: BlockId) -> Result<(MediaId, BlockData)> {
+        let m = self
+            .manager
+            .find_block(block)
+            .ok_or_else(|| FsError::NotFound(block.to_string()))?;
+        let _conn = m.connect();
+        Ok((m.id, m.store.get(block)?))
+    }
+
+    /// Deletes a replica.
+    pub fn delete_block(&self, media: MediaId, block: BlockId) -> Result<()> {
+        self.manager.get(media)?.store.delete(block)
+    }
+
+    /// Whether any local medium holds the block.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.manager.find_block(block).is_some()
+    }
+
+    /// Heartbeat payload: per-media statistics plus the NIC connection
+    /// count.
+    pub fn heartbeat_stats(&self) -> (Vec<MediaStats>, u32) {
+        (self.manager.stats(), self.net_conn_count())
+    }
+
+    /// Block report payload: every block on every medium (paper §5).
+    pub fn block_report(&self) -> Vec<(Block, MediaId)> {
+        let mut out = Vec::new();
+        for m in self.manager.media() {
+            for info in m.store.blocks() {
+                out.push((info.block, m.id));
+            }
+        }
+        out
+    }
+
+    /// Verifies every stored block's checksum, returning the corrupt ones
+    /// (the periodic scrubber of §5).
+    pub fn scrub(&self) -> Vec<(BlockId, MediaId)> {
+        let mut corrupt = Vec::new();
+        for m in self.manager.media() {
+            for info in m.store.blocks() {
+                if m.store.verify(info.block.id).is_err() {
+                    corrupt.push((info.block.id, m.id));
+                }
+            }
+        }
+        corrupt
+    }
+
+    /// Total bytes stored.
+    pub fn used(&self) -> u64 {
+        self.manager.used()
+    }
+
+    /// The tier of one medium.
+    pub fn tier_of(&self, media: MediaId) -> Result<TierId> {
+        Ok(self.manager.get(media)?.tier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_common::GenStamp;
+    use octopus_storage::{BlockStore, MemoryStore};
+
+    fn worker() -> Worker {
+        let media = (0..2)
+            .map(|i| {
+                Arc::new(Media::new(
+                    MediaId(i),
+                    TierId(i as u8),
+                    Arc::new(MemoryStore::new(1 << 20)),
+                    1e8,
+                    2e8,
+                ))
+            })
+            .collect();
+        Worker::new(WorkerId(3), RackId(1), media, 1e9)
+    }
+
+    fn blk(id: u64, len: u64) -> Block {
+        Block { id: BlockId(id), gen: GenStamp(0), len }
+    }
+
+    #[test]
+    fn write_read_delete() {
+        let w = worker();
+        let data = BlockData::generate_real(1024, 7);
+        w.write_block(MediaId(0), blk(1, 1024), &data).unwrap();
+        assert!(w.contains(BlockId(1)));
+        assert_eq!(w.read_block(MediaId(0), BlockId(1)).unwrap(), data);
+        let (m, d) = w.read_block_any(BlockId(1)).unwrap();
+        assert_eq!(m, MediaId(0));
+        assert_eq!(d, data);
+        w.delete_block(MediaId(0), BlockId(1)).unwrap();
+        assert!(!w.contains(BlockId(1)));
+    }
+
+    #[test]
+    fn heartbeat_and_report() {
+        let w = worker();
+        w.write_block(MediaId(1), blk(2, 100), &BlockData::generate_real(100, 2)).unwrap();
+        let (stats, net_conn) = w.heartbeat_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(net_conn, 0);
+        assert_eq!(stats[1].remaining, (1 << 20) - 100);
+        let report = w.block_report();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].1, MediaId(1));
+        assert_eq!(report[0].0.id, BlockId(2));
+    }
+
+    #[test]
+    fn net_conn_guard() {
+        let w = worker();
+        let g1 = w.connect_net();
+        let g2 = w.connect_net();
+        assert_eq!(w.net_conn_count(), 2);
+        drop(g1);
+        drop(g2);
+        assert_eq!(w.net_conn_count(), 0);
+    }
+
+    #[test]
+    fn scrub_finds_corruption() {
+        let mem = Arc::new(MemoryStore::new(1 << 20));
+        let store: Arc<dyn BlockStore> = mem.clone();
+        let media: Vec<Arc<Media>> =
+            vec![Arc::new(Media::new(MediaId(0), TierId(0), store, 1e8, 1e8))];
+        let w = Worker::new(WorkerId(0), RackId(0), media, 1e9);
+        w.write_block(MediaId(0), blk(1, 64), &BlockData::generate_real(64, 1)).unwrap();
+        assert!(w.scrub().is_empty());
+        mem.corrupt(BlockId(1)).unwrap();
+        assert_eq!(w.scrub(), vec![(BlockId(1), MediaId(0))]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Tests of namespace federation (§2.1): independent masters per volume
+//! sharing one worker fleet, client-side routing, and disjoint block-id
+//! pools.
+
+use octopus_common::{ClientLocation, ClusterConfig, FsError, ReplicationVector, MB};
+use octopus_core::Federation;
+
+fn payload(len: usize, seed: u64) -> Vec<u8> {
+    let octopus_common::BlockData::Real(b) = octopus_common::BlockData::generate_real(len, seed)
+    else {
+        unreachable!()
+    };
+    b.to_vec()
+}
+
+fn fed() -> Federation {
+    Federation::start(ClusterConfig::test_cluster(6, 64 * MB, MB), &["/users", "/data"])
+        .unwrap()
+}
+
+#[test]
+fn routing_and_isolation() {
+    let fed = fed();
+    let client = fed.client(ClientLocation::OffCluster);
+    let u = payload(MB as usize, 1);
+    let d = payload(MB as usize, 2);
+    client.mkdir("/users/alice").unwrap();
+    client.write_file("/users/alice/doc", &u, ReplicationVector::from_replication_factor(2)).unwrap();
+    client.write_file("/data/table", &d, ReplicationVector::from_replication_factor(2)).unwrap();
+
+    assert_eq!(client.read_file("/users/alice/doc").unwrap(), u);
+    assert_eq!(client.read_file("/data/table").unwrap(), d);
+
+    // Each master only knows its own volume.
+    let users_master = fed.route("/users/alice/doc").unwrap();
+    let data_master = fed.route("/data/table").unwrap();
+    assert!(!std::ptr::eq(users_master.as_ref(), data_master.as_ref()));
+    assert!(users_master.status("/data/table").is_err());
+    assert!(data_master.status("/users/alice/doc").is_err());
+
+    // Unowned paths are rejected.
+    assert!(matches!(client.read_file("/elsewhere/x"), Err(FsError::NotFound(_))));
+    assert!(matches!(client.mkdir("/elsewhere"), Err(FsError::NotFound(_))));
+}
+
+#[test]
+fn block_pools_are_disjoint_on_shared_workers() {
+    let fed = fed();
+    let client = fed.client(ClientLocation::OffCluster);
+    client
+        .write_file("/users/a", &payload(MB as usize, 3), ReplicationVector::from_replication_factor(3))
+        .unwrap();
+    client
+        .write_file("/data/b", &payload(MB as usize, 4), ReplicationVector::from_replication_factor(3))
+        .unwrap();
+
+    let ids_u: Vec<u64> = client
+        .get_file_block_locations("/users/a", 0, u64::MAX)
+        .unwrap()
+        .iter()
+        .map(|b| b.block.id.0)
+        .collect();
+    let ids_d: Vec<u64> = client
+        .get_file_block_locations("/data/b", 0, u64::MAX)
+        .unwrap()
+        .iter()
+        .map(|b| b.block.id.0)
+        .collect();
+    assert!(ids_u.iter().all(|i| *i < (1 << 40)));
+    assert!(ids_d.iter().all(|i| *i > (1 << 40)), "second volume uses its own pool");
+
+    // Both volumes' blocks coexist on the shared fleet.
+    let total_blocks: usize = fed.workers().iter().map(|w| w.block_report().len()).sum();
+    assert_eq!(total_blocks, 6); // 2 files × 1 block × 3 replicas
+}
+
+#[test]
+fn cross_volume_rename_rejected_within_volume_allowed() {
+    let fed = fed();
+    let client = fed.client(ClientLocation::OffCluster);
+    client
+        .write_file("/users/f", &payload(1024, 5), ReplicationVector::from_replication_factor(2))
+        .unwrap();
+    assert!(matches!(
+        client.rename("/users/f", "/data/f"),
+        Err(FsError::InvalidArgument(_))
+    ));
+    client.rename("/users/f", "/users/g").unwrap();
+    assert_eq!(client.read_file("/users/g").unwrap().len(), 1024);
+}
+
+#[test]
+fn volume_validation() {
+    let cfg = ClusterConfig::test_cluster(3, 64 * MB, MB);
+    assert!(Federation::start(cfg.clone(), &[]).is_err());
+    assert!(Federation::start(cfg.clone(), &["/a", "/a/b"]).is_err());
+    assert!(Federation::start(cfg.clone(), &["/a", "/a"]).is_err());
+    assert!(Federation::start(cfg.clone(), &["relative"]).is_err());
+    assert!(Federation::start(cfg, &["/"]).is_err());
+}
+
+#[test]
+fn tier_reports_visible_through_federation() {
+    let fed = fed();
+    let client = fed.client(ClientLocation::OffCluster);
+    client
+        .write_file("/data/x", &payload(MB as usize, 6), ReplicationVector::msh(1, 0, 1))
+        .unwrap();
+    fed.pump_heartbeats();
+    let reports = client.get_storage_tier_reports();
+    assert_eq!(reports.len(), 3);
+}
+
+#[test]
+fn federation_replication_round_realizes_moves_per_volume() {
+    let fed = fed();
+    let client = fed.client(ClientLocation::OffCluster);
+    client
+        .write_file("/users/hot", &payload(MB as usize, 7), ReplicationVector::msh(0, 0, 2))
+        .unwrap();
+    client
+        .write_file("/data/hot", &payload(MB as usize, 8), ReplicationVector::msh(0, 0, 2))
+        .unwrap();
+    client.set_replication("/users/hot", ReplicationVector::msh(1, 0, 1)).unwrap();
+    client.set_replication("/data/hot", ReplicationVector::msh(1, 0, 1)).unwrap();
+    // Both volumes' monitors run in one federation round (plus one more
+    // to trim the extra HDD replicas).
+    fed.run_replication_round().unwrap();
+    fed.run_replication_round().unwrap();
+    for path in ["/users/hot", "/data/hot"] {
+        let blocks = client.get_file_block_locations(path, 0, u64::MAX).unwrap();
+        let mems = blocks[0].locations.iter().filter(|l| l.tier.0 == 0).count();
+        assert_eq!(mems, 1, "{path} gained its memory replica");
+        assert_eq!(client.read_file(path).unwrap().len(), MB as usize);
+    }
+}

@@ -1,0 +1,166 @@
+//! End-to-end tests of write leases (single-writer semantics, expiry
+//! recovery) and master safe mode after restart.
+
+use octopus_common::{ClientLocation, ClusterConfig, FsError, ReplicationVector, MB};
+use octopus_core::Cluster;
+use octopus_master::Master;
+
+fn config() -> ClusterConfig {
+    ClusterConfig::test_cluster(4, 64 * MB, MB)
+}
+
+fn payload(len: usize, seed: u64) -> Vec<u8> {
+    let octopus_common::BlockData::Real(b) = octopus_common::BlockData::generate_real(len, seed)
+    else {
+        unreachable!()
+    };
+    b.to_vec()
+}
+
+#[test]
+fn second_client_cannot_write_an_open_file() {
+    let cluster = Cluster::start(config()).unwrap();
+    let alice = cluster.client(ClientLocation::OffCluster);
+    let bob = cluster.client(ClientLocation::OffCluster);
+
+    let mut w = alice
+        .create("/shared", ReplicationVector::from_replication_factor(2), None)
+        .unwrap();
+    w.write(&payload(1024, 1)).unwrap();
+
+    // Bob cannot recreate, append to, or close Alice's open file.
+    let err = bob.create("/shared", ReplicationVector::from_replication_factor(2), None);
+    assert!(matches!(err, Err(FsError::AlreadyExists(_)) | Err(FsError::LeaseConflict(_))));
+    let err = cluster.master().add_block_as(
+        "/shared",
+        1024,
+        ClientLocation::OffCluster,
+        bob.id(),
+    );
+    assert!(matches!(err, Err(FsError::LeaseConflict(_))), "got {err:?}");
+
+    // Alice closes; the lease is released and the file is readable.
+    w.close().unwrap();
+    assert_eq!(bob.read_file("/shared").unwrap().len(), 1024);
+}
+
+#[test]
+fn lease_expiry_recovers_abandoned_file() {
+    let cluster = Cluster::start(config()).unwrap();
+    let alice = cluster.client(ClientLocation::OffCluster);
+    let mut w = alice
+        .create("/abandoned", ReplicationVector::from_replication_factor(2), None)
+        .unwrap();
+    w.write(&payload(MB as usize, 2)).unwrap();
+    // Alice vanishes without closing. (Leak the writer so Drop's
+    // auto-close does not run.)
+    std::mem::forget(w);
+
+    assert!(!cluster.master().status("/abandoned").unwrap().complete);
+    // Lease duration is 20 heartbeats (100 ms each) = 2 s of cluster time;
+    // advance well past it without marking workers dead.
+    for _ in 0..25 {
+        cluster.pump_heartbeats();
+    }
+    cluster.master().tick(cluster.now_ms());
+
+    let st = cluster.master().status("/abandoned").unwrap();
+    assert!(st.complete, "lease recovery finalized the file");
+    assert_eq!(st.len, MB);
+    // Another client can now take over the path's data.
+    let bob = cluster.client(ClientLocation::OffCluster);
+    assert_eq!(bob.read_file("/abandoned").unwrap().len(), MB as usize);
+}
+
+#[test]
+fn restored_master_starts_in_safe_mode_until_reports_arrive() {
+    let cluster = Cluster::start(config()).unwrap();
+    let client = cluster.client(ClientLocation::OffCluster);
+    client
+        .write_file("/sm", &payload(MB as usize, 3), ReplicationVector::from_replication_factor(2))
+        .unwrap();
+
+    let image = cluster.master().checkpoint();
+    let restored = Master::restore(cluster.master().config().clone(), &image).unwrap();
+    assert!(restored.in_safe_mode());
+
+    // Mutations are rejected in safe mode; reads of metadata still work.
+    assert!(matches!(restored.mkdir("/new"), Err(FsError::NotReady(_))));
+    assert!(matches!(
+        restored.create_file("/new2", ReplicationVector::from_replication_factor(1), None),
+        Err(FsError::NotReady(_))
+    ));
+    assert!(matches!(
+        restored.set_replication("/sm", ReplicationVector::from_replication_factor(3)),
+        Err(FsError::NotReady(_))
+    ));
+    assert!(matches!(restored.delete("/sm", false), Err(FsError::NotReady(_))));
+    assert!(restored.status("/sm").is_ok());
+    assert!(restored.replication_scan().is_empty(), "no repair storms in safe mode");
+
+    // Workers report their blocks: safe mode exits automatically.
+    for w in cluster.workers() {
+        restored.register_worker(w.id(), w.rack(), w.net_bps(), 0);
+        let (stats, conns) = w.heartbeat_stats();
+        restored.heartbeat(w.id(), stats, conns, 0).unwrap();
+        restored.block_report(w.id(), &w.block_report()).unwrap();
+    }
+    assert!(!restored.in_safe_mode());
+    restored.mkdir("/new").unwrap();
+}
+
+#[test]
+fn manual_safe_mode_exit() {
+    let cluster = Cluster::start(config()).unwrap();
+    let client = cluster.client(ClientLocation::OffCluster);
+    client
+        .write_file("/x", &payload(1024, 4), ReplicationVector::from_replication_factor(2))
+        .unwrap();
+    let restored =
+        Master::restore(cluster.master().config().clone(), &cluster.master().checkpoint())
+            .unwrap();
+    assert!(restored.in_safe_mode());
+    restored.leave_safe_mode();
+    assert!(!restored.in_safe_mode());
+}
+
+#[test]
+fn fresh_master_never_enters_safe_mode() {
+    let cluster = Cluster::start(config()).unwrap();
+    assert!(!cluster.master().in_safe_mode());
+    let client = cluster.client(ClientLocation::OffCluster);
+    client.mkdir("/ok").unwrap();
+}
+
+#[test]
+fn same_client_can_reopen_after_close_and_delete() {
+    let cluster = Cluster::start(config()).unwrap();
+    let client = cluster.client(ClientLocation::OffCluster);
+    client
+        .write_file("/re", &payload(512, 5), ReplicationVector::from_replication_factor(2))
+        .unwrap();
+    client.delete("/re", false).unwrap();
+    client
+        .write_file("/re", &payload(512, 6), ReplicationVector::from_replication_factor(2))
+        .unwrap();
+    assert_eq!(client.read_file("/re").unwrap(), payload(512, 6));
+}
+
+#[test]
+fn rename_transfers_lease() {
+    let cluster = Cluster::start(config()).unwrap();
+    let alice = cluster.client(ClientLocation::OffCluster);
+    let bob = cluster.client(ClientLocation::OffCluster);
+    let mut w = alice
+        .create("/moving", ReplicationVector::from_replication_factor(2), None)
+        .unwrap();
+    w.write(&payload(100, 7)).unwrap();
+    cluster.master().rename("/moving", "/moved").unwrap();
+    // Bob still cannot touch it under the new name.
+    let err =
+        cluster.master().add_block_as("/moved", 100, ClientLocation::OffCluster, bob.id());
+    assert!(matches!(err, Err(FsError::LeaseConflict(_))));
+    // NOTE: Alice's writer still targets the old path; closing it now
+    // fails cleanly (path gone), which is the HDFS behaviour too.
+    std::mem::forget(w);
+}

@@ -1,0 +1,66 @@
+//! Tests of the optional per-rack uplink model (oversubscribed
+//! top-of-rack switches behind the paper's hierarchical topology, §3.2).
+
+use octopus_common::{ClientLocation, ClusterConfig, ReplicationVector, WorkerId, MB};
+use octopus_core::SimCluster;
+
+fn config(uplink_mbps: Option<f64>) -> ClusterConfig {
+    let mut c = ClusterConfig::paper_cluster_scaled(0.01);
+    c.block_size = MB;
+    c.rack_uplink_bps = uplink_mbps.map(|m| m * MB as f64);
+    c
+}
+
+/// Cross-rack transfer throughput with `d` concurrent point-to-point
+/// flows, all rack 0 → rack 1.
+fn cross_rack_mbps(uplink_mbps: Option<f64>, d: u32) -> f64 {
+    let mut sim = SimCluster::new(config(uplink_mbps)).unwrap();
+    // Workers 0..2 are rack 0; 3..5 rack 1 (paper layout: 3 racks × 3).
+    for i in 0..d {
+        sim.submit_transfer(WorkerId(i % 3), WorkerId(3 + (i % 3)), 100 * MB);
+    }
+    let reports = sim.run_to_completion();
+    reports.iter().map(|r| r.throughput_mbps()).sum::<f64>() / d as f64
+}
+
+#[test]
+fn uplink_caps_cross_rack_aggregate() {
+    // Without uplinks: three disjoint NIC pairs at 1250 MB/s each.
+    let free = cross_rack_mbps(None, 3);
+    assert!((free - 1250.0).abs() < 30.0, "unconstrained: {free:.0}");
+
+    // With a 1250 MB/s rack uplink, the three flows share it: ~417 each.
+    let capped = cross_rack_mbps(Some(1250.0), 3);
+    assert!((capped - 1250.0 / 3.0).abs() < 20.0, "capped: {capped:.0}");
+}
+
+#[test]
+fn intra_rack_traffic_unaffected_by_uplink() {
+    let mut sim = SimCluster::new(config(Some(100.0))).unwrap();
+    // Same-rack transfer (workers 0 → 1) never touches the tiny uplink.
+    sim.submit_transfer(WorkerId(0), WorkerId(1), 100 * MB);
+    let r = &sim.run_to_completion()[0];
+    assert!(r.throughput_mbps() > 1000.0, "intra-rack at NIC speed, got {:.0}", r.throughput_mbps());
+}
+
+#[test]
+fn writes_respect_uplinks_end_to_end() {
+    // With a crippled 50 MB/s uplink, a 3-replica pipeline that must cross
+    // racks (rack pruning forces a second rack) is uplink-bound, well
+    // below the 126 MB/s HDD floor.
+    let mut sim = SimCluster::new(config(Some(50.0))).unwrap();
+    sim.submit_write(
+        "/w",
+        10 * MB,
+        ReplicationVector::msh(0, 0, 3),
+        ClientLocation::OnWorker(WorkerId(0)),
+    )
+    .unwrap();
+    let t = sim.run_to_completion()[0].throughput_mbps();
+    assert!((t - 50.0).abs() < 5.0, "uplink-bound pipeline, got {t:.0}");
+
+    // And off-cluster reads of a remote replica traverse the uplink too.
+    sim.submit_read("/w", ClientLocation::OffCluster).unwrap();
+    let t = sim.run_to_completion().last().unwrap().throughput_mbps();
+    assert!(t <= 55.0, "read capped by uplink, got {t:.0}");
+}

@@ -1,0 +1,332 @@
+//! The block → replica-locations map and per-tier replication accounting.
+//!
+//! The master tracks, for every block, the confirmed replica locations
+//! (reported by workers) and the pending ones (scheduled into a write
+//! pipeline or a re-replication task but not yet acknowledged). The
+//! [`replication_state`] function computes per-tier deficits and surpluses
+//! against a file's replication vector — the trigger conditions of §5.
+
+use std::collections::HashMap;
+
+use octopus_common::{Block, BlockId, FsError, INodeId, Location, MediaId, ReplicationVector,
+    Result, TierId, WorkerId, MAX_TIERS};
+
+/// Master-side state of one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// Block identity.
+    pub block: Block,
+    /// Owning file.
+    pub file: INodeId,
+    /// Confirmed replicas.
+    pub locations: Vec<Location>,
+    /// Scheduled-but-unconfirmed replicas.
+    pub pending: Vec<Location>,
+}
+
+impl BlockInfo {
+    /// Confirmed + pending locations (used when deciding whether more
+    /// replicas must be scheduled).
+    pub fn all_locations(&self) -> Vec<Location> {
+        let mut v = self.locations.clone();
+        v.extend_from_slice(&self.pending);
+        v
+    }
+}
+
+/// The map of all blocks.
+#[derive(Debug, Default)]
+pub struct BlockMap {
+    blocks: HashMap<BlockId, BlockInfo>,
+}
+
+impl BlockMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new block with its scheduled pipeline locations.
+    pub fn insert(&mut self, block: Block, file: INodeId, pending: Vec<Location>) {
+        self.blocks.insert(block.id, BlockInfo { block, file, locations: Vec::new(), pending });
+    }
+
+    /// Looks up a block.
+    pub fn get(&self, id: BlockId) -> Option<&BlockInfo> {
+        self.blocks.get(&id)
+    }
+
+    /// Number of tracked blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Marks a replica confirmed (moves it from pending, or records it
+    /// outright — e.g. discovered via a block report).
+    pub fn confirm(&mut self, id: BlockId, loc: Location) -> Result<()> {
+        let info = self
+            .blocks
+            .get_mut(&id)
+            .ok_or_else(|| FsError::Internal(format!("confirm of unknown block {id}")))?;
+        info.pending.retain(|l| l != &loc);
+        if !info.locations.contains(&loc) {
+            info.locations.push(loc);
+        }
+        Ok(())
+    }
+
+    /// Drops a pending replica that will never be written (pipeline
+    /// failure).
+    pub fn abandon_pending(&mut self, id: BlockId, loc: &Location) {
+        if let Some(info) = self.blocks.get_mut(&id) {
+            info.pending.retain(|l| l != loc);
+        }
+    }
+
+    /// Adds pending replicas (re-replication tasks).
+    pub fn add_pending(&mut self, id: BlockId, locs: &[Location]) -> Result<()> {
+        let info = self
+            .blocks
+            .get_mut(&id)
+            .ok_or_else(|| FsError::Internal(format!("add_pending on unknown block {id}")))?;
+        info.pending.extend_from_slice(locs);
+        Ok(())
+    }
+
+    /// Removes one confirmed replica (invalidation).
+    pub fn remove_replica(&mut self, id: BlockId, media: MediaId) {
+        if let Some(info) = self.blocks.get_mut(&id) {
+            info.locations.retain(|l| l.media != media);
+            info.pending.retain(|l| l.media != media);
+        }
+    }
+
+    /// Forgets a block entirely (file deletion). Returns its last state.
+    pub fn remove_block(&mut self, id: BlockId) -> Option<BlockInfo> {
+        self.blocks.remove(&id)
+    }
+
+    /// Drops every replica hosted by a dead worker; returns the ids of
+    /// blocks that lost a replica (re-replication candidates).
+    pub fn remove_worker_replicas(&mut self, worker: WorkerId) -> Vec<BlockId> {
+        let mut affected = Vec::new();
+        for (id, info) in self.blocks.iter_mut() {
+            let before = info.locations.len() + info.pending.len();
+            info.locations.retain(|l| l.worker != worker);
+            info.pending.retain(|l| l.worker != worker);
+            if info.locations.len() + info.pending.len() != before {
+                affected.push(*id);
+            }
+        }
+        affected.sort_unstable();
+        affected
+    }
+
+    /// All block ids, unordered.
+    pub fn block_ids(&self) -> Vec<BlockId> {
+        self.blocks.keys().copied().collect()
+    }
+
+    /// Iterates `(id, info)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&BlockId, &BlockInfo)> {
+        self.blocks.iter()
+    }
+}
+
+/// Per-tier replication deficit/surplus of one block.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RepState {
+    /// Tiers (with counts) missing *pinned* replicas.
+    pub under_pinned: Vec<(TierId, u8)>,
+    /// Number of missing *unspecified* replicas.
+    pub under_unspecified: u8,
+    /// Tiers (with counts) holding more replicas than requested beyond
+    /// what the unspecified budget absorbs.
+    pub over: Vec<(TierId, u8)>,
+}
+
+impl RepState {
+    /// Whether the block is exactly replicated.
+    pub fn is_satisfied(&self) -> bool {
+        self.under_pinned.is_empty() && self.under_unspecified == 0 && self.over.is_empty()
+    }
+
+    /// Total missing replicas.
+    pub fn total_under(&self) -> u32 {
+        self.under_pinned.iter().map(|&(_, c)| c as u32).sum::<u32>()
+            + self.under_unspecified as u32
+    }
+}
+
+/// Compares a block's replica locations against its file's replication
+/// vector. Pinned tier counts must be met tier-by-tier; surplus replicas on
+/// any tier count toward the unspecified budget; anything beyond that is
+/// over-replication charged to the tiers with the largest surplus.
+pub fn replication_state(rv: ReplicationVector, locations: &[Location]) -> RepState {
+    let mut have = [0u16; MAX_TIERS];
+    for l in locations {
+        if (l.tier.0 as usize) < MAX_TIERS {
+            have[l.tier.0 as usize] += 1;
+        }
+    }
+    let mut under_pinned = Vec::new();
+    let mut surplus = [0u16; MAX_TIERS];
+    for t in 0..MAX_TIERS {
+        let need = rv.tier(TierId(t as u8)) as u16;
+        if have[t] < need {
+            under_pinned.push((TierId(t as u8), (need - have[t]) as u8));
+        } else {
+            surplus[t] = have[t] - need;
+        }
+    }
+    let u = rv.unspecified() as u16;
+    let surplus_total: u16 = surplus.iter().sum();
+    let under_unspecified = u.saturating_sub(surplus_total) as u8;
+
+    let mut over = Vec::new();
+    let mut excess = surplus_total.saturating_sub(u);
+    if excess > 0 {
+        // Charge the excess to the tiers with the largest surplus first.
+        let mut order: Vec<usize> = (0..MAX_TIERS).filter(|&t| surplus[t] > 0).collect();
+        order.sort_by_key(|&t| std::cmp::Reverse(surplus[t]));
+        for t in order {
+            if excess == 0 {
+                break;
+            }
+            let take = surplus[t].min(excess);
+            over.push((TierId(t as u8), take as u8));
+            excess -= take;
+        }
+    }
+    RepState { under_pinned, under_unspecified, over }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_common::GenStamp;
+
+    fn loc(worker: u32, media: u32, tier: u8) -> Location {
+        Location { worker: WorkerId(worker), media: MediaId(media), tier: TierId(tier) }
+    }
+
+    fn blk(id: u64) -> Block {
+        Block { id: BlockId(id), gen: GenStamp(0), len: 128 }
+    }
+
+    #[test]
+    fn insert_confirm_lifecycle() {
+        let mut bm = BlockMap::new();
+        let pipeline = vec![loc(0, 0, 0), loc(1, 5, 2), loc(2, 10, 2)];
+        bm.insert(blk(1), INodeId(9), pipeline.clone());
+        assert_eq!(bm.get(BlockId(1)).unwrap().pending.len(), 3);
+        bm.confirm(BlockId(1), pipeline[0]).unwrap();
+        bm.confirm(BlockId(1), pipeline[1]).unwrap();
+        let info = bm.get(BlockId(1)).unwrap();
+        assert_eq!(info.locations.len(), 2);
+        assert_eq!(info.pending.len(), 1);
+        assert_eq!(info.all_locations().len(), 3);
+        // Confirming again is idempotent.
+        bm.confirm(BlockId(1), pipeline[0]).unwrap();
+        assert_eq!(bm.get(BlockId(1)).unwrap().locations.len(), 2);
+        // Confirming an unknown block errors.
+        assert!(bm.confirm(BlockId(2), pipeline[0]).is_err());
+    }
+
+    #[test]
+    fn abandon_and_remove() {
+        let mut bm = BlockMap::new();
+        let pipeline = vec![loc(0, 0, 0), loc(1, 5, 2)];
+        bm.insert(blk(1), INodeId(1), pipeline.clone());
+        bm.abandon_pending(BlockId(1), &pipeline[1]);
+        assert_eq!(bm.get(BlockId(1)).unwrap().pending, vec![pipeline[0]]);
+        bm.confirm(BlockId(1), pipeline[0]).unwrap();
+        bm.remove_replica(BlockId(1), MediaId(0));
+        assert!(bm.get(BlockId(1)).unwrap().locations.is_empty());
+        assert!(bm.remove_block(BlockId(1)).is_some());
+        assert!(bm.get(BlockId(1)).is_none());
+    }
+
+    #[test]
+    fn dead_worker_sweep() {
+        let mut bm = BlockMap::new();
+        bm.insert(blk(1), INodeId(1), vec![]);
+        bm.confirm(BlockId(1), loc(0, 0, 2)).unwrap();
+        bm.confirm(BlockId(1), loc(1, 5, 2)).unwrap();
+        bm.insert(blk(2), INodeId(1), vec![]);
+        bm.confirm(BlockId(2), loc(2, 9, 2)).unwrap();
+        let affected = bm.remove_worker_replicas(WorkerId(1));
+        assert_eq!(affected, vec![BlockId(1)]);
+        assert_eq!(bm.get(BlockId(1)).unwrap().locations.len(), 1);
+        assert_eq!(bm.get(BlockId(2)).unwrap().locations.len(), 1);
+    }
+
+    #[test]
+    fn replication_state_satisfied() {
+        // ⟨1,0,2⟩: one memory + two HDD.
+        let rv = ReplicationVector::msh(1, 0, 2);
+        let locs = vec![loc(0, 0, 0), loc(1, 5, 2), loc(2, 10, 2)];
+        assert!(replication_state(rv, &locs).is_satisfied());
+    }
+
+    #[test]
+    fn replication_state_under_pinned() {
+        let rv = ReplicationVector::msh(1, 0, 2);
+        let locs = vec![loc(1, 5, 2), loc(2, 10, 2)]; // memory replica lost
+        let st = replication_state(rv, &locs);
+        assert_eq!(st.under_pinned, vec![(TierId(0), 1)]);
+        assert_eq!(st.under_unspecified, 0);
+        assert!(st.over.is_empty());
+        assert_eq!(st.total_under(), 1);
+    }
+
+    #[test]
+    fn replication_state_unspecified_absorbs_any_tier() {
+        // U=3 satisfied by replicas on mixed tiers.
+        let rv = ReplicationVector::from_replication_factor(3);
+        let locs = vec![loc(0, 0, 0), loc(1, 5, 1), loc(2, 10, 2)];
+        assert!(replication_state(rv, &locs).is_satisfied());
+        // Only two present → one unspecified missing.
+        let st = replication_state(rv, &locs[..2]);
+        assert_eq!(st.under_unspecified, 1);
+        assert!(st.under_pinned.is_empty());
+    }
+
+    #[test]
+    fn replication_state_over() {
+        // ⟨0,0,2⟩ with three HDD replicas → one over on HDD.
+        let rv = ReplicationVector::msh(0, 0, 2);
+        let locs = vec![loc(0, 2, 2), loc(1, 7, 2), loc(2, 12, 2)];
+        let st = replication_state(rv, &locs);
+        assert_eq!(st.over, vec![(TierId(2), 1)]);
+        assert!(st.under_pinned.is_empty());
+    }
+
+    #[test]
+    fn replication_state_mixed_move_scenario() {
+        // Paper's move: vector changed ⟨1,0,2⟩ → ⟨1,1,1⟩ while replicas are
+        // still at ⟨1,0,2⟩: SSD is under by 1, HDD over by 1.
+        let rv = ReplicationVector::msh(1, 1, 1);
+        let locs = vec![loc(0, 0, 0), loc(1, 7, 2), loc(2, 12, 2)];
+        let st = replication_state(rv, &locs);
+        assert_eq!(st.under_pinned, vec![(TierId(1), 1)]);
+        assert_eq!(st.over, vec![(TierId(2), 1)]);
+    }
+
+    #[test]
+    fn replication_state_surplus_beyond_unspecified() {
+        // ⟨0,0,1⟩ + U=1, but four replicas: 1 pinned HDD + 1 absorbed by U,
+        // 2 over (charged to the largest-surplus tiers).
+        let rv = ReplicationVector::msh(0, 0, 1).with_unspecified(1);
+        let locs = vec![loc(0, 2, 2), loc(1, 7, 2), loc(2, 12, 1), loc(3, 17, 1)];
+        let st = replication_state(rv, &locs);
+        let total_over: u32 = st.over.iter().map(|&(_, c)| c as u32).sum();
+        assert_eq!(total_over, 2);
+        assert!(!st.is_satisfied());
+    }
+}

@@ -1,0 +1,329 @@
+//! Master-side cluster state: registered workers, heartbeat statistics,
+//! scheduled-write accounting, and liveness tracking (paper §2.1/§3.2).
+
+use std::collections::{BTreeMap, HashMap};
+
+use octopus_common::{
+    ClusterConfig, FsError, MediaId, MediaStats, RackId, Result, StorageTierReport, TierId,
+    TierStats, TierRegistry, WorkerId, WorkerStats, MAX_TIERS,
+};
+use octopus_policies::ClusterSnapshot;
+
+/// Master-side record of one worker.
+#[derive(Debug, Clone)]
+pub struct WorkerInfo {
+    /// Worker id.
+    pub worker: WorkerId,
+    /// Rack.
+    pub rack: RackId,
+    /// Latest per-media statistics from heartbeats.
+    pub media: Vec<MediaStats>,
+    /// Average network transfer rate (bytes/s).
+    pub net_thru: f64,
+    /// Active network connections.
+    pub nr_conn: u32,
+    /// Timestamp (ms) of the last heartbeat.
+    pub last_heartbeat_ms: u64,
+    /// Liveness flag maintained by [`ClusterState::tick`].
+    pub live: bool,
+}
+
+/// All workers plus scheduled-write accounting.
+///
+/// Between heartbeats the master adjusts its view of remaining capacity by
+/// the bytes it has scheduled into pipelines (`schedule_write`) so that
+/// consecutive placements do not oversubscribe a medium.
+#[derive(Debug)]
+pub struct ClusterState {
+    workers: BTreeMap<WorkerId, WorkerInfo>,
+    decommissioning: std::collections::BTreeSet<WorkerId>,
+    scheduled: HashMap<MediaId, u64>,
+    heartbeat_ms: u64,
+    dead_after_missed: u32,
+    num_tiers: usize,
+    volatile: [bool; MAX_TIERS],
+}
+
+impl ClusterState {
+    /// Creates cluster state from configuration (no workers registered yet).
+    pub fn new(config: &ClusterConfig) -> Self {
+        let mut volatile = [false; MAX_TIERS];
+        for t in config.tiers.iter() {
+            volatile[t.id.0 as usize] = t.volatile;
+        }
+        Self {
+            workers: BTreeMap::new(),
+            decommissioning: std::collections::BTreeSet::new(),
+            scheduled: HashMap::new(),
+            heartbeat_ms: config.heartbeat_ms,
+            dead_after_missed: config.dead_after_missed,
+            num_tiers: config.tiers.len(),
+            volatile,
+        }
+    }
+
+    /// Registers a worker (first heartbeat supplies its media).
+    pub fn register(&mut self, worker: WorkerId, rack: RackId, net_thru: f64, now_ms: u64) {
+        self.workers.insert(
+            worker,
+            WorkerInfo {
+                worker,
+                rack,
+                media: Vec::new(),
+                net_thru,
+                nr_conn: 0,
+                last_heartbeat_ms: now_ms,
+                live: true,
+            },
+        );
+    }
+
+    /// Processes a heartbeat: refreshes media stats, connection counts, and
+    /// liveness. Scheduled-write adjustments for the reported media are
+    /// retained (they describe writes still in flight).
+    pub fn heartbeat(
+        &mut self,
+        worker: WorkerId,
+        media: Vec<MediaStats>,
+        nr_conn: u32,
+        now_ms: u64,
+    ) -> Result<()> {
+        let w = self
+            .workers
+            .get_mut(&worker)
+            .ok_or_else(|| FsError::UnknownWorker(worker.to_string()))?;
+        w.media = media;
+        w.nr_conn = nr_conn;
+        w.last_heartbeat_ms = now_ms;
+        w.live = true;
+        Ok(())
+    }
+
+    /// Reserves capacity for a block scheduled to be written.
+    pub fn schedule_write(&mut self, media: MediaId, bytes: u64) {
+        *self.scheduled.entry(media).or_insert(0) += bytes;
+    }
+
+    /// Releases a reservation once the write is confirmed (the worker's
+    /// own accounting takes over) or abandoned.
+    pub fn complete_write(&mut self, media: MediaId, bytes: u64) {
+        if let Some(v) = self.scheduled.get_mut(&media) {
+            *v = v.saturating_sub(bytes);
+            if *v == 0 {
+                self.scheduled.remove(&media);
+            }
+        }
+        // Reflect the consumption immediately so the view stays accurate
+        // until the next heartbeat.
+        for w in self.workers.values_mut() {
+            for m in w.media.iter_mut() {
+                if m.media == media {
+                    m.remaining = m.remaining.saturating_sub(bytes);
+                }
+            }
+        }
+    }
+
+    /// Marks workers dead whose heartbeats stopped; returns the newly dead.
+    pub fn tick(&mut self, now_ms: u64) -> Vec<WorkerId> {
+        let deadline = self.heartbeat_ms * self.dead_after_missed as u64;
+        let mut newly_dead = Vec::new();
+        for w in self.workers.values_mut() {
+            if w.live && now_ms.saturating_sub(w.last_heartbeat_ms) > deadline {
+                w.live = false;
+                newly_dead.push(w.worker);
+            }
+        }
+        newly_dead
+    }
+
+    /// Administratively marks a worker dead (used by tests and
+    /// decommissioning).
+    pub fn mark_dead(&mut self, worker: WorkerId) {
+        if let Some(w) = self.workers.get_mut(&worker) {
+            w.live = false;
+        }
+    }
+
+    /// Whether a worker is live.
+    pub fn is_live(&self, worker: WorkerId) -> bool {
+        self.workers.get(&worker).is_some_and(|w| w.live)
+    }
+
+    /// Marks a worker as decommissioning: it keeps serving reads and
+    /// heartbeats, but the snapshot advertises zero remaining capacity on
+    /// its media so no new replicas are placed there.
+    pub fn start_decommission(&mut self, worker: WorkerId) {
+        self.decommissioning.insert(worker);
+    }
+
+    /// Whether a worker is decommissioning.
+    pub fn is_decommissioning(&self, worker: WorkerId) -> bool {
+        self.decommissioning.contains(&worker)
+    }
+
+    /// Clears the decommissioning mark (worker retired or reinstated).
+    pub fn clear_decommission(&mut self, worker: WorkerId) {
+        self.decommissioning.remove(&worker);
+    }
+
+    /// Worker info.
+    pub fn worker(&self, id: WorkerId) -> Option<&WorkerInfo> {
+        self.workers.get(&id)
+    }
+
+    /// All registered workers.
+    pub fn workers(&self) -> impl Iterator<Item = &WorkerInfo> {
+        self.workers.values()
+    }
+
+    /// `(worker, tier)` of a medium, searching live workers.
+    pub fn locate_media(&self, media: MediaId) -> Option<(WorkerId, TierId)> {
+        for w in self.workers.values() {
+            for m in &w.media {
+                if m.media == media {
+                    return Some((w.worker, m.tier));
+                }
+            }
+        }
+        None
+    }
+
+    /// Builds the policy-facing snapshot over live workers, with remaining
+    /// capacities reduced by scheduled writes.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        let mut media = Vec::new();
+        let mut workers = Vec::new();
+        for w in self.workers.values().filter(|w| w.live) {
+            workers.push(WorkerStats {
+                worker: w.worker,
+                rack: w.rack,
+                net_thru: w.net_thru,
+                nr_conn: w.nr_conn,
+                live: true,
+            });
+            let draining = self.decommissioning.contains(&w.worker);
+            for m in &w.media {
+                let mut m = *m;
+                if let Some(&s) = self.scheduled.get(&m.media) {
+                    m.remaining = m.remaining.saturating_sub(s);
+                }
+                if draining {
+                    m.remaining = 0; // never a placement target
+                }
+                media.push(m);
+            }
+        }
+        ClusterSnapshot { media, workers, num_tiers: self.num_tiers, volatile: self.volatile }
+    }
+
+    /// The `getStorageTierReports` payload (Table 1).
+    pub fn tier_reports(&self, registry: &TierRegistry) -> Vec<StorageTierReport> {
+        let snap = self.snapshot();
+        registry
+            .iter()
+            .filter_map(|t| {
+                TierStats::aggregate(t.id, &snap.media).map(|stats| StorageTierReport {
+                    name: t.name.clone(),
+                    stats,
+                    volatile: t.volatile,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_common::ClusterConfig;
+
+    fn media_stats(media: u32, worker: u32, tier: u8, rem: u64) -> MediaStats {
+        MediaStats {
+            media: MediaId(media),
+            worker: WorkerId(worker),
+            rack: RackId(0),
+            tier: TierId(tier),
+            capacity: 1000,
+            remaining: rem,
+            nr_conn: 0,
+            write_thru: 100.0,
+            read_thru: 100.0,
+        }
+    }
+
+    fn state() -> ClusterState {
+        let cfg = ClusterConfig::test_cluster(2, 1000, 100);
+        let mut cs = ClusterState::new(&cfg);
+        cs.register(WorkerId(0), RackId(0), 1e9, 0);
+        cs.register(WorkerId(1), RackId(1), 1e9, 0);
+        cs.heartbeat(WorkerId(0), vec![media_stats(0, 0, 0, 800)], 2, 0).unwrap();
+        cs.heartbeat(WorkerId(1), vec![media_stats(1, 1, 2, 900)], 0, 0).unwrap();
+        cs
+    }
+
+    #[test]
+    fn snapshot_reflects_heartbeats() {
+        let cs = state();
+        let snap = cs.snapshot();
+        assert_eq!(snap.workers.len(), 2);
+        assert_eq!(snap.media.len(), 2);
+        assert_eq!(snap.media_stats(MediaId(0)).unwrap().remaining, 800);
+        assert_eq!(snap.worker_stats(WorkerId(0)).unwrap().nr_conn, 2);
+        assert_eq!(snap.num_tiers, 3);
+        assert!(snap.volatile[0]);
+    }
+
+    #[test]
+    fn scheduled_writes_shrink_view_until_completed() {
+        let mut cs = state();
+        cs.schedule_write(MediaId(0), 300);
+        assert_eq!(cs.snapshot().media_stats(MediaId(0)).unwrap().remaining, 500);
+        cs.complete_write(MediaId(0), 300);
+        // Reservation released but consumption applied to the cached stats.
+        assert_eq!(cs.snapshot().media_stats(MediaId(0)).unwrap().remaining, 500);
+        // Next heartbeat refreshes authoritative numbers.
+        cs.heartbeat(WorkerId(0), vec![media_stats(0, 0, 0, 500)], 0, 10).unwrap();
+        assert_eq!(cs.snapshot().media_stats(MediaId(0)).unwrap().remaining, 500);
+    }
+
+    #[test]
+    fn liveness_tracking() {
+        let mut cs = state();
+        // heartbeat_ms=100, dead_after_missed=10 → deadline 1000 ms.
+        assert!(cs.tick(900).is_empty());
+        let dead = cs.tick(1500);
+        assert_eq!(dead, vec![WorkerId(0), WorkerId(1)]);
+        assert!(!cs.is_live(WorkerId(0)));
+        assert!(cs.snapshot().workers.is_empty());
+        // A heartbeat revives.
+        cs.heartbeat(WorkerId(0), vec![media_stats(0, 0, 0, 800)], 0, 1600).unwrap();
+        assert!(cs.is_live(WorkerId(0)));
+        assert_eq!(cs.tick(1700), Vec::<WorkerId>::new());
+    }
+
+    #[test]
+    fn locate_media() {
+        let cs = state();
+        assert_eq!(cs.locate_media(MediaId(1)), Some((WorkerId(1), TierId(2))));
+        assert_eq!(cs.locate_media(MediaId(9)), None);
+    }
+
+    #[test]
+    fn tier_reports_aggregate() {
+        let cs = state();
+        let registry = TierRegistry::standard_three();
+        let reports = cs.tier_reports(&registry);
+        assert_eq!(reports.len(), 2); // Memory (1 medium) + HDD (1 medium)
+        let mem = reports.iter().find(|r| r.name == "Memory").unwrap();
+        assert!(mem.volatile);
+        assert_eq!(mem.stats.num_media, 1);
+        assert_eq!(mem.stats.remaining, 800);
+    }
+
+    #[test]
+    fn heartbeat_from_unknown_worker_errors() {
+        let mut cs = state();
+        assert!(cs.heartbeat(WorkerId(9), vec![], 0, 0).is_err());
+    }
+}

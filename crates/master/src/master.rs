@@ -1,0 +1,1182 @@
+//! The [`Master`] facade: the client-facing namespace/block API (Table 1),
+//! heartbeat and block-report processing, and the replication monitor (§5).
+
+use parking_lot::RwLock;
+
+use octopus_common::{
+    Block, BlockId, ClientLocation, ClusterConfig, FsError, GenStamp, IdGenerator, LocatedBlock,
+    Location, MediaStats, RackId, ReplicationVector, Result, StorageTierReport, TierId, WorkerId,
+};
+use octopus_policies::{
+    build_placement_policy, build_retrieval_policy, choose_replica_to_remove, PlacementPolicy,
+    PlacementRequest, RetrievalPolicy,
+};
+
+use crate::blockmap::{replication_state, BlockMap};
+use crate::cluster::ClusterState;
+use crate::editlog::{decode_stream, encode_image, EditLog, EditOp};
+use crate::lease::{ClientId, LeaseManager};
+use crate::mount::{ExternalCatalog, MountTable};
+use crate::namespace::{DirEntry, FileStatus, Namespace, TierQuota};
+use std::sync::Arc;
+
+/// Fraction of known blocks that must have at least one confirmed replica
+/// before a restarted master leaves safe mode automatically.
+const SAFE_MODE_THRESHOLD: f64 = 0.999;
+
+/// How long a client write lease lives without renewal, in heartbeat
+/// intervals (client operations renew implicitly).
+const LEASE_HEARTBEATS: u64 = 20;
+
+/// A data-movement instruction produced by the replication monitor and
+/// executed by workers (§5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicationTask {
+    /// Copy the block from one of `sources` (ordered best-first by the
+    /// retrieval policy) to `target`.
+    Copy {
+        /// The block to copy.
+        block: Block,
+        /// Candidate source replicas, best first.
+        sources: Vec<Location>,
+        /// Destination medium.
+        target: Location,
+    },
+    /// Delete the replica at `location`.
+    Delete {
+        /// The block to trim.
+        block: Block,
+        /// The replica to remove.
+        location: Location,
+    },
+}
+
+struct Inner {
+    ns: Namespace,
+    blocks: BlockMap,
+    cluster: ClusterState,
+    log: EditLog,
+    leases: LeaseManager,
+    safe_mode: bool,
+    clock_ms: u64,
+    mounts: MountTable,
+}
+
+/// The OctopusFS (primary) master.
+pub struct Master {
+    inner: RwLock<Inner>,
+    config: ClusterConfig,
+    placement: Box<dyn PlacementPolicy>,
+    retrieval: Box<dyn RetrievalPolicy>,
+    block_ids: IdGenerator,
+    gen_stamps: IdGenerator,
+}
+
+impl Master {
+    /// Creates a master from configuration with an in-memory edit log.
+    pub fn new(config: ClusterConfig) -> Result<Self> {
+        Self::with_log(config, EditLog::in_memory())
+    }
+
+    /// Creates a master with the supplied edit log (file-backed for
+    /// durability). Existing log contents are replayed.
+    pub fn with_log(config: ClusterConfig, log: EditLog) -> Result<Self> {
+        config.validate()?;
+        let mut ns = Namespace::new();
+        let mut blocks = BlockMap::new();
+        let mut max_block = 0u64;
+        for op in log.ops() {
+            op.apply(&mut ns)?;
+            if let EditOp::AddBlock { block, gen, len, path } = op {
+                let file = ns.resolve(path)?;
+                blocks.insert(
+                    Block { id: *block, gen: GenStamp(*gen), len: *len },
+                    file,
+                    Vec::new(),
+                );
+                max_block = max_block.max(block.0);
+            }
+        }
+        let block_ids = IdGenerator::new(1);
+        block_ids.ensure_above(max_block);
+        let placement =
+            build_placement_policy(config.policy.placement, &config.policy, 0x0c70);
+        let retrieval = build_retrieval_policy(config.policy.retrieval, 0x0c70);
+        // A master that boots with pre-existing blocks (restart/failover)
+        // starts in safe mode until block reports confirm the data (§2.1).
+        let safe_mode = !blocks.is_empty();
+        Ok(Self {
+            inner: RwLock::new(Inner {
+                ns,
+                blocks,
+                cluster: ClusterState::new(&config),
+                log,
+                leases: LeaseManager::new(config.heartbeat_ms * LEASE_HEARTBEATS),
+                safe_mode,
+                clock_ms: 0,
+                mounts: MountTable::new(),
+            }),
+            config,
+            placement,
+            retrieval,
+            block_ids,
+            gen_stamps: IdGenerator::new(1),
+        })
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Name of the active placement policy.
+    pub fn placement_policy_name(&self) -> &'static str {
+        self.placement.name()
+    }
+
+    /// Reserves the block-id space below `base` for other masters: this
+    /// master will only issue ids above it. Federated deployments (§2.1)
+    /// give each independent master a disjoint id range so block ids stay
+    /// unique on the shared workers (the HDFS "block pool" concept).
+    pub fn reserve_block_id_space(&self, base: u64) {
+        self.block_ids.ensure_above(base);
+    }
+
+    // -- Worker-facing API -------------------------------------------------
+
+    /// Registers a worker.
+    pub fn register_worker(
+        &self,
+        worker: WorkerId,
+        rack: RackId,
+        net_thru: f64,
+        now_ms: u64,
+    ) {
+        self.inner.write().cluster.register(worker, rack, net_thru, now_ms);
+    }
+
+    /// Processes a heartbeat.
+    pub fn heartbeat(
+        &self,
+        worker: WorkerId,
+        media: Vec<MediaStats>,
+        nr_conn: u32,
+        now_ms: u64,
+    ) -> Result<()> {
+        let mut g = self.inner.write();
+        g.clock_ms = g.clock_ms.max(now_ms);
+        g.cluster.heartbeat(worker, media, nr_conn, now_ms)
+    }
+
+    /// Processes a full block report from a worker: confirms reported
+    /// replicas, drops replicas the master believed were on this worker
+    /// but were not reported, and returns block ids the worker should
+    /// delete (blocks unknown to the namespace).
+    pub fn block_report(
+        &self,
+        worker: WorkerId,
+        reported: &[(Block, octopus_common::MediaId)],
+    ) -> Result<Vec<BlockId>> {
+        let mut g = self.inner.write();
+        let mut invalidate = Vec::new();
+        // Confirm (or reject) reported replicas.
+        for (block, media) in reported {
+            let Some((w, tier)) = g.cluster.locate_media(*media) else {
+                continue;
+            };
+            debug_assert_eq!(w, worker);
+            let loc = Location { worker, media: *media, tier };
+            if g.blocks.get(block.id).is_some() {
+                g.blocks.confirm(block.id, loc)?;
+            } else {
+                invalidate.push(block.id);
+            }
+        }
+        // Drop stale locations on this worker that were not reported.
+        let reported_media: Vec<_> = reported.iter().map(|(b, m)| (b.id, *m)).collect();
+        let ids = g.blocks.block_ids();
+        for id in ids {
+            let stale: Vec<Location> = g
+                .blocks
+                .get(id)
+                .map(|info| {
+                    info.locations
+                        .iter()
+                        .filter(|l| l.worker == worker)
+                        .filter(|l| !reported_media.contains(&(id, l.media)))
+                        .copied()
+                        .collect()
+                })
+                .unwrap_or_default();
+            for l in stale {
+                g.blocks.remove_replica(id, l.media);
+            }
+        }
+        // Safe mode exits once enough blocks have a confirmed replica.
+        if g.safe_mode {
+            let total = g.blocks.len();
+            let available =
+                g.blocks.iter().filter(|(_, i)| !i.locations.is_empty()).count();
+            if total == 0 || available as f64 / total as f64 >= SAFE_MODE_THRESHOLD {
+                g.safe_mode = false;
+            }
+        }
+        Ok(invalidate)
+    }
+
+    /// Advances the master's failure detector; newly dead workers lose all
+    /// their replica locations (their blocks become re-replication
+    /// candidates on the next scan).
+    pub fn tick(&self, now_ms: u64) -> Vec<WorkerId> {
+        let mut g = self.inner.write();
+        g.clock_ms = g.clock_ms.max(now_ms);
+        let dead = g.cluster.tick(now_ms);
+        for &w in &dead {
+            g.blocks.remove_worker_replicas(w);
+        }
+        // Lease recovery: finalize files whose writers disappeared, so
+        // their blocks become readable and re-replicable.
+        let now = g.clock_ms;
+        for path in g.leases.expired(now) {
+            if let Ok(file) = g.ns.resolve(&path) {
+                if g.ns.file_meta(file).map(|m| !m.complete).unwrap_or(false) {
+                    let _ = g.ns.finalize_file(file);
+                    let _ = g.log.append(EditOp::CloseFile { path: path.clone() });
+                }
+            }
+            g.leases.release(&path);
+        }
+        dead
+    }
+
+    /// Administratively kills a worker (tests, decommissioning).
+    pub fn kill_worker(&self, worker: WorkerId) {
+        let mut g = self.inner.write();
+        g.cluster.mark_dead(worker);
+        g.blocks.remove_worker_replicas(worker);
+    }
+
+    /// A worker's scrubber found a corrupt replica (§5: "block
+    /// corruption"): drop the location so the next replication scan
+    /// re-replicates from a healthy copy.
+    pub fn report_corrupt(&self, block: BlockId, location: Location) {
+        let mut g = self.inner.write();
+        g.blocks.remove_replica(block, location.media);
+    }
+
+    /// Begins draining a worker: it stops receiving new replicas and its
+    /// existing replicas are re-replicated elsewhere by the replication
+    /// monitor, while it keeps serving reads (as an HDFS decommission).
+    pub fn start_decommission(&self, worker: WorkerId) {
+        self.inner.write().cluster.start_decommission(worker);
+    }
+
+    /// Whether every block with a replica on the draining worker is fully
+    /// replicated elsewhere (safe to stop the worker).
+    pub fn decommission_complete(&self, worker: WorkerId) -> bool {
+        let g = self.inner.read();
+        if !g.cluster.is_decommissioning(worker) {
+            return false;
+        }
+        for (_, info) in g.blocks.iter() {
+            if !info.locations.iter().any(|l| l.worker == worker) {
+                continue;
+            }
+            let Ok(meta) = g.ns.file_meta(info.file) else { continue };
+            let counted: Vec<Location> = info
+                .all_locations()
+                .into_iter()
+                .filter(|l| !g.cluster.is_decommissioning(l.worker))
+                .collect();
+            if !replication_state(meta.rv, &counted).is_satisfied() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Retires a drained worker: removes it from the cluster entirely.
+    pub fn finalize_decommission(&self, worker: WorkerId) {
+        let mut g = self.inner.write();
+        g.cluster.clear_decommission(worker);
+        g.cluster.mark_dead(worker);
+        g.blocks.remove_worker_replicas(worker);
+    }
+
+    // -- Namespace API (Table 1 + standard operations) ----------------------
+
+    fn check_writable(g: &Inner) -> Result<()> {
+        if g.safe_mode {
+            return Err(FsError::NotReady(
+                "master is in safe mode awaiting block reports".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether the master is in safe mode (read-only, §2.1 restart path).
+    pub fn in_safe_mode(&self) -> bool {
+        self.inner.read().safe_mode
+    }
+
+    /// Administratively leaves safe mode.
+    pub fn leave_safe_mode(&self) {
+        self.inner.write().safe_mode = false;
+    }
+
+    /// Creates a directory (and parents).
+    pub fn mkdir(&self, path: &str) -> Result<()> {
+        let mut g = self.inner.write();
+        Self::check_writable(&g)?;
+        g.ns.mkdir(path, true)?;
+        g.log.append(EditOp::Mkdir { path: path.to_string() })
+    }
+
+    /// Creates a file open for writing. `block_size = None` uses the
+    /// cluster default. The replication vector is validated against the
+    /// configured tiers and the maximum replication.
+    pub fn create_file(
+        &self,
+        path: &str,
+        rv: ReplicationVector,
+        block_size: Option<u64>,
+    ) -> Result<FileStatus> {
+        self.create_file_as(path, rv, block_size, ClientId::SYSTEM)
+    }
+
+    /// [`Master::create_file`] on behalf of a specific client, which takes
+    /// the file's write lease.
+    pub fn create_file_as(
+        &self,
+        path: &str,
+        rv: ReplicationVector,
+        block_size: Option<u64>,
+        holder: ClientId,
+    ) -> Result<FileStatus> {
+        rv.validate(self.config.tiers.len(), self.config.max_replication)?;
+        if rv.total() == 0 {
+            return Err(FsError::InvalidReplicationVector(
+                "a file needs at least one replica".into(),
+            ));
+        }
+        let bs = block_size.unwrap_or(self.config.block_size);
+        let mut g = self.inner.write();
+        Self::check_writable(&g)?;
+        let now = g.clock_ms;
+        g.leases.acquire(path, holder, now)?;
+        if let Err(e) = g.ns.create_file(path, rv, bs) {
+            g.leases.release(path);
+            return Err(e);
+        }
+        g.log.append(EditOp::CreateFile { path: path.to_string(), rv, block_size: bs })?;
+        g.ns.status(path)
+    }
+
+    /// Allocates the next block of an open file: runs the placement policy
+    /// and returns the block plus the pipeline locations, first-to-write
+    /// first (§3.1).
+    pub fn add_block(
+        &self,
+        path: &str,
+        len: u64,
+        client: ClientLocation,
+    ) -> Result<(Block, Vec<Location>)> {
+        self.add_block_as(path, len, client, ClientId::SYSTEM)
+    }
+
+    /// [`Master::add_block`] on behalf of a specific client; the client
+    /// must hold (or be granted) the file's lease, which this renews.
+    pub fn add_block_as(
+        &self,
+        path: &str,
+        len: u64,
+        client: ClientLocation,
+        holder: ClientId,
+    ) -> Result<(Block, Vec<Location>)> {
+        let mut g = self.inner.write();
+        Self::check_writable(&g)?;
+        let now = g.clock_ms;
+        g.leases.check(path, holder, now)?;
+        let file = g.ns.resolve(path)?;
+        let meta = g.ns.file_meta(file)?;
+        if meta.complete {
+            return Err(FsError::InvalidArgument(format!("{path} is not open for writing")));
+        }
+        if len == 0 || len > meta.block_size {
+            return Err(FsError::InvalidArgument(format!(
+                "block length {len} not in (0, {}]",
+                meta.block_size
+            )));
+        }
+        let rv = meta.rv;
+        let req = PlacementRequest::from_vector(rv, len, client);
+        let snap = g.cluster.snapshot();
+        let media = self.placement.place(&snap, &req)?;
+        if media.len() < req.tier_pins.len() {
+            // Partial placement is tolerated (the replication monitor will
+            // top the block up later) but at least one replica must exist.
+            if media.is_empty() {
+                return Err(FsError::PlacementFailed(format!(
+                    "no media available for block of {path}"
+                )));
+            }
+        }
+        let locations: Vec<Location> = media
+            .iter()
+            .map(|&m| {
+                let (worker, tier) = g
+                    .cluster
+                    .locate_media(m)
+                    .ok_or_else(|| FsError::UnknownMedia(m.to_string()))?;
+                Ok(Location { worker, media: m, tier })
+            })
+            .collect::<Result<_>>()?;
+
+        let block =
+            Block { id: BlockId(self.block_ids.next()), gen: GenStamp(self.gen_stamps.next()), len };
+
+        // Quota check + namespace append; roll back nothing else on failure.
+        g.ns.add_block(file, block.id, len)?;
+        for l in &locations {
+            g.cluster.schedule_write(l.media, len);
+        }
+        g.blocks.insert(block, file, locations.clone());
+        g.log.append(EditOp::AddBlock {
+            path: path.to_string(),
+            block: block.id,
+            gen: block.gen.0,
+            len,
+        })?;
+        Ok((block, locations))
+    }
+
+    /// Acknowledges that a pipeline stage stored its replica.
+    pub fn commit_replica(&self, block: Block, loc: Location) -> Result<()> {
+        let mut g = self.inner.write();
+        g.blocks.confirm(block.id, loc)?;
+        g.cluster.complete_write(loc.media, block.len);
+        Ok(())
+    }
+
+    /// Records that a scheduled replica will not be written (pipeline
+    /// failure).
+    pub fn abort_replica(&self, block: Block, loc: Location) {
+        let mut g = self.inner.write();
+        g.blocks.abandon_pending(block.id, &loc);
+        g.cluster.complete_write(loc.media, 0);
+    }
+
+    /// Reopens a complete file for append (new blocks only; the existing
+    /// last block is not reopened — appends start a fresh block). The
+    /// caller takes the file's write lease.
+    pub fn append_file_as(&self, path: &str, holder: ClientId) -> Result<FileStatus> {
+        let mut g = self.inner.write();
+        Self::check_writable(&g)?;
+        let now = g.clock_ms;
+        g.leases.acquire(path, holder, now)?;
+        let file = g.ns.resolve(path)?;
+        if let Err(e) = g.ns.reopen_file(file) {
+            g.leases.release(path);
+            return Err(e);
+        }
+        g.log.append(EditOp::AppendFile { path: path.to_string() })?;
+        g.ns.status(path)
+    }
+
+    /// Closes a file.
+    pub fn complete_file(&self, path: &str) -> Result<()> {
+        self.complete_file_as(path, ClientId::SYSTEM)
+    }
+
+    /// [`Master::complete_file`] on behalf of a specific client; releases
+    /// the lease.
+    pub fn complete_file_as(&self, path: &str, holder: ClientId) -> Result<()> {
+        let mut g = self.inner.write();
+        Self::check_writable(&g)?;
+        let now = g.clock_ms;
+        g.leases.check(path, holder, now)?;
+        let file = g.ns.resolve(path)?;
+        g.ns.finalize_file(file)?;
+        g.leases.release(path);
+        g.log.append(EditOp::CloseFile { path: path.to_string() })
+    }
+
+    /// `getFileBlockLocations` (Table 1): blocks overlapping the byte range
+    /// with replica locations ordered by the retrieval policy (§4).
+    pub fn get_file_block_locations(
+        &self,
+        path: &str,
+        start: u64,
+        len: u64,
+        client: ClientLocation,
+    ) -> Result<Vec<LocatedBlock>> {
+        let g = self.inner.read();
+        let file = g.ns.resolve(path)?;
+        let meta = g.ns.file_meta(file)?;
+        let snap = g.cluster.snapshot();
+        let mut out = Vec::new();
+        let mut offset = 0u64;
+        for bid in &meta.blocks {
+            let Some(info) = g.blocks.get(*bid) else {
+                return Err(FsError::Internal(format!("file block {bid} missing from map")));
+            };
+            let lb = LocatedBlock {
+                block: info.block,
+                offset,
+                locations: self.retrieval.order(&snap, client, &info.locations),
+            };
+            offset = lb.end();
+            if lb.overlaps(start, len) {
+                out.push(lb);
+            }
+        }
+        Ok(out)
+    }
+
+    /// `setReplication` (Table 1): validates and records the new vector.
+    /// The actual data movement is asynchronous — the next replication
+    /// scan schedules the copies/deletions (§5).
+    pub fn set_replication(&self, path: &str, rv: ReplicationVector) -> Result<ReplicationVector> {
+        rv.validate(self.config.tiers.len(), self.config.max_replication)?;
+        if rv.total() == 0 {
+            return Err(FsError::InvalidReplicationVector(
+                "use delete() to drop a file entirely".into(),
+            ));
+        }
+        let mut g = self.inner.write();
+        Self::check_writable(&g)?;
+        let old = g.ns.set_replication(path, rv)?;
+        g.log.append(EditOp::SetReplication { path: path.to_string(), rv })?;
+        Ok(old)
+    }
+
+    /// `getStorageTierReports` (Table 1).
+    pub fn get_storage_tier_reports(&self) -> Vec<StorageTierReport> {
+        self.inner.read().cluster.tier_reports(&self.config.tiers)
+    }
+
+    /// Status of a path. Paths under a mount point resolve against the
+    /// external catalog (§2.4, stand-alone mode).
+    pub fn status(&self, path: &str) -> Result<FileStatus> {
+        let g = self.inner.read();
+        if let Some((cat, rel)) = g.mounts.resolve(path) {
+            let st = cat.status(&rel)?;
+            return Ok(FileStatus {
+                id: octopus_common::INodeId(0),
+                path: path.to_string(),
+                is_dir: st.is_dir,
+                len: st.len,
+                rv: ReplicationVector::EMPTY,
+                block_size: 0,
+                complete: true,
+            });
+        }
+        g.ns.status(path)
+    }
+
+    /// Lists a directory (external catalogs included — §2.4).
+    pub fn list(&self, path: &str) -> Result<Vec<DirEntry>> {
+        let g = self.inner.read();
+        if let Some((cat, rel)) = g.mounts.resolve(path) {
+            return cat.list(&rel);
+        }
+        g.ns.list(path)
+    }
+
+    /// Mounts an external catalog at `mount_point` (§2.4, stand-alone
+    /// remote storage). The subtree is read-only through OctopusFS.
+    pub fn mount_external(
+        &self,
+        mount_point: &str,
+        catalog: Arc<dyn ExternalCatalog>,
+    ) -> Result<()> {
+        let mut g = self.inner.write();
+        // The mount point must not shadow existing namespace entries.
+        if g.ns.resolve(mount_point).is_ok() {
+            return Err(FsError::AlreadyExists(mount_point.to_string()));
+        }
+        g.mounts.add(mount_point, catalog)
+    }
+
+    /// Whether a path resolves into a mounted external catalog.
+    pub fn is_external(&self, path: &str) -> bool {
+        self.inner.read().mounts.resolve(path).is_some()
+    }
+
+    /// Reads a whole file from a mounted external catalog.
+    pub fn read_external(&self, path: &str) -> Result<Vec<u8>> {
+        let g = self.inner.read();
+        let (cat, rel) = g
+            .mounts
+            .resolve(path)
+            .ok_or_else(|| FsError::NotFound(format!("{path} is not under a mount")))?;
+        cat.read(&rel)
+    }
+
+    /// Registered external mount points.
+    pub fn mount_points(&self) -> Vec<String> {
+        self.inner
+            .read()
+            .mounts
+            .mount_points()
+            .into_iter()
+            .map(String::from)
+            .collect()
+    }
+
+    /// Renames a file or directory.
+    pub fn rename(&self, src: &str, dst: &str) -> Result<()> {
+        let mut g = self.inner.write();
+        Self::check_writable(&g)?;
+        g.ns.rename(src, dst)?;
+        g.leases.rename(src, dst);
+        g.log.append(EditOp::Rename { src: src.to_string(), dst: dst.to_string() })
+    }
+
+    /// Deletes a path; block replicas are dropped from the block map and
+    /// returned as `(block, location)` pairs for invalidation at the
+    /// workers.
+    pub fn delete(&self, path: &str, recursive: bool) -> Result<Vec<(BlockId, Location)>> {
+        let mut g = self.inner.write();
+        Self::check_writable(&g)?;
+        let blocks = g.ns.delete(path, recursive)?;
+        g.leases.release(path);
+        g.log.append(EditOp::Delete { path: path.to_string() })?;
+        let mut dropped = Vec::new();
+        for b in blocks {
+            if let Some(info) = g.blocks.remove_block(b) {
+                dropped.extend(info.locations.into_iter().map(|l| (b, l)));
+            }
+        }
+        Ok(dropped)
+    }
+
+    /// Sets a per-tier quota on a directory.
+    pub fn set_quota(&self, path: &str, quota: TierQuota) -> Result<()> {
+        let mut g = self.inner.write();
+        Self::check_writable(&g)?;
+        g.ns.set_quota(path, quota)?;
+        g.log.append(EditOp::SetQuota { path: path.to_string(), quota })
+    }
+
+    /// A directory's quota and usage.
+    pub fn quota_usage(&self, path: &str) -> Result<(TierQuota, [u64; octopus_common::MAX_TIERS])> {
+        self.inner.read().ns.quota_usage(path)
+    }
+
+    /// `(files, directories)` counts.
+    pub fn counts(&self) -> (usize, usize) {
+        self.inner.read().ns.counts()
+    }
+
+    // -- Replication monitor (§5) -------------------------------------------
+
+    /// Scans every block of every complete file, scheduling re-replication
+    /// for under-replicated tiers and removal for over-replicated ones.
+    /// Returned tasks are to be executed by workers; copies are recorded as
+    /// pending so a rescan does not double-schedule.
+    pub fn replication_scan(&self) -> Vec<ReplicationTask> {
+        let mut g = self.inner.write();
+        if g.safe_mode {
+            return Vec::new();
+        }
+        let snap = g.cluster.snapshot();
+        let mut tasks = Vec::new();
+
+        let files: Vec<(octopus_common::INodeId, ReplicationVector, Vec<BlockId>)> = g
+            .ns
+            .iter_files()
+            .into_iter()
+            .filter(|(_, _, meta)| meta.complete)
+            .map(|(id, _, meta)| (id, meta.rv, meta.blocks.clone()))
+            .collect();
+
+        for (_, rv, blocks) in files {
+            for bid in blocks {
+                let Some(info) = g.blocks.get(bid) else { continue };
+                let block = info.block;
+                let confirmed = info.locations.clone();
+                let all = info.all_locations();
+                // Replicas on draining workers keep serving reads but do
+                // not count toward the replication target.
+                let counted: Vec<Location> = all
+                    .iter()
+                    .copied()
+                    .filter(|l| !g.cluster.is_decommissioning(l.worker))
+                    .collect();
+                let state = replication_state(rv, &counted);
+                if state.is_satisfied() {
+                    continue;
+                }
+                if confirmed.is_empty() {
+                    continue; // nothing to copy from yet
+                }
+
+                // Under-replication: build one placement request covering
+                // all deficits of this block.
+                let mut pins: Vec<Option<TierId>> = Vec::new();
+                for &(tier, count) in &state.under_pinned {
+                    for _ in 0..count {
+                        pins.push(Some(tier));
+                    }
+                }
+                for _ in 0..state.under_unspecified {
+                    pins.push(None);
+                }
+                if !pins.is_empty() {
+                    let req = PlacementRequest {
+                        block_size: block.len,
+                        client: ClientLocation::OffCluster,
+                        tier_pins: pins,
+                        existing: all.iter().map(|l| l.media).collect(),
+                    };
+                    if let Ok(media) = self.placement.place(&snap, &req) {
+                        for m in media {
+                            let Some((worker, tier)) = g.cluster.locate_media(m) else {
+                                continue;
+                            };
+                            let target = Location { worker, media: m, tier };
+                            let sources = self.retrieval.order(
+                                &snap,
+                                ClientLocation::OnWorker(worker),
+                                &confirmed,
+                            );
+                            g.blocks.add_pending(bid, &[target]).ok();
+                            g.cluster.schedule_write(m, block.len);
+                            tasks.push(ReplicationTask::Copy { block, sources, target });
+                        }
+                    }
+                }
+
+                // Over-replication: pick victims per over-replicated tier.
+                for &(tier, count) in &state.over {
+                    let mut current = confirmed.clone();
+                    for _ in 0..count {
+                        let Some(victim) = choose_replica_to_remove(
+                            &snap,
+                            &current,
+                            Some(tier),
+                            block.len,
+                        ) else {
+                            break;
+                        };
+                        current.retain(|l| l != &victim);
+                        g.blocks.remove_replica(bid, victim.media);
+                        tasks.push(ReplicationTask::Delete { block, location: victim });
+                    }
+                }
+            }
+        }
+        tasks
+    }
+
+    /// The data balancer (the HDFS balancer's role, §8's manual tool made
+    /// policy-driven): finds media whose utilization exceeds their tier's
+    /// mean by more than `threshold` (fraction of capacity) and schedules
+    /// copies of replicas they host onto better media in the same tier,
+    /// chosen by the MOOP machinery. The over-replication path of the next
+    /// [`Master::replication_scan`] then trims the worst replica — which
+    /// is the overloaded source — completing the move. Returns at most
+    /// `max_moves` copy tasks.
+    pub fn balancer_scan(&self, threshold: f64, max_moves: usize) -> Vec<ReplicationTask> {
+        let mut g = self.inner.write();
+        if g.safe_mode {
+            return Vec::new();
+        }
+        let snap = g.cluster.snapshot();
+
+        // Per-media and per-tier utilization.
+        let mut tier_used = vec![(0u64, 0u64); snap.num_tiers]; // (used, cap)
+        let mut media_frac: std::collections::HashMap<octopus_common::MediaId, f64> =
+            std::collections::HashMap::new();
+        for m in &snap.media {
+            let used = m.capacity.saturating_sub(m.remaining);
+            let t = &mut tier_used[m.tier.0 as usize];
+            t.0 += used;
+            t.1 += m.capacity;
+            if m.capacity > 0 {
+                media_frac.insert(m.media, used as f64 / m.capacity as f64);
+            }
+        }
+        let tier_mean: Vec<f64> = tier_used
+            .iter()
+            .map(|&(u, c)| if c == 0 { 0.0 } else { u as f64 / c as f64 })
+            .collect();
+
+        let overloaded: Vec<&octopus_common::MediaStats> = snap
+            .media
+            .iter()
+            .filter(|m| {
+                media_frac.get(&m.media).copied().unwrap_or(0.0)
+                    > tier_mean[m.tier.0 as usize] + threshold
+            })
+            .collect();
+        if overloaded.is_empty() {
+            return Vec::new();
+        }
+
+        let mut tasks = Vec::new();
+        'media: for src in overloaded {
+            if tasks.len() >= max_moves {
+                break;
+            }
+            // A block hosted on the overloaded medium with no pending work.
+            let candidates: Vec<(BlockId, Block, Vec<Location>)> = g
+                .blocks
+                .iter()
+                .filter(|(_, info)| info.pending.is_empty())
+                .filter(|(_, info)| info.locations.iter().any(|l| l.media == src.media))
+                .map(|(&id, info)| (id, info.block, info.locations.clone()))
+                .collect();
+            for (id, block, locations) in candidates {
+                let req = PlacementRequest {
+                    block_size: block.len,
+                    client: ClientLocation::OffCluster,
+                    tier_pins: vec![Some(src.tier)],
+                    existing: locations.iter().map(|l| l.media).collect(),
+                };
+                let Ok(placed) = self.placement.place(&snap, &req) else { continue };
+                let Some(&target_media) = placed.first() else { continue };
+                // Only move toward genuinely less utilized media.
+                let target_frac = media_frac.get(&target_media).copied().unwrap_or(0.0);
+                let src_frac = media_frac.get(&src.media).copied().unwrap_or(0.0);
+                if target_frac + threshold / 2.0 >= src_frac {
+                    continue;
+                }
+                let Some((worker, tier)) = g.cluster.locate_media(target_media) else {
+                    continue;
+                };
+                let target = Location { worker, media: target_media, tier };
+                let sources =
+                    self.retrieval.order(&snap, ClientLocation::OnWorker(worker), &locations);
+                g.blocks.add_pending(id, &[target]).ok();
+                g.cluster.schedule_write(target_media, block.len);
+                tasks.push(ReplicationTask::Copy { block, sources, target });
+                continue 'media;
+            }
+        }
+        tasks
+    }
+
+    // -- Checkpointing -------------------------------------------------------
+
+    /// Serializes the namespace to a checkpoint image.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        encode_image(&self.inner.read().ns)
+    }
+
+    /// Restores a master from a checkpoint image (locations empty until
+    /// block reports arrive, as in HDFS).
+    pub fn restore(config: ClusterConfig, image: &[u8]) -> Result<Self> {
+        let ops = decode_stream(image)?;
+        let mut log = EditLog::in_memory();
+        for op in ops {
+            log.append(op)?;
+        }
+        Self::with_log(config, log)
+    }
+
+    /// The edit-log ops recorded at or after `from` (tailed by the backup
+    /// master).
+    pub fn edits_since(&self, from: usize) -> Vec<EditOp> {
+        self.inner.read().log.since(from).to_vec()
+    }
+
+    /// Number of ops in the edit log.
+    pub fn edit_count(&self) -> usize {
+        self.inner.read().log.len()
+    }
+
+    /// The policy-facing snapshot (exposed for harnesses and tests).
+    pub fn snapshot(&self) -> octopus_policies::ClusterSnapshot {
+        self.inner.read().cluster.snapshot()
+    }
+
+    /// Confirmed replica locations of a block (test/diagnostic hook).
+    pub fn block_locations(&self, id: BlockId) -> Vec<Location> {
+        self.inner
+            .read()
+            .blocks
+            .get(id)
+            .map(|i| i.locations.clone())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octopus_common::{MediaId, StorageTier};
+
+    /// Registers `n` live workers with one medium per tier each, as if
+    /// heartbeats had arrived.
+    fn boot_master(n: u32) -> Master {
+        let config = ClusterConfig::test_cluster(n, 10 << 20, 1 << 20);
+        let master = Master::new(config.clone()).unwrap();
+        for w in 0..n {
+            let rack = RackId((w % 2) as u16);
+            master.register_worker(WorkerId(w), rack, 1e9, 0);
+            let media: Vec<MediaStats> = (0..3u8)
+                .map(|t| MediaStats {
+                    media: MediaId(w * 3 + t as u32),
+                    worker: WorkerId(w),
+                    rack,
+                    tier: TierId(t),
+                    capacity: 10 << 20,
+                    remaining: 10 << 20,
+                    nr_conn: 0,
+                    write_thru: [1900.0, 340.0, 126.0][t as usize] * 1048576.0,
+                    read_thru: [3200.0, 420.0, 177.0][t as usize] * 1048576.0,
+                })
+                .collect();
+            master.heartbeat(WorkerId(w), media, 0, 0).unwrap();
+        }
+        master
+    }
+
+    fn rv_u(r: u8) -> ReplicationVector {
+        ReplicationVector::from_replication_factor(r)
+    }
+
+    #[test]
+    fn create_write_read_lifecycle() {
+        let m = boot_master(6);
+        m.mkdir("/data").unwrap();
+        m.create_file("/data/f", rv_u(3), None).unwrap();
+        let (block, locs) = m
+            .add_block("/data/f", 1 << 20, ClientLocation::OffCluster)
+            .unwrap();
+        assert_eq!(locs.len(), 3);
+        for l in &locs {
+            m.commit_replica(block, *l).unwrap();
+        }
+        m.complete_file("/data/f").unwrap();
+        let located = m
+            .get_file_block_locations("/data/f", 0, u64::MAX, ClientLocation::OffCluster)
+            .unwrap();
+        assert_eq!(located.len(), 1);
+        assert_eq!(located[0].locations.len(), 3);
+        assert_eq!(located[0].block, block);
+        let st = m.status("/data/f").unwrap();
+        assert_eq!(st.len, 1 << 20);
+        assert!(st.complete);
+    }
+
+    #[test]
+    fn add_block_validations() {
+        let m = boot_master(3);
+        m.create_file("/f", rv_u(2), None).unwrap();
+        assert!(m.add_block("/f", 0, ClientLocation::OffCluster).is_err());
+        assert!(m.add_block("/f", 2 << 20, ClientLocation::OffCluster).is_err());
+        m.complete_file("/f").unwrap();
+        assert!(m.add_block("/f", 1 << 20, ClientLocation::OffCluster).is_err());
+    }
+
+    #[test]
+    fn create_file_validates_vector() {
+        let m = boot_master(3);
+        // Tier 3 (Remote) is not configured in the test cluster.
+        let bad = ReplicationVector::mshru(0, 0, 0, 1, 0);
+        assert!(m.create_file("/f", bad, None).is_err());
+        assert!(m.create_file("/f", ReplicationVector::EMPTY, None).is_err());
+        let over = rv_u(200);
+        assert!(m.create_file("/f", over, None).is_err());
+    }
+
+    #[test]
+    fn scheduled_writes_prevent_oversubscription() {
+        // Media have 10 MB; place 10 blocks of 1 MB with r=3 on 6 workers:
+        // every placement must see reduced remaining and still succeed.
+        let m = boot_master(6);
+        m.create_file("/f", rv_u(3), None).unwrap();
+        for _ in 0..10 {
+            let (block, locs) = m.add_block("/f", 1 << 20, ClientLocation::OffCluster).unwrap();
+            for l in locs {
+                m.commit_replica(block, l).unwrap();
+            }
+        }
+        let snap = m.snapshot();
+        // 30 MB written over 18 media of 10 MB: nothing negative.
+        for media in &snap.media {
+            assert!(media.remaining <= 10 << 20);
+        }
+    }
+
+    #[test]
+    fn replication_scan_restores_lost_replicas() {
+        let m = boot_master(6);
+        m.create_file("/f", rv_u(3), None).unwrap();
+        let (block, locs) = m.add_block("/f", 1 << 20, ClientLocation::OffCluster).unwrap();
+        for l in &locs {
+            m.commit_replica(block, *l).unwrap();
+        }
+        m.complete_file("/f").unwrap();
+        assert!(m.replication_scan().is_empty(), "satisfied block needs no tasks");
+
+        // Kill the worker hosting the first replica.
+        m.kill_worker(locs[0].worker);
+        let tasks = m.replication_scan();
+        assert_eq!(tasks.len(), 1);
+        let ReplicationTask::Copy { block: b, sources, target } = &tasks[0] else {
+            panic!("expected a copy task");
+        };
+        assert_eq!(b.id, block.id);
+        assert!(!sources.is_empty());
+        assert_ne!(target.worker, locs[0].worker);
+        // Sources must be surviving confirmed replicas.
+        for s in sources {
+            assert!(locs[1..].contains(s));
+        }
+        // A second scan must not double-schedule.
+        assert!(m.replication_scan().is_empty());
+        // Completing the copy confirms the replica.
+        m.commit_replica(block, *target).unwrap();
+        assert_eq!(m.block_locations(block.id).len(), 3);
+    }
+
+    #[test]
+    fn set_replication_triggers_move_between_tiers() {
+        let m = boot_master(6);
+        // Pin: 1 memory + 2 HDD.
+        m.create_file("/f", ReplicationVector::msh(1, 0, 2), None).unwrap();
+        let (block, locs) = m.add_block("/f", 1 << 20, ClientLocation::OffCluster).unwrap();
+        for l in &locs {
+            m.commit_replica(block, *l).unwrap();
+        }
+        m.complete_file("/f").unwrap();
+
+        // Move one HDD replica to SSD: ⟨1,0,2⟩ → ⟨1,1,1⟩.
+        let old = m.set_replication("/f", ReplicationVector::msh(1, 1, 1)).unwrap();
+        assert_eq!(old, ReplicationVector::msh(1, 0, 2));
+        let tasks = m.replication_scan();
+        let copies: Vec<_> = tasks
+            .iter()
+            .filter(|t| matches!(t, ReplicationTask::Copy { .. }))
+            .collect();
+        let deletes: Vec<_> = tasks
+            .iter()
+            .filter(|t| matches!(t, ReplicationTask::Delete { .. }))
+            .collect();
+        assert_eq!(copies.len(), 1);
+        assert_eq!(deletes.len(), 1);
+        if let ReplicationTask::Copy { target, .. } = copies[0] {
+            assert_eq!(target.tier, StorageTier::Ssd.id());
+        }
+        if let ReplicationTask::Delete { location, .. } = deletes[0] {
+            assert_eq!(location.tier, StorageTier::Hdd.id());
+        }
+    }
+
+    #[test]
+    fn delete_returns_locations_for_invalidation() {
+        let m = boot_master(3);
+        m.create_file("/f", rv_u(2), None).unwrap();
+        let (block, locs) = m.add_block("/f", 1 << 20, ClientLocation::OffCluster).unwrap();
+        for l in &locs {
+            m.commit_replica(block, *l).unwrap();
+        }
+        m.complete_file("/f").unwrap();
+        let dropped = m.delete("/f", false).unwrap();
+        assert_eq!(dropped.len(), 2);
+        assert!(m.status("/f").is_err());
+        assert!(m.block_locations(block.id).is_empty());
+    }
+
+    #[test]
+    fn block_report_reconciles() {
+        let m = boot_master(3);
+        m.create_file("/f", rv_u(1), None).unwrap();
+        let (block, locs) = m.add_block("/f", 1 << 20, ClientLocation::OffCluster).unwrap();
+        let loc = locs[0];
+        // Worker reports the block: pending → confirmed.
+        let invalid = m.block_report(loc.worker, &[(block, loc.media)]).unwrap();
+        assert!(invalid.is_empty());
+        assert_eq!(m.block_locations(block.id), vec![loc]);
+        // Worker reports an unknown block → invalidation.
+        let ghost = Block { id: BlockId(9999), gen: GenStamp(0), len: 1 };
+        let invalid = m.block_report(loc.worker, &[(block, loc.media), (ghost, loc.media)]).unwrap();
+        assert_eq!(invalid, vec![BlockId(9999)]);
+        // Worker stops reporting the block → replica dropped.
+        let invalid = m.block_report(loc.worker, &[]).unwrap();
+        assert!(invalid.is_empty());
+        assert!(m.block_locations(block.id).is_empty());
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trip() {
+        let m = boot_master(3);
+        m.mkdir("/a/b").unwrap();
+        m.create_file("/a/f", rv_u(2), None).unwrap();
+        let (block, locs) = m.add_block("/a/f", 1 << 20, ClientLocation::OffCluster).unwrap();
+        for l in &locs {
+            m.commit_replica(block, *l).unwrap();
+        }
+        m.complete_file("/a/f").unwrap();
+
+        let image = m.checkpoint();
+        let restored = Master::restore(m.config().clone(), &image).unwrap();
+        let st = restored.status("/a/f").unwrap();
+        assert_eq!(st.len, 1 << 20);
+        assert!(st.complete);
+        // Locations are rebuilt from block reports.
+        assert!(restored.block_locations(block.id).is_empty());
+        restored.register_worker(locs[0].worker, RackId(0), 1e9, 0);
+        let media_stats = vec![MediaStats {
+            media: locs[0].media,
+            worker: locs[0].worker,
+            rack: RackId(0),
+            tier: locs[0].tier,
+            capacity: 10 << 20,
+            remaining: 9 << 20,
+            nr_conn: 0,
+            write_thru: 1e8,
+            read_thru: 1e8,
+        }];
+        restored.heartbeat(locs[0].worker, media_stats, 0, 0).unwrap();
+        restored.block_report(locs[0].worker, &[(block, locs[0].media)]).unwrap();
+        assert_eq!(restored.block_locations(block.id), vec![locs[0]]);
+        // New block ids never collide with restored ones.
+        restored.create_file("/a/g", rv_u(1), None).unwrap();
+        // (worker capacity is tracked; a fresh block id is issued)
+        let (b2, _) = restored.add_block("/a/g", 1 << 20, ClientLocation::OffCluster).unwrap();
+        assert!(b2.id > block.id);
+    }
+
+    #[test]
+    fn dead_worker_tick_drops_locations() {
+        let m = boot_master(4);
+        m.create_file("/f", rv_u(3), None).unwrap();
+        let (block, locs) = m.add_block("/f", 1 << 20, ClientLocation::OffCluster).unwrap();
+        for l in &locs {
+            m.commit_replica(block, *l).unwrap();
+        }
+        // heartbeat_ms=100, dead_after_missed=10 → all workers dead at t>1000.
+        let dead = m.tick(5000);
+        assert_eq!(dead.len(), 4);
+        assert!(m.block_locations(block.id).is_empty());
+    }
+
+    #[test]
+    fn tier_reports_present() {
+        let m = boot_master(3);
+        let reports = m.get_storage_tier_reports();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].name, "Memory");
+        assert!(reports[0].volatile);
+        assert_eq!(reports[2].stats.num_media, 3);
+    }
+
+    #[test]
+    fn quota_flow_through_master() {
+        let m = boot_master(3);
+        m.mkdir("/tenant").unwrap();
+        m.set_quota("/tenant", TierQuota::limit_tier(0, 1 << 20)).unwrap();
+        m.create_file("/tenant/f", ReplicationVector::msh(1, 0, 1), None).unwrap();
+        m.add_block("/tenant/f", 1 << 20, ClientLocation::OffCluster).unwrap();
+        let err = m.add_block("/tenant/f", 1 << 20, ClientLocation::OffCluster);
+        assert!(matches!(err, Err(FsError::QuotaExceeded(_))));
+        let (q, usage) = m.quota_usage("/tenant").unwrap();
+        assert_eq!(q, TierQuota::limit_tier(0, 1 << 20));
+        assert_eq!(usage[0], 1 << 20);
+    }
+}

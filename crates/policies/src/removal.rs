@@ -1,0 +1,163 @@
+//! Replica removal for over-replicated blocks — paper §5.
+//!
+//! When a block has more replicas than its vector requests on some tier,
+//! the master evaluates every leave-one-out subset of the current replica
+//! list with the Eq. 11 score and removes the replica whose absence yields
+//! the best (lowest) score.
+
+use octopus_common::{Location, MediaStats, TierId};
+
+use crate::objectives::{score, Objective, ObjectiveContext};
+use crate::snapshot::ClusterSnapshot;
+
+/// Chooses which replica to remove from `replicas`.
+///
+/// `over_tier` restricts candidates to the tier that is over-replicated
+/// (`None` considers every replica — used when the total is too high but no
+/// specific tier is). Returns `None` when no candidate is eligible.
+pub fn choose_replica_to_remove(
+    snap: &ClusterSnapshot,
+    replicas: &[Location],
+    over_tier: Option<TierId>,
+    block_size: u64,
+) -> Option<Location> {
+    let stats: Vec<Option<&MediaStats>> =
+        replicas.iter().map(|l| snap.media_stats(l.media)).collect();
+
+    // Replicas on unknown media (dead workers) are the best removal
+    // candidates of all — prefer them outright.
+    for (i, s) in stats.iter().enumerate() {
+        let tier_ok = over_tier.is_none_or(|t| replicas[i].tier == t);
+        if s.is_none() && tier_ok {
+            return Some(replicas[i]);
+        }
+    }
+
+    let all: Vec<&MediaStats> = stats.iter().flatten().copied().collect();
+    let ctx = ObjectiveContext::new(
+        &all,
+        block_size,
+        snap.num_tiers,
+        snap.num_workers(),
+        snap.num_racks(),
+    );
+
+    let mut best: Option<(f64, Location)> = None;
+    for (i, loc) in replicas.iter().enumerate() {
+        if let Some(t) = over_tier {
+            if loc.tier != t {
+                continue;
+            }
+        }
+        let remaining: Vec<&MediaStats> = replicas
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .filter_map(|(j, _)| stats[j])
+            .collect();
+        let s = score(&remaining, &ctx, &Objective::ALL);
+        if best.is_none_or(|(bs, _)| s < bs) {
+            best = Some((s, *loc));
+        }
+    }
+    best.map(|(_, l)| l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::testutil::paper_like;
+    use octopus_common::{MediaId, StorageTier, WorkerId};
+
+    fn loc_on(snap: &ClusterSnapshot, worker: u32, tier: StorageTier, skip: usize) -> Location {
+        let m = snap
+            .media
+            .iter()
+            .filter(|m| m.worker == WorkerId(worker) && m.tier == tier.id())
+            .nth(skip)
+            .unwrap();
+        Location { worker: m.worker, media: m.media, tier: m.tier }
+    }
+
+    #[test]
+    fn removes_colocated_duplicate_first() {
+        let snap = paper_like();
+        // Two HDD replicas on worker 0 (different devices) and one on
+        // worker 4: removing one of worker 0's keeps node spread.
+        let replicas = vec![
+            loc_on(&snap, 0, StorageTier::Hdd, 0),
+            loc_on(&snap, 0, StorageTier::Hdd, 1),
+            loc_on(&snap, 4, StorageTier::Hdd, 0),
+        ];
+        let victim = choose_replica_to_remove(
+            &snap,
+            &replicas,
+            Some(StorageTier::Hdd.id()),
+            1 << 20,
+        )
+        .unwrap();
+        assert_eq!(victim.worker, WorkerId(0), "keep the node-diverse replica");
+    }
+
+    #[test]
+    fn respects_tier_restriction() {
+        let snap = paper_like();
+        let replicas = vec![
+            loc_on(&snap, 0, StorageTier::Memory, 0),
+            loc_on(&snap, 1, StorageTier::Hdd, 0),
+            loc_on(&snap, 5, StorageTier::Hdd, 0),
+        ];
+        let victim = choose_replica_to_remove(
+            &snap,
+            &replicas,
+            Some(StorageTier::Hdd.id()),
+            1 << 20,
+        )
+        .unwrap();
+        assert_eq!(victim.tier, StorageTier::Hdd.id());
+    }
+
+    #[test]
+    fn prefers_dead_replica() {
+        let snap = paper_like();
+        let dead = Location {
+            worker: WorkerId(77),
+            media: MediaId(7777),
+            tier: StorageTier::Hdd.id(),
+        };
+        let replicas = vec![
+            loc_on(&snap, 1, StorageTier::Hdd, 0),
+            dead,
+            loc_on(&snap, 5, StorageTier::Hdd, 0),
+        ];
+        let victim = choose_replica_to_remove(&snap, &replicas, None, 1 << 20).unwrap();
+        assert_eq!(victim, dead);
+    }
+
+    #[test]
+    fn no_candidate_on_other_tier() {
+        let snap = paper_like();
+        let replicas = vec![loc_on(&snap, 0, StorageTier::Hdd, 0)];
+        assert!(choose_replica_to_remove(
+            &snap,
+            &replicas,
+            Some(StorageTier::Ssd.id()),
+            1 << 20
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn keeps_rack_spread_when_possible() {
+        let snap = paper_like();
+        // Replicas on workers 0, 1 (rack 0) and 3 (rack 1). Removing 0 or 1
+        // preserves two racks; removing 3 collapses to one.
+        let replicas = vec![
+            loc_on(&snap, 0, StorageTier::Hdd, 0),
+            loc_on(&snap, 1, StorageTier::Hdd, 0),
+            loc_on(&snap, 3, StorageTier::Hdd, 0),
+        ];
+        let victim = choose_replica_to_remove(&snap, &replicas, None, 1 << 20).unwrap();
+        assert_ne!(victim.worker, WorkerId(3));
+    }
+}

@@ -1,0 +1,123 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in integer nanoseconds since simulation start.
+///
+/// Integer representation makes event ordering total and reproducible; the
+/// conversion helpers accept and produce `f64` seconds for rate arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// t = 0.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Largest representable time.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Builds a time from seconds, rounding up to the next nanosecond so a
+    /// flow is never reported complete before its analytic finish time.
+    pub fn from_secs_f64(secs: f64) -> SimTime {
+        debug_assert!(secs >= 0.0 && secs.is_finite());
+        SimTime((secs * 1e9).ceil() as u64)
+    }
+
+    /// The time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The time in whole milliseconds (rounded down).
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Duration since an earlier time, in seconds.
+    pub fn secs_since(self, earlier: SimTime) -> f64 {
+        debug_assert!(self >= earlier);
+        (self.0 - earlier.0) as f64 / 1e9
+    }
+
+    /// Saturating addition of a duration in seconds.
+    pub fn plus_secs_f64(self, secs: f64) -> SimTime {
+        if !secs.is_finite() {
+            return SimTime::MAX;
+        }
+        let nanos = (secs * 1e9).ceil();
+        if nanos >= (u64::MAX - self.0) as f64 {
+            SimTime::MAX
+        } else {
+            SimTime(self.0 + nanos as u64)
+        }
+    }
+}
+
+impl Add<SimTime> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimTime> for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.0, 1_500_000_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(t.as_millis(), 1500);
+    }
+
+    #[test]
+    fn rounding_is_up() {
+        // 1 ns + a hair must not round down to 1 ns.
+        let t = SimTime::from_secs_f64(1.0000000005e-9);
+        assert_eq!(t.0, 2);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime(100);
+        let b = SimTime(40);
+        assert_eq!((a + b).0, 140);
+        assert_eq!((a - b).0, 60);
+        assert_eq!((b - a).0, 0); // saturating
+        assert!((a.secs_since(b) - 60e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn plus_secs_saturates() {
+        assert_eq!(SimTime(10).plus_secs_f64(f64::INFINITY), SimTime::MAX);
+        assert_eq!(SimTime(u64::MAX - 1).plus_secs_f64(1.0), SimTime::MAX);
+        assert_eq!(SimTime(0).plus_secs_f64(2.0), SimTime(2_000_000_000));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_secs_f64(0.25).to_string(), "0.250000s");
+    }
+}

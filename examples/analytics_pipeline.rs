@@ -1,0 +1,42 @@
+//! An iterative analytics pipeline with tier hints (paper §6, "Workload
+//! scheduling" + §7.6): a Pegasus-style graph workload runs over the
+//! simulated cluster with and without the two controllability
+//! optimizations — prefetching the reused dataset into memory, and
+//! pinning one copy of short-lived intermediate data in memory.
+//!
+//! Run with: `cargo run --release --example analytics_pipeline`
+
+use octopusfs::compute::{pegasus_workloads, run_pegasus, PegasusMode};
+
+fn main() {
+    let workload = pegasus_workloads()
+        .into_iter()
+        .find(|w| w.name == "HADI")
+        .expect("HADI is defined");
+    println!(
+        "Pegasus {} — {:.1} GB graph, {} iterations, ~{:.0} GB intermediate/iter\n",
+        workload.name,
+        workload.graph_gb,
+        workload.iterations,
+        workload.interm_bytes() as f64 / (1u64 << 30) as f64,
+    );
+
+    let base = run_pegasus(&workload, PegasusMode::Hdfs).unwrap();
+    println!("{:<22} {:>8.1}s  (baseline)", "HDFS", base);
+    for mode in [
+        PegasusMode::Octopus,
+        PegasusMode::OctopusPrefetch,
+        PegasusMode::OctopusInterm,
+        PegasusMode::OctopusBoth,
+    ] {
+        let t = run_pegasus(&workload, mode).unwrap();
+        println!(
+            "{:<22} {:>8.1}s  ({:.0}% faster than HDFS)",
+            mode.label(),
+            t,
+            (1.0 - t / base) * 100.0
+        );
+    }
+    println!("\nthe intermediate-data hint dominates for HADI: ~18 GB of short-lived");
+    println!("data per iteration lands in (and is consumed from) the memory tier.");
+}

@@ -1,0 +1,58 @@
+//! Networked deployment tour: boots a real TCP cluster (master RPC server
+//! + per-worker data servers + heartbeat threads) in one process, writes
+//! through the worker-to-worker pipeline, corrupts a replica, and watches
+//! the scrubber + replication monitor heal it over RPC.
+//!
+//! Run with: `cargo run --release --example net_tour`
+
+use octopusfs::core::net::NetCluster;
+use octopusfs::storage::MemoryStore;
+use octopusfs::{ClientLocation, ClusterConfig, ReplicationVector};
+
+fn main() -> octopusfs::Result<()> {
+    let mut config = ClusterConfig::test_cluster(4, 64 << 20, 1 << 20);
+    config.heartbeat_ms = 50;
+    let cluster = NetCluster::start(config)?;
+    println!("master RPC at {}", cluster.master_addr());
+    for w in cluster.workers() {
+        println!("worker {} data server at {:?}", w.id(), cluster.worker_addr(w.id()));
+    }
+
+    let client = cluster.client(ClientLocation::OffCluster);
+    client.mkdir("/tour")?;
+    let data: Vec<u8> = (0..2_500_000u32).map(|i| (i % 251) as u8).collect();
+    client.write_file("/tour/file", &data, ReplicationVector::from_replication_factor(3))?;
+    println!("\nwrote {} bytes through the TCP pipeline", data.len());
+
+    let blocks = client.get_file_block_locations("/tour/file", 0, u64::MAX)?;
+    for lb in &blocks {
+        let workers: Vec<String> =
+            lb.locations.iter().map(|l| l.worker.to_string()).collect();
+        println!("  block {} replicas on {}", lb.block.id, workers.join(", "));
+    }
+
+    // Inject silent corruption into the best replica.
+    let victim = blocks[0].locations[0];
+    let worker = cluster.workers().iter().find(|w| w.id() == victim.worker).unwrap();
+    worker
+        .medium(victim.media)?
+        .store
+        .as_any()
+        .downcast_ref::<MemoryStore>()
+        .unwrap()
+        .corrupt(blocks[0].block.id)?;
+    println!("\ncorrupted one replica of block {} on {}", blocks[0].block.id, victim.worker);
+
+    // The fleet-wide scrub finds it; the replication monitor re-creates it
+    // by pulling from a healthy peer over TCP.
+    let found = cluster.run_scrub_round()?;
+    println!("scrub found {found} corrupt replica(s)");
+    let tasks = cluster.run_replication_round()?;
+    println!("replication monitor ran {tasks} repair task(s)");
+
+    let healed = client.get_file_block_locations("/tour/file", 0, u64::MAX)?;
+    println!("block {} now has {} replicas", healed[0].block.id, healed[0].locations.len());
+    assert_eq!(client.read_file("/tour/file")?, data);
+    println!("\nread back verified ✓ (checksums intact end to end)");
+    Ok(())
+}

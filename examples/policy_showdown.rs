@@ -1,0 +1,62 @@
+//! Placement-policy showdown on the simulated paper cluster: writes the
+//! same DFSIO workload under the MOOP policy and the HDFS baseline and
+//! prints where the data went and how fast it got there — a miniature of
+//! the paper's §7.2 experiment.
+//!
+//! Run with: `cargo run --release --example policy_showdown`
+
+use octopusfs::common::config::PlacementPolicyKind;
+use octopusfs::common::GB;
+use octopusfs::{ClientLocation, ClusterConfig, ReplicationVector, SimCluster, WorkerId};
+
+fn run_policy(kind: PlacementPolicyKind) -> octopusfs::Result<()> {
+    let mut config = ClusterConfig::paper_cluster();
+    config.policy.placement = kind;
+    config.policy.memory_placement_enabled = true;
+    let mut sim = SimCluster::new(config)?;
+
+    // 27 writers, 8 GB total, U = 3.
+    sim.master().mkdir("/dfsio")?;
+    let per_task = 8 * GB / 27;
+    for i in 0..27u32 {
+        sim.submit_write(
+            &format!("/dfsio/part-{i}"),
+            per_task,
+            ReplicationVector::from_replication_factor(3),
+            ClientLocation::OnWorker(WorkerId(i % 9)),
+        )?;
+    }
+    let reports = sim.run_to_completion();
+    let mean_mbps: f64 =
+        reports.iter().map(|r| r.throughput_mbps()).sum::<f64>() / reports.len() as f64;
+
+    println!("policy: {}", sim.master().placement_policy_name());
+    println!("  mean per-task write throughput: {mean_mbps:.1} MB/s");
+    println!("  wall (virtual) time: {:.1}s", sim.now().as_secs_f64());
+    for r in sim.master().get_storage_tier_reports() {
+        let used = r.stats.capacity - r.stats.remaining;
+        println!(
+            "  {:<6} holds {:>6.2} GB ({:.1}% of the tier)",
+            r.name,
+            used as f64 / GB as f64,
+            (1.0 - r.stats.remaining_fraction()) * 100.0
+        );
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> octopusfs::Result<()> {
+    println!("DFSIO write, 8 GB, d=27, replication 3 — simulated paper cluster\n");
+    for kind in [
+        PlacementPolicyKind::Moop,
+        PlacementPolicyKind::RuleBased,
+        PlacementPolicyKind::HdfsHddOnly,
+        PlacementPolicyKind::HdfsTierBlind,
+    ] {
+        run_policy(kind)?;
+    }
+    println!("note: MOOP spreads load across all three tiers and finishes fastest;");
+    println!("the HDFS baselines leave the memory tier idle entirely.");
+    Ok(())
+}

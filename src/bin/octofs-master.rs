@@ -1,0 +1,90 @@
+//! `octofs-master` — the OctopusFS master daemon.
+//!
+//! Serves the RPC protocol on a TCP address; workers started with
+//! `octofs-worker` register against it, and clients use `octofs-remote`
+//! (or [`octopusfs::core::net::RemoteFs`]).
+//!
+//! ```text
+//! octofs-master --listen 127.0.0.1:7000 --workers 3 \
+//!               [--block-size BYTES] [--capacity BYTES] [--heartbeat-ms MS]
+//! ```
+//!
+//! The `--workers/--block-size/--capacity` trio defines the expected
+//! cluster shape (three tiers per worker, as `ClusterConfig::test_cluster`
+//! lays out); every `octofs-worker` must be started with the same values
+//! so that media identities agree.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use octopusfs::core::net::{monitor, MasterServer};
+use octopusfs::master::Master;
+use octopusfs::{ClusterConfig, Result};
+
+fn run(args: &[String]) -> Result<()> {
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut workers = 3u32;
+    let mut block_size = 1u64 << 20;
+    let mut capacity = 256u64 << 20;
+    let mut heartbeat_ms = 1000u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => {
+                listen = args[i + 1].clone();
+                i += 2;
+            }
+            "--workers" => {
+                workers = args[i + 1].parse().map_err(|_| bad("--workers"))?;
+                i += 2;
+            }
+            "--block-size" => {
+                block_size = args[i + 1].parse().map_err(|_| bad("--block-size"))?;
+                i += 2;
+            }
+            "--capacity" => {
+                capacity = args[i + 1].parse().map_err(|_| bad("--capacity"))?;
+                i += 2;
+            }
+            "--heartbeat-ms" => {
+                heartbeat_ms = args[i + 1].parse().map_err(|_| bad("--heartbeat-ms"))?;
+                i += 2;
+            }
+            a => return Err(bad(a)),
+        }
+    }
+    let mut config = ClusterConfig::test_cluster(workers, capacity, block_size);
+    config.heartbeat_ms = heartbeat_ms;
+    let master = Arc::new(Master::new(config)?);
+    let server = MasterServer::spawn_on(Arc::clone(&master), listen.as_str())?;
+    // The line below is machine-readable: tests and scripts parse it.
+    println!("octofs-master listening on {}", server.addr());
+
+    // Replication monitor (§5): periodically heal under/over-replication
+    // by RPC-ing the workers.
+    let interval = std::time::Duration::from_millis(heartbeat_ms * 4);
+    let state = Arc::clone(server.state());
+    loop {
+        std::thread::sleep(interval);
+        let addrs = state.resolved_addrs();
+        let _ = monitor::run_replication_round(&master, &addrs);
+    }
+}
+
+fn bad(flag: &str) -> octopusfs::FsError {
+    octopusfs::FsError::InvalidArgument(format!(
+        "bad or unknown flag {flag}; usage: octofs-master --listen ADDR --workers N \
+         [--block-size B] [--capacity B] [--heartbeat-ms MS]"
+    ))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("octofs-master: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! `octofs-remote` — a file-system shell against a running
+//! `octofs-master`/`octofs-worker` deployment.
+//!
+//! ```text
+//! octofs-remote --master ADDR <mkdir|put|get|cat|ls|rm|mv|setrep|report> [args]
+//! ```
+
+use std::io::Write as _;
+use std::net::ToSocketAddrs;
+use std::process::ExitCode;
+
+use octopusfs::common::units::fmt_bytes;
+use octopusfs::core::net::RemoteFs;
+use octopusfs::{ClientLocation, FsError, ReplicationVector, Result};
+
+fn run(args: &[String]) -> Result<()> {
+    let mut master = None;
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--master" {
+            master = Some(args[i + 1].clone());
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let addr = master
+        .ok_or_else(|| FsError::InvalidArgument("--master ADDR is required".into()))?
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| FsError::InvalidArgument("unresolvable master address".into()))?;
+    let fs = RemoteFs::connect(addr, ClientLocation::OffCluster)?;
+
+    let Some(cmd) = rest.first().cloned() else {
+        return Err(FsError::InvalidArgument(
+            "usage: octofs-remote --master ADDR <mkdir|put|get|cat|ls|rm|mv|setrep|report>".into(),
+        ));
+    };
+    let args = &rest[1..];
+    match cmd.as_str() {
+        "mkdir" => fs.mkdir(args.first().ok_or_else(|| usage("mkdir PATH"))?)?,
+        "put" => {
+            if args.len() < 2 {
+                return Err(usage("put LOCAL PATH [--rv V]"));
+            }
+            let data = std::fs::read(&args[0])?;
+            let rv = if args.len() >= 4 && args[2] == "--rv" {
+                args[3]
+                    .parse::<ReplicationVector>()
+                    .or_else(|_| args[3].parse::<u8>().map(ReplicationVector::from_replication_factor))
+                    .map_err(|_| usage("bad --rv"))?
+            } else {
+                ReplicationVector::from_replication_factor(2)
+            };
+            fs.write_file(&args[1], &data, rv)?;
+            println!("wrote {} ({})", args[1], fmt_bytes(data.len() as u64));
+        }
+        "get" => {
+            if args.len() != 2 {
+                return Err(usage("get PATH LOCAL"));
+            }
+            std::fs::write(&args[1], fs.read_file(&args[0])?)?;
+        }
+        "cat" => {
+            let data = fs.read_file(args.first().ok_or_else(|| usage("cat PATH"))?)?;
+            std::io::stdout().write_all(&data)?;
+        }
+        "ls" => {
+            for e in fs.list(args.first().map(String::as_str).unwrap_or("/"))? {
+                if e.is_dir {
+                    println!("d {:>10}  {}", "-", e.name);
+                } else {
+                    println!("- {:>10}  {}  {}", fmt_bytes(e.len), e.name, e.rv);
+                }
+            }
+        }
+        "rm" => {
+            let recursive = args.iter().any(|a| a == "-r");
+            let path = args.iter().find(|a| *a != "-r").ok_or_else(|| usage("rm [-r] PATH"))?;
+            fs.delete(path, recursive)?;
+        }
+        "mv" => {
+            if args.len() != 2 {
+                return Err(usage("mv SRC DST"));
+            }
+            fs.rename(&args[0], &args[1])?;
+        }
+        "setrep" => {
+            if args.len() != 2 {
+                return Err(usage("setrep PATH VECTOR"));
+            }
+            let rv = args[1]
+                .parse::<ReplicationVector>()
+                .or_else(|_| args[1].parse::<u8>().map(ReplicationVector::from_replication_factor))
+                .map_err(|_| usage("bad vector"))?;
+            let old = fs.set_replication(&args[0], rv)?;
+            println!("replication of {}: {old} -> {rv}", args[0]);
+        }
+        "report" => {
+            for r in fs.get_storage_tier_reports()? {
+                println!(
+                    "{:<8} media={:<3} remaining={} ({:.1}%)",
+                    r.name,
+                    r.stats.num_media,
+                    fmt_bytes(r.stats.remaining),
+                    r.stats.remaining_fraction() * 100.0
+                );
+            }
+        }
+        other => return Err(usage(&format!("unknown command {other}"))),
+    }
+    Ok(())
+}
+
+fn usage(msg: &str) -> FsError {
+    FsError::InvalidArgument(msg.to_string())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("octofs-remote: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Integration tests of the `octofs` CLI: a persistent single-process
+//! OctopusFS instance driven across separate invocations.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+struct Cli {
+    root: PathBuf,
+}
+
+impl Cli {
+    fn new(tag: &str) -> Cli {
+        let root = std::env::temp_dir().join(format!(
+            "octofs_cli_{tag}_{}_{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        Cli { root }
+    }
+
+    fn run(&self, args: &[&str]) -> (bool, String, String) {
+        let out = Command::new(env!("CARGO_BIN_EXE_octofs"))
+            .arg("--root")
+            .arg(&self.root)
+            .args(args)
+            .output()
+            .expect("spawn octofs");
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    }
+
+    fn ok(&self, args: &[&str]) -> String {
+        let (success, stdout, stderr) = self.run(args);
+        assert!(success, "octofs {args:?} failed: {stderr}");
+        stdout
+    }
+}
+
+impl Drop for Cli {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.root).ok();
+    }
+}
+
+#[test]
+fn full_lifecycle_across_invocations() {
+    let cli = Cli::new("lifecycle");
+    cli.ok(&["init", "--workers", "4", "--block-size", "65536"]);
+
+    // Stage a local file.
+    let local = cli.root.join("input.bin");
+    let data: Vec<u8> = (0..200_000u32).map(|i| (i % 127) as u8).collect();
+    std::fs::write(&local, &data).unwrap();
+
+    cli.ok(&["mkdir", "/data"]);
+    cli.ok(&["put", local.to_str().unwrap(), "/data/file", "--rv", "<0,1,1>"]);
+
+    // Separate invocation: list and read back.
+    let ls = cli.ok(&["ls", "/data"]);
+    assert!(ls.contains("file"), "{ls}");
+    let cat = cli.ok(&["cat", "/data/file"]);
+    assert_eq!(cat.as_bytes(), &data[..]);
+
+    // Download.
+    let out = cli.root.join("out.bin");
+    cli.ok(&["get", "/data/file", out.to_str().unwrap()]);
+    assert_eq!(std::fs::read(&out).unwrap(), data);
+
+    // Rename and re-read in yet another invocation.
+    cli.ok(&["mv", "/data/file", "/data/renamed"]);
+    let cat = cli.ok(&["cat", "/data/renamed"]);
+    assert_eq!(cat.len(), data.len());
+
+    // Change the replication vector (realized before exit).
+    let out = cli.ok(&["setrep", "/data/renamed", "<0,2,0>"]);
+    assert!(out.contains("->"), "{out}");
+
+    // Report shows tiers and counts.
+    let report = cli.ok(&["report"]);
+    assert!(report.contains("files"), "{report}");
+    assert!(report.contains("SSD"), "{report}");
+
+    // fsck is clean.
+    let fsck = cli.ok(&["fsck"]);
+    assert!(fsck.contains("0 corrupt"), "{fsck}");
+
+    // Delete.
+    cli.ok(&["rm", "/data/renamed"]);
+    let (success, _, stderr) = cli.run(&["cat", "/data/renamed"]);
+    assert!(!success);
+    assert!(stderr.contains("not found"), "{stderr}");
+}
+
+#[test]
+fn init_is_guarded() {
+    let cli = Cli::new("guard");
+    // Commands before init fail with guidance.
+    let (success, _, stderr) = cli.run(&["ls", "/"]);
+    assert!(!success);
+    assert!(stderr.contains("init"), "{stderr}");
+
+    cli.ok(&["init"]);
+    let (success, _, stderr) = cli.run(&["init"]);
+    assert!(!success, "double init must fail: {stderr}");
+}
+
+#[test]
+fn bare_replication_factor_accepted() {
+    let cli = Cli::new("repfactor");
+    cli.ok(&["init", "--workers", "3"]);
+    let local = cli.root.join("f.bin");
+    std::fs::write(&local, vec![7u8; 1000]).unwrap();
+    cli.ok(&["put", local.to_str().unwrap(), "/f", "--rv", "3"]);
+    let ls = cli.ok(&["ls", "/"]);
+    assert!(ls.contains(";3>"), "vector with U=3 expected: {ls}");
+}
+
+#[test]
+fn memory_pinned_replicas_recreated_after_restart() {
+    // A file pinned ⟨1,0,1⟩ loses its memory replica when the process
+    // exits (volatile tier); the next invocation's fsck restores it from
+    // the persistent copy.
+    let cli = Cli::new("volatile");
+    cli.ok(&["init", "--workers", "4", "--block-size", "65536"]);
+    let local = cli.root.join("hot.bin");
+    std::fs::write(&local, vec![5u8; 100_000]).unwrap();
+    cli.ok(&["put", local.to_str().unwrap(), "/hot", "--rv", "<1,0,1>"]);
+
+    // New invocation: the data is still fully readable (HDD copy), and
+    // fsck schedules the memory replica's re-creation.
+    let cat = cli.ok(&["cat", "/hot"]);
+    assert_eq!(cat.len(), 100_000);
+    let fsck = cli.ok(&["fsck"]);
+    assert!(fsck.contains("repair tasks run"), "{fsck}");
+}
+
+#[test]
+fn balance_command_runs() {
+    let cli = Cli::new("balance");
+    cli.ok(&["init", "--workers", "4", "--block-size", "65536"]);
+    let local = cli.root.join("f.bin");
+    std::fs::write(&local, vec![3u8; 200_000]).unwrap();
+    for i in 0..4 {
+        cli.ok(&["put", local.to_str().unwrap(), &format!("/f{i}"), "--rv", "1"]);
+    }
+    let out = cli.ok(&["balance"]);
+    assert!(out.contains("replica move(s)"), "{out}");
+    // Data still intact afterwards.
+    let cat = cli.ok(&["cat", "/f0"]);
+    assert_eq!(cat.len(), 200_000);
+}
+
+#[test]
+fn append_command_extends_file() {
+    let cli = Cli::new("append");
+    cli.ok(&["init", "--workers", "3", "--block-size", "65536"]);
+    let a = cli.root.join("a.bin");
+    let b = cli.root.join("b.bin");
+    std::fs::write(&a, vec![b'A'; 10_000]).unwrap();
+    std::fs::write(&b, vec![b'B'; 5_000]).unwrap();
+    cli.ok(&["put", a.to_str().unwrap(), "/log", "--rv", "2"]);
+    cli.ok(&["append", b.to_str().unwrap(), "/log"]);
+    let cat = cli.ok(&["cat", "/log"]);
+    assert_eq!(cat.len(), 15_000);
+    assert!(cat.starts_with("AAAA"));
+    assert!(cat.ends_with("BBBB"));
+}

@@ -1,0 +1,286 @@
+//! Full multi-process deployment test: one `octofs-master` daemon, three
+//! `octofs-worker` daemons (separate OS processes), driven through
+//! `octofs-remote` — the closest this repository gets to the paper's real
+//! cluster deployment.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct Daemon(Child);
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns a daemon and extracts the "listening/serving on ADDR" line.
+fn spawn_with_addr(bin: &str, args: &[String]) -> (Daemon, String) {
+    let mut child = Command::new(bin)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn daemon");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("daemon banner");
+    let addr = line.rsplit(' ').next().expect("address in banner").trim().to_string();
+    // Keep draining stdout in the background so the daemon never blocks.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while let Ok(n) = reader.read_line(&mut sink) {
+            if n == 0 {
+                break;
+            }
+            sink.clear();
+        }
+    });
+    (Daemon(child), addr)
+}
+
+fn remote(master: &str, args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_octofs-remote"))
+        .arg("--master")
+        .arg(master)
+        .args(args)
+        .output()
+        .expect("run octofs-remote");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn multiprocess_deployment_end_to_end() {
+    let shape = ["--workers", "3", "--block-size", "65536", "--capacity", "67108864"];
+    let shape: Vec<String> = shape.iter().map(|s| s.to_string()).collect();
+
+    // Master process.
+    let mut margs = vec!["--listen".to_string(), "127.0.0.1:0".to_string()];
+    margs.extend(shape.clone());
+    margs.extend(["--heartbeat-ms".to_string(), "50".to_string()]);
+    let (_master, master_addr) = spawn_with_addr(env!("CARGO_BIN_EXE_octofs-master"), &margs);
+
+    // Three worker processes.
+    let mut daemons = Vec::new();
+    for id in 0..3 {
+        let mut wargs = vec![
+            "--master".to_string(),
+            master_addr.clone(),
+            "--id".to_string(),
+            id.to_string(),
+            "--heartbeat-ms".to_string(),
+            "50".to_string(),
+        ];
+        wargs.extend(shape.clone());
+        let (d, _) = spawn_with_addr(env!("CARGO_BIN_EXE_octofs-worker"), &wargs);
+        daemons.push(d);
+    }
+
+    // Wait until all three workers have registered (peer maps need a
+    // heartbeat round to propagate).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (ok, out, _) = remote(&master_addr, &["report"]);
+        if ok && out.contains("media=3") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "workers never registered");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // One extra heartbeat round so every worker has the full peer map
+    // (pipeline forwarding needs it).
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Drive a full lifecycle through separate octofs-remote invocations.
+    let tmp = std::env::temp_dir().join(format!(
+        "octofs_daemon_{}_{}",
+        std::process::id(),
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+    ));
+    std::fs::create_dir_all(&tmp).unwrap();
+    let local = tmp.join("in.bin");
+    let data: Vec<u8> = (0..300_000u32).map(|i| (i % 113) as u8).collect();
+    std::fs::write(&local, &data).unwrap();
+
+    let (ok, _, err) = remote(&master_addr, &["mkdir", "/data"]);
+    assert!(ok, "{err}");
+    let (ok, _, err) =
+        remote(&master_addr, &["put", local.to_str().unwrap(), "/data/f", "--rv", "<0,1,2>"]);
+    assert!(ok, "{err}");
+
+    let (ok, out, err) = remote(&master_addr, &["ls", "/data"]);
+    assert!(ok, "{err}");
+    assert!(out.contains('f'), "{out}");
+
+    let (ok, out, err) = remote(&master_addr, &["cat", "/data/f"]);
+    assert!(ok, "{err}");
+    assert_eq!(out.as_bytes(), &data[..], "content survives three processes and TCP");
+
+    let fetched = tmp.join("out.bin");
+    let (ok, _, err) = remote(&master_addr, &["get", "/data/f", fetched.to_str().unwrap()]);
+    assert!(ok, "{err}");
+    assert_eq!(std::fs::read(&fetched).unwrap(), data);
+
+    let (ok, out, err) = remote(&master_addr, &["setrep", "/data/f", "<0,2,1>"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("->"), "{out}");
+
+    let (ok, _, err) = remote(&master_addr, &["rm", "/data/f"]);
+    assert!(ok, "{err}");
+    let (ok, _, _) = remote(&master_addr, &["cat", "/data/f"]);
+    assert!(!ok, "deleted file must not be readable");
+
+    std::fs::remove_dir_all(tmp).ok();
+    drop(daemons);
+}
+
+#[test]
+fn daemon_deployment_self_heals_after_worker_crash() {
+    let shape = ["--workers", "4", "--block-size", "65536", "--capacity", "67108864"];
+    let shape: Vec<String> = shape.iter().map(|s| s.to_string()).collect();
+
+    let mut margs = vec!["--listen".to_string(), "127.0.0.1:0".to_string()];
+    margs.extend(shape.clone());
+    margs.extend(["--heartbeat-ms".to_string(), "40".to_string()]);
+    let (_master, master_addr) = spawn_with_addr(env!("CARGO_BIN_EXE_octofs-master"), &margs);
+
+    let mut daemons = Vec::new();
+    for id in 0..4 {
+        let mut wargs = vec![
+            "--master".to_string(),
+            master_addr.clone(),
+            "--id".to_string(),
+            id.to_string(),
+            "--heartbeat-ms".to_string(),
+            "40".to_string(),
+        ];
+        wargs.extend(shape.clone());
+        let (d, _) = spawn_with_addr(env!("CARGO_BIN_EXE_octofs-worker"), &wargs);
+        daemons.push(d);
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (ok, out, _) = remote(&master_addr, &["report"]);
+        if ok && out.contains("media=4") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "workers never registered");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    std::thread::sleep(Duration::from_millis(150));
+
+    let tmp = std::env::temp_dir().join(format!(
+        "octofs_heal_{}_{}",
+        std::process::id(),
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+    ));
+    std::fs::create_dir_all(&tmp).unwrap();
+    let local = tmp.join("in.bin");
+    let data: Vec<u8> = (0..150_000u32).map(|i| (i % 101) as u8).collect();
+    std::fs::write(&local, &data).unwrap();
+    let (ok, _, err) =
+        remote(&master_addr, &["put", local.to_str().unwrap(), "/hafile", "--rv", "2"]);
+    assert!(ok, "{err}");
+
+    // Crash one worker process outright.
+    let victim = daemons.remove(0);
+    drop(victim); // kills the child
+
+    // The master declares it dead after ~10 missed heartbeats (40 ms each)
+    // and the daemon's monitor thread re-replicates. Poll until the file
+    // is fully replicated on the survivors and still byte-identical.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let (ok, out, _) = remote(&master_addr, &["cat", "/hafile"]);
+        if ok && out.as_bytes() == &data[..] {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "file unreadable after worker crash (ok={ok})"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    std::fs::remove_dir_all(tmp).ok();
+}
+
+#[test]
+fn worker_daemon_restart_recovers_on_disk_blocks() {
+    // A worker daemon with --dir persists its block files; after a crash
+    // and restart, its block report re-registers the replicas.
+    let tmp = std::env::temp_dir().join(format!(
+        "octofs_persist_{}_{}",
+        std::process::id(),
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+    ));
+    std::fs::create_dir_all(&tmp).unwrap();
+
+    let shape = ["--workers", "2", "--block-size", "65536", "--capacity", "67108864"];
+    let shape: Vec<String> = shape.iter().map(|s| s.to_string()).collect();
+    let mut margs = vec!["--listen".to_string(), "127.0.0.1:0".to_string()];
+    margs.extend(shape.clone());
+    margs.extend(["--heartbeat-ms".to_string(), "40".to_string()]);
+    let (_master, master_addr) = spawn_with_addr(env!("CARGO_BIN_EXE_octofs-master"), &margs);
+
+    let spawn_worker = |id: u32| {
+        let mut wargs = vec![
+            "--master".to_string(),
+            master_addr.clone(),
+            "--id".to_string(),
+            id.to_string(),
+            "--heartbeat-ms".to_string(),
+            "40".to_string(),
+            "--dir".to_string(),
+            tmp.join(format!("w{id}")).to_string_lossy().into_owned(),
+        ];
+        wargs.extend(shape.clone());
+        spawn_with_addr(env!("CARGO_BIN_EXE_octofs-worker"), &wargs)
+    };
+    let (w0, _) = spawn_worker(0);
+    let (_w1, _) = spawn_worker(1);
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (ok, out, _) = remote(&master_addr, &["report"]);
+        if ok && out.contains("media=2") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "workers never registered");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Write to persistent tiers only (memory is volatile by design).
+    let local = tmp.join("in.bin");
+    let data: Vec<u8> = (0..120_000u32).map(|i| (i % 89) as u8).collect();
+    std::fs::write(&local, &data).unwrap();
+    let (ok, _, err) =
+        remote(&master_addr, &["put", local.to_str().unwrap(), "/p", "--rv", "<0,1,1>"]);
+    assert!(ok, "{err}");
+
+    // Crash worker 0, restart it with the same --dir and --id.
+    drop(w0);
+    std::thread::sleep(Duration::from_millis(200));
+    let (_w0b, _) = spawn_worker(0);
+
+    // After re-registration + block report, the file is fully readable
+    // again with both replicas present.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let (ok, out, _) = remote(&master_addr, &["cat", "/p"]);
+        if ok && out.as_bytes() == &data[..] {
+            break;
+        }
+        assert!(Instant::now() < deadline, "restarted worker never served its blocks");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    std::fs::remove_dir_all(tmp).ok();
+}

@@ -1,0 +1,280 @@
+//! Property-based tests (proptest) on the core invariants: the
+//! replication-vector codec, replication-state accounting, MOOP placement
+//! constraints, namespace quota bookkeeping, and simulator conservation.
+
+use proptest::prelude::*;
+
+use octopusfs::common::config::PolicyConfig;
+use octopusfs::common::{ClientLocation, Location, MediaId, TierId, WorkerId};
+use octopusfs::master::blockmap::replication_state;
+use octopusfs::policies::{ClusterSnapshot, GreedyPolicy, PlacementPolicy, PlacementRequest};
+use octopusfs::policies::PlacementPolicy as _;
+use octopusfs::simnet::{EventKind, SimNet};
+use octopusfs::ReplicationVector;
+
+proptest! {
+    /// Any 64-bit pattern decodes into a vector that re-encodes to itself,
+    /// and the display form parses back to the same vector.
+    #[test]
+    fn repvector_codec_round_trips(bits in any::<u64>()) {
+        let v = ReplicationVector::from_bits(bits);
+        prop_assert_eq!(ReplicationVector::from_bits(v.to_bits()), v);
+        let shown = v.to_string();
+        let parsed: ReplicationVector = shown.parse().unwrap();
+        prop_assert_eq!(parsed, v);
+        // Total is the sum of all slots.
+        let slot_sum: u32 = (0..7u8).map(|t| v.tier(TierId(t)) as u32).sum::<u32>()
+            + v.unspecified() as u32;
+        prop_assert_eq!(v.total(), slot_sum);
+    }
+
+    /// diff(a→b) additions/removals reconstruct b from a.
+    #[test]
+    fn repvector_diff_is_consistent(
+        a in proptest::collection::vec(0u8..4, 3),
+        b in proptest::collection::vec(0u8..4, 3),
+        ua in 0u8..4,
+        ub in 0u8..4,
+    ) {
+        let va = ReplicationVector::from_counts(&a, ua);
+        let vb = ReplicationVector::from_counts(&b, ub);
+        let d = va.diff(vb);
+        let mut rebuilt = va;
+        for (t, c) in d.additions() {
+            rebuilt = rebuilt.with_tier(t, rebuilt.tier(t) + c);
+        }
+        for (t, c) in d.removals() {
+            rebuilt = rebuilt.with_tier(t, rebuilt.tier(t) - c);
+        }
+        rebuilt = rebuilt.with_unspecified(vb.unspecified());
+        prop_assert_eq!(rebuilt, vb);
+        prop_assert_eq!(
+            d.net_total(),
+            vb.total() as i32 - va.total() as i32
+        );
+    }
+
+    /// Replication-state accounting: total deficit minus total surplus
+    /// equals requested minus present.
+    #[test]
+    fn replication_state_balances(
+        rv_counts in proptest::collection::vec(0u8..4, 3),
+        u in 0u8..4,
+        locs in proptest::collection::vec((0u32..9, 0u8..3), 0..8),
+    ) {
+        let rv = ReplicationVector::from_counts(&rv_counts, u);
+        let locations: Vec<Location> = locs
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, t))| Location {
+                worker: WorkerId(w),
+                media: MediaId(i as u32),
+                tier: TierId(t),
+            })
+            .collect();
+        let st = replication_state(rv, &locations);
+        let over: i64 = st.over.iter().map(|&(_, c)| c as i64).sum();
+        let under: i64 = st.total_under() as i64;
+        prop_assert_eq!(
+            under - over,
+            rv.total() as i64 - locations.len() as i64,
+            "under {} / over {} vs rv {} locs {}", under, over, rv.total(), locations.len()
+        );
+        if st.is_satisfied() {
+            prop_assert_eq!(rv.total() as usize, locations.len());
+        }
+    }
+
+    /// MOOP placement invariants: unique media, capacity respected, tier
+    /// pins honored, never more media than requested.
+    #[test]
+    fn moop_placement_invariants(
+        workers in 3u32..12,
+        racks in 1u16..4,
+        r in 1usize..6,
+        pin_tier in proptest::option::of(0u8..3),
+        mem_enabled in any::<bool>(),
+    ) {
+        let snap = ClusterSnapshot::synthetic(workers, racks, 2);
+        let cfg = PolicyConfig {
+            memory_placement_enabled: mem_enabled,
+            ..PolicyConfig::default()
+        };
+        let policy = GreedyPolicy::moop(cfg);
+        let mut req =
+            PlacementRequest::unspecified(r, 128 << 20, ClientLocation::OffCluster);
+        if let Some(t) = pin_tier {
+            req.tier_pins[0] = Some(TierId(t));
+        }
+        let placed = policy.place(&snap, &req).unwrap();
+        prop_assert!(placed.len() <= r);
+        // Uniqueness.
+        let mut dedup = placed.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), placed.len());
+        for (i, m) in placed.iter().enumerate() {
+            let stats = snap.media_stats(*m).unwrap();
+            prop_assert!(stats.remaining >= 128 << 20);
+            if i == 0 {
+                if let Some(t) = pin_tier {
+                    prop_assert_eq!(stats.tier, TierId(t));
+                }
+            }
+            if !mem_enabled && req.tier_pins[i].is_none() {
+                prop_assert_ne!(stats.tier, TierId(0), "volatile tier without opt-in");
+            }
+        }
+    }
+
+    /// Simulator conservation: every flow completes, completion times are
+    /// non-decreasing, and each flow takes at least bytes/total-capacity.
+    #[test]
+    fn simnet_flows_all_complete(
+        flows in proptest::collection::vec((1u64..100_000, 0usize..4, 0usize..4), 1..30),
+    ) {
+        let mut net = SimNet::new();
+        let res: Vec<_> =
+            (0..4).map(|i| net.add_resource(&format!("r{i}"), 1e6)).collect();
+        let mut sizes = std::collections::HashMap::new();
+        for &(bytes, a, b) in &flows {
+            let id = net.start_flow(bytes as f64, vec![res[a], res[b]]);
+            sizes.insert(id, bytes);
+        }
+        let mut done = 0;
+        let mut last = 0.0f64;
+        while let Some(e) = net.next_event() {
+            let t = e.time.as_secs_f64();
+            prop_assert!(t >= last - 1e-12);
+            last = t;
+            if let EventKind::FlowDone(f) = e.kind {
+                done += 1;
+                // A flow through a 1 MB/s resource needs at least
+                // bytes/1e6 seconds.
+                prop_assert!(t + 1e-6 >= sizes[&f] as f64 / 1e6);
+            }
+        }
+        prop_assert_eq!(done, flows.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Namespace quota accounting stays consistent under random
+    /// create/delete/set_replication sequences: directory usage equals the
+    /// sum over surviving files of len × pinned replicas.
+    #[test]
+    fn namespace_quota_accounting_consistent(
+        ops in proptest::collection::vec((0u8..3, 0usize..8, 0u8..3, 1u64..5), 1..40),
+    ) {
+        use octopusfs::master::Namespace;
+        let mut ns = Namespace::new();
+        ns.mkdir("/d", true).unwrap();
+        let mut live: std::collections::HashMap<usize, (ReplicationVector, u64)> =
+            std::collections::HashMap::new();
+        let mut next_block = 1u64;
+        for (op, slot, tier, len_units) in ops {
+            let path = format!("/d/f{slot}");
+            let len = len_units * 100;
+            match op {
+                0 => {
+                    // create (if absent) with 1 replica pinned to `tier`.
+                    live.entry(slot).or_insert_with(|| {
+                        let rv = ReplicationVector::EMPTY.with_tier(TierId(tier), 1);
+                        let f = ns.create_file(&path, rv, 1000).unwrap();
+                        ns.add_block(f, octopusfs::common::BlockId(next_block), len)
+                            .unwrap();
+                        next_block += 1;
+                        (rv, len)
+                    });
+                }
+                1 => {
+                    if live.remove(&slot).is_some() {
+                        ns.delete(&path, false).unwrap();
+                    }
+                }
+                _ => {
+                    if let Some((_, len)) = live.get(&slot).copied() {
+                        let rv = ReplicationVector::EMPTY.with_tier(TierId(tier), 2);
+                        ns.set_replication(&path, rv).unwrap();
+                        live.insert(slot, (rv, len));
+                    }
+                }
+            }
+        }
+        let (_, usage) = ns.quota_usage("/d").unwrap();
+        let mut expected = [0u64; 7];
+        for (rv, len) in live.values() {
+            for (t, c) in rv.iter_tiers() {
+                expected[t.0 as usize] += len * c as u64;
+            }
+        }
+        prop_assert_eq!(&usage[..], &expected[..]);
+    }
+}
+
+proptest! {
+    /// Pipeline flows never exceed the capacity of any traversed resource,
+    /// and the completion time is at least bytes / min-capacity.
+    #[test]
+    fn simnet_pipeline_bounded_by_slowest_stage(
+        caps in proptest::collection::vec(1.0f64..1000.0, 1..5),
+        bytes in 1.0f64..1e6,
+    ) {
+        let mut net = SimNet::new();
+        let res: Vec<_> = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| net.add_resource(&format!("r{i}"), c))
+            .collect();
+        let f = net.start_flow(bytes, res.clone());
+        let min_cap = caps.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!((net.flow_rate(f) - min_cap).abs() < 1e-6);
+        let e = net.next_event().unwrap();
+        let expected = bytes / min_cap;
+        prop_assert!((e.time.as_secs_f64() - expected).abs() < 1e-6 + expected * 1e-9);
+    }
+
+    /// The MOOP policy is deterministic given identical snapshots and
+    /// fresh policies (seeded tie-breaking), and insensitive to request
+    /// clones.
+    #[test]
+    fn moop_placement_is_deterministic(
+        workers in 3u32..10,
+        r in 1usize..4,
+    ) {
+        let snap = ClusterSnapshot::synthetic(workers, 2, 2);
+        let req = PlacementRequest::unspecified(r, 1 << 20, ClientLocation::OffCluster);
+        let a = GreedyPolicy::moop(PolicyConfig::default()).place(&snap, &req).unwrap();
+        let b = GreedyPolicy::moop(PolicyConfig::default()).place(&snap, &req.clone()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Wire codec: every MediaStats vector round-trips bit-exactly.
+    #[test]
+    fn wire_media_stats_round_trip(
+        stats in proptest::collection::vec(
+            (0u32..100, 0u32..10, 0u16..4, 0u8..3, 0u64..1 << 40, 0u32..50), 0..20)
+    ) {
+        use octopusfs::common::wire::{decode, encode};
+        use octopusfs::common::MediaStats;
+        let v: Vec<MediaStats> = stats
+            .into_iter()
+            .map(|(m, w, rk, t, cap, conn)| MediaStats {
+                media: MediaId(m),
+                worker: WorkerId(w),
+                rack: octopusfs::common::RackId(rk),
+                tier: TierId(t),
+                capacity: cap,
+                remaining: cap / 2,
+                nr_conn: conn,
+                write_thru: 1.5e8,
+                read_thru: 2.5e8,
+            })
+            .collect();
+        let enc = encode(&v);
+        let dec: Vec<MediaStats> = decode(&enc).unwrap();
+        prop_assert_eq!(dec, v);
+    }
+}
