@@ -9,9 +9,7 @@ fn bench_crc32(c: &mut Criterion) {
     for size in [4usize << 10, 64 << 10, 1 << 20] {
         let data: Vec<u8> = (0..size).map(|i| (i * 31) as u8).collect();
         g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("{}KB", size >> 10), |b| {
-            b.iter(|| crc32(black_box(&data)))
-        });
+        g.bench_function(format!("{}KB", size >> 10), |b| b.iter(|| crc32(black_box(&data))));
     }
     g.finish();
 }

@@ -9,8 +9,7 @@ use octopus_common::config::PolicyConfig;
 use octopus_common::{ClientLocation, MediaStats};
 use octopus_policies::objectives::{score, Objective, ObjectiveContext};
 use octopus_policies::{
-    ClusterSnapshot, GreedyPolicy, HdfsPolicy, PlacementPolicy, PlacementRequest,
-    RuleBasedPolicy,
+    ClusterSnapshot, GreedyPolicy, HdfsPolicy, PlacementPolicy, PlacementRequest, RuleBasedPolicy,
 };
 use std::hint::black_box;
 
@@ -47,8 +46,7 @@ fn bench_rack_pruning_ablation(c: &mut Criterion) {
     let snap = ClusterSnapshot::synthetic(30, 3, 3);
     let req = PlacementRequest::unspecified(3, 128 << 20, ClientLocation::OffCluster);
     for pruning in [true, false] {
-        let policy =
-            GreedyPolicy::moop(PolicyConfig { rack_pruning: pruning, ..mem_cfg() });
+        let policy = GreedyPolicy::moop(PolicyConfig { rack_pruning: pruning, ..mem_cfg() });
         g.bench_function(format!("pruning={pruning}"), |b| {
             b.iter(|| policy.place(black_box(&snap), black_box(&req)).unwrap())
         });

@@ -3,8 +3,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use octopus_common::wire::{decode, encode};
 use octopus_common::{
-    Block, BlockId, GenStamp, LocatedBlock, Location, MediaId, MediaStats, RackId, TierId,
-    WorkerId,
+    Block, BlockId, GenStamp, LocatedBlock, Location, MediaId, MediaStats, RackId, TierId, WorkerId,
 };
 use std::hint::black_box;
 
@@ -56,9 +55,7 @@ fn bench_wire(c: &mut Criterion) {
     let mut g = c.benchmark_group("wire/heartbeat_45_media");
     g.throughput(Throughput::Bytes(enc.len() as u64));
     g.bench_function("encode", |b| b.iter(|| encode(black_box(&stats))));
-    g.bench_function("decode", |b| {
-        b.iter(|| decode::<Vec<MediaStats>>(black_box(&enc)).unwrap())
-    });
+    g.bench_function("decode", |b| b.iter(|| decode::<Vec<MediaStats>>(black_box(&enc)).unwrap()));
     g.finish();
 }
 

@@ -26,8 +26,7 @@ impl DfsioResult {
         if self.reports.is_empty() {
             return 0.0;
         }
-        self.reports.iter().map(|r| r.throughput_mbps()).sum::<f64>()
-            / self.reports.len() as f64
+        self.reports.iter().map(|r| r.throughput_mbps()).sum::<f64>() / self.reports.len() as f64
     }
 
     /// Standard error of the per-task throughput mean, MB/s.
@@ -37,11 +36,7 @@ impl DfsioResult {
             return 0.0;
         }
         let mean = self.mean_task_mbps();
-        let var = self
-            .reports
-            .iter()
-            .map(|r| (r.throughput_mbps() - mean).powi(2))
-            .sum::<f64>()
+        let var = self.reports.iter().map(|r| (r.throughput_mbps() - mean).powi(2)).sum::<f64>()
             / (n - 1) as f64;
         (var / n as f64).sqrt()
     }
@@ -88,11 +83,7 @@ pub fn write_workload(
 /// from worker `(i + shift) mod n` — a non-zero `shift` de-correlates
 /// readers from the nodes that wrote the data, reproducing the paper's
 /// partial-locality read mix (§7.1 observed only ~1/3 local reads).
-pub fn read_workload(
-    sim: &mut SimCluster,
-    paths: &[String],
-    shift: u32,
-) -> Result<DfsioResult> {
+pub fn read_workload(sim: &mut SimCluster, paths: &[String], shift: u32) -> Result<DfsioResult> {
     let n = sim.master().snapshot().workers.len() as u32;
     let start = sim.now();
     let mut jobs = Vec::with_capacity(paths.len());
@@ -158,8 +149,7 @@ mod tests {
     fn sem_is_zero_for_single_task() {
         let mut s = sim();
         let (w, _) =
-            write_workload(&mut s, "/one", 1, 16 * MB, ReplicationVector::msh(0, 0, 3))
-                .unwrap();
+            write_workload(&mut s, "/one", 1, 16 * MB, ReplicationVector::msh(0, 0, 3)).unwrap();
         assert_eq!(w.sem_task_mbps(), 0.0);
     }
 }

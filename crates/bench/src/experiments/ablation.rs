@@ -21,9 +21,7 @@ fn variants() -> Vec<Variant> {
         label: "MOOP (full)",
         config: config_for_policy(PlacementPolicyKind::Moop),
     }];
-    for (i, label) in
-        [(0u8, "MOOP - DB"), (1, "MOOP - LB"), (2, "MOOP - FT"), (3, "MOOP - TM")]
-    {
+    for (i, label) in [(0u8, "MOOP - DB"), (1, "MOOP - LB"), (2, "MOOP - FT"), (3, "MOOP - TM")] {
         v.push(Variant {
             label,
             config: config_for_policy(PlacementPolicyKind::MoopDropObjective(i)),
@@ -43,9 +41,7 @@ fn variants() -> Vec<Variant> {
 fn fault_tolerance_stats(sim: &SimCluster) -> (f64, f64) {
     let master = sim.master();
     let snap = master.snapshot();
-    let rack_of = |w: octopus_common::WorkerId| {
-        snap.worker_stats(w).map(|s| s.rack)
-    };
+    let rack_of = |w: octopus_common::WorkerId| snap.worker_stats(w).map(|s| s.rack);
     let mut blocks = 0usize;
     let mut workers_sum = 0usize;
     let mut racks_sum = 0usize;

@@ -12,7 +12,6 @@ use octopus_common::config::PlacementPolicyKind;
 use octopus_common::{ClusterConfig, ReplicationVector, GB, MB};
 use octopus_core::{SimCluster, SimEvent};
 
-
 use crate::experiments::{fig3_policies, policy_label};
 use crate::table::{emit, f1, render};
 
@@ -80,11 +79,8 @@ fn drive_sampled(
         match sim.next_sim_event() {
             Some(SimEvent::Timer(1)) => {
                 let now = sim.now().as_secs_f64();
-                let bytes = if read_phase {
-                    sim.logical_bytes_read()
-                } else {
-                    sim.logical_bytes_written()
-                };
+                let bytes =
+                    if read_phase { sim.logical_bytes_read() } else { sim.logical_bytes_written() };
                 let rate =
                     (bytes - last_bytes) as f64 / (now - last_t).max(1e-9) / MB as f64 / workers;
                 series.push((now, rate));
@@ -133,17 +129,15 @@ pub fn run_config(config: octopus_common::ClusterConfig, label: &'static str) ->
     }
     let (write_series, capacity_series) = drive_sampled(&mut sim, workers, false);
     let write_reports = sim.reports();
-    let write_mean = write_reports.iter().map(|r| r.throughput_mbps()).sum::<f64>()
-        / write_reports.len() as f64;
+    let write_mean =
+        write_reports.iter().map(|r| r.throughput_mbps()).sum::<f64>() / write_reports.len() as f64;
 
     // Read phase.
     let read_start_jobs = sim.reports().len();
     for (i, path) in paths.iter().enumerate() {
         sim.submit_read(
             path,
-            octopus_common::ClientLocation::OnWorker(octopus_common::WorkerId(
-                (i as u32 + 3) % n,
-            )),
+            octopus_common::ClientLocation::OnWorker(octopus_common::WorkerId((i as u32 + 3) % n)),
         )
         .unwrap();
     }
@@ -152,14 +146,7 @@ pub fn run_config(config: octopus_common::ClusterConfig, label: &'static str) ->
     let read_mean = read_reports.iter().map(|r| r.throughput_mbps()).sum::<f64>()
         / read_reports.len().max(1) as f64;
 
-    PolicyRun {
-        label,
-        write_series,
-        read_series,
-        write_mean,
-        read_mean,
-        capacity_series,
-    }
+    PolicyRun { label, write_series, read_series, write_mean, read_mean, capacity_series }
 }
 
 /// Runs all eight policies (shared with Figure 4).
@@ -195,11 +182,7 @@ pub fn run() -> String {
     let runs = run_all_policies();
     let mut summary_rows = Vec::new();
     for r in &runs {
-        summary_rows.push(vec![
-            r.label.to_string(),
-            f1(r.write_mean),
-            f1(r.read_mean),
-        ]);
+        summary_rows.push(vec![r.label.to_string(), f1(r.write_mean), f1(r.read_mean)]);
     }
     let moop = runs.iter().find(|r| r.label == "MOOP").unwrap();
     let hdfs = runs.iter().find(|r| r.label == "Original HDFS").unwrap();

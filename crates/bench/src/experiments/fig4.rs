@@ -15,9 +15,7 @@ pub fn run() -> String {
         let rows: Vec<Vec<String>> = r
             .capacity_series
             .iter()
-            .map(|(t, caps)| {
-                vec![f1(*t), f1(caps[0]), f1(caps[1]), f1(caps[2])]
-            })
+            .map(|(t, caps)| vec![f1(*t), f1(caps[0]), f1(caps[1]), f1(caps[2])])
             .collect();
         out.push_str(&format!(
             "{}:\n{}\n",

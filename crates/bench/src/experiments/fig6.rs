@@ -32,10 +32,7 @@ pub fn run() -> String {
         "Figure 6 — normalized execution time with OctopusFS over HDFS\n\
          (lower is better; 1.00 = HDFS baseline)\n\n{}\n\
          Average improvement: Hadoop {:.0}%  Spark {:.0}%\n",
-        render(
-            &["Workload", "category", "Hadoop norm", "gain", "Spark norm", "gain"],
-            &rows
-        ),
+        render(&["Workload", "category", "Hadoop norm", "gain", "Spark norm", "gain"], &rows),
         avg(&gains.0) * 100.0,
         avg(&gains.1) * 100.0,
     );

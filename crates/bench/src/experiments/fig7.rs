@@ -17,9 +17,8 @@ pub fn run() -> String {
         }
         rows.push(row);
     }
-    let headers: Vec<&str> = std::iter::once("Workload")
-        .chain(PegasusMode::ALL.iter().map(|m| m.label()))
-        .collect();
+    let headers: Vec<&str> =
+        std::iter::once("Workload").chain(PegasusMode::ALL.iter().map(|m| m.label())).collect();
     let out = format!(
         "Figure 7 — normalized execution time of Pegasus workloads over HDFS\n\
          (lower is better; 1.00 = unmodified Pegasus on HDFS)\n\n{}",

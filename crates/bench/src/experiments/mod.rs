@@ -4,16 +4,16 @@
 //! `run_all` regenerates everything for EXPERIMENTS.md.
 
 pub mod ablation;
-pub mod scalability;
-pub mod usecase_sched;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod scalability;
 pub mod table2;
 pub mod table3;
+pub mod usecase_sched;
 
 /// The six replication vectors of Figure 2, with their paper labels.
 pub fn fig2_vectors() -> Vec<(&'static str, octopus_common::ReplicationVector)> {

@@ -66,8 +66,7 @@ pub fn run() -> String {
     let policy = GreedyPolicy::moop(mem_cfg());
     let req = PlacementRequest::unspecified(3, 128 << 20, ClientLocation::OffCluster);
     let placed = policy.place(&small, &req).unwrap();
-    let chosen: Vec<&MediaStats> =
-        placed.iter().map(|m| small.media_stats(*m).unwrap()).collect();
+    let chosen: Vec<&MediaStats> = placed.iter().map(|m| small.media_stats(*m).unwrap()).collect();
     let greedy_score = score(&chosen, &ctx, &Objective::ALL);
     let mut best = f64::INFINITY;
     let n = refs.len();
@@ -85,10 +84,7 @@ pub fn run() -> String {
          Latency vs replica count (9 workers, 45 media):\n{}\n\
          Greedy vs exhaustive (s = 9, r = 3): greedy score {:.4}, exhaustive optimum {:.4}\n\
          (lower is better; ratio {:.2}x — near-optimal, as §3.3 argues via OSP)\n",
-        render(
-            &["workers", "media (s)", "place µs", "µs per media", "vs s=45"],
-            &size_rows
-        ),
+        render(&["workers", "media (s)", "place µs", "µs per media", "vs s=45"], &size_rows),
         render(&["replicas (r)", "place µs"], &r_rows),
         greedy_score,
         best,

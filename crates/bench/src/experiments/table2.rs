@@ -12,11 +12,8 @@ use octopus_core::SimCluster;
 use crate::table::{emit, f1, render};
 
 /// Paper values for the three media types (write, read), MB/s.
-pub const PAPER: [(&str, f64, f64); 3] = [
-    ("Memory", 1897.4, 3224.8),
-    ("SSD", 340.6, 419.5),
-    ("HDD", 126.3, 177.1),
-];
+pub const PAPER: [(&str, f64, f64); 3] =
+    [("Memory", 1897.4, 3224.8), ("SSD", 340.6, 419.5), ("HDD", 126.3, 177.1)];
 
 /// Runs the experiment and returns the report text.
 pub fn run() -> String {
@@ -32,18 +29,9 @@ pub fn run() -> String {
         let w = sim.run_to_completion().last().unwrap().throughput_mbps();
         sim.submit_read("/probe", client).unwrap();
         let r = sim.run_to_completion().last().unwrap().throughput_mbps();
-        rows.push(vec![
-            name.to_string(),
-            f1(w),
-            f1(*paper_w),
-            f1(r),
-            f1(*paper_r),
-        ]);
+        rows.push(vec![name.to_string(), f1(w), f1(*paper_w), f1(r), f1(*paper_r)]);
     }
-    let body = render(
-        &["Media", "Write MB/s", "(paper)", "Read MB/s", "(paper)"],
-        &rows,
-    );
+    let body = render(&["Media", "Write MB/s", "(paper)", "Read MB/s", "(paper)"], &rows);
     let out = format!(
         "Table 2 — average write/read throughput per storage media\n\
          (node-local single-replica transfers against the calibrated device model)\n\n{body}"

@@ -64,10 +64,7 @@ pub fn run() -> String {
         "Use case (§6) — tier-aware MapReduce task scheduling over OctopusFS\n\
          (Hadoop, memory placement enabled; times in virtual seconds)\n\n{}\n\
          Average improvement from tier-aware scheduling: {:.0}%\n",
-        render(
-            &["Workload", "standard (s)", "tier-aware (s)", "norm", "gain"],
-            &rows
-        ),
+        render(&["Workload", "standard (s)", "tier-aware (s)", "norm", "gain"], &rows),
         avg * 100.0
     );
     emit("usecase_sched", &out);

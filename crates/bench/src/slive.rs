@@ -9,8 +9,8 @@
 use std::time::Instant;
 
 use octopus_common::{
-    ClientLocation, ClusterConfig, MediaId, MediaStats, RackId, ReplicationVector, Result,
-    TierId, WorkerId,
+    ClientLocation, ClusterConfig, MediaId, MediaStats, RackId, ReplicationVector, Result, TierId,
+    WorkerId,
 };
 use octopus_master::Master;
 
@@ -107,10 +107,7 @@ pub fn run_slive(master: &Master, ops: usize, rv: ReplicationVector) -> Result<S
 
     let rename = rate(ops, || {
         for i in 0..ops {
-            master.rename(
-                &format!("/slive/dirs/d{i}/f"),
-                &format!("/slive/dirs/d{i}/g"),
-            )?;
+            master.rename(&format!("/slive/dirs/d{i}/f"), &format!("/slive/dirs/d{i}/g"))?;
         }
         Ok(())
     })?;
@@ -135,8 +132,7 @@ mod tests {
     fn slive_runs_and_reports_positive_rates() {
         let config = ClusterConfig::paper_cluster_scaled(0.01);
         let master = boot_master(config).unwrap();
-        let r = run_slive(&master, 200, ReplicationVector::from_replication_factor(3))
-            .unwrap();
+        let r = run_slive(&master, 200, ReplicationVector::from_replication_factor(3)).unwrap();
         assert_eq!(r.rows.len(), 6);
         for (name, rate) in &r.rows {
             assert!(*rate > 0.0, "{name} rate must be positive");

@@ -60,10 +60,7 @@ mod tests {
     fn renders_aligned() {
         let t = render(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1.0".into()],
-                vec!["longer".into(), "22.5".into()],
-            ],
+            &[vec!["a".into(), "1.0".into()], vec!["longer".into(), "22.5".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -106,6 +106,59 @@ impl Default for PolicyConfig {
     }
 }
 
+/// Timeouts and retry tunables for the TCP RPC layer.
+///
+/// Every networked call observes these deadlines; nothing in the data or
+/// control path blocks forever on a dead peer. Retries apply only to
+/// transport-level failures of idempotent requests — application errors
+/// surface immediately (see `FsError::is_retryable`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RpcConfig {
+    /// TCP connect deadline, milliseconds.
+    pub connect_timeout_ms: u64,
+    /// Socket read deadline per response, milliseconds. Must cover a full
+    /// pipeline write downstream of the callee.
+    pub read_timeout_ms: u64,
+    /// Socket write deadline per request, milliseconds.
+    pub write_timeout_ms: u64,
+    /// Maximum retry attempts after the first try (idempotent requests
+    /// with transport failures only).
+    pub max_retries: u32,
+    /// Base backoff before the first retry, milliseconds; doubles per
+    /// attempt with jitter.
+    pub backoff_base_ms: u64,
+    /// Upper bound on a single backoff sleep, milliseconds.
+    pub backoff_max_ms: u64,
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout_ms: 1_000,
+            read_timeout_ms: 10_000,
+            write_timeout_ms: 10_000,
+            max_retries: 3,
+            backoff_base_ms: 10,
+            backoff_max_ms: 500,
+        }
+    }
+}
+
+impl RpcConfig {
+    /// Short deadlines for loopback tests: failures are detected in tens
+    /// of milliseconds instead of seconds.
+    pub fn fast_test() -> Self {
+        Self {
+            connect_timeout_ms: 250,
+            read_timeout_ms: 1_000,
+            write_timeout_ms: 1_000,
+            max_retries: 2,
+            backoff_base_ms: 2,
+            backoff_max_ms: 20,
+        }
+    }
+}
+
 /// Complete description of an OctopusFS cluster.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
@@ -323,12 +376,8 @@ mod tests {
         assert_eq!(topo.num_racks(), 3);
         assert_eq!(topo.num_workers(), 9);
         // HDD capacity per worker totals 400 GB.
-        let hdd: u64 = c.workers[0]
-            .media
-            .iter()
-            .filter(|m| m.tier == "HDD")
-            .map(|m| m.capacity)
-            .sum();
+        let hdd: u64 =
+            c.workers[0].media.iter().filter(|m| m.tier == "HDD").map(|m| m.capacity).sum();
         assert_eq!(hdd, 400 * GB);
     }
 

@@ -55,6 +55,23 @@ pub enum FsError {
     Config(String),
     /// Internal invariant violation; indicates a bug.
     Internal(String),
+    /// A networked operation did not complete within its deadline.
+    Timeout(String),
+    /// The remote endpoint could not be reached (refused, reset, or the
+    /// connection closed before a response arrived).
+    Unreachable(String),
+}
+
+impl FsError {
+    /// Whether retrying the *same* request against the *same* or another
+    /// endpoint can plausibly succeed. Only transport-level failures
+    /// qualify: timeouts, unreachable peers, and raw I/O errors. Every
+    /// application-level error (namespace, lease, quota, placement, …) is
+    /// deterministic for a given cluster state and must surface to the
+    /// caller instead of burning the retry budget.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, FsError::Timeout(_) | FsError::Unreachable(_) | FsError::Io(_))
+    }
 }
 
 impl fmt::Display for FsError {
@@ -71,10 +88,9 @@ impl fmt::Display for FsError {
             }
             FsError::PlacementFailed(m) => write!(f, "placement failed: {m}"),
             FsError::BlockUnavailable(m) => write!(f, "block unavailable: {m}"),
-            FsError::ChecksumMismatch { expected, actual } => write!(
-                f,
-                "checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
-            ),
+            FsError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: expected {expected:#010x}, got {actual:#010x}")
+            }
             FsError::OutOfCapacity(m) => write!(f, "out of capacity: {m}"),
             FsError::QuotaExceeded(m) => write!(f, "quota exceeded: {m}"),
             FsError::UnknownWorker(m) => write!(f, "unknown worker: {m}"),
@@ -86,6 +102,8 @@ impl fmt::Display for FsError {
             FsError::Io(m) => write!(f, "I/O error: {m}"),
             FsError::Config(m) => write!(f, "configuration error: {m}"),
             FsError::Internal(m) => write!(f, "internal error: {m}"),
+            FsError::Timeout(m) => write!(f, "timed out: {m}"),
+            FsError::Unreachable(m) => write!(f, "unreachable: {m}"),
         }
     }
 }
@@ -94,7 +112,19 @@ impl std::error::Error for FsError {}
 
 impl From<std::io::Error> for FsError {
     fn from(e: std::io::Error) -> Self {
-        FsError::Io(e.to_string())
+        use std::io::ErrorKind as K;
+        match e.kind() {
+            // `WouldBlock` is what a socket read returns when its
+            // SO_RCVTIMEO expires on some platforms; both mean "deadline".
+            K::TimedOut | K::WouldBlock => FsError::Timeout(e.to_string()),
+            K::ConnectionRefused
+            | K::ConnectionReset
+            | K::ConnectionAborted
+            | K::BrokenPipe
+            | K::NotConnected
+            | K::UnexpectedEof => FsError::Unreachable(e.to_string()),
+            _ => FsError::Io(e.to_string()),
+        }
     }
 }
 
@@ -120,5 +150,27 @@ mod tests {
         let io = std::io::Error::other("boom");
         let e: FsError = io.into();
         assert!(matches!(e, FsError::Io(m) if m.contains("boom")));
+    }
+
+    #[test]
+    fn io_error_kinds_classify() {
+        let timeout: FsError = std::io::Error::new(std::io::ErrorKind::TimedOut, "slow").into();
+        assert!(matches!(timeout, FsError::Timeout(_)));
+        let refused: FsError =
+            std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "down").into();
+        assert!(matches!(refused, FsError::Unreachable(_)));
+        let eof: FsError = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "cut").into();
+        assert!(matches!(eof, FsError::Unreachable(_)));
+    }
+
+    #[test]
+    fn retryability_separates_transport_from_application() {
+        assert!(FsError::Timeout("t".into()).is_retryable());
+        assert!(FsError::Unreachable("u".into()).is_retryable());
+        assert!(FsError::Io("i".into()).is_retryable());
+        assert!(!FsError::NotFound("/x".into()).is_retryable());
+        assert!(!FsError::LeaseConflict("held".into()).is_retryable());
+        assert!(!FsError::PlacementFailed("full".into()).is_retryable());
+        assert!(!FsError::ChecksumMismatch { expected: 1, actual: 2 }.is_retryable());
     }
 }

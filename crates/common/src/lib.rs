@@ -19,15 +19,15 @@ pub mod ids;
 pub mod repvector;
 pub mod stats;
 pub mod tier;
-pub mod wire;
 pub mod topology;
 pub mod units;
+pub mod wire;
 
 pub use block::{Block, BlockData, LocatedBlock, Location};
-pub use config::{ClusterConfig, MediaConfig, WorkerConfig};
+pub use config::{ClusterConfig, MediaConfig, RpcConfig, WorkerConfig};
 pub use error::{FsError, Result};
 pub use fstypes::{DirEntry, FileStatus};
-pub use ids::{BlockId, GenStamp, IdGenerator, INodeId, MediaId, WorkerId};
+pub use ids::{BlockId, GenStamp, INodeId, IdGenerator, MediaId, WorkerId};
 pub use repvector::{ReplicationVector, VectorDiff};
 pub use stats::{MediaStats, StorageTierReport, TierStats, WorkerStats};
 pub use tier::{StorageTier, TierId, TierRegistry, MAX_TIERS, UNSPECIFIED_SLOT};

@@ -38,9 +38,7 @@ use crate::tier::{StorageTier, TierId, MAX_TIERS, UNSPECIFIED_SLOT};
 /// assert_eq!(ReplicationVector::from_bits(v.to_bits()), v);
 /// assert_eq!(ReplicationVector::from_replication_factor(3).unspecified(), 3);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord)]
 pub struct ReplicationVector(u64);
 
 impl ReplicationVector {
@@ -141,9 +139,7 @@ impl ReplicationVector {
 
     /// Iterates `(TierId, count)` over tier slots with a non-zero count.
     pub fn iter_tiers(self) -> impl Iterator<Item = (TierId, u8)> {
-        (0..MAX_TIERS as u8)
-            .map(move |s| (TierId(s), self.slot(s)))
-            .filter(|&(_, c)| c > 0)
+        (0..MAX_TIERS as u8).map(move |s| (TierId(s), self.slot(s))).filter(|&(_, c)| c > 0)
     }
 
     /// Validates the vector against a cluster with `num_tiers` configured

@@ -22,9 +22,7 @@ pub const MAX_TIERS: usize = 7;
 pub const UNSPECIFIED_SLOT: u8 = 7;
 
 /// Identifier of a storage tier; also its replication-vector slot (0..=6).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TierId(pub u8);
 
 impl TierId {
@@ -169,9 +167,7 @@ impl TierRegistry {
 
     /// Looks up a tier by id.
     pub fn get(&self, id: TierId) -> Result<&TierInfo> {
-        self.tiers
-            .get(id.0 as usize)
-            .ok_or_else(|| FsError::UnknownTier(id.to_string()))
+        self.tiers.get(id.0 as usize).ok_or_else(|| FsError::UnknownTier(id.to_string()))
     }
 
     /// Looks up a tier by name.

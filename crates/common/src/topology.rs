@@ -13,9 +13,7 @@ use crate::error::{FsError, Result};
 use crate::ids::WorkerId;
 
 /// Identifier of a rack.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RackId(pub u16);
 
 impl fmt::Display for RackId {
@@ -94,10 +92,7 @@ impl Topology {
 
     /// The rack of a worker.
     pub fn rack_of(&self, worker: WorkerId) -> Result<RackId> {
-        self.racks
-            .get(&worker)
-            .copied()
-            .ok_or_else(|| FsError::UnknownWorker(worker.to_string()))
+        self.racks.get(&worker).copied().ok_or_else(|| FsError::UnknownWorker(worker.to_string()))
     }
 
     /// Number of registered workers (the paper's `n`).
@@ -120,10 +115,7 @@ impl Topology {
 
     /// All workers in a given rack, in id order.
     pub fn workers_in_rack(&self, rack: RackId) -> impl Iterator<Item = WorkerId> + '_ {
-        self.racks
-            .iter()
-            .filter(move |&(_, &r)| r == rack)
-            .map(|(&w, _)| w)
+        self.racks.iter().filter(move |&(_, &r)| r == rack).map(|(&w, _)| w)
     }
 
     /// Network distance between two workers.

@@ -51,6 +51,16 @@ impl<'a> WireReader<'a> {
     }
 }
 
+/// Decode-side cap on string and vector lengths. Encoding enforces the
+/// same bound: a `String` or `Vec` longer than this panics in [`Wire::put`]
+/// rather than silently truncating its `u32` length prefix — a message
+/// that cannot round-trip must never reach the wire.
+pub const MAX_SEQ_LEN: usize = 16_777_216;
+
+/// Cap on raw byte payloads ([`bytes::Bytes`]): one block (≤1 GiB here)
+/// plus headroom, matching the RPC layer's frame cap.
+pub const MAX_BYTES_LEN: usize = (1 << 30) + (1 << 20);
+
 /// Types that can cross the wire.
 pub trait Wire: Sized {
     /// Appends the encoding of `self` to `buf`.
@@ -101,19 +111,38 @@ impl Wire for bool {
 }
 
 impl Wire for String {
+    /// # Panics
+    /// If the string exceeds [`MAX_SEQ_LEN`] bytes (the decoder would
+    /// reject it, and a `u32` prefix cannot represent it faithfully).
     fn put(&self, buf: &mut Vec<u8>) {
+        assert!(
+            self.len() <= MAX_SEQ_LEN,
+            "wire string of {} bytes exceeds the {MAX_SEQ_LEN}-byte cap",
+            self.len()
+        );
         (self.len() as u32).put(buf);
         buf.extend_from_slice(self.as_bytes());
     }
     fn get(r: &mut WireReader<'_>) -> Result<Self> {
         let len = u32::get(r)? as usize;
+        if len > MAX_SEQ_LEN {
+            return Err(FsError::Io(format!("wire string length {len} too large")));
+        }
         let bytes = r.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|e| FsError::Io(e.to_string()))
     }
 }
 
 impl<T: Wire> Wire for Vec<T> {
+    /// # Panics
+    /// If the vector exceeds [`MAX_SEQ_LEN`] elements (mirrors the decode
+    /// cap; a longer vector would truncate its `u32` length prefix).
     fn put(&self, buf: &mut Vec<u8>) {
+        assert!(
+            self.len() <= MAX_SEQ_LEN,
+            "wire vector of {} elements exceeds the {MAX_SEQ_LEN}-element cap",
+            self.len()
+        );
         (self.len() as u32).put(buf);
         for item in self {
             item.put(buf);
@@ -122,7 +151,7 @@ impl<T: Wire> Wire for Vec<T> {
     fn get(r: &mut WireReader<'_>) -> Result<Self> {
         let len = u32::get(r)? as usize;
         // Defensive cap: a corrupted length must not allocate the world.
-        if len > 16_777_216 {
+        if len > MAX_SEQ_LEN {
             return Err(FsError::Io(format!("wire vector length {len} too large")));
         }
         let mut out = Vec::with_capacity(len.min(4096));
@@ -154,12 +183,23 @@ impl<T: Wire> Wire for Option<T> {
 
 /// Raw byte payloads (block data) — length-prefixed.
 impl Wire for bytes::Bytes {
+    /// # Panics
+    /// If the payload exceeds [`MAX_BYTES_LEN`] (larger than any legal
+    /// block, and unrepresentable in the RPC frame header).
     fn put(&self, buf: &mut Vec<u8>) {
+        assert!(
+            self.len() <= MAX_BYTES_LEN,
+            "wire byte payload of {} bytes exceeds the {MAX_BYTES_LEN}-byte cap",
+            self.len()
+        );
         (self.len() as u32).put(buf);
         buf.extend_from_slice(self);
     }
     fn get(r: &mut WireReader<'_>) -> Result<Self> {
         let len = u32::get(r)? as usize;
+        if len > MAX_BYTES_LEN {
+            return Err(FsError::Io(format!("wire byte payload length {len} too large")));
+        }
         Ok(bytes::Bytes::copy_from_slice(r.take(len)?))
     }
 }
@@ -223,11 +263,7 @@ impl Wire for LocatedBlock {
         self.locations.put(buf);
     }
     fn get(r: &mut WireReader<'_>) -> Result<Self> {
-        Ok(LocatedBlock {
-            block: Wire::get(r)?,
-            offset: Wire::get(r)?,
-            locations: Wire::get(r)?,
-        })
+        Ok(LocatedBlock { block: Wire::get(r)?, offset: Wire::get(r)?, locations: Wire::get(r)? })
     }
 }
 
@@ -378,11 +414,7 @@ impl Wire for StorageTierReport {
         self.volatile.put(buf);
     }
     fn get(r: &mut WireReader<'_>) -> Result<Self> {
-        Ok(StorageTierReport {
-            name: Wire::get(r)?,
-            stats: Wire::get(r)?,
-            volatile: Wire::get(r)?,
-        })
+        Ok(StorageTierReport { name: Wire::get(r)?, stats: Wire::get(r)?, volatile: Wire::get(r)? })
     }
 }
 
@@ -418,6 +450,8 @@ impl Wire for FsError {
             Io(m) => (18, m),
             Config(m) => (19, m),
             Internal(m) => (20, m),
+            Timeout(m) => (21, m),
+            Unreachable(m) => (22, m),
         };
         buf.push(tag);
         msg.to_string().put(buf);
@@ -450,6 +484,8 @@ impl Wire for FsError {
             18 => Io(m),
             19 => Config(m),
             20 => Internal(m),
+            21 => Timeout(m),
+            22 => Unreachable(m),
             t => return Err(FsError::Io(format!("bad error tag {t}"))),
         })
     }
@@ -505,19 +541,11 @@ mod tests {
     #[test]
     fn domain_types() {
         round_trip(Block { id: BlockId(7), gen: GenStamp(3), len: 1 << 30 });
-        round_trip(Location {
-            worker: WorkerId(4),
-            media: MediaId(19),
-            tier: TierId(2),
-        });
+        round_trip(Location { worker: WorkerId(4), media: MediaId(19), tier: TierId(2) });
         round_trip(LocatedBlock {
             block: Block { id: BlockId(1), gen: GenStamp(0), len: 10 },
             offset: 100,
-            locations: vec![Location {
-                worker: WorkerId(0),
-                media: MediaId(0),
-                tier: TierId(0),
-            }],
+            locations: vec![Location { worker: WorkerId(0), media: MediaId(0), tier: TierId(0) }],
         });
         round_trip(ReplicationVector::mshru(1, 2, 3, 0, 4));
         round_trip(FileStatus {
@@ -570,6 +598,41 @@ mod tests {
         round_trip(FsError::NotFound("/x".into()));
         round_trip(FsError::ChecksumMismatch { expected: 1, actual: 2 });
         round_trip(FsError::LeaseConflict("held".into()));
+        round_trip(FsError::Timeout("read deadline".into()));
+        round_trip(FsError::Unreachable("connection refused".into()));
+    }
+
+    #[test]
+    fn max_len_values_encode() {
+        // Values exactly at the cap round-trip; this also pins the cap
+        // constants so a decode/encode asymmetry cannot creep back in.
+        let s = "x".repeat(100);
+        round_trip(s);
+        assert_eq!(MAX_SEQ_LEN, 16_777_216);
+        assert!(MAX_BYTES_LEN > MAX_SEQ_LEN);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 16777216-byte cap")]
+    fn oversize_string_rejected_at_encode() {
+        let s = "y".repeat(MAX_SEQ_LEN + 1);
+        encode(&s);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 16777216-element cap")]
+    fn oversize_vector_rejected_at_encode() {
+        let v = vec![0u8; MAX_SEQ_LEN + 1];
+        encode(&v);
+    }
+
+    #[test]
+    fn oversize_bytes_rejected_at_decode() {
+        // An incoming payload claiming more than MAX_BYTES_LEN bytes is
+        // rejected before any allocation.
+        let mut buf = Vec::new();
+        ((MAX_BYTES_LEN as u32) + 1).put(&mut buf);
+        assert!(decode::<bytes::Bytes>(&buf).is_err());
     }
 
     #[test]

@@ -145,17 +145,11 @@ fn run_tasks(sim: &mut SimCluster, tasks: Vec<Task>, slots_per_node: usize) -> R
         return Ok(0.0);
     }
 
-    fn submit_write_stage(
-        sim: &mut SimCluster,
-        ctx: &TaskCtx,
-    ) -> Result<Option<JobId>> {
+    fn submit_write_stage(sim: &mut SimCluster, ctx: &TaskCtx) -> Result<Option<JobId>> {
         match &ctx.task.write {
-            Some((path, bytes, rv)) => Ok(Some(sim.submit_write(
-                path,
-                *bytes,
-                *rv,
-                ClientLocation::OnWorker(ctx.node),
-            )?)),
+            Some((path, bytes, rv)) => {
+                Ok(Some(sim.submit_write(path, *bytes, *rv, ClientLocation::OnWorker(ctx.node))?))
+            }
             None => Ok(None),
         }
     }
@@ -320,8 +314,7 @@ fn drain_jobs(sim: &mut SimCluster, mut outstanding: usize) -> Result<f64> {
 /// Executes one MapReduce job over the simulated cluster.
 pub fn run_job(sim: &mut SimCluster, spec: &JobSpec, cfg: &EngineConfig) -> Result<JobStats> {
     let mut stats = JobStats::default();
-    let nodes: Vec<WorkerId> =
-        sim.master().snapshot().workers.iter().map(|w| w.worker).collect();
+    let nodes: Vec<WorkerId> = sim.master().snapshot().workers.iter().map(|w| w.worker).collect();
     if nodes.is_empty() {
         return Err(FsError::NotReady("no live workers".into()));
     }
@@ -331,12 +324,8 @@ pub fn run_job(sim: &mut SimCluster, spec: &JobSpec, cfg: &EngineConfig) -> Resu
     let mut input_bytes = 0u64;
     let mut node_input: HashMap<WorkerId, u64> = HashMap::new();
     for path in &spec.input_paths {
-        let blocks = sim.master().get_file_block_locations(
-            path,
-            0,
-            u64::MAX,
-            ClientLocation::OffCluster,
-        )?;
+        let blocks =
+            sim.master().get_file_block_locations(path, 0, u64::MAX, ClientLocation::OffCluster)?;
         for lb in blocks {
             input_bytes += lb.block.len;
             let mut preferred: Vec<WorkerId> = lb.locations.iter().map(|l| l.worker).collect();
@@ -351,7 +340,9 @@ pub fn run_job(sim: &mut SimCluster, spec: &JobSpec, cfg: &EngineConfig) -> Resu
             map_tasks.push(Task {
                 preferred,
                 read: Some((path.clone(), lb.offset)),
-                cpu_secs: cfg.cpu_factor * spec.map_cpu_secs_per_mb * (lb.block.len as f64 / MB as f64),
+                cpu_secs: cfg.cpu_factor
+                    * spec.map_cpu_secs_per_mb
+                    * (lb.block.len as f64 / MB as f64),
                 write: None,
                 pipelined: cfg.pipelined_maps,
             });
@@ -362,8 +353,7 @@ pub fn run_job(sim: &mut SimCluster, spec: &JobSpec, cfg: &EngineConfig) -> Resu
     // ---- Shuffle phase -----------------------------------------------------
     let shuffle_bytes = (input_bytes as f64 * spec.shuffle_ratio) as u64;
     let reducers = spec.reducers.max(1) as usize;
-    let reduce_nodes: Vec<WorkerId> =
-        (0..reducers).map(|r| nodes[r % nodes.len()]).collect();
+    let reduce_nodes: Vec<WorkerId> = (0..reducers).map(|r| nodes[r % nodes.len()]).collect();
     let mut transfers = 0usize;
     if shuffle_bytes > 0 {
         for (&map_node, &bytes) in &node_input {
@@ -457,8 +447,7 @@ fn run_spark_stage(
         return run_job(sim, spec, &cfg);
     }
     let mut stats = JobStats::default();
-    let nodes: Vec<WorkerId> =
-        sim.master().snapshot().workers.iter().map(|w| w.worker).collect();
+    let nodes: Vec<WorkerId> = sim.master().snapshot().workers.iter().map(|w| w.worker).collect();
     // CPU over cached partitions, spread evenly.
     let first_input = &original.input_paths;
     let mut input_bytes = 0u64;
@@ -562,8 +551,8 @@ mod tests {
     fn run_job_produces_output_parts() {
         let mut s = sim();
         load_input(&mut s, &["/in/a", "/in/b"], GB / 4);
-        let stats = run_job(&mut s, &spec(&["/in/a", "/in/b"], "/out"), &EngineConfig::default())
-            .unwrap();
+        let stats =
+            run_job(&mut s, &spec(&["/in/a", "/in/b"], "/out"), &EngineConfig::default()).unwrap();
         assert!(stats.map_secs > 0.0);
         assert!(stats.shuffle_secs > 0.0);
         assert!(stats.reduce_secs > 0.0);
@@ -586,8 +575,8 @@ mod tests {
             ..spec(&[], "/c/job1")
         };
         j1.output_bytes = 128 * MB;
-        let stats = run_chain(&mut s, &[j1, j2], Platform::Hadoop, &EngineConfig::default())
-            .unwrap();
+        let stats =
+            run_chain(&mut s, &[j1, j2], Platform::Hadoop, &EngineConfig::default()).unwrap();
         assert_eq!(stats.len(), 2);
         // Job 1 read job 0's DFS output, so its map phase did real I/O.
         assert!(stats[1].map_secs > 0.0);

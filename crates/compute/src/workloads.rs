@@ -64,9 +64,7 @@ impl HiBenchWorkload {
             inputs.sort();
             let output_path = format!("/out/{}/job{}", self.name, j);
             let reducers = self.reducers;
-            prev_outputs = (0..reducers)
-                .map(|r| format!("{output_path}/part-{r}"))
-                .collect();
+            prev_outputs = (0..reducers).map(|r| format!("{output_path}/part-{r}")).collect();
             chain.push(JobSpec {
                 input_paths: inputs,
                 output_path,
@@ -291,10 +289,7 @@ mod tests {
         assert_eq!(chain[0].input_paths, vec!["/in/a", "/in/b"]);
         // Iterative: job 1 reads the original input plus job 0's parts.
         assert!(chain[1].input_paths.contains(&"/in/a".to_string()));
-        assert!(chain[1]
-            .input_paths
-            .iter()
-            .any(|p| p.starts_with("/out/Pagerank/job0/part-")));
+        assert!(chain[1].input_paths.iter().any(|p| p.starts_with("/out/Pagerank/job0/part-")));
         assert_eq!(chain[1].input_paths.len(), 2 + w.reducers as usize);
     }
 

@@ -4,8 +4,7 @@
 //! and §7.6.
 
 use octopus_compute::{
-    hibench_workloads, pegasus_workloads, run_hibench, run_pegasus, FsMode, PegasusMode,
-    Platform,
+    hibench_workloads, pegasus_workloads, run_hibench, run_pegasus, FsMode, PegasusMode, Platform,
 };
 
 fn workload(name: &str) -> octopus_compute::HiBenchWorkload {
@@ -18,10 +17,7 @@ fn sort_octopus_beats_hdfs_on_hadoop() {
     let hdfs = run_hibench(&w, Platform::Hadoop, FsMode::Hdfs).unwrap();
     let octo = run_hibench(&w, Platform::Hadoop, FsMode::OctopusFs).unwrap();
     assert!(hdfs > 0.0 && octo > 0.0);
-    assert!(
-        octo < hdfs,
-        "OctopusFS ({octo:.1}s) must beat HDFS ({hdfs:.1}s) on Sort"
-    );
+    assert!(octo < hdfs, "OctopusFS ({octo:.1}s) must beat HDFS ({hdfs:.1}s) on Sort");
 }
 
 #[test]

@@ -80,11 +80,7 @@ impl CacheManager {
 
     /// Paths currently cached (unordered).
     pub fn cached(&self) -> Vec<String> {
-        self.entries
-            .iter()
-            .filter(|(_, e)| e.cached)
-            .map(|(p, _)| p.clone())
-            .collect()
+        self.entries.iter().filter(|(_, e)| e.cached).map(|(p, _)| p.clone()).collect()
     }
 
     /// Records an access to `path`, promoting/evicting as needed. The

@@ -149,12 +149,7 @@ impl Client {
     /// Imports a file from a mounted external catalog into the cluster's
     /// tiers (the MixApart-style caching pattern of §2.4): reads through
     /// the mount and writes a tiered copy at `dst` with vector `rv`.
-    pub fn import_external(
-        &self,
-        src: &str,
-        dst: &str,
-        rv: ReplicationVector,
-    ) -> Result<()> {
+    pub fn import_external(&self, src: &str, dst: &str, rv: ReplicationVector) -> Result<()> {
         let data = self.master.read_external(src)?;
         self.write_file(dst, &data, rv)
     }
@@ -222,8 +217,7 @@ impl Client {
     /// Reads one block, trying replicas in policy order (§4.1: on failure,
     /// contact the next worker on the list).
     pub fn read_block(&self, lb: &LocatedBlock) -> Result<BlockData> {
-        let mut last_err =
-            FsError::BlockUnavailable(format!("{}: no replicas", lb.block.id));
+        let mut last_err = FsError::BlockUnavailable(format!("{}: no replicas", lb.block.id));
         for loc in &lb.locations {
             match self.try_read_replica(lb, loc) {
                 Ok(d) => return Ok(d),
@@ -263,9 +257,7 @@ impl Client {
             let res = (|| -> Result<()> {
                 let w = self.plane.worker(loc.worker)?;
                 let _net = match self.location {
-                    ClientLocation::OnWorker(me) if me == loc.worker && stored.is_empty() => {
-                        None
-                    }
+                    ClientLocation::OnWorker(me) if me == loc.worker && stored.is_empty() => None,
                     _ => Some(w.connect_net()),
                 };
                 w.write_block(loc.media, block, &data)
@@ -390,9 +382,7 @@ impl FileReader {
         let in_cache = self
             .cached
             .as_ref()
-            .filter(|(start, data)| {
-                self.pos >= *start && self.pos < *start + data.len() as u64
-            })
+            .filter(|(start, data)| self.pos >= *start && self.pos < *start + data.len() as u64)
             .is_some();
         if !in_cache {
             let lbs = self.client.get_file_block_locations(&self.path, self.pos, 1)?;

@@ -40,9 +40,7 @@ impl DataPlane {
         if self.dead.read().contains(&id) {
             return Err(FsError::UnknownWorker(format!("{id} is down")));
         }
-        self.workers
-            .get(id.0 as usize)
-            .ok_or_else(|| FsError::UnknownWorker(id.to_string()))
+        self.workers.get(id.0 as usize).ok_or_else(|| FsError::UnknownWorker(id.to_string()))
     }
 }
 
@@ -108,10 +106,7 @@ pub(crate) fn build_workers_for(
 /// Scans one master for replication work and executes the copy/delete
 /// tasks against the shared data plane (used by [`Cluster`] and
 /// [`crate::Federation`]).
-pub(crate) fn execute_replication_tasks(
-    master: &Master,
-    plane: &DataPlane,
-) -> Result<usize> {
+pub(crate) fn execute_replication_tasks(master: &Master, plane: &DataPlane) -> Result<usize> {
     let tasks = master.replication_scan();
     let n = tasks.len();
     for task in tasks {
@@ -201,10 +196,7 @@ impl Cluster {
 
     /// One worker.
     pub fn worker(&self, id: WorkerId) -> Result<&Arc<Worker>> {
-        self.plane
-            .workers
-            .get(id.0 as usize)
-            .ok_or_else(|| FsError::UnknownWorker(id.to_string()))
+        self.plane.workers.get(id.0 as usize).ok_or_else(|| FsError::UnknownWorker(id.to_string()))
     }
 
     /// A client at the given location.
@@ -220,9 +212,7 @@ impl Cluster {
     /// Advances the logical clock by one heartbeat interval and delivers
     /// heartbeats from every live worker.
     pub fn pump_heartbeats(&self) {
-        let now = self
-            .clock_ms
-            .fetch_add(self.master.config().heartbeat_ms, Ordering::Relaxed)
+        let now = self.clock_ms.fetch_add(self.master.config().heartbeat_ms, Ordering::Relaxed)
             + self.master.config().heartbeat_ms;
         let dead = self.plane.dead.read().clone();
         for w in &self.plane.workers {
@@ -363,8 +353,6 @@ impl Cluster {
                 return Ok(());
             }
         }
-        Err(FsError::Internal(format!(
-            "decommission of {id} did not converge within 64 rounds"
-        )))
+        Err(FsError::Internal(format!("decommission of {id} did not converge within 64 rounds")))
     }
 }

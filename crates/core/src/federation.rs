@@ -63,18 +63,16 @@ impl Federation {
                 return Err(FsError::Config(format!("bad volume prefix {v:?}")));
             }
             for other in &volumes[..i] {
-                if v.starts_with(&format!("{other}/")) || other.starts_with(&format!("{v}/"))
+                if v.starts_with(&format!("{other}/"))
+                    || other.starts_with(&format!("{v}/"))
                     || v == other
                 {
-                    return Err(FsError::Config(format!(
-                        "volume {v:?} overlaps {other:?}"
-                    )));
+                    return Err(FsError::Config(format!("volume {v:?} overlaps {other:?}")));
                 }
             }
         }
         let workers = build_workers_for(&config, &StorageMode::InMemory)?;
-        let plane =
-            Arc::new(DataPlane { workers, dead: RwLock::new(HashSet::new()) });
+        let plane = Arc::new(DataPlane { workers, dead: RwLock::new(HashSet::new()) });
         let heartbeat_ms = config.heartbeat_ms;
         let mut vols = Vec::with_capacity(volumes.len());
         for (i, v) in volumes.iter().enumerate() {
@@ -96,9 +94,7 @@ impl Federation {
     pub fn route(&self, path: &str) -> Result<&Arc<Master>> {
         self.volumes
             .iter()
-            .find(|(prefix, _)| {
-                path == prefix || path.starts_with(&format!("{prefix}/"))
-            })
+            .find(|(prefix, _)| path == prefix || path.starts_with(&format!("{prefix}/")))
             .map(|(_, m)| m)
             .ok_or_else(|| FsError::NotFound(format!("no federation volume owns {path}")))
     }
@@ -115,8 +111,7 @@ impl Federation {
 
     /// Delivers heartbeats from every worker to every master.
     pub fn pump_heartbeats(&self) {
-        let now =
-            self.clock_ms.fetch_add(self.heartbeat_ms, Ordering::Relaxed) + self.heartbeat_ms;
+        let now = self.clock_ms.fetch_add(self.heartbeat_ms, Ordering::Relaxed) + self.heartbeat_ms;
         for (_, master) in &self.volumes {
             for w in &self.plane.workers {
                 let (stats, conns) = w.heartbeat_stats();
@@ -207,10 +202,7 @@ impl FederatedClient {
     /// Tier reports (identical across volumes — the workers are shared;
     /// served by the first volume's master).
     pub fn get_storage_tier_reports(&self) -> Vec<StorageTierReport> {
-        self.volumes
-            .first()
-            .map(|(_, c)| c.get_storage_tier_reports())
-            .unwrap_or_default()
+        self.volumes.first().map(|(_, c)| c.get_storage_tier_reports()).unwrap_or_default()
     }
 
     /// Renames within one volume (cross-volume renames are rejected, as

@@ -2,18 +2,26 @@
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::Bytes;
 
+use octopus_common::checksum::crc32;
 use octopus_common::{
     BlockData, ClientLocation, DirEntry, FileStatus, FsError, LocatedBlock, ReplicationVector,
-    Result, StorageTierReport,
+    Result, RpcConfig, StorageTierReport, WorkerId,
 };
 
 use super::proto::{MasterRequest, MasterResponse, WorkerRequest, WorkerResponse};
-use super::worker_server::{call_master, call_worker, AddressMap};
+use super::rpc::{self, RpcClient};
+use super::worker_server::AddressMap;
 
 static NEXT_HOLDER: AtomicU64 = AtomicU64::new(1 << 32);
+
+/// How many placements a single block write tries before giving up; each
+/// failed attempt adds that pipeline's first worker to the exclusion list
+/// of the next `AddBlock` (§3.1 pipeline recovery).
+const MAX_PIPELINE_ATTEMPTS: usize = 4;
 
 /// A networked OctopusFS client.
 #[derive(Clone)]
@@ -22,6 +30,7 @@ pub struct RemoteFs {
     workers: AddressMap,
     location: ClientLocation,
     holder: u64,
+    rpc: Arc<RpcClient>,
 }
 
 impl RemoteFs {
@@ -33,7 +42,15 @@ impl RemoteFs {
             workers,
             location,
             holder: NEXT_HOLDER.fetch_add(1, Ordering::Relaxed),
+            rpc: Arc::clone(rpc::shared()),
         }
+    }
+
+    /// Replaces the RPC deadlines/retry budget with a dedicated client
+    /// (tests use [`RpcConfig::fast_test`] to detect failures quickly).
+    pub fn with_rpc_config(mut self, cfg: RpcConfig) -> Self {
+        self.rpc = Arc::new(RpcClient::new(cfg));
+        self
     }
 
     /// Connects to a master by address alone, fetching the worker
@@ -67,15 +84,15 @@ impl RemoteFs {
     }
 
     fn call(&self, req: MasterRequest) -> Result<MasterResponse> {
-        call_master(self.master, &req)
+        self.rpc.call_master(self.master, &req)
     }
 
-    fn worker_addr(&self, w: octopus_common::WorkerId) -> Result<SocketAddr> {
-        self.workers
-            .read()
-            .get(&w)
-            .copied()
-            .ok_or_else(|| FsError::UnknownWorker(w.to_string()))
+    fn call_worker(&self, addr: SocketAddr, req: &WorkerRequest) -> Result<WorkerResponse> {
+        self.rpc.call_worker(addr, req)
+    }
+
+    fn worker_addr(&self, w: WorkerId) -> Result<SocketAddr> {
+        self.workers.read().get(&w).copied().ok_or_else(|| FsError::UnknownWorker(w.to_string()))
     }
 
     /// Creates a directory and parents.
@@ -110,9 +127,12 @@ impl RemoteFs {
             MasterResponse::Dropped(d) => d,
             r => return Err(FsError::Io(format!("unexpected response {r:?}"))),
         };
+        // Best-effort: a worker that is down misses its invalidation here,
+        // but the master has already dropped the blocks from the block map,
+        // so the replica is purged by the worker's next block report.
         for (block, loc) in dropped {
             if let Ok(addr) = self.worker_addr(loc.worker) {
-                let _ = call_worker(addr, &WorkerRequest::DeleteBlock(loc.media, block));
+                let _ = self.call_worker(addr, &WorkerRequest::DeleteBlock(loc.media, block));
             }
         }
         Ok(())
@@ -149,60 +169,77 @@ impl RemoteFs {
 
     /// Creates `path` and writes `data` through worker pipelines (§3.1).
     pub fn write_file(&self, path: &str, data: &[u8], rv: ReplicationVector) -> Result<()> {
-        let status = match self.call(MasterRequest::CreateFile(
-            path.into(),
-            rv,
-            None,
-            self.holder,
-        ))? {
-            MasterResponse::Status(s) => s,
-            r => return Err(FsError::Io(format!("unexpected response {r:?}"))),
-        };
+        let status =
+            match self.call(MasterRequest::CreateFile(path.into(), rv, None, self.holder))? {
+                MasterResponse::Status(s) => s,
+                r => return Err(FsError::Io(format!("unexpected response {r:?}"))),
+            };
         let block_size = status.block_size as usize;
+        // Zero-length files have no blocks: the loop body never runs and
+        // the file is closed immediately below.
         let mut offset = 0;
-        while offset < data.len() || (data.is_empty() && offset == 0 && false) {
+        while offset < data.len() {
             let end = (offset + block_size).min(data.len());
             let chunk = Bytes::copy_from_slice(&data[offset..end]);
             self.write_one_block(path, chunk)?;
             offset = end;
         }
-        if data.is_empty() {
-            // Zero-length files have no blocks; just close.
-        }
         self.call(MasterRequest::CompleteFile(path.into(), self.holder)).map(|_| ())
     }
 
+    /// Writes one block through a worker pipeline, recovering from stage
+    /// failures (§3.1): when the pipeline's entry worker fails with a
+    /// transport error, the partially-written block is abandoned at the
+    /// master and a fresh placement is requested that excludes every
+    /// worker a previous attempt already failed on.
     fn write_one_block(&self, path: &str, payload: Bytes) -> Result<()> {
         let len = payload.len() as u64;
-        let (block, pipeline) = match self.call(MasterRequest::AddBlock(
-            path.into(),
-            len,
-            self.location,
-            self.holder,
-        ))? {
-            MasterResponse::Allocated(b, p) => (b, p),
-            r => return Err(FsError::Io(format!("unexpected response {r:?}"))),
-        };
-        let Some((first, rest)) = pipeline.split_first() else {
-            return Err(FsError::PlacementFailed(format!("empty pipeline for {path}")));
-        };
-        let addr = self.worker_addr(first.worker)?;
-        match call_worker(
-            addr,
-            &WorkerRequest::WriteBlock(
-                block,
-                first.media,
-                rest.to_vec(),
-                BlockData::Real(payload),
-            ),
-        )? {
-            WorkerResponse::Stored(locs) if !locs.is_empty() => Ok(()),
-            WorkerResponse::Stored(_) => Err(FsError::BlockUnavailable(format!(
-                "no pipeline stage stored block {}",
-                block.id
-            ))),
-            r => Err(FsError::Io(format!("unexpected response {r:?}"))),
+        let mut excluded: Vec<WorkerId> = Vec::new();
+        let mut last_err = FsError::PlacementFailed(format!("no pipeline attempted for {path}"));
+        for _ in 0..MAX_PIPELINE_ATTEMPTS {
+            let (block, pipeline) = match self.call(MasterRequest::AddBlock(
+                path.into(),
+                len,
+                self.location,
+                self.holder,
+                excluded.clone(),
+            ))? {
+                MasterResponse::Allocated(b, p) => (b, p),
+                r => return Err(FsError::Io(format!("unexpected response {r:?}"))),
+            };
+            let Some((first, rest)) = pipeline.split_first() else {
+                return Err(FsError::PlacementFailed(format!("empty pipeline for {path}")));
+            };
+            let attempt = self.worker_addr(first.worker).and_then(|addr| {
+                self.call_worker(
+                    addr,
+                    &WorkerRequest::WriteBlock(
+                        block,
+                        first.media,
+                        rest.to_vec(),
+                        BlockData::Real(payload.clone()),
+                    ),
+                )
+            });
+            match attempt {
+                Ok(WorkerResponse::Stored(locs)) if !locs.is_empty() => return Ok(()),
+                Ok(WorkerResponse::Stored(_)) => {
+                    last_err = FsError::BlockUnavailable(format!(
+                        "no pipeline stage stored block {}",
+                        block.id
+                    ));
+                }
+                Ok(r) => return Err(FsError::Io(format!("unexpected response {r:?}"))),
+                Err(e) if e.is_retryable() => last_err = e,
+                Err(e) => return Err(e),
+            }
+            // The entry worker failed (or nothing was stored): release the
+            // allocated block so the file has no dangling last block, then
+            // re-request placement avoiding the failed worker.
+            let _ = self.call(MasterRequest::AbandonBlock(path.into(), block, self.holder));
+            excluded.push(first.worker);
         }
+        Err(last_err)
     }
 
     /// Reads a whole file, failing over across replicas (§4.1).
@@ -220,19 +257,24 @@ impl RemoteFs {
     }
 
     fn read_block(&self, lb: &LocatedBlock) -> Result<Bytes> {
-        let mut last_err =
-            FsError::BlockUnavailable(format!("{}: no replicas", lb.block.id));
+        let mut last_err = FsError::BlockUnavailable(format!("{}: no replicas", lb.block.id));
         for loc in &lb.locations {
             let attempt = self.worker_addr(loc.worker).and_then(|addr| {
-                call_worker(addr, &WorkerRequest::ReadBlock(loc.media, lb.block.id))
+                self.call_worker(addr, &WorkerRequest::ReadBlock(loc.media, lb.block.id))
             });
             match attempt {
-                Ok(WorkerResponse::Data(BlockData::Real(b)))
+                Ok(WorkerResponse::Data(BlockData::Real(b), sum))
                     if b.len() as u64 == lb.block.len =>
                 {
-                    return Ok(b)
+                    // Verify against the checksum recorded at write time:
+                    // catches both a corrupt replica and bytes damaged in
+                    // flight; either way the next replica is tried (§4.1).
+                    if crc32(&b) == sum {
+                        return Ok(b);
+                    }
+                    last_err = FsError::ChecksumMismatch { expected: sum, actual: crc32(&b) };
                 }
-                Ok(WorkerResponse::Data(d)) => {
+                Ok(WorkerResponse::Data(d, _)) => {
                     last_err = FsError::BlockUnavailable(format!(
                         "{}: replica length {} != {}",
                         lb.block.id,

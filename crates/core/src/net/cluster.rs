@@ -16,20 +16,70 @@ use octopus_master::Master;
 
 use super::client::RemoteFs;
 use super::master_server::MasterServer;
-use super::proto::MasterRequest;
+use super::proto::{MasterRequest, MasterResponse};
 use super::worker_server::{call_master, AddressMap, WorkerServer};
 use crate::cluster::{build_workers_for, StorageMode};
 use crate::worker::Worker;
+
+/// Heartbeats between full block reports in the background threads.
+const BEATS_PER_REPORT: u64 = 8;
 
 /// A running networked cluster (loopback TCP).
 pub struct NetCluster {
     master: Arc<Master>,
     master_server: MasterServer,
-    worker_servers: Vec<WorkerServer>,
+    worker_servers: Vec<Option<WorkerServer>>,
     workers: Vec<Arc<Worker>>,
     addrs: AddressMap,
-    hb_stop: Arc<AtomicBool>,
-    hb_threads: Vec<JoinHandle<()>>,
+    heartbeat_ms: u64,
+    epoch: Instant,
+    hb_stops: Vec<Arc<AtomicBool>>,
+    hb_threads: Vec<Option<JoinHandle<()>>>,
+}
+
+/// Sends one full block report for `w` and applies the master's
+/// invalidation reply (replicas the master no longer tracks — e.g. a
+/// delete the worker missed while offline, §5). Returns replicas dropped.
+fn report_blocks(master_addr: SocketAddr, w: &Worker) -> Result<u32> {
+    let mut dropped = 0;
+    if let MasterResponse::Invalidate(stale) =
+        call_master(master_addr, &MasterRequest::BlockReport(w.id(), w.block_report()))?
+    {
+        for b in stale {
+            dropped += w.invalidate_block(b);
+        }
+    }
+    Ok(dropped)
+}
+
+/// Spawns one background heartbeat thread, with a periodic block report
+/// every [`BEATS_PER_REPORT`] beats.
+fn spawn_heartbeat(
+    master_addr: SocketAddr,
+    w: Arc<Worker>,
+    epoch: Instant,
+    heartbeat_ms: u64,
+    stop: Arc<AtomicBool>,
+) -> Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name(format!("octopus-{}-hb", w.id()))
+        .spawn(move || {
+            let mut beats = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(heartbeat_ms));
+                let now_ms = epoch.elapsed().as_millis() as u64;
+                let (stats, conns) = w.heartbeat_stats();
+                let _ = call_master(
+                    master_addr,
+                    &MasterRequest::Heartbeat(w.id(), stats, conns, now_ms),
+                );
+                beats += 1;
+                if beats.is_multiple_of(BEATS_PER_REPORT) {
+                    let _ = report_blocks(master_addr, &w);
+                }
+            }
+        })
+        .map_err(|e| octopus_common::FsError::Io(e.to_string()))
 }
 
 impl NetCluster {
@@ -51,10 +101,9 @@ impl NetCluster {
         let addrs: AddressMap = Arc::new(RwLock::new(HashMap::new()));
         let mut worker_servers = Vec::with_capacity(workers.len());
         for w in &workers {
-            let server =
-                WorkerServer::spawn(Arc::clone(w), master_addr, Arc::clone(&addrs))?;
+            let server = WorkerServer::spawn(Arc::clone(w), master_addr, Arc::clone(&addrs))?;
             addrs.write().insert(w.id(), server.addr());
-            worker_servers.push(server);
+            worker_servers.push(Some(server));
         }
 
         // Register + first heartbeat + block report over real RPC.
@@ -70,27 +119,21 @@ impl NetCluster {
             call_master(master_addr, &MasterRequest::BlockReport(w.id(), w.block_report()))?;
         }
 
-        // Background heartbeat threads.
-        let hb_stop = Arc::new(AtomicBool::new(false));
-        let mut hb_threads = Vec::new();
+        // Background heartbeat threads, one stop flag each so a single
+        // worker can be taken down (fault tests) without pausing the rest.
+        let mut hb_stops = Vec::with_capacity(workers.len());
+        let mut hb_threads = Vec::with_capacity(workers.len());
         for w in &workers {
-            let w = Arc::clone(w);
-            let stop = Arc::clone(&hb_stop);
-            let handle = std::thread::Builder::new()
-                .name(format!("octopus-{}-hb", w.id()))
-                .spawn(move || {
-                    while !stop.load(Ordering::Relaxed) {
-                        std::thread::sleep(std::time::Duration::from_millis(heartbeat_ms));
-                        let now_ms = epoch.elapsed().as_millis() as u64;
-                        let (stats, conns) = w.heartbeat_stats();
-                        let _ = call_master(
-                            master_addr,
-                            &MasterRequest::Heartbeat(w.id(), stats, conns, now_ms),
-                        );
-                    }
-                })
-                .map_err(|e| octopus_common::FsError::Io(e.to_string()))?;
-            hb_threads.push(handle);
+            let stop = Arc::new(AtomicBool::new(false));
+            let handle = spawn_heartbeat(
+                master_addr,
+                Arc::clone(w),
+                epoch,
+                heartbeat_ms,
+                Arc::clone(&stop),
+            )?;
+            hb_stops.push(stop);
+            hb_threads.push(Some(handle));
         }
 
         Ok(Self {
@@ -99,7 +142,9 @@ impl NetCluster {
             worker_servers,
             workers,
             addrs,
-            hb_stop,
+            heartbeat_ms,
+            epoch,
+            hb_stops,
             hb_threads,
         })
     }
@@ -129,6 +174,13 @@ impl NetCluster {
         RemoteFs::new(self.master_addr(), Arc::clone(&self.addrs), location)
     }
 
+    /// Advances the master's failure detector to the cluster's current
+    /// clock, returning workers newly declared dead (their replicas become
+    /// re-replication candidates).
+    pub fn tick(&self) -> Vec<WorkerId> {
+        self.master.tick(self.epoch.elapsed().as_millis() as u64)
+    }
+
     /// Runs one replication round over RPC (§5) — see
     /// [`super::monitor::run_replication_round`].
     pub fn run_replication_round(&self) -> Result<usize> {
@@ -142,13 +194,80 @@ impl NetCluster {
         super::monitor::run_scrub_round(&snapshot)
     }
 
-    /// Stops heartbeats and servers.
-    pub fn shutdown(&mut self) {
-        self.hb_stop.store(true, Ordering::Relaxed);
-        for h in self.hb_threads.drain(..) {
+    /// Sends a block report for every worker whose server is up and
+    /// applies the master's invalidations, returning replicas dropped —
+    /// the same reconciliation the heartbeat threads run periodically,
+    /// exposed so tests don't have to wait for it.
+    pub fn run_block_report_round(&self) -> Result<u32> {
+        let mut dropped = 0;
+        for (i, w) in self.workers.iter().enumerate() {
+            if self.worker_servers[i].is_some() {
+                dropped += report_blocks(self.master_addr(), w)?;
+            }
+        }
+        Ok(dropped)
+    }
+
+    /// Simulates a worker crash: stops its heartbeats and data server
+    /// (severing live connections). The address registry keeps the stale
+    /// entry, as a real cluster would until re-registration.
+    pub fn kill_worker(&mut self, idx: usize) {
+        self.hb_stops[idx].store(true, Ordering::Relaxed);
+        if let Some(h) = self.hb_threads[idx].take() {
             let _ = h.join();
         }
-        for s in &mut self.worker_servers {
+        if let Some(mut s) = self.worker_servers[idx].take() {
+            s.shutdown();
+        }
+    }
+
+    /// Restarts a killed worker: new data server (fresh port),
+    /// re-registration with the master, a block report (reconciling
+    /// anything missed while down), and resumed heartbeats.
+    pub fn restart_worker(&mut self, idx: usize) -> Result<()> {
+        if self.worker_servers[idx].is_some() {
+            return Ok(());
+        }
+        let w = &self.workers[idx];
+        let master_addr = self.master_addr();
+        let server = WorkerServer::spawn(Arc::clone(w), master_addr, Arc::clone(&self.addrs))?;
+        self.addrs.write().insert(w.id(), server.addr());
+        call_master(
+            master_addr,
+            &MasterRequest::RegisterWorker(
+                w.id(),
+                w.rack(),
+                w.net_bps(),
+                0,
+                server.addr().to_string(),
+            ),
+        )?;
+        let (stats, conns) = w.heartbeat_stats();
+        let now_ms = self.epoch.elapsed().as_millis() as u64;
+        call_master(master_addr, &MasterRequest::Heartbeat(w.id(), stats, conns, now_ms))?;
+        report_blocks(master_addr, w)?;
+        self.worker_servers[idx] = Some(server);
+        let stop = Arc::new(AtomicBool::new(false));
+        self.hb_threads[idx] = Some(spawn_heartbeat(
+            master_addr,
+            Arc::clone(w),
+            self.epoch,
+            self.heartbeat_ms,
+            Arc::clone(&stop),
+        )?);
+        self.hb_stops[idx] = stop;
+        Ok(())
+    }
+
+    /// Stops heartbeats and servers.
+    pub fn shutdown(&mut self) {
+        for stop in &self.hb_stops {
+            stop.store(true, Ordering::Relaxed);
+        }
+        for h in self.hb_threads.iter_mut().filter_map(Option::take) {
+            let _ = h.join();
+        }
+        for mut s in self.worker_servers.iter_mut().filter_map(Option::take) {
             s.shutdown();
         }
         self.master_server.shutdown();

@@ -2,9 +2,9 @@
 //! dispatches [`MasterRequest`]s onto an [`octopus_master::Master`].
 
 use std::collections::HashMap;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use parking_lot::RwLock;
@@ -13,8 +13,12 @@ use octopus_common::wire::decode;
 use octopus_common::{Result, WorkerId};
 use octopus_master::{ClientId, Master};
 
-use super::frame::{read_frame, write_frame};
+use super::faults;
+use super::frame::read_frame;
 use super::proto::{encode_result, MasterRequest, MasterResponse};
+
+/// Open connections, retained so shutdown can sever them.
+type ConnSet = Arc<Mutex<Vec<TcpStream>>>;
 
 /// Server-side state: the master plus the registry of worker data-server
 /// addresses (populated by `RegisterWorker`, served by `WorkerAddresses`).
@@ -45,6 +49,7 @@ pub struct MasterServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     state: Arc<MasterState>,
+    conns: ConnSet,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -61,16 +66,15 @@ impl MasterServer {
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
-        let state = Arc::new(MasterState {
-            master,
-            addrs: Arc::new(RwLock::new(HashMap::new())),
-        });
+        let state = Arc::new(MasterState { master, addrs: Arc::new(RwLock::new(HashMap::new())) });
         let loop_state = Arc::clone(&state);
+        let conns: ConnSet = Arc::new(Mutex::new(Vec::new()));
+        let conn_set = Arc::clone(&conns);
         let handle = std::thread::Builder::new()
             .name("octopus-master-rpc".into())
-            .spawn(move || accept_loop(listener, loop_state, flag))
+            .spawn(move || accept_loop(listener, addr, loop_state, flag, conn_set))
             .map_err(|e| octopus_common::FsError::Io(e.to_string()))?;
-        Ok(Self { addr, shutdown, state, handle: Some(handle) })
+        Ok(Self { addr, shutdown, state, conns, handle: Some(handle) })
     }
 
     /// The server's shared state (master + worker-address registry).
@@ -83,11 +87,15 @@ impl MasterServer {
         self.addr
     }
 
-    /// Stops accepting connections and joins the accept loop.
+    /// Stops accepting connections, joins the accept loop, and severs
+    /// open connections so in-flight callers fail fast.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
+        }
+        for s in self.conns.lock().unwrap().drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
         }
     }
 }
@@ -98,15 +106,28 @@ impl Drop for MasterServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, state: Arc<MasterState>, shutdown: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    server_addr: SocketAddr,
+    state: Arc<MasterState>,
+    shutdown: Arc<AtomicBool>,
+    conns: ConnSet,
+) {
     while !shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let state = Arc::clone(&state);
                 let _ = stream.set_nodelay(true);
+                if let Ok(clone) = stream.try_clone() {
+                    let mut set = conns.lock().unwrap();
+                    if set.len() > 32 {
+                        set.retain(|s| s.peer_addr().is_ok());
+                    }
+                    set.push(clone);
+                }
                 let _ = std::thread::Builder::new()
                     .name("octopus-master-conn".into())
-                    .spawn(move || connection_loop(stream, state));
+                    .spawn(move || connection_loop(stream, server_addr, state));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(std::time::Duration::from_millis(5));
@@ -116,7 +137,7 @@ fn accept_loop(listener: TcpListener, state: Arc<MasterState>, shutdown: Arc<Ato
     }
 }
 
-fn connection_loop(mut stream: TcpStream, state: Arc<MasterState>) {
+fn connection_loop(mut stream: TcpStream, server_addr: SocketAddr, state: Arc<MasterState>) {
     let _ = stream.set_nonblocking(false);
     loop {
         let frame = match read_frame(&mut stream) {
@@ -124,8 +145,9 @@ fn connection_loop(mut stream: TcpStream, state: Arc<MasterState>) {
             Ok(None) | Err(_) => return,
         };
         let result = decode::<MasterRequest>(&frame).and_then(|req| dispatch(&state, req));
-        if write_frame(&mut stream, &encode_result(&result)).is_err() {
-            return;
+        match faults::write_response(server_addr, &mut stream, &encode_result(&result)) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
         }
     }
 }
@@ -143,9 +165,14 @@ pub fn dispatch(state: &MasterState, req: MasterRequest) -> Result<MasterRespons
         Q::CreateFile(path, rv, bs, holder) => {
             A::Status(master.create_file_as(&path, rv, bs, ClientId(holder))?)
         }
-        Q::AddBlock(path, len, client, holder) => {
-            let (block, pipeline) = master.add_block_as(&path, len, client, ClientId(holder))?;
+        Q::AddBlock(path, len, client, holder, excluded) => {
+            let (block, pipeline) =
+                master.add_block_excluding(&path, len, client, ClientId(holder), &excluded)?;
             A::Allocated(block, pipeline)
+        }
+        Q::AbandonBlock(path, block, holder) => {
+            master.abandon_block_as(&path, block, ClientId(holder))?;
+            A::Unit
         }
         Q::CommitReplica(block, loc) => {
             master.commit_replica(block, loc)?;
@@ -159,9 +186,7 @@ pub fn dispatch(state: &MasterState, req: MasterRequest) -> Result<MasterRespons
             master.complete_file_as(&path, ClientId(holder))?;
             A::Unit
         }
-        Q::AppendFile(path, holder) => {
-            A::Status(master.append_file_as(&path, ClientId(holder))?)
-        }
+        Q::AppendFile(path, holder) => A::Status(master.append_file_as(&path, ClientId(holder))?),
         Q::GetBlockLocations(path, start, len, client) => {
             A::Located(master.get_file_block_locations(&path, start, len, client)?)
         }
@@ -184,9 +209,7 @@ pub fn dispatch(state: &MasterState, req: MasterRequest) -> Result<MasterRespons
             master.tick(now_ms);
             A::Unit
         }
-        Q::BlockReport(worker, blocks) => {
-            A::Invalidate(master.block_report(worker, &blocks)?)
-        }
+        Q::BlockReport(worker, blocks) => A::Invalidate(master.block_report(worker, &blocks)?),
         Q::ReportCorrupt(block, loc) => {
             master.report_corrupt(block, loc);
             A::Unit
@@ -197,20 +220,13 @@ pub fn dispatch(state: &MasterState, req: MasterRequest) -> Result<MasterRespons
             for op in &ops {
                 let body = op.encode();
                 buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
-                buf.extend_from_slice(
-                    &octopus_common::checksum::crc32(&body).to_le_bytes(),
-                );
+                buf.extend_from_slice(&octopus_common::checksum::crc32(&body).to_le_bytes());
                 buf.extend_from_slice(&body);
             }
             A::Edits(bytes::Bytes::from(buf))
         }
-        Q::WorkerAddresses => A::Addresses(
-            state
-                .addrs
-                .read()
-                .iter()
-                .map(|(w, a)| (*w, a.clone()))
-                .collect(),
-        ),
+        Q::WorkerAddresses => {
+            A::Addresses(state.addrs.read().iter().map(|(w, a)| (*w, a.clone())).collect())
+        }
     })
 }

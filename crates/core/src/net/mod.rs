@@ -14,19 +14,27 @@
 //!   including the worker-to-worker write pipeline (§3.1) and read
 //!   failover (§4.1);
 //! - [`cluster`]: [`NetCluster`], which boots a master and N workers on
-//!   loopback ports with real heartbeat threads.
+//!   loopback ports with real heartbeat threads;
+//! - [`rpc`]: [`RpcClient`], the pooled, deadline-bounded transport every
+//!   networked call goes through;
+//! - [`faults`]: deterministic fault injection at the servers' response
+//!   boundary, driving the failover test suite.
 
 pub mod backup;
 pub mod client;
 pub mod cluster;
+pub mod faults;
 pub mod frame;
 pub mod master_server;
 pub mod monitor;
 pub mod proto;
+pub mod rpc;
 pub mod worker_server;
 
 pub use backup::NetBackup;
 pub use client::RemoteFs;
 pub use cluster::NetCluster;
+pub use faults::FaultAction;
 pub use master_server::MasterServer;
+pub use rpc::RpcClient;
 pub use worker_server::WorkerServer;

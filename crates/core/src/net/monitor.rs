@@ -25,11 +25,8 @@ pub fn run_replication_round(master: &Master, addrs: &Addrs) -> Result<usize> {
                 let addr = addrs.get(&target.worker).copied();
                 match addr {
                     Some(a) => {
-                        if call_worker(
-                            a,
-                            &WorkerRequest::Replicate(block, sources, target.media),
-                        )
-                        .is_err()
+                        if call_worker(a, &WorkerRequest::Replicate(block, sources, target.media))
+                            .is_err()
                         {
                             master.abort_replica(block, target);
                         }

@@ -5,8 +5,7 @@
 use octopus_common::wire::{Wire, WireReader};
 use octopus_common::{
     Block, BlockData, BlockId, ClientLocation, DirEntry, FileStatus, FsError, LocatedBlock,
-    Location, MediaId, MediaStats, RackId, ReplicationVector, Result, StorageTierReport,
-    WorkerId,
+    Location, MediaId, MediaStats, RackId, ReplicationVector, Result, StorageTierReport, WorkerId,
 };
 
 /// A request to the master.
@@ -16,8 +15,11 @@ pub enum MasterRequest {
     Mkdir(String),
     /// Create a file; `(path, rv, block_size, lease holder)`.
     CreateFile(String, ReplicationVector, Option<u64>, u64),
-    /// Allocate the next block; `(path, len, client location, holder)`.
-    AddBlock(String, u64, ClientLocation, u64),
+    /// Allocate the next block; `(path, len, client location, holder,
+    /// excluded workers)`. The exclusion list carries the workers a
+    /// client's failed pipeline attempts already hit, so the replacement
+    /// placement avoids them (§3.1 recovery).
+    AddBlock(String, u64, ClientLocation, u64, Vec<WorkerId>),
     /// A pipeline stage stored its replica.
     CommitReplica(Block, Location),
     /// A pipeline stage failed.
@@ -54,6 +56,29 @@ pub enum MasterRequest {
     EditsSince(u64),
     /// A scrubber found (and deleted) a corrupt replica (§5).
     ReportCorrupt(BlockId, Location),
+    /// Abandon an allocated-but-unwritten last block after a failed
+    /// pipeline, reversing the namespace append; `(path, block, holder)`.
+    AbandonBlock(String, Block, u64),
+}
+
+impl MasterRequest {
+    /// Whether a transport-level failure after the request may have
+    /// executed can be retried blindly. Mutating requests are not: a
+    /// duplicate `CreateFile` or `AddBlock` would corrupt the namespace
+    /// view, so their callers own recovery instead.
+    pub fn is_idempotent(&self) -> bool {
+        use MasterRequest::*;
+        !matches!(
+            self,
+            CreateFile(..)
+                | AddBlock(..)
+                | AbandonBlock(..)
+                | CompleteFile(..)
+                | AppendFile(..)
+                | Delete(..)
+                | Rename(..)
+        )
+    }
 }
 
 /// A successful response from the master.
@@ -96,7 +121,7 @@ impl Wire for MasterRequest {
         match self {
             Mkdir(p) => tagged!(buf, 0, p),
             CreateFile(p, rv, bs, h) => tagged!(buf, 1, p, rv, bs, h),
-            AddBlock(p, len, c, h) => tagged!(buf, 2, p, len, c, h),
+            AddBlock(p, len, c, h, x) => tagged!(buf, 2, p, len, c, h, x),
             CommitReplica(b, l) => tagged!(buf, 3, b, l),
             AbortReplica(b, l) => tagged!(buf, 4, b, l),
             CompleteFile(p, h) => tagged!(buf, 5, p, h),
@@ -114,6 +139,7 @@ impl Wire for MasterRequest {
             WorkerAddresses => tagged!(buf, 17),
             EditsSince(n) => tagged!(buf, 18, n),
             ReportCorrupt(b, l) => tagged!(buf, 19, b, l),
+            AbandonBlock(p, b, h) => tagged!(buf, 20, p, b, h),
         }
     }
 
@@ -122,7 +148,9 @@ impl Wire for MasterRequest {
         Ok(match u8::get(r)? {
             0 => Mkdir(Wire::get(r)?),
             1 => CreateFile(Wire::get(r)?, Wire::get(r)?, Wire::get(r)?, Wire::get(r)?),
-            2 => AddBlock(Wire::get(r)?, Wire::get(r)?, Wire::get(r)?, Wire::get(r)?),
+            2 => {
+                AddBlock(Wire::get(r)?, Wire::get(r)?, Wire::get(r)?, Wire::get(r)?, Wire::get(r)?)
+            }
             3 => CommitReplica(Wire::get(r)?, Wire::get(r)?),
             4 => AbortReplica(Wire::get(r)?, Wire::get(r)?),
             5 => CompleteFile(Wire::get(r)?, Wire::get(r)?),
@@ -146,6 +174,7 @@ impl Wire for MasterRequest {
             17 => WorkerAddresses,
             18 => EditsSince(Wire::get(r)?),
             19 => ReportCorrupt(Wire::get(r)?, Wire::get(r)?),
+            20 => AbandonBlock(Wire::get(r)?, Wire::get(r)?, Wire::get(r)?),
             t => return Err(FsError::Io(format!("bad master request tag {t}"))),
         })
     }
@@ -209,13 +238,25 @@ pub enum WorkerRequest {
     Scrub,
 }
 
+impl WorkerRequest {
+    /// Whether a transport-level failure after the request may have
+    /// executed can be retried blindly. Only `WriteBlock` is not: a blind
+    /// resend would re-run the whole pipeline and double-commit replicas;
+    /// its caller recovers by abandoning the block and re-placing it.
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(self, WorkerRequest::WriteBlock(..))
+    }
+}
+
 /// A successful response from a worker.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WorkerResponse {
     /// Locations that acknowledged the write, pipeline order.
     Stored(Vec<Location>),
-    /// Block payload.
-    Data(BlockData),
+    /// Block payload plus the CRC-32 the worker recorded at write time.
+    /// Readers recompute the CRC over the received bytes, catching both
+    /// at-rest and in-flight corruption before failing over (§4.1).
+    Data(BlockData, u32),
     /// No payload.
     Unit,
     /// Scrub outcome: number of corrupt replicas dropped.
@@ -252,7 +293,7 @@ impl Wire for WorkerResponse {
         use WorkerResponse::*;
         match self {
             Stored(l) => tagged!(buf, 0, l),
-            Data(d) => tagged!(buf, 1, d),
+            Data(d, sum) => tagged!(buf, 1, d, sum),
             Unit => tagged!(buf, 2),
             Scrubbed(n) => tagged!(buf, 3, n),
         }
@@ -262,7 +303,7 @@ impl Wire for WorkerResponse {
         use WorkerResponse::*;
         Ok(match u8::get(r)? {
             0 => Stored(Wire::get(r)?),
-            1 => Data(Wire::get(r)?),
+            1 => Data(Wire::get(r)?, Wire::get(r)?),
             2 => Unit,
             3 => Scrubbed(Wire::get(r)?),
             t => return Err(FsError::Io(format!("bad worker response tag {t}"))),
@@ -328,6 +369,12 @@ mod tests {
             100,
             ClientLocation::OnWorker(WorkerId(3)),
             42,
+            vec![WorkerId(1), WorkerId(7)],
+        ));
+        rt(MasterRequest::AbandonBlock(
+            "/f".into(),
+            Block { id: BlockId(8), gen: GenStamp(2), len: 100 },
+            42,
         ));
         rt(MasterRequest::TierReports);
         rt(MasterRequest::BlockReport(
@@ -351,8 +398,34 @@ mod tests {
             BlockData::Real(bytes::Bytes::from_static(b"abc")),
         ));
         rt(WorkerRequest::ReadBlock(MediaId(1), BlockId(2)));
-        rt(WorkerResponse::Data(BlockData::Synthetic { len: 10, seed: 3 }));
+        rt(WorkerResponse::Data(BlockData::Synthetic { len: 10, seed: 3 }, 0));
+        rt(WorkerResponse::Data(BlockData::Real(bytes::Bytes::from_static(b"xyz")), 0xdead_beef));
         rt(WorkerResponse::Stored(vec![]));
+    }
+
+    #[test]
+    fn idempotency_classification() {
+        assert!(MasterRequest::Status("/f".into()).is_idempotent());
+        assert!(MasterRequest::Heartbeat(WorkerId(0), vec![], 0, 0).is_idempotent());
+        assert!(MasterRequest::CommitReplica(
+            Block { id: BlockId(1), gen: GenStamp(0), len: 1 },
+            Location { worker: WorkerId(0), media: MediaId(0), tier: TierId(0) },
+        )
+        .is_idempotent());
+        assert!(!MasterRequest::AddBlock("/f".into(), 1, ClientLocation::OffCluster, 1, vec![],)
+            .is_idempotent());
+        assert!(!MasterRequest::Delete("/f".into(), false).is_idempotent());
+        assert!(!MasterRequest::Rename("/a".into(), "/b".into()).is_idempotent());
+
+        assert!(WorkerRequest::ReadBlock(MediaId(0), BlockId(1)).is_idempotent());
+        assert!(WorkerRequest::Scrub.is_idempotent());
+        assert!(!WorkerRequest::WriteBlock(
+            Block { id: BlockId(1), gen: GenStamp(0), len: 1 },
+            MediaId(0),
+            vec![],
+            BlockData::Synthetic { len: 1, seed: 0 },
+        )
+        .is_idempotent());
     }
 
     #[test]

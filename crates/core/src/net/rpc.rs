@@ -1,0 +1,350 @@
+//! [`RpcClient`]: pooled, deadline-bounded TCP RPC with bounded retries.
+//!
+//! Every call observes three configurable deadlines (connect, write, read —
+//! [`RpcConfig`]), so no RPC can hang past its budget. Connections are
+//! pooled per peer and reused across calls (the servers keep connections
+//! open between frames), which removes the connect-per-call latency the
+//! first networked implementation paid.
+//!
+//! Retry semantics follow the keep-alive rules of HTTP clients:
+//!
+//! - A send failure on a *pooled* connection is the stale keep-alive race
+//!   (the server closed it while idle); the request cannot have executed,
+//!   so the next connection is tried without consuming the retry budget.
+//! - A receive failure is ambiguous — the request may have executed — so
+//!   it is retried only for idempotent requests; non-idempotent requests
+//!   surface the transport error to the caller, who owns recovery (e.g.
+//!   the client pipeline re-requests placement after a failed
+//!   `WriteBlock`).
+//! - Connect failures and failures on fresh connections retry up to
+//!   `max_retries` with exponential backoff plus jitter.
+//!
+//! Application-level errors ([`FsError::is_retryable`] = false) never
+//! retry: they are deterministic for a given cluster state.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, LazyLock, Mutex};
+use std::time::Duration;
+
+use octopus_common::wire::encode;
+use octopus_common::{FsError, Result, RpcConfig};
+
+use super::frame::{read_frame, write_frame};
+use super::proto::{decode_result, MasterRequest, MasterResponse, WorkerRequest, WorkerResponse};
+
+/// Connections kept per peer; beyond this, finished connections close.
+const POOL_PER_PEER: usize = 4;
+
+/// Which phase of the round trip failed — determines retry eligibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Send,
+    Receive,
+}
+
+/// A pooled RPC client. Cheap to share (`Arc`); all state is internal.
+pub struct RpcClient {
+    cfg: RpcConfig,
+    pool: Mutex<HashMap<SocketAddr, Vec<TcpStream>>>,
+    /// Deterministic jitter state (an splitmix64 walk); no RNG dependency.
+    jitter: AtomicU64,
+}
+
+impl RpcClient {
+    /// A client with the given deadlines and retry budget.
+    pub fn new(cfg: RpcConfig) -> Self {
+        Self {
+            cfg,
+            pool: Mutex::new(HashMap::new()),
+            jitter: AtomicU64::new(0x243F_6A88_85A3_08D3),
+        }
+    }
+
+    /// The client's configuration.
+    pub fn config(&self) -> &RpcConfig {
+        &self.cfg
+    }
+
+    /// One typed round trip to the master.
+    pub fn call_master(&self, addr: SocketAddr, req: &MasterRequest) -> Result<MasterResponse> {
+        let frame = self.call_raw(addr, &encode(req), req.is_idempotent())?;
+        decode_result::<MasterResponse>(&frame)
+    }
+
+    /// One typed round trip to a worker data server.
+    pub fn call_worker(&self, addr: SocketAddr, req: &WorkerRequest) -> Result<WorkerResponse> {
+        let frame = self.call_raw(addr, &encode(req), req.is_idempotent())?;
+        decode_result::<WorkerResponse>(&frame)
+    }
+
+    /// Sends one request frame and returns the raw response frame,
+    /// applying pooling, deadlines, and the retry policy.
+    pub fn call_raw(&self, addr: SocketAddr, payload: &[u8], idempotent: bool) -> Result<Vec<u8>> {
+        let mut last_err = FsError::Unreachable(format!("{addr}: no attempt made"));
+        for attempt in 0..=self.cfg.max_retries {
+            if attempt > 0 {
+                std::thread::sleep(self.backoff(attempt));
+            }
+
+            // Pooled connections first. A send failure here is the stale
+            // keep-alive race — the request never left, so trying the next
+            // connection (or a fresh one) is free.
+            let mut receive_failed_pooled = false;
+            while let Some(mut stream) = self.checkout(addr) {
+                match self.round_trip(&mut stream, payload) {
+                    Ok(frame) => {
+                        self.checkin(addr, stream);
+                        return Ok(frame);
+                    }
+                    Err((Stage::Send, e)) => last_err = e,
+                    Err((Stage::Receive, e)) => {
+                        if !idempotent {
+                            return Err(e);
+                        }
+                        last_err = e;
+                        receive_failed_pooled = true;
+                        break;
+                    }
+                }
+            }
+            if receive_failed_pooled {
+                // The request may have executed; the backoff before the
+                // next (idempotent) attempt starts a fresh connection.
+                continue;
+            }
+
+            // Fresh connection.
+            let mut stream = match self.connect(addr) {
+                Ok(s) => s,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            match self.round_trip(&mut stream, payload) {
+                Ok(frame) => {
+                    self.checkin(addr, stream);
+                    return Ok(frame);
+                }
+                Err((Stage::Receive, e)) if !idempotent => return Err(e),
+                Err((_, e)) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Closes every pooled connection (a peer restarted, tests).
+    pub fn evict(&self, addr: SocketAddr) {
+        self.pool.lock().unwrap().remove(&addr);
+    }
+
+    fn connect(&self, addr: SocketAddr) -> Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(
+            &addr,
+            Duration::from_millis(self.cfg.connect_timeout_ms.max(1)),
+        )?;
+        stream.set_nodelay(true).ok();
+        Ok(stream)
+    }
+
+    fn round_trip(
+        &self,
+        stream: &mut TcpStream,
+        payload: &[u8],
+    ) -> std::result::Result<Vec<u8>, (Stage, FsError)> {
+        stream
+            .set_write_timeout(Some(Duration::from_millis(self.cfg.write_timeout_ms.max(1))))
+            .map_err(|e| (Stage::Send, e.into()))?;
+        write_frame(stream, payload).map_err(|e| (Stage::Send, e))?;
+        stream
+            .set_read_timeout(Some(Duration::from_millis(self.cfg.read_timeout_ms.max(1))))
+            .map_err(|e| (Stage::Receive, e.into()))?;
+        match read_frame(stream) {
+            Ok(Some(frame)) => Ok(frame),
+            Ok(None) => {
+                Err((Stage::Receive, FsError::Unreachable("server closed the connection".into())))
+            }
+            Err(e) => Err((Stage::Receive, e)),
+        }
+    }
+
+    fn checkout(&self, addr: SocketAddr) -> Option<TcpStream> {
+        self.pool.lock().unwrap().get_mut(&addr)?.pop()
+    }
+
+    fn checkin(&self, addr: SocketAddr, stream: TcpStream) {
+        let mut pool = self.pool.lock().unwrap();
+        let conns = pool.entry(addr).or_default();
+        if conns.len() < POOL_PER_PEER {
+            conns.push(stream);
+        }
+    }
+
+    /// `min(base << (attempt-1), max)` plus up to 50% deterministic jitter,
+    /// so synchronized retry storms decorrelate.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let base = self.cfg.backoff_base_ms.max(1);
+        let exp = base.checked_shl(attempt.saturating_sub(1).min(16)).unwrap_or(u64::MAX);
+        let capped = exp.min(self.cfg.backoff_max_ms.max(base));
+        let mut z = self.jitter.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let jitter = if capped / 2 == 0 { 0 } else { z % (capped / 2) };
+        Duration::from_millis(capped + jitter)
+    }
+}
+
+/// The process-wide default client (default [`RpcConfig`]), shared by the
+/// servers' internal calls (replica commits, pipeline forwarding) and by
+/// clients that do not configure their own deadlines.
+pub fn shared() -> &'static Arc<RpcClient> {
+    static SHARED: LazyLock<Arc<RpcClient>> =
+        LazyLock::new(|| Arc::new(RpcClient::new(RpcConfig::default())));
+    &SHARED
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    fn fast() -> RpcConfig {
+        RpcConfig::fast_test()
+    }
+
+    #[test]
+    fn connect_refused_is_unreachable_and_bounded() {
+        // Bind then drop: the port is closed, connects are refused fast.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let client = RpcClient::new(fast());
+        let start = Instant::now();
+        let err = client.call_raw(addr, b"x", true).unwrap_err();
+        assert!(matches!(err, FsError::Unreachable(_)), "got {err:?}");
+        // 3 attempts with ≤30ms backoff each must finish well under the
+        // worst-case deadline budget.
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn read_deadline_fires_on_silent_server() {
+        // A server that accepts one connection and stays silent past the
+        // client's read deadline.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let conn = listener.accept().unwrap().0; // keep open, never reply
+            std::thread::sleep(Duration::from_millis(900));
+            drop(conn);
+        });
+        let cfg = RpcConfig { max_retries: 0, read_timeout_ms: 300, ..fast() };
+        let deadline = Duration::from_millis(cfg.read_timeout_ms);
+        let client = RpcClient::new(cfg);
+        let start = Instant::now();
+        let err = client.call_raw(addr, b"ping", true).unwrap_err();
+        let elapsed = start.elapsed();
+        assert!(matches!(err, FsError::Timeout(_)), "got {err:?}");
+        assert!(elapsed >= deadline - Duration::from_millis(50));
+        assert!(elapsed < deadline + Duration::from_millis(500), "hung for {elapsed:?}");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn pooled_connection_is_reused() {
+        // An echo server that counts accepted connections.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accepted = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&accepted);
+        let handle = std::thread::spawn(move || {
+            while let Ok((mut s, _)) = listener.accept() {
+                counter.fetch_add(1, Ordering::SeqCst);
+                let done = std::thread::spawn(move || {
+                    while let Ok(Some(frame)) = read_frame(&mut s) {
+                        if write_frame(&mut s, &frame).is_err() {
+                            break;
+                        }
+                    }
+                });
+                if counter.load(Ordering::SeqCst) >= 1 {
+                    let _ = done.join();
+                    break; // serve one connection to completion, then stop
+                }
+            }
+        });
+        let client = RpcClient::new(fast());
+        for i in 0..5u8 {
+            let resp = client.call_raw(addr, &[i], true).unwrap();
+            assert_eq!(resp, vec![i]);
+        }
+        assert_eq!(accepted.load(Ordering::SeqCst), 1, "calls must reuse one connection");
+        client.evict(addr);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn stale_pooled_connection_recovers_for_idempotent() {
+        // First connection serves one frame then closes (going stale in
+        // the pool); an idempotent call afterwards must still succeed.
+        // Depending on kernel timing the staleness surfaces at the send
+        // stage (free retry) or the receive stage (one budgeted retry) —
+        // both must end in success on the fresh connection.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            // Connection 1: one frame, then close.
+            let (mut s, _) = listener.accept().unwrap();
+            let f = read_frame(&mut s).unwrap().unwrap();
+            write_frame(&mut s, &f).unwrap();
+            drop(s);
+            // Connection 2: serve until the client is done.
+            let (mut s, _) = listener.accept().unwrap();
+            while let Ok(Some(f)) = read_frame(&mut s) {
+                if write_frame(&mut s, &f).is_err() {
+                    break;
+                }
+            }
+        });
+        let client = RpcClient::new(RpcConfig { max_retries: 1, ..fast() });
+        assert_eq!(client.call_raw(addr, b"a", true).unwrap(), b"a");
+        // Give the server time to close connection 1 under our feet.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(client.call_raw(addr, b"b", true).unwrap(), b"b");
+        client.evict(addr);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn half_written_response_is_unreachable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut sink = [0u8; 64];
+            let _ = s.read(&mut sink);
+            // Claim 100 bytes, deliver 10, die.
+            let _ = s.write_all(&100u32.to_le_bytes());
+            let _ = s.write_all(&[7u8; 10]);
+        });
+        let client = RpcClient::new(RpcConfig { max_retries: 0, ..fast() });
+        let err = client.call_raw(addr, b"req", true).unwrap_err();
+        assert!(matches!(err, FsError::Unreachable(_) | FsError::Timeout(_)), "got {err:?}");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn backoff_is_bounded_by_config() {
+        let client = RpcClient::new(RpcConfig { backoff_base_ms: 8, backoff_max_ms: 50, ..fast() });
+        for attempt in 1..10 {
+            let d = client.backoff(attempt);
+            assert!(d >= Duration::from_millis(8));
+            assert!(d <= Duration::from_millis(50 + 25), "attempt {attempt}: {d:?}");
+        }
+    }
+}

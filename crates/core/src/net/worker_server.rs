@@ -3,49 +3,62 @@
 //! own replica to the master.
 
 use std::collections::HashMap;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use parking_lot::RwLock;
 
-use octopus_common::wire::{decode, encode};
-use octopus_common::{FsError, Location, Result, WorkerId};
+use octopus_common::checksum::crc32;
+use octopus_common::wire::decode;
+use octopus_common::{BlockData, FsError, Location, Result, WorkerId};
 
-use super::frame::{read_frame, write_frame};
-use super::proto::{
-    decode_result, encode_result, MasterRequest, MasterResponse, WorkerRequest, WorkerResponse,
-};
+use super::faults;
+use super::frame::read_frame;
+use super::proto::{encode_result, MasterRequest, MasterResponse, WorkerRequest, WorkerResponse};
 use crate::worker::Worker;
 
 /// Shared map of worker data-server addresses (for pipeline forwarding).
 pub type AddressMap = Arc<RwLock<HashMap<WorkerId, SocketAddr>>>;
 
-/// One RPC round trip to the master.
+/// One RPC round trip to the master, over the process-wide pooled client.
 pub fn call_master(addr: SocketAddr, req: &MasterRequest) -> Result<MasterResponse> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true).ok();
-    write_frame(&mut stream, &encode(req))?;
-    let frame = read_frame(&mut stream)?
-        .ok_or_else(|| FsError::Io("master closed the connection".into()))?;
-    decode_result::<MasterResponse>(&frame)
+    super::rpc::shared().call_master(addr, req)
 }
 
-/// One RPC round trip to a worker data server.
+/// One RPC round trip to a worker data server, over the process-wide
+/// pooled client.
 pub fn call_worker(addr: SocketAddr, req: &WorkerRequest) -> Result<WorkerResponse> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true).ok();
-    write_frame(&mut stream, &encode(req))?;
-    let frame = read_frame(&mut stream)?
-        .ok_or_else(|| FsError::Io("worker closed the connection".into()))?;
-    decode_result::<WorkerResponse>(&frame)
+    super::rpc::shared().call_worker(addr, req)
+}
+
+/// Open connections accepted by a server, retained so shutdown can sever
+/// them (clients observe `Unreachable` instead of hanging).
+type ConnSet = Arc<Mutex<Vec<TcpStream>>>;
+
+fn track(conns: &ConnSet, stream: &TcpStream) {
+    if let Ok(clone) = stream.try_clone() {
+        let mut set = conns.lock().unwrap();
+        // Opportunistically drop entries whose sockets are already gone.
+        if set.len() > 32 {
+            set.retain(|s| s.peer_addr().is_ok());
+        }
+        set.push(clone);
+    }
+}
+
+fn sever(conns: &ConnSet) {
+    for s in conns.lock().unwrap().drain(..) {
+        let _ = s.shutdown(Shutdown::Both);
+    }
 }
 
 /// A running worker data server.
 pub struct WorkerServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    conns: ConnSet,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -54,16 +67,29 @@ impl WorkerServer {
     /// master's RPC address (for replica commits); `peers` resolves
     /// pipeline-forwarding targets.
     pub fn spawn(worker: Arc<Worker>, master: SocketAddr, peers: AddressMap) -> Result<Self> {
-        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        Self::spawn_on(worker, master, peers, ("127.0.0.1", 0))
+    }
+
+    /// Like [`WorkerServer::spawn`], binding to an explicit address
+    /// (daemon deployments with a configured `--listen`).
+    pub fn spawn_on(
+        worker: Arc<Worker>,
+        master: SocketAddr,
+        peers: AddressMap,
+        bind: impl std::net::ToSocketAddrs,
+    ) -> Result<Self> {
+        let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
+        let conns: ConnSet = Arc::new(Mutex::new(Vec::new()));
+        let conn_set = Arc::clone(&conns);
         let handle = std::thread::Builder::new()
             .name(format!("octopus-{}-data", worker.id()))
-            .spawn(move || accept_loop(listener, worker, master, peers, flag))
+            .spawn(move || accept_loop(listener, addr, worker, master, peers, flag, conn_set))
             .map_err(|e| FsError::Io(e.to_string()))?;
-        Ok(Self { addr, shutdown, handle: Some(handle) })
+        Ok(Self { addr, shutdown, conns, handle: Some(handle) })
     }
 
     /// The bound address.
@@ -71,12 +97,14 @@ impl WorkerServer {
         self.addr
     }
 
-    /// Stops the server.
+    /// Stops the server: the accept loop exits and every open connection
+    /// is severed, so in-flight callers fail fast instead of hanging.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
+        sever(&self.conns);
     }
 }
 
@@ -86,12 +114,15 @@ impl Drop for WorkerServer {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: TcpListener,
+    server_addr: SocketAddr,
     worker: Arc<Worker>,
     master: SocketAddr,
     peers: AddressMap,
     shutdown: Arc<AtomicBool>,
+    conns: ConnSet,
 ) {
     while !shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
@@ -99,9 +130,10 @@ fn accept_loop(
                 let worker = Arc::clone(&worker);
                 let peers = Arc::clone(&peers);
                 let _ = stream.set_nodelay(true);
+                track(&conns, &stream);
                 let _ = std::thread::Builder::new()
                     .name("octopus-worker-conn".into())
-                    .spawn(move || connection_loop(stream, worker, master, peers));
+                    .spawn(move || connection_loop(stream, server_addr, worker, master, peers));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(std::time::Duration::from_millis(5));
@@ -113,6 +145,7 @@ fn accept_loop(
 
 fn connection_loop(
     mut stream: TcpStream,
+    server_addr: SocketAddr,
     worker: Arc<Worker>,
     master: SocketAddr,
     peers: AddressMap,
@@ -123,10 +156,11 @@ fn connection_loop(
             Ok(Some(f)) => f,
             Ok(None) | Err(_) => return,
         };
-        let result = decode::<WorkerRequest>(&frame)
-            .and_then(|req| dispatch(&worker, master, &peers, req));
-        if write_frame(&mut stream, &encode_result(&result)).is_err() {
-            return;
+        let result =
+            decode::<WorkerRequest>(&frame).and_then(|req| dispatch(&worker, master, &peers, req));
+        match faults::write_response(server_addr, &mut stream, &encode_result(&result)) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
         }
     }
 }
@@ -141,8 +175,7 @@ fn dispatch(
         WorkerRequest::WriteBlock(block, media, rest, data) => {
             let _net = worker.connect_net();
             worker.write_block(media, block, &data)?;
-            let my_loc =
-                Location { worker: worker.id(), media, tier: worker.tier_of(media)? };
+            let my_loc = Location { worker: worker.id(), media, tier: worker.tier_of(media)? };
             // Commit our replica before forwarding, so the master's view
             // converges even if the tail of the pipeline fails.
             call_master(master, &MasterRequest::CommitReplica(block, my_loc))?;
@@ -165,18 +198,13 @@ fn dispatch(
                     });
                 match forwarded {
                     Ok(WorkerResponse::Stored(locs)) => stored.extend(locs),
-                    Ok(_) => {
-                        return Err(FsError::Internal(
-                            "unexpected forward response".into(),
-                        ))
-                    }
+                    Ok(_) => return Err(FsError::Internal("unexpected forward response".into())),
                     Err(_) => {
                         // Downstream failed: release the master's pending
                         // reservations for the unreached stages; the
                         // replication monitor heals the block later (§5).
                         for loc in &rest {
-                            let _ =
-                                call_master(master, &MasterRequest::AbortReplica(block, *loc));
+                            let _ = call_master(master, &MasterRequest::AbortReplica(block, *loc));
                         }
                     }
                 }
@@ -185,7 +213,9 @@ fn dispatch(
         }
         WorkerRequest::ReadBlock(media, block) => {
             let _net = worker.connect_net();
-            Ok(WorkerResponse::Data(worker.read_block(media, block)?))
+            let data = worker.read_block(media, block)?;
+            let sum = worker.stored_checksum(media, block)?;
+            Ok(WorkerResponse::Data(data, sum))
         }
         WorkerRequest::DeleteBlock(media, block) => {
             worker.delete_block(media, block)?;
@@ -195,15 +225,21 @@ fn dispatch(
             let mut data = None;
             for src in &sources {
                 let Some(addr) = peers.read().get(&src.worker).copied() else { continue };
-                if let Ok(WorkerResponse::Data(d)) =
+                if let Ok(WorkerResponse::Data(d, sum)) =
                     call_worker(addr, &WorkerRequest::ReadBlock(src.media, block.id))
                 {
+                    // Don't propagate a replica damaged in flight; the
+                    // next source (or a later round) serves it intact.
+                    if let BlockData::Real(bytes) = &d {
+                        if crc32(bytes) != sum {
+                            continue;
+                        }
+                    }
                     data = Some(d);
                     break;
                 }
             }
-            let my_loc =
-                Location { worker: worker.id(), media, tier: worker.tier_of(media)? };
+            let my_loc = Location { worker: worker.id(), media, tier: worker.tier_of(media)? };
             match data {
                 Some(d) => {
                     worker.write_block(media, block, &d)?;
@@ -211,8 +247,7 @@ fn dispatch(
                     Ok(WorkerResponse::Unit)
                 }
                 None => {
-                    let _ =
-                        call_master(master, &MasterRequest::AbortReplica(block, my_loc));
+                    let _ = call_master(master, &MasterRequest::AbortReplica(block, my_loc));
                     Err(FsError::BlockUnavailable(format!(
                         "{}: no reachable source replica",
                         block.id

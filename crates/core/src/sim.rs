@@ -292,12 +292,7 @@ impl SimCluster {
     /// path: sender NIC out, (cross-rack uplinks when modelled), receiver
     /// NIC in. `from = None` means an off-cluster endpoint reached through
     /// the core (only the destination rack's uplink applies).
-    fn push_hop(
-        &self,
-        from: Option<WorkerId>,
-        to: Option<WorkerId>,
-        res: &mut Vec<ResourceId>,
-    ) {
+    fn push_hop(&self, from: Option<WorkerId>, to: Option<WorkerId>, res: &mut Vec<ResourceId>) {
         if let Some(f) = from {
             res.push(self.nic_out[f.0 as usize]);
         }
@@ -532,20 +527,17 @@ impl SimCluster {
                     let sw = src.worker.0 as usize;
                     let tw = target.worker.0 as usize;
                     let mut res = vec![self.media_read[&src.media]];
-                    let mut guards = vec![self.workers[sw]
-                        .medium(src.media)
-                        .expect("source media")
-                        .connect()];
+                    let mut guards =
+                        vec![self.workers[sw].medium(src.media).expect("source media").connect()];
                     if src.worker != target.worker {
                         self.push_hop(Some(src.worker), Some(target.worker), &mut res);
                         guards.push(self.workers[sw].connect_net());
                         guards.push(self.workers[tw].connect_net());
                     }
                     res.push(self.media_write[&target.media]);
-                    guards.push(self.workers[tw]
-                        .medium(target.media)
-                        .expect("target media")
-                        .connect());
+                    guards.push(
+                        self.workers[tw].medium(target.media).expect("target media").connect(),
+                    );
                     let flow = self.net.start_flow(block.len as f64, res);
                     self.flow_guards.insert(flow, guards);
                     self.repl_flows.insert(flow, (block, target));

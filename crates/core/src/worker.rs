@@ -79,10 +79,8 @@ impl Worker {
 
     /// Reads a block from whichever local medium holds it.
     pub fn read_block_any(&self, block: BlockId) -> Result<(MediaId, BlockData)> {
-        let m = self
-            .manager
-            .find_block(block)
-            .ok_or_else(|| FsError::NotFound(block.to_string()))?;
+        let m =
+            self.manager.find_block(block).ok_or_else(|| FsError::NotFound(block.to_string()))?;
         let _conn = m.connect();
         Ok((m.id, m.store.get(block)?))
     }
@@ -90,6 +88,25 @@ impl Worker {
     /// Deletes a replica.
     pub fn delete_block(&self, media: MediaId, block: BlockId) -> Result<()> {
         self.manager.get(media)?.store.delete(block)
+    }
+
+    /// The CRC-32 recorded when the replica was stored (served alongside
+    /// remote reads so clients can verify the bytes they received).
+    pub fn stored_checksum(&self, media: MediaId, block: BlockId) -> Result<u32> {
+        self.manager.get(media)?.store.verify(block)
+    }
+
+    /// Deletes every local replica of `block` (a master-directed
+    /// invalidation from a block-report reply), returning how many were
+    /// dropped.
+    pub fn invalidate_block(&self, block: BlockId) -> u32 {
+        let mut dropped = 0;
+        for m in self.manager.media() {
+            if m.store.contains(block) && m.store.delete(block).is_ok() {
+                dropped += 1;
+            }
+        }
+        dropped
     }
 
     /// Whether any local medium holds the block.

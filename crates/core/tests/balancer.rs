@@ -45,11 +45,7 @@ fn balancer_reduces_skew() {
     }
     cluster.pump_heartbeats();
     let before = hdd_fracs(&cluster);
-    assert!(
-        spread(&before) > 0.10,
-        "setup must be skewed, spread {:.3}",
-        spread(&before)
-    );
+    assert!(spread(&before) > 0.10, "setup must be skewed, spread {:.3}", spread(&before));
 
     // Balance until converged.
     for _ in 0..20 {

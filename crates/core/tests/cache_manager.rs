@@ -26,12 +26,7 @@ fn memory_replicas(cluster: &Cluster, path: &str) -> usize {
         .get_file_block_locations(path, 0, 1, ClientLocation::OffCluster)
         .unwrap()
         .first()
-        .map(|b| {
-            b.locations
-                .iter()
-                .filter(|l| l.tier == StorageTier::Memory.id())
-                .count()
-        })
+        .map(|b| b.locations.iter().filter(|l| l.tier == StorageTier::Memory.id()).count())
         .unwrap_or(0)
 }
 
@@ -55,11 +50,8 @@ fn second_access_promotes_to_memory() {
 
 #[test]
 fn lru_eviction_when_budget_full() {
-    let (cluster, client) = setup(&[
-        ("/a", 2 * MB as usize),
-        ("/b", 2 * MB as usize),
-        ("/c", 2 * MB as usize),
-    ]);
+    let (cluster, client) =
+        setup(&[("/a", 2 * MB as usize), ("/b", 2 * MB as usize), ("/c", 2 * MB as usize)]);
     // Budget fits two files; promote on first access for brevity.
     let mut cache = CacheManager::new(client.clone(), 4 * MB, 1);
 
@@ -72,10 +64,7 @@ fn lru_eviction_when_budget_full() {
     let actions = cache.on_access("/c").unwrap();
     assert_eq!(
         actions,
-        vec![
-            CacheAction::Evicted("/b".into()),
-            CacheAction::Promoted("/c".into())
-        ]
+        vec![CacheAction::Evicted("/b".into()), CacheAction::Promoted("/c".into())]
     );
     let mut cached = cache.cached();
     cached.sort();

@@ -14,8 +14,7 @@ fn payload(len: usize, seed: u64) -> Vec<u8> {
 }
 
 fn fed() -> Federation {
-    Federation::start(ClusterConfig::test_cluster(6, 64 * MB, MB), &["/users", "/data"])
-        .unwrap()
+    Federation::start(ClusterConfig::test_cluster(6, 64 * MB, MB), &["/users", "/data"]).unwrap()
 }
 
 #[test]
@@ -25,7 +24,9 @@ fn routing_and_isolation() {
     let u = payload(MB as usize, 1);
     let d = payload(MB as usize, 2);
     client.mkdir("/users/alice").unwrap();
-    client.write_file("/users/alice/doc", &u, ReplicationVector::from_replication_factor(2)).unwrap();
+    client
+        .write_file("/users/alice/doc", &u, ReplicationVector::from_replication_factor(2))
+        .unwrap();
     client.write_file("/data/table", &d, ReplicationVector::from_replication_factor(2)).unwrap();
 
     assert_eq!(client.read_file("/users/alice/doc").unwrap(), u);
@@ -48,10 +49,18 @@ fn block_pools_are_disjoint_on_shared_workers() {
     let fed = fed();
     let client = fed.client(ClientLocation::OffCluster);
     client
-        .write_file("/users/a", &payload(MB as usize, 3), ReplicationVector::from_replication_factor(3))
+        .write_file(
+            "/users/a",
+            &payload(MB as usize, 3),
+            ReplicationVector::from_replication_factor(3),
+        )
         .unwrap();
     client
-        .write_file("/data/b", &payload(MB as usize, 4), ReplicationVector::from_replication_factor(3))
+        .write_file(
+            "/data/b",
+            &payload(MB as usize, 4),
+            ReplicationVector::from_replication_factor(3),
+        )
         .unwrap();
 
     let ids_u: Vec<u64> = client
@@ -81,10 +90,7 @@ fn cross_volume_rename_rejected_within_volume_allowed() {
     client
         .write_file("/users/f", &payload(1024, 5), ReplicationVector::from_replication_factor(2))
         .unwrap();
-    assert!(matches!(
-        client.rename("/users/f", "/data/f"),
-        Err(FsError::InvalidArgument(_))
-    ));
+    assert!(matches!(client.rename("/users/f", "/data/f"), Err(FsError::InvalidArgument(_))));
     client.rename("/users/f", "/users/g").unwrap();
     assert_eq!(client.read_file("/users/g").unwrap().len(), 1024);
 }

@@ -23,20 +23,14 @@ fn second_client_cannot_write_an_open_file() {
     let alice = cluster.client(ClientLocation::OffCluster);
     let bob = cluster.client(ClientLocation::OffCluster);
 
-    let mut w = alice
-        .create("/shared", ReplicationVector::from_replication_factor(2), None)
-        .unwrap();
+    let mut w =
+        alice.create("/shared", ReplicationVector::from_replication_factor(2), None).unwrap();
     w.write(&payload(1024, 1)).unwrap();
 
     // Bob cannot recreate, append to, or close Alice's open file.
     let err = bob.create("/shared", ReplicationVector::from_replication_factor(2), None);
     assert!(matches!(err, Err(FsError::AlreadyExists(_)) | Err(FsError::LeaseConflict(_))));
-    let err = cluster.master().add_block_as(
-        "/shared",
-        1024,
-        ClientLocation::OffCluster,
-        bob.id(),
-    );
+    let err = cluster.master().add_block_as("/shared", 1024, ClientLocation::OffCluster, bob.id());
     assert!(matches!(err, Err(FsError::LeaseConflict(_))), "got {err:?}");
 
     // Alice closes; the lease is released and the file is readable.
@@ -48,9 +42,8 @@ fn second_client_cannot_write_an_open_file() {
 fn lease_expiry_recovers_abandoned_file() {
     let cluster = Cluster::start(config()).unwrap();
     let alice = cluster.client(ClientLocation::OffCluster);
-    let mut w = alice
-        .create("/abandoned", ReplicationVector::from_replication_factor(2), None)
-        .unwrap();
+    let mut w =
+        alice.create("/abandoned", ReplicationVector::from_replication_factor(2), None).unwrap();
     w.write(&payload(MB as usize, 2)).unwrap();
     // Alice vanishes without closing. (Leak the writer so Drop's
     // auto-close does not run.)
@@ -117,8 +110,7 @@ fn manual_safe_mode_exit() {
         .write_file("/x", &payload(1024, 4), ReplicationVector::from_replication_factor(2))
         .unwrap();
     let restored =
-        Master::restore(cluster.master().config().clone(), &cluster.master().checkpoint())
-            .unwrap();
+        Master::restore(cluster.master().config().clone(), &cluster.master().checkpoint()).unwrap();
     assert!(restored.in_safe_mode());
     restored.leave_safe_mode();
     assert!(!restored.in_safe_mode());
@@ -151,14 +143,12 @@ fn rename_transfers_lease() {
     let cluster = Cluster::start(config()).unwrap();
     let alice = cluster.client(ClientLocation::OffCluster);
     let bob = cluster.client(ClientLocation::OffCluster);
-    let mut w = alice
-        .create("/moving", ReplicationVector::from_replication_factor(2), None)
-        .unwrap();
+    let mut w =
+        alice.create("/moving", ReplicationVector::from_replication_factor(2), None).unwrap();
     w.write(&payload(100, 7)).unwrap();
     cluster.master().rename("/moving", "/moved").unwrap();
     // Bob still cannot touch it under the new name.
-    let err =
-        cluster.master().add_block_as("/moved", 100, ClientLocation::OffCluster, bob.id());
+    let err = cluster.master().add_block_as("/moved", 100, ClientLocation::OffCluster, bob.id());
     assert!(matches!(err, Err(FsError::LeaseConflict(_))));
     // NOTE: Alice's writer still targets the old path; closing it now
     // fails cleanly (path gone), which is the HDFS behaviour too.

@@ -27,9 +27,7 @@ fn networked_write_read_lifecycle() {
 
     client.mkdir("/data").unwrap();
     let data = payload((2 * MB + 777) as usize, 1);
-    client
-        .write_file("/data/f", &data, ReplicationVector::from_replication_factor(3))
-        .unwrap();
+    client.write_file("/data/f", &data, ReplicationVector::from_replication_factor(3)).unwrap();
 
     // The pipeline stored 3 replicas per block, committed over RPC.
     let blocks = client.get_file_block_locations("/data/f", 0, u64::MAX).unwrap();
@@ -102,9 +100,7 @@ fn read_fails_over_when_a_data_server_loses_the_replica() {
     let cluster = NetCluster::start(config()).unwrap();
     let client = cluster.client(ClientLocation::OffCluster);
     let data = payload(MB as usize, 5);
-    client
-        .write_file("/ha", &data, ReplicationVector::from_replication_factor(3))
-        .unwrap();
+    client.write_file("/ha", &data, ReplicationVector::from_replication_factor(3)).unwrap();
     let blocks = client.get_file_block_locations("/ha", 0, u64::MAX).unwrap();
     // Remove the best replica behind the system's back.
     let victim = blocks[0].locations[0];
@@ -123,7 +119,11 @@ fn writer_local_client_gets_local_first_replica() {
     let cluster = NetCluster::start(config()).unwrap();
     let client = cluster.client(ClientLocation::OnWorker(WorkerId(1)));
     client
-        .write_file("/local", &payload(MB as usize, 6), ReplicationVector::from_replication_factor(3))
+        .write_file(
+            "/local",
+            &payload(MB as usize, 6),
+            ReplicationVector::from_replication_factor(3),
+        )
         .unwrap();
     let blocks = client.get_file_block_locations("/local", 0, u64::MAX).unwrap();
     assert!(blocks[0].locations.iter().any(|l| l.worker == WorkerId(1)));
@@ -133,9 +133,7 @@ fn writer_local_client_gets_local_first_replica() {
 fn heartbeat_threads_keep_master_view_fresh() {
     let cluster = NetCluster::start(config()).unwrap();
     let client = cluster.client(ClientLocation::OffCluster);
-    client
-        .write_file("/hb", &payload(MB as usize, 7), ReplicationVector::msh(0, 0, 2))
-        .unwrap();
+    client.write_file("/hb", &payload(MB as usize, 7), ReplicationVector::msh(0, 0, 2)).unwrap();
     // Wait a few heartbeat intervals; the master's tier report must show
     // the consumed HDD capacity without any manual pumping.
     std::thread::sleep(std::time::Duration::from_millis(120));
@@ -205,9 +203,7 @@ fn networked_backup_tails_and_takes_over() {
     let client = cluster.client(ClientLocation::OffCluster);
     let data = payload(MB as usize, 11);
     client.mkdir("/prod").unwrap();
-    client
-        .write_file("/prod/db", &data, ReplicationVector::from_replication_factor(2))
-        .unwrap();
+    client.write_file("/prod/db", &data, ReplicationVector::from_replication_factor(2)).unwrap();
 
     // The backup tails the primary over RPC.
     let backup = NetBackup::start(cluster.master_addr(), 10).unwrap();
@@ -247,9 +243,7 @@ fn networked_scrub_and_replication_heal_corruption() {
     let cluster = NetCluster::start(config()).unwrap();
     let client = cluster.client(ClientLocation::OffCluster);
     let data = payload(MB as usize, 20);
-    client
-        .write_file("/heal", &data, ReplicationVector::from_replication_factor(3))
-        .unwrap();
+    client.write_file("/heal", &data, ReplicationVector::from_replication_factor(3)).unwrap();
 
     // Corrupt one replica behind the system's back.
     let blocks = client.get_file_block_locations("/heal", 0, u64::MAX).unwrap();
@@ -282,9 +276,7 @@ fn networked_scrub_and_replication_heal_corruption() {
 fn networked_set_replication_realized_by_monitor() {
     let cluster = NetCluster::start(config()).unwrap();
     let client = cluster.client(ClientLocation::OffCluster);
-    client
-        .write_file("/mv", &payload(MB as usize, 21), ReplicationVector::msh(0, 0, 3))
-        .unwrap();
+    client.write_file("/mv", &payload(MB as usize, 21), ReplicationVector::msh(0, 0, 3)).unwrap();
     client.set_replication("/mv", ReplicationVector::msh(1, 0, 2)).unwrap();
     cluster.run_replication_round().unwrap();
     cluster.run_replication_round().unwrap();

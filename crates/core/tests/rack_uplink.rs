@@ -40,7 +40,11 @@ fn intra_rack_traffic_unaffected_by_uplink() {
     // Same-rack transfer (workers 0 → 1) never touches the tiny uplink.
     sim.submit_transfer(WorkerId(0), WorkerId(1), 100 * MB);
     let r = &sim.run_to_completion()[0];
-    assert!(r.throughput_mbps() > 1000.0, "intra-rack at NIC speed, got {:.0}", r.throughput_mbps());
+    assert!(
+        r.throughput_mbps() > 1000.0,
+        "intra-rack at NIC speed, got {:.0}",
+        r.throughput_mbps()
+    );
 }
 
 #[test]

@@ -11,9 +11,7 @@ fn setup(len: usize) -> (Cluster, octopus_core::Client, Vec<u8>) {
         unreachable!()
     };
     let data = b.to_vec();
-    client
-        .write_file("/f", &data, ReplicationVector::from_replication_factor(2))
-        .unwrap();
+    client.write_file("/f", &data, ReplicationVector::from_replication_factor(2)).unwrap();
     (cluster, client, data)
 }
 
@@ -105,8 +103,6 @@ fn append_respects_leases() {
 fn append_to_open_file_rejected() {
     let cluster = Cluster::start(ClusterConfig::test_cluster(3, 64 * MB, MB)).unwrap();
     let client = cluster.client(ClientLocation::OffCluster);
-    let _w = client
-        .create("/open", ReplicationVector::from_replication_factor(2), None)
-        .unwrap();
+    let _w = client.create("/open", ReplicationVector::from_replication_factor(2), None).unwrap();
     assert!(client.append("/open").is_err());
 }

@@ -28,9 +28,7 @@ fn write_read_multi_block_round_trip() {
     client.mkdir("/data").unwrap();
     // 3.5 blocks worth of data.
     let data = payload((3 * MB + MB / 2) as usize, 42);
-    client
-        .write_file("/data/f", &data, ReplicationVector::from_replication_factor(3))
-        .unwrap();
+    client.write_file("/data/f", &data, ReplicationVector::from_replication_factor(3)).unwrap();
 
     let read = client.read_file("/data/f").unwrap();
     assert_eq!(read, data);
@@ -51,9 +49,7 @@ fn range_reads() {
     let cluster = Cluster::start(test_config()).unwrap();
     let client = cluster.client(ClientLocation::OffCluster);
     let data = payload((2 * MB + 100) as usize, 1);
-    client
-        .write_file("/f", &data, ReplicationVector::from_replication_factor(2))
-        .unwrap();
+    client.write_file("/f", &data, ReplicationVector::from_replication_factor(2)).unwrap();
     // Within one block.
     assert_eq!(client.read_range("/f", 10, 100).unwrap(), &data[10..110]);
     // Spanning the block boundary.
@@ -83,9 +79,7 @@ fn read_fails_over_when_worker_dies() {
     let cluster = Cluster::start(test_config()).unwrap();
     let client = cluster.client(ClientLocation::OffCluster);
     let data = payload(MB as usize, 9);
-    client
-        .write_file("/ha", &data, ReplicationVector::from_replication_factor(3))
-        .unwrap();
+    client.write_file("/ha", &data, ReplicationVector::from_replication_factor(3)).unwrap();
     let blocks = client.get_file_block_locations("/ha", 0, u64::MAX).unwrap();
     // Kill the best replica's worker; the read must still succeed.
     let first = blocks[0].locations[0];
@@ -103,7 +97,10 @@ fn read_fails_when_all_replicas_lost() {
     for l in &blocks[0].locations {
         cluster.kill_worker(l.worker);
     }
-    assert!(matches!(client.read_file("/gone"), Err(FsError::BlockUnavailable(_)) | Err(FsError::UnknownWorker(_))));
+    assert!(matches!(
+        client.read_file("/gone"),
+        Err(FsError::BlockUnavailable(_)) | Err(FsError::UnknownWorker(_))
+    ));
 }
 
 #[test]
@@ -111,9 +108,7 @@ fn replication_monitor_heals_lost_replicas() {
     let cluster = Cluster::start(test_config()).unwrap();
     let client = cluster.client(ClientLocation::OffCluster);
     let data = payload(MB as usize, 11);
-    client
-        .write_file("/heal", &data, ReplicationVector::from_replication_factor(3))
-        .unwrap();
+    client.write_file("/heal", &data, ReplicationVector::from_replication_factor(3)).unwrap();
     let blocks = client.get_file_block_locations("/heal", 0, u64::MAX).unwrap();
     let victim = blocks[0].locations[0].worker;
     cluster.kill_worker(victim);
@@ -237,10 +232,7 @@ fn on_disk_mode_round_trip() {
     let dir = std::env::temp_dir().join(format!(
         "octopus_cluster_disk_{}_{}",
         std::process::id(),
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .unwrap()
-            .as_nanos()
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
     ));
     let cluster =
         Cluster::start_with_mode(test_config(), StorageMode::OnDisk(dir.clone())).unwrap();
@@ -297,9 +289,8 @@ fn paper_cluster_config_boots() {
 fn writer_buffers_partial_blocks() {
     let cluster = Cluster::start(test_config()).unwrap();
     let client = cluster.client(ClientLocation::OffCluster);
-    let mut w = client
-        .create("/stream", ReplicationVector::from_replication_factor(2), None)
-        .unwrap();
+    let mut w =
+        client.create("/stream", ReplicationVector::from_replication_factor(2), None).unwrap();
     let chunk = payload(300_000, 47);
     for _ in 0..8 {
         w.write(&chunk).unwrap(); // 2.4 MB total in odd-sized chunks

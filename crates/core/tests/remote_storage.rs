@@ -3,9 +3,7 @@
 
 use std::sync::Arc;
 
-use octopus_common::{
-    ClientLocation, ClusterConfig, FsError, ReplicationVector, StorageTier, MB,
-};
+use octopus_common::{ClientLocation, ClusterConfig, FsError, ReplicationVector, StorageTier, MB};
 use octopus_core::{Cluster, SimCluster};
 use octopus_master::InMemoryCatalog;
 
@@ -52,17 +50,11 @@ fn archival_move_to_remote_tier() {
     let client = cluster.client(ClientLocation::OffCluster);
     let data = payload(MB as usize, 2);
     client.write_file("/cold", &data, ReplicationVector::msh(0, 0, 3)).unwrap();
-    client
-        .set_replication("/cold", ReplicationVector::mshru(0, 0, 1, 2, 0))
-        .unwrap();
+    client.set_replication("/cold", ReplicationVector::mshru(0, 0, 1, 2, 0)).unwrap();
     cluster.run_replication_round().unwrap();
     cluster.run_replication_round().unwrap();
     let blocks = client.get_file_block_locations("/cold", 0, u64::MAX).unwrap();
-    let remotes = blocks[0]
-        .locations
-        .iter()
-        .filter(|l| l.tier == StorageTier::Remote.id())
-        .count();
+    let remotes = blocks[0].locations.iter().filter(|l| l.tier == StorageTier::Remote.id()).count();
     assert_eq!(remotes, 2);
     assert_eq!(client.read_file("/cold").unwrap(), data);
 }
@@ -130,22 +122,14 @@ fn mount_point_conflicts_and_misses() {
     let client = cluster.client(ClientLocation::OffCluster);
     client.mkdir("/existing").unwrap();
     // Cannot mount over an existing namespace path.
-    let err = cluster
-        .master()
-        .mount_external("/existing", Arc::new(InMemoryCatalog::new("x")));
+    let err = cluster.master().mount_external("/existing", Arc::new(InMemoryCatalog::new("x")));
     assert!(matches!(err, Err(FsError::AlreadyExists(_))));
 
-    cluster
-        .master()
-        .mount_external("/ext", Arc::new(InMemoryCatalog::new("y")))
-        .unwrap();
+    cluster.master().mount_external("/ext", Arc::new(InMemoryCatalog::new("y"))).unwrap();
     assert_eq!(cluster.master().mount_points(), vec!["/ext".to_string()]);
     assert!(cluster.master().is_external("/ext/file"));
     assert!(!cluster.master().is_external("/elsewhere"));
-    assert!(matches!(
-        client.read_file("/ext/missing"),
-        Err(FsError::NotFound(_))
-    ));
+    assert!(matches!(client.read_file("/ext/missing"), Err(FsError::NotFound(_))));
 }
 
 #[test]

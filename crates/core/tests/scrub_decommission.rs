@@ -41,9 +41,7 @@ fn scrub_detects_and_heals_silent_corruption() {
     let cluster = Cluster::start(config()).unwrap();
     let client = cluster.client(ClientLocation::OffCluster);
     let data = payload(MB as usize, 1);
-    client
-        .write_file("/scrub", &data, ReplicationVector::from_replication_factor(3))
-        .unwrap();
+    client.write_file("/scrub", &data, ReplicationVector::from_replication_factor(3)).unwrap();
     let victim = corrupt_first_replica(&cluster, "/scrub");
 
     // The scrubber finds exactly the corrupt replica and deletes it.
@@ -71,9 +69,7 @@ fn client_read_fails_over_around_corruption_before_scrub() {
     let cluster = Cluster::start(config()).unwrap();
     let client = cluster.client(ClientLocation::OffCluster);
     let data = payload(MB as usize, 2);
-    client
-        .write_file("/failover", &data, ReplicationVector::from_replication_factor(3))
-        .unwrap();
+    client.write_file("/failover", &data, ReplicationVector::from_replication_factor(3)).unwrap();
     corrupt_first_replica(&cluster, "/failover");
     assert_eq!(client.read_file("/failover").unwrap(), data);
 }
@@ -85,16 +81,10 @@ fn vanished_replica_heals_via_block_report() {
     let cluster = Cluster::start(config()).unwrap();
     let client = cluster.client(ClientLocation::OffCluster);
     let data = payload(MB as usize, 3);
-    client
-        .write_file("/lost", &data, ReplicationVector::from_replication_factor(3))
-        .unwrap();
+    client.write_file("/lost", &data, ReplicationVector::from_replication_factor(3)).unwrap();
     let blocks = client.get_file_block_locations("/lost", 0, u64::MAX).unwrap();
     let victim = blocks[0].locations[0];
-    cluster
-        .worker(victim.worker)
-        .unwrap()
-        .delete_block(victim.media, blocks[0].block.id)
-        .unwrap();
+    cluster.worker(victim.worker).unwrap().delete_block(victim.media, blocks[0].block.id).unwrap();
 
     cluster.send_block_reports().unwrap();
     cluster.run_replication_round().unwrap();
@@ -147,9 +137,7 @@ fn decommissioning_worker_keeps_serving_reads_while_draining() {
     let cluster = Cluster::start(config()).unwrap();
     let client = cluster.client(ClientLocation::OffCluster);
     let data = payload(MB as usize, 4);
-    client
-        .write_file("/serve", &data, ReplicationVector::from_replication_factor(3))
-        .unwrap();
+    client.write_file("/serve", &data, ReplicationVector::from_replication_factor(3)).unwrap();
     let blocks = client.get_file_block_locations("/serve", 0, u64::MAX).unwrap();
     let w = blocks[0].locations[0].worker;
     cluster.master().start_decommission(w);

@@ -139,8 +139,7 @@ fn replication_settles_set_replication_moves() {
         .get_file_block_locations("/mv", 0, u64::MAX, ClientLocation::OffCluster)
         .unwrap();
     for b in &blocks {
-        let mems =
-            b.locations.iter().filter(|l| l.tier == StorageTier::Memory.id()).count();
+        let mems = b.locations.iter().filter(|l| l.tier == StorageTier::Memory.id()).count();
         let hdds = b.locations.iter().filter(|l| l.tier == StorageTier::Hdd.id()).count();
         assert_eq!(mems, 1, "one memory replica per block after the move");
         assert_eq!(hdds, 2, "trimmed back to two HDD replicas");
@@ -197,8 +196,13 @@ fn nr_conn_feedback_reaches_policies() {
     let mut sim = SimCluster::new(sim_config()).unwrap();
     // Start a long HDD write; while it runs, the snapshot must show
     // non-zero connections on the involved media.
-    sim.submit_write("/busy", 100 * MB, ReplicationVector::msh(0, 0, 3), ClientLocation::OffCluster)
-        .unwrap();
+    sim.submit_write(
+        "/busy",
+        100 * MB,
+        ReplicationVector::msh(0, 0, 3),
+        ClientLocation::OffCluster,
+    )
+    .unwrap();
     // Step one event (first block in flight after submit).
     let snap = sim.master().snapshot();
     let busy_media = snap.media.iter().filter(|m| m.nr_conn > 0).count();

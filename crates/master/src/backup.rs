@@ -79,9 +79,10 @@ impl BackupMaster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use octopus_common::{ClientLocation, ClusterConfig, MediaStats, RackId, ReplicationVector,
-        TierId, WorkerId};
     use octopus_common::MediaId;
+    use octopus_common::{
+        ClientLocation, ClusterConfig, MediaStats, RackId, ReplicationVector, TierId, WorkerId,
+    };
 
     fn boot_master(n: u32) -> Master {
         let config = ClusterConfig::test_cluster(n, 10 << 20, 1 << 20);
@@ -112,9 +113,7 @@ mod tests {
         let primary = boot_master(3);
         let mut backup = BackupMaster::new();
         primary.mkdir("/a").unwrap();
-        primary
-            .create_file("/a/f", ReplicationVector::from_replication_factor(2), None)
-            .unwrap();
+        primary.create_file("/a/f", ReplicationVector::from_replication_factor(2), None).unwrap();
         let n = backup.sync_from(&primary).unwrap();
         assert_eq!(n, 2);
         assert!(backup.namespace().resolve("/a/f").is_ok());
@@ -129,11 +128,8 @@ mod tests {
     fn checkpoint_and_takeover() {
         let primary = boot_master(3);
         primary.mkdir("/x").unwrap();
-        primary
-            .create_file("/x/f", ReplicationVector::from_replication_factor(1), None)
-            .unwrap();
-        let (block, locs) =
-            primary.add_block("/x/f", 1 << 20, ClientLocation::OffCluster).unwrap();
+        primary.create_file("/x/f", ReplicationVector::from_replication_factor(1), None).unwrap();
+        let (block, locs) = primary.add_block("/x/f", 1 << 20, ClientLocation::OffCluster).unwrap();
         for l in &locs {
             primary.commit_replica(block, *l).unwrap();
         }

@@ -8,8 +8,10 @@
 
 use std::collections::HashMap;
 
-use octopus_common::{Block, BlockId, FsError, INodeId, Location, MediaId, ReplicationVector,
-    Result, TierId, WorkerId, MAX_TIERS};
+use octopus_common::{
+    Block, BlockId, FsError, INodeId, Location, MediaId, ReplicationVector, Result, TierId,
+    WorkerId, MAX_TIERS,
+};
 
 /// Master-side state of one block.
 #[derive(Debug, Clone, PartialEq, Eq)]

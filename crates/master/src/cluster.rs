@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use octopus_common::{
     ClusterConfig, FsError, MediaId, MediaStats, RackId, Result, StorageTierReport, TierId,
-    TierStats, TierRegistry, WorkerId, WorkerStats, MAX_TIERS,
+    TierRegistry, TierStats, WorkerId, WorkerStats, MAX_TIERS,
 };
 use octopus_policies::ClusterSnapshot;
 

@@ -82,6 +82,16 @@ pub enum EditOp {
         /// The quota.
         quota: TierQuota,
     },
+    /// Remove the last (uncommitted) block of an open file — pipeline
+    /// recovery abandoned it after a write failure.
+    AbandonBlock {
+        /// File path.
+        path: String,
+        /// The abandoned block.
+        block: BlockId,
+        /// Its length (for the quota refund on replay).
+        len: u64,
+    },
 }
 
 const TAG_MKDIR: u8 = 1;
@@ -93,6 +103,7 @@ const TAG_DELETE: u8 = 6;
 const TAG_SET_REP: u8 = 7;
 const TAG_SET_QUOTA: u8 = 8;
 const TAG_APPEND: u8 = 9;
+const TAG_ABANDON_BLOCK: u8 = 10;
 
 const NO_QUOTA: u64 = u64::MAX;
 
@@ -198,6 +209,12 @@ impl EditOp {
                     put_u64(&mut b, quota.per_tier[t].unwrap_or(NO_QUOTA));
                 }
             }
+            EditOp::AbandonBlock { path, block, len } => {
+                b.push(TAG_ABANDON_BLOCK);
+                put_str(&mut b, path);
+                put_u64(&mut b, block.0);
+                put_u64(&mut b, *len);
+            }
         }
         b
     }
@@ -235,6 +252,9 @@ impl EditOp {
                     quota.per_tier[t] = if v == NO_QUOTA { None } else { Some(v) };
                 }
                 EditOp::SetQuota { path, quota }
+            }
+            TAG_ABANDON_BLOCK => {
+                EditOp::AbandonBlock { path: r.str()?, block: BlockId(r.u64()?), len: r.u64()? }
             }
             t => return Err(FsError::Io(format!("unknown edit op tag {t}"))),
         };
@@ -277,6 +297,10 @@ impl EditOp {
             }
             EditOp::SetQuota { path, quota } => {
                 ns.set_quota(path, *quota)?;
+            }
+            EditOp::AbandonBlock { path, block, len } => {
+                let id = ns.resolve(path)?;
+                ns.remove_last_block(id, *block, *len)?;
             }
         }
         Ok(())
@@ -403,7 +427,11 @@ pub fn namespace_to_ops(ns: &Namespace) -> Vec<EditOp> {
     let mut files = ns.iter_files();
     files.sort_by(|a, b| a.1.cmp(&b.1));
     for (_, path, meta) in files {
-        ops.push(EditOp::CreateFile { path: path.clone(), rv: meta.rv, block_size: meta.block_size });
+        ops.push(EditOp::CreateFile {
+            path: path.clone(),
+            rv: meta.rv,
+            block_size: meta.block_size,
+        });
         let blocks = meta.blocks.clone();
         let n = blocks.len() as u64;
         for (i, b) in blocks.iter().enumerate() {
@@ -454,14 +482,13 @@ mod tests {
                 block_size: 128,
             },
             EditOp::AddBlock { path: "/a/b/f".into(), block: BlockId(5), gen: 3, len: 128 },
+            EditOp::AddBlock { path: "/a/b/f".into(), block: BlockId(9), gen: 3, len: 32 },
+            EditOp::AbandonBlock { path: "/a/b/f".into(), block: BlockId(9), len: 32 },
             EditOp::AddBlock { path: "/a/b/f".into(), block: BlockId(6), gen: 3, len: 64 },
             EditOp::CloseFile { path: "/a/b/f".into() },
             EditOp::AppendFile { path: "/a/b/f".into() },
             EditOp::CloseFile { path: "/a/b/f".into() },
-            EditOp::SetReplication {
-                path: "/a/b/f".into(),
-                rv: ReplicationVector::msh(0, 1, 2),
-            },
+            EditOp::SetReplication { path: "/a/b/f".into(), rv: ReplicationVector::msh(0, 1, 2) },
             EditOp::Rename { src: "/a/b/f".into(), dst: "/a/g".into() },
             EditOp::SetQuota { path: "/a".into(), quota: TierQuota::limit_tier(0, 1 << 20) },
             EditOp::Delete { path: "/a/b".into() },
@@ -526,10 +553,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!(
             "octopus_editlog_{}_{}",
             std::process::id(),
-            std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .unwrap()
-                .as_nanos()
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
         ));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("edits.log");
@@ -560,9 +584,7 @@ mod tests {
         let mut ns = Namespace::new();
         ns.mkdir("/data/warm", true).unwrap();
         ns.set_quota("/data", TierQuota::limit_tier(1, 1 << 30)).unwrap();
-        let f = ns
-            .create_file("/data/f", ReplicationVector::msh(0, 1, 2), 100)
-            .unwrap();
+        let f = ns.create_file("/data/f", ReplicationVector::msh(0, 1, 2), 100).unwrap();
         ns.add_block(f, BlockId(1), 100).unwrap();
         ns.add_block(f, BlockId(2), 40).unwrap();
         ns.finalize_file(f).unwrap();

@@ -57,10 +57,8 @@ impl LeaseManager {
                 )));
             }
         }
-        self.leases.insert(
-            path.to_string(),
-            Lease { holder, expires_ms: now_ms + self.duration_ms },
-        );
+        self.leases
+            .insert(path.to_string(), Lease { holder, expires_ms: now_ms + self.duration_ms });
         Ok(())
     }
 
@@ -85,11 +83,7 @@ impl LeaseManager {
 
     /// Paths whose leases have expired (candidates for lease recovery).
     pub fn expired(&self, now_ms: u64) -> Vec<String> {
-        self.leases
-            .iter()
-            .filter(|(_, l)| l.expires_ms <= now_ms)
-            .map(|(p, _)| p.clone())
-            .collect()
+        self.leases.iter().filter(|(_, l)| l.expires_ms <= now_ms).map(|(p, _)| p.clone()).collect()
     }
 
     /// Number of outstanding leases.
@@ -111,10 +105,7 @@ mod tests {
     fn exclusive_while_live() {
         let mut lm = LeaseManager::new(1000);
         lm.acquire("/f", ClientId(1), 0).unwrap();
-        assert!(matches!(
-            lm.acquire("/f", ClientId(2), 500),
-            Err(FsError::LeaseConflict(_))
-        ));
+        assert!(matches!(lm.acquire("/f", ClientId(2), 500), Err(FsError::LeaseConflict(_))));
         // Same holder renews.
         lm.acquire("/f", ClientId(1), 500).unwrap();
         // After expiry another client can take it.

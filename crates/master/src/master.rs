@@ -99,8 +99,7 @@ impl Master {
         }
         let block_ids = IdGenerator::new(1);
         block_ids.ensure_above(max_block);
-        let placement =
-            build_placement_policy(config.policy.placement, &config.policy, 0x0c70);
+        let placement = build_placement_policy(config.policy.placement, &config.policy, 0x0c70);
         let retrieval = build_retrieval_policy(config.policy.retrieval, 0x0c70);
         // A master that boots with pre-existing blocks (restart/failover)
         // starts in safe mode until block reports confirm the data (§2.1).
@@ -145,13 +144,7 @@ impl Master {
     // -- Worker-facing API -------------------------------------------------
 
     /// Registers a worker.
-    pub fn register_worker(
-        &self,
-        worker: WorkerId,
-        rack: RackId,
-        net_thru: f64,
-        now_ms: u64,
-    ) {
+    pub fn register_worker(&self, worker: WorkerId, rack: RackId, net_thru: f64, now_ms: u64) {
         self.inner.write().cluster.register(worker, rack, net_thru, now_ms);
     }
 
@@ -215,8 +208,7 @@ impl Master {
         // Safe mode exits once enough blocks have a confirmed replica.
         if g.safe_mode {
             let total = g.blocks.len();
-            let available =
-                g.blocks.iter().filter(|(_, i)| !i.locations.is_empty()).count();
+            let available = g.blocks.iter().filter(|(_, i)| !i.locations.is_empty()).count();
             if total == 0 || available as f64 / total as f64 >= SAFE_MODE_THRESHOLD {
                 g.safe_mode = false;
             }
@@ -307,9 +299,7 @@ impl Master {
 
     fn check_writable(g: &Inner) -> Result<()> {
         if g.safe_mode {
-            return Err(FsError::NotReady(
-                "master is in safe mode awaiting block reports".into(),
-            ));
+            return Err(FsError::NotReady("master is in safe mode awaiting block reports".into()));
         }
         Ok(())
     }
@@ -393,6 +383,21 @@ impl Master {
         client: ClientLocation,
         holder: ClientId,
     ) -> Result<(Block, Vec<Location>)> {
+        self.add_block_excluding(path, len, client, holder, &[])
+    }
+
+    /// [`Master::add_block_as`] excluding specific workers from placement
+    /// — the client-side pipeline recovery of §3.1: after a stage failure
+    /// the client abandons the block and re-requests placement without
+    /// the workers its failed attempts already hit.
+    pub fn add_block_excluding(
+        &self,
+        path: &str,
+        len: u64,
+        client: ClientLocation,
+        holder: ClientId,
+        excluded: &[WorkerId],
+    ) -> Result<(Block, Vec<Location>)> {
         let mut g = self.inner.write();
         Self::check_writable(&g)?;
         let now = g.clock_ms;
@@ -409,7 +414,8 @@ impl Master {
             )));
         }
         let rv = meta.rv;
-        let req = PlacementRequest::from_vector(rv, len, client);
+        let mut req = PlacementRequest::from_vector(rv, len, client);
+        req.excluded_workers = excluded.to_vec();
         let snap = g.cluster.snapshot();
         let media = self.placement.place(&snap, &req)?;
         if media.len() < req.tier_pins.len() {
@@ -432,8 +438,11 @@ impl Master {
             })
             .collect::<Result<_>>()?;
 
-        let block =
-            Block { id: BlockId(self.block_ids.next()), gen: GenStamp(self.gen_stamps.next()), len };
+        let block = Block {
+            id: BlockId(self.block_ids.next()),
+            gen: GenStamp(self.gen_stamps.next()),
+            len,
+        };
 
         // Quota check + namespace append; roll back nothing else on failure.
         g.ns.add_block(file, block.id, len)?;
@@ -464,6 +473,30 @@ impl Master {
         let mut g = self.inner.write();
         g.blocks.abandon_pending(block.id, &loc);
         g.cluster.complete_write(loc.media, 0);
+    }
+
+    /// Abandons an allocated block whose pipeline never stored a replica:
+    /// reverses the namespace append (refunding quota), releases every
+    /// pending write reservation, and drops the block from the block map.
+    /// Replicas that *did* commit before the failure become unknown blocks
+    /// and are invalidated through their owners' next block reports.
+    pub fn abandon_block_as(&self, path: &str, block: Block, holder: ClientId) -> Result<()> {
+        let mut g = self.inner.write();
+        Self::check_writable(&g)?;
+        let now = g.clock_ms;
+        g.leases.check(path, holder, now)?;
+        let file = g.ns.resolve(path)?;
+        g.ns.remove_last_block(file, block.id, block.len)?;
+        if let Some(info) = g.blocks.remove_block(block.id) {
+            for loc in info.pending {
+                g.cluster.complete_write(loc.media, 0);
+            }
+        }
+        g.log.append(EditOp::AbandonBlock {
+            path: path.to_string(),
+            block: block.id,
+            len: block.len,
+        })
     }
 
     /// Reopens a complete file for append (new blocks only; the existing
@@ -615,13 +648,7 @@ impl Master {
 
     /// Registered external mount points.
     pub fn mount_points(&self) -> Vec<String> {
-        self.inner
-            .read()
-            .mounts
-            .mount_points()
-            .into_iter()
-            .map(String::from)
-            .collect()
+        self.inner.read().mounts.mount_points().into_iter().map(String::from).collect()
     }
 
     /// Renames a file or directory.
@@ -683,13 +710,12 @@ impl Master {
         let snap = g.cluster.snapshot();
         let mut tasks = Vec::new();
 
-        let files: Vec<(octopus_common::INodeId, ReplicationVector, Vec<BlockId>)> = g
-            .ns
-            .iter_files()
-            .into_iter()
-            .filter(|(_, _, meta)| meta.complete)
-            .map(|(id, _, meta)| (id, meta.rv, meta.blocks.clone()))
-            .collect();
+        let files: Vec<(octopus_common::INodeId, ReplicationVector, Vec<BlockId>)> =
+            g.ns.iter_files()
+                .into_iter()
+                .filter(|(_, _, meta)| meta.complete)
+                .map(|(id, _, meta)| (id, meta.rv, meta.blocks.clone()))
+                .collect();
 
         for (_, rv, blocks) in files {
             for bid in blocks {
@@ -729,6 +755,7 @@ impl Master {
                         client: ClientLocation::OffCluster,
                         tier_pins: pins,
                         existing: all.iter().map(|l| l.media).collect(),
+                        excluded_workers: Vec::new(),
                     };
                     if let Ok(media) = self.placement.place(&snap, &req) {
                         for m in media {
@@ -752,12 +779,9 @@ impl Master {
                 for &(tier, count) in &state.over {
                     let mut current = confirmed.clone();
                     for _ in 0..count {
-                        let Some(victim) = choose_replica_to_remove(
-                            &snap,
-                            &current,
-                            Some(tier),
-                            block.len,
-                        ) else {
+                        let Some(victim) =
+                            choose_replica_to_remove(&snap, &current, Some(tier), block.len)
+                        else {
                             break;
                         };
                         current.retain(|l| l != &victim);
@@ -834,6 +858,7 @@ impl Master {
                     client: ClientLocation::OffCluster,
                     tier_pins: vec![Some(src.tier)],
                     existing: locations.iter().map(|l| l.media).collect(),
+                    excluded_workers: Vec::new(),
                 };
                 let Ok(placed) = self.placement.place(&snap, &req) else { continue };
                 let Some(&target_media) = placed.first() else { continue };
@@ -894,12 +919,7 @@ impl Master {
 
     /// Confirmed replica locations of a block (test/diagnostic hook).
     pub fn block_locations(&self, id: BlockId) -> Vec<Location> {
-        self.inner
-            .read()
-            .blocks
-            .get(id)
-            .map(|i| i.locations.clone())
-            .unwrap_or_default()
+        self.inner.read().blocks.get(id).map(|i| i.locations.clone()).unwrap_or_default()
     }
 }
 
@@ -943,17 +963,14 @@ mod tests {
         let m = boot_master(6);
         m.mkdir("/data").unwrap();
         m.create_file("/data/f", rv_u(3), None).unwrap();
-        let (block, locs) = m
-            .add_block("/data/f", 1 << 20, ClientLocation::OffCluster)
-            .unwrap();
+        let (block, locs) = m.add_block("/data/f", 1 << 20, ClientLocation::OffCluster).unwrap();
         assert_eq!(locs.len(), 3);
         for l in &locs {
             m.commit_replica(block, *l).unwrap();
         }
         m.complete_file("/data/f").unwrap();
-        let located = m
-            .get_file_block_locations("/data/f", 0, u64::MAX, ClientLocation::OffCluster)
-            .unwrap();
+        let located =
+            m.get_file_block_locations("/data/f", 0, u64::MAX, ClientLocation::OffCluster).unwrap();
         assert_eq!(located.len(), 1);
         assert_eq!(located[0].locations.len(), 3);
         assert_eq!(located[0].block, block);
@@ -1049,14 +1066,10 @@ mod tests {
         let old = m.set_replication("/f", ReplicationVector::msh(1, 1, 1)).unwrap();
         assert_eq!(old, ReplicationVector::msh(1, 0, 2));
         let tasks = m.replication_scan();
-        let copies: Vec<_> = tasks
-            .iter()
-            .filter(|t| matches!(t, ReplicationTask::Copy { .. }))
-            .collect();
-        let deletes: Vec<_> = tasks
-            .iter()
-            .filter(|t| matches!(t, ReplicationTask::Delete { .. }))
-            .collect();
+        let copies: Vec<_> =
+            tasks.iter().filter(|t| matches!(t, ReplicationTask::Copy { .. })).collect();
+        let deletes: Vec<_> =
+            tasks.iter().filter(|t| matches!(t, ReplicationTask::Delete { .. })).collect();
         assert_eq!(copies.len(), 1);
         assert_eq!(deletes.len(), 1);
         if let ReplicationTask::Copy { target, .. } = copies[0] {
@@ -1094,7 +1107,8 @@ mod tests {
         assert_eq!(m.block_locations(block.id), vec![loc]);
         // Worker reports an unknown block → invalidation.
         let ghost = Block { id: BlockId(9999), gen: GenStamp(0), len: 1 };
-        let invalid = m.block_report(loc.worker, &[(block, loc.media), (ghost, loc.media)]).unwrap();
+        let invalid =
+            m.block_report(loc.worker, &[(block, loc.media), (ghost, loc.media)]).unwrap();
         assert_eq!(invalid, vec![BlockId(9999)]);
         // Worker stops reporting the block → replica dropped.
         let invalid = m.block_report(loc.worker, &[]).unwrap();

@@ -174,10 +174,7 @@ impl ExternalCatalog for InMemoryCatalog {
     }
 
     fn read(&self, rel: &str) -> Result<Vec<u8>> {
-        self.files
-            .get(rel)
-            .cloned()
-            .ok_or_else(|| FsError::NotFound(rel.to_string()))
+        self.files.get(rel).cloned().ok_or_else(|| FsError::NotFound(rel.to_string()))
     }
 }
 
@@ -234,8 +231,7 @@ impl ExternalCatalog for LocalDirCatalog {
 
     fn status(&self, rel: &str) -> Result<ExternalStatus> {
         let p = self.safe_join(rel)?;
-        let meta =
-            std::fs::metadata(&p).map_err(|_| FsError::NotFound(p.display().to_string()))?;
+        let meta = std::fs::metadata(&p).map_err(|_| FsError::NotFound(p.display().to_string()))?;
         Ok(ExternalStatus {
             is_dir: meta.is_dir(),
             len: if meta.is_dir() { 0 } else { meta.len() },
@@ -305,10 +301,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!(
             "octopus_mount_{}_{}",
             std::process::id(),
-            std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .unwrap()
-                .as_nanos()
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
         ));
         std::fs::create_dir_all(dir.join("sub")).unwrap();
         std::fs::write(dir.join("a.bin"), vec![9u8; 50]).unwrap();

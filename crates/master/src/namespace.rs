@@ -52,11 +52,7 @@ pub struct FileMeta {
 
 #[derive(Debug, Clone)]
 enum INodeKind {
-    Dir {
-        children: BTreeMap<String, INodeId>,
-        quota: TierQuota,
-        usage: [u64; MAX_TIERS],
-    },
+    Dir { children: BTreeMap<String, INodeId>, quota: TierQuota, usage: [u64; MAX_TIERS] },
     File(FileMeta),
 }
 
@@ -137,9 +133,7 @@ impl Namespace {
     }
 
     fn node_mut(&mut self, id: INodeId) -> Result<&mut INode> {
-        self.nodes
-            .get_mut(&id)
-            .ok_or_else(|| FsError::Internal(format!("dangling inode {id}")))
+        self.nodes.get_mut(&id).ok_or_else(|| FsError::Internal(format!("dangling inode {id}")))
     }
 
     /// Resolves a path to its inode.
@@ -150,13 +144,9 @@ impl Namespace {
             let node = self.node(cur)?;
             match &node.kind {
                 INodeKind::Dir { children, .. } => {
-                    cur = *children
-                        .get(comp)
-                        .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+                    cur = *children.get(comp).ok_or_else(|| FsError::NotFound(path.to_string()))?;
                 }
-                INodeKind::File(_) => {
-                    return Err(FsError::NotADirectory(self.path_of(node.id)))
-                }
+                INodeKind::File(_) => return Err(FsError::NotADirectory(self.path_of(node.id))),
             }
         }
         Ok(cur)
@@ -191,13 +181,10 @@ impl Namespace {
             let node = self.node(cur)?;
             match &node.kind {
                 INodeKind::Dir { children, .. } => {
-                    cur = *children
-                        .get(*comp)
-                        .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+                    cur =
+                        *children.get(*comp).ok_or_else(|| FsError::NotFound(path.to_string()))?;
                 }
-                INodeKind::File(_) => {
-                    return Err(FsError::NotADirectory(self.path_of(node.id)))
-                }
+                INodeKind::File(_) => return Err(FsError::NotADirectory(self.path_of(node.id))),
             }
         }
         Ok((cur, name))
@@ -208,11 +195,7 @@ impl Namespace {
     pub fn mkdir(&mut self, path: &str, parents: bool) -> Result<INodeId> {
         let comps = parse_path(path)?;
         if comps.is_empty() {
-            return if parents {
-                Ok(self.root)
-            } else {
-                Err(FsError::AlreadyExists("/".into()))
-            };
+            return if parents { Ok(self.root) } else { Err(FsError::AlreadyExists("/".into())) };
         }
         let mut cur = self.root;
         for (i, comp) in comps.iter().enumerate() {
@@ -231,9 +214,7 @@ impl Namespace {
                     if last {
                         return match &self.node(id)?.kind {
                             INodeKind::Dir { .. } if parents => Ok(id),
-                            INodeKind::Dir { .. } => {
-                                Err(FsError::AlreadyExists(path.to_string()))
-                            }
+                            INodeKind::Dir { .. } => Err(FsError::AlreadyExists(path.to_string())),
                             INodeKind::File(_) => Err(FsError::AlreadyExists(path.to_string())),
                         };
                     }
@@ -402,6 +383,36 @@ impl Namespace {
         Ok(())
     }
 
+    /// Reverses the most recent [`Namespace::add_block`] of an open file,
+    /// refunding the quota charge and length. Only the *last* block may be
+    /// abandoned — pipeline recovery gives up on a block whose write
+    /// failed before requesting a fresh placement, and nothing can have
+    /// been appended after it while the client holds the lease.
+    pub fn remove_last_block(&mut self, file: INodeId, block: BlockId, len: u64) -> Result<()> {
+        let (rv, complete, last) = {
+            let meta = self.file_meta(file)?;
+            (meta.rv, meta.complete, meta.blocks.last().copied())
+        };
+        if complete {
+            return Err(FsError::InvalidArgument(format!(
+                "file {} is complete; cannot abandon blocks",
+                self.path_of(file)
+            )));
+        }
+        if last != Some(block) {
+            return Err(FsError::InvalidArgument(format!(
+                "{block} is not the last block of {}",
+                self.path_of(file)
+            )));
+        }
+        let charge = Self::charge_of(rv, len);
+        self.apply_charge(file, &charge, -1)?;
+        let meta = self.file_meta_mut(file)?;
+        meta.blocks.pop();
+        meta.len = meta.len.saturating_sub(len);
+        Ok(())
+    }
+
     /// Marks a file complete (closed).
     pub fn finalize_file(&mut self, file: INodeId) -> Result<()> {
         let meta = self.file_meta_mut(file)?;
@@ -413,10 +424,7 @@ impl Namespace {
     pub fn reopen_file(&mut self, file: INodeId) -> Result<()> {
         let meta = self.file_meta_mut(file)?;
         if !meta.complete {
-            return Err(FsError::LeaseConflict(format!(
-                "{} is already open for writing",
-                file
-            )));
+            return Err(FsError::LeaseConflict(format!("{} is already open for writing", file)));
         }
         meta.complete = false;
         Ok(())
@@ -491,12 +499,9 @@ impl Namespace {
                         len: 0,
                         rv: ReplicationVector::EMPTY,
                     },
-                    INodeKind::File(meta) => DirEntry {
-                        name: name.clone(),
-                        is_dir: false,
-                        len: meta.len,
-                        rv: meta.rv,
-                    },
+                    INodeKind::File(meta) => {
+                        DirEntry { name: name.clone(), is_dir: false, len: meta.len, rv: meta.rv }
+                    }
                 })
             })
             .collect()
@@ -760,15 +765,9 @@ mod tests {
         // Cannot append after close.
         assert!(ns.add_block(f, BlockId(3), 10).is_err());
         // Duplicate create fails.
-        assert!(matches!(
-            ns.create_file("/data/f1", rv3(), 128),
-            Err(FsError::AlreadyExists(_))
-        ));
+        assert!(matches!(ns.create_file("/data/f1", rv3(), 128), Err(FsError::AlreadyExists(_))));
         // Create under a file fails.
-        assert!(matches!(
-            ns.create_file("/data/f1/x", rv3(), 128),
-            Err(FsError::NotADirectory(_))
-        ));
+        assert!(matches!(ns.create_file("/data/f1/x", rv3(), 128), Err(FsError::NotADirectory(_))));
     }
 
     #[test]
@@ -850,7 +849,8 @@ mod tests {
         assert_eq!(usage[2], 160); // HDD×2, unlimited
 
         // Unspecified replicas are not charged.
-        let f2 = ns.create_file("/tenant/g", ReplicationVector::from_replication_factor(3), 128)
+        let f2 = ns
+            .create_file("/tenant/g", ReplicationVector::from_replication_factor(3), 128)
             .unwrap();
         ns.add_block(f2, BlockId(3), 1000).unwrap();
         let (_, usage) = ns.quota_usage("/tenant").unwrap();

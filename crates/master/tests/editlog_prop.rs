@@ -12,23 +12,17 @@ use octopus_master::{EditLog, EditOp, Namespace, TierQuota};
 /// A path made of safe components (the namespace validates real paths;
 /// the codec itself must handle arbitrary strings).
 fn arb_path() -> impl Strategy<Value = String> {
-    proptest::collection::vec("[a-z0-9_.-]{1,12}", 1..4)
-        .prop_map(|c| format!("/{}", c.join("/")))
+    proptest::collection::vec("[a-z0-9_.-]{1,12}", 1..4).prop_map(|c| format!("/{}", c.join("/")))
 }
 
 fn arb_op() -> impl Strategy<Value = EditOp> {
     prop_oneof![
         arb_path().prop_map(|path| EditOp::Mkdir { path }),
         (arb_path(), any::<u64>(), 1u64..1 << 40).prop_map(|(path, bits, block_size)| {
-            EditOp::CreateFile {
-                path,
-                rv: ReplicationVector::from_bits(bits),
-                block_size,
-            }
+            EditOp::CreateFile { path, rv: ReplicationVector::from_bits(bits), block_size }
         }),
-        (arb_path(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
-            |(path, b, gen, len)| EditOp::AddBlock { path, block: BlockId(b), gen, len }
-        ),
+        (arb_path(), any::<u64>(), any::<u64>(), any::<u64>())
+            .prop_map(|(path, b, gen, len)| EditOp::AddBlock { path, block: BlockId(b), gen, len }),
         arb_path().prop_map(|path| EditOp::CloseFile { path }),
         arb_path().prop_map(|path| EditOp::AppendFile { path }),
         (arb_path(), arb_path()).prop_map(|(src, dst)| EditOp::Rename { src, dst }),
@@ -37,13 +31,11 @@ fn arb_op() -> impl Strategy<Value = EditOp> {
             path,
             rv: ReplicationVector::from_bits(bits),
         }),
-        (arb_path(), 0u8..7, proptest::option::of(any::<u64>())).prop_map(
-            |(path, tier, limit)| {
-                let mut quota = TierQuota::unlimited();
-                quota.per_tier[tier as usize] = limit;
-                EditOp::SetQuota { path, quota }
-            }
-        ),
+        (arb_path(), 0u8..7, proptest::option::of(any::<u64>())).prop_map(|(path, tier, limit)| {
+            let mut quota = TierQuota::unlimited();
+            quota.per_tier[tier as usize] = limit;
+            EditOp::SetQuota { path, quota }
+        }),
     ]
 }
 

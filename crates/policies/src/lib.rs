@@ -25,11 +25,9 @@ pub mod retrieval;
 pub mod snapshot;
 
 pub use placement::{
-    build_placement_policy, GreedyPolicy, HdfsPolicy, Objective, PlacementPolicy,
-    PlacementRequest, RuleBasedPolicy,
+    build_placement_policy, GreedyPolicy, HdfsPolicy, Objective, PlacementPolicy, PlacementRequest,
+    RuleBasedPolicy,
 };
 pub use removal::choose_replica_to_remove;
-pub use retrieval::{
-    build_retrieval_policy, HdfsLocalityPolicy, RateBasedPolicy, RetrievalPolicy,
-};
+pub use retrieval::{build_retrieval_policy, HdfsLocalityPolicy, RateBasedPolicy, RetrievalPolicy};
 pub use snapshot::ClusterSnapshot;

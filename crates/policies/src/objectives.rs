@@ -127,11 +127,7 @@ pub fn f_ft(chosen: &[&MediaStats], ctx: &ObjectiveContext) -> f64 {
     let r = chosen.len();
     let tier_term = tiers.len() as f64 / r.min(ctx.k.max(1)) as f64;
     let node_term = nodes.len() as f64 / r.min(ctx.n.max(1)) as f64;
-    let rack_term = if ctx.t == 1 {
-        1.0
-    } else {
-        1.0 / ((racks.len() as f64 - 2.0).abs() + 1.0)
-    };
+    let rack_term = if ctx.t == 1 { 1.0 } else { 1.0 / ((racks.len() as f64 - 2.0).abs() + 1.0) };
     tier_term + node_term + rack_term
 }
 
@@ -143,10 +139,7 @@ pub fn ideal_ft() -> f64 {
 /// Throughput-maximization objective `f_tm` (Eq. 7): sum of log-normalized
 /// write throughputs.
 pub fn f_tm(chosen: &[&MediaStats], ctx: &ObjectiveContext) -> f64 {
-    chosen
-        .iter()
-        .map(|m| m.write_thru.max(1.0).ln() / ctx.ln_max_wthru)
-        .sum()
+    chosen.iter().map(|m| m.write_thru.max(1.0).ln() / ctx.ln_max_wthru).sum()
 }
 
 /// Ideal throughput maximization `f_tm*` (Eq. 8): `|m⃗|`.
@@ -318,17 +311,14 @@ mod tests {
     #[test]
     fn optimal_substructure_of_db() {
         // The best 2 media under f_db include the best 1 medium (OSP, §3.3).
-        let ms: Vec<MediaStats> = (0..4)
-            .map(|i| media(i, i, 0, 0, 100, 20 * (i as u64 + 1), 0, 1.0))
-            .collect();
+        let ms: Vec<MediaStats> =
+            (0..4).map(|i| media(i, i, 0, 0, 100, 20 * (i as u64 + 1), 0, 1.0)).collect();
         let refs: Vec<&MediaStats> = ms.iter().collect();
         let ctx = ctx_for(&refs, 0);
         // best single = highest remaining fraction = ms[3]
         let best1 = refs
             .iter()
-            .max_by(|a, b| {
-                f_db(&[a], &ctx).partial_cmp(&f_db(&[b], &ctx)).unwrap()
-            })
+            .max_by(|a, b| f_db(&[a], &ctx).partial_cmp(&f_db(&[b], &ctx)).unwrap())
             .unwrap()
             .media;
         assert_eq!(best1, MediaId(3));

@@ -39,16 +39,16 @@ pub struct PlacementRequest {
     /// failures, or additions triggered by `setReplication`). They count
     /// toward the objective evaluation and are excluded from the options.
     pub existing: Vec<MediaId>,
+    /// Workers no replica may land on — a client's pipeline recovery
+    /// (§3.1) excludes the workers its failed write attempts already hit,
+    /// so the replacement placement avoids them.
+    pub excluded_workers: Vec<WorkerId>,
 }
 
 impl PlacementRequest {
     /// Expands a replication vector into a request: pinned replicas first
     /// (in tier-slot order), then the unspecified ones.
-    pub fn from_vector(
-        rv: ReplicationVector,
-        block_size: u64,
-        client: ClientLocation,
-    ) -> Self {
+    pub fn from_vector(rv: ReplicationVector, block_size: u64, client: ClientLocation) -> Self {
         let mut pins = Vec::with_capacity(rv.total() as usize);
         for (tier, count) in rv.iter_tiers() {
             for _ in 0..count {
@@ -58,12 +58,24 @@ impl PlacementRequest {
         for _ in 0..rv.unspecified() {
             pins.push(None);
         }
-        Self { block_size, client, tier_pins: pins, existing: Vec::new() }
+        Self {
+            block_size,
+            client,
+            tier_pins: pins,
+            existing: Vec::new(),
+            excluded_workers: Vec::new(),
+        }
     }
 
     /// A request for `r` replicas with no tier constraints.
     pub fn unspecified(r: usize, block_size: u64, client: ClientLocation) -> Self {
-        Self { block_size, client, tier_pins: vec![None; r], existing: Vec::new() }
+        Self {
+            block_size,
+            client,
+            tier_pins: vec![None; r],
+            existing: Vec::new(),
+            excluded_workers: Vec::new(),
+        }
     }
 
     /// Total replicas the block will have after placement succeeds.
@@ -188,22 +200,12 @@ impl GreedyPolicy {
             3 => "MOOP-TM",
             _ => "MOOP",
         };
-        Self {
-            objectives,
-            cfg,
-            name,
-            tie_rng: Mutex::new(StdRng::seed_from_u64(0x7135)),
-        }
+        Self { objectives, cfg, name, tie_rng: Mutex::new(StdRng::seed_from_u64(0x7135)) }
     }
 
     /// A policy over an arbitrary objective subset (for experimentation).
     pub fn with_objectives(objectives: Vec<Objective>, cfg: PolicyConfig) -> Self {
-        Self {
-            objectives,
-            cfg,
-            name: "custom",
-            tie_rng: Mutex::new(StdRng::seed_from_u64(0x7135)),
-        }
+        Self { objectives, cfg, name: "custom", tie_rng: Mutex::new(StdRng::seed_from_u64(0x7135)) }
     }
 
     /// Algorithm 1: evaluate appending each option to `chosen` and return
@@ -235,7 +237,7 @@ impl GreedyPolicy {
             }
         }
         let mut rng = self.tie_rng.lock();
-        best.as_slice().choose(&mut rng).copied()
+        best.as_slice().choose(&mut *rng).copied()
     }
 
     /// GenOptions: the feasible, heuristically pruned option list for the
@@ -256,6 +258,7 @@ impl GreedyPolicy {
             .media
             .iter()
             .filter(|m| !used_media.contains(&m.media))
+            .filter(|m| !req.excluded_workers.contains(&m.worker))
             .filter(|m| m.fits(req.block_size))
             .filter(|m| match pin {
                 Some(t) => m.tier == t,
@@ -271,10 +274,7 @@ impl GreedyPolicy {
             .collect();
 
         // Client-collocation heuristic for the very first replica.
-        if replica_index == 0
-            && rack_order.is_empty()
-            && self.cfg.prefer_local_client
-        {
+        if replica_index == 0 && rack_order.is_empty() && self.cfg.prefer_local_client {
             if let ClientLocation::OnWorker(w) = req.client {
                 let local: Vec<&MediaStats> =
                     base.iter().copied().filter(|m| m.worker == w).collect();
@@ -346,8 +346,7 @@ impl PlacementPolicy for GreedyPolicy {
         let mut placed: Vec<MediaId> = Vec::with_capacity(req.tier_pins.len());
 
         for (i, &pin) in req.tier_pins.iter().enumerate() {
-            let options =
-                self.gen_options(snap, req, pin, i, &used, &rack_order, volatile_used);
+            let options = self.gen_options(snap, req, pin, i, &used, &rack_order, volatile_used);
             // The context's extrema span the feasible media plus already
             // chosen ones (all are cluster media).
             let mut ctx_media = options.clone();
@@ -457,6 +456,7 @@ impl PlacementPolicy for RuleBasedPolicy {
                     .iter()
                     .filter(|m| m.tier == tier)
                     .filter(|m| m.fits(req.block_size))
+                    .filter(|m| !req.excluded_workers.contains(&m.worker))
                     .filter(|m| !used_media.contains(&m.media))
                     .filter(|m| !restrict_racks || racks.contains(&m.rack))
                     .filter(|m| !distinct_workers || !used_workers.contains(&m.worker))
@@ -541,12 +541,13 @@ impl HdfsPolicy {
     fn eligible<'a>(
         &self,
         snap: &'a ClusterSnapshot,
-        block_size: u64,
+        req: &PlacementRequest,
         hdd: Option<TierId>,
     ) -> Vec<&'a MediaStats> {
         snap.media
             .iter()
-            .filter(|m| m.fits(block_size))
+            .filter(|m| m.fits(req.block_size))
+            .filter(|m| !req.excluded_workers.contains(&m.worker))
             .filter(|m| !snap.volatile[m.tier.0 as usize])
             .filter(|m| match (self.tier_blind, hdd) {
                 (true, _) => true,
@@ -569,7 +570,7 @@ impl PlacementPolicy for HdfsPolicy {
     fn place(&self, snap: &ClusterSnapshot, req: &PlacementRequest) -> Result<Vec<MediaId>> {
         let mut rng = self.rng.lock();
         let hdd = Self::hdd_tier(snap);
-        let eligible = self.eligible(snap, req.block_size, hdd);
+        let eligible = self.eligible(snap, req, hdd);
         if eligible.is_empty() {
             return Err(FsError::PlacementFailed(format!("{}: no eligible media", self.name())));
         }
@@ -598,13 +599,9 @@ impl PlacementPolicy for HdfsPolicy {
                     }
                 }
                 1 => {
-                    let first_rack =
-                        index.get(&placed[0]).map(|m| m.rack).or_else(|| {
-                            used_workers
-                                .first()
-                                .and_then(|w| snap.worker_stats(*w))
-                                .map(|w| w.rack)
-                        });
+                    let first_rack = index.get(&placed[0]).map(|m| m.rack).or_else(|| {
+                        used_workers.first().and_then(|w| snap.worker_stats(*w)).map(|w| w.rack)
+                    });
                     match first_rack {
                         Some(rack) => Box::new(move |m: &MediaStats| m.rack != rack),
                         None => Box::new(|_: &MediaStats| true),
@@ -612,8 +609,7 @@ impl PlacementPolicy for HdfsPolicy {
                 }
                 2 => {
                     let second = used_workers.last().copied();
-                    let second_rack =
-                        second.and_then(|w| snap.worker_stats(w)).map(|w| w.rack);
+                    let second_rack = second.and_then(|w| snap.worker_stats(w)).map(|w| w.rack);
                     match (second, second_rack) {
                         (Some(w2), Some(rack)) => {
                             Box::new(move |m: &MediaStats| m.rack == rack && m.worker != w2)
@@ -651,8 +647,7 @@ impl PlacementPolicy for HdfsPolicy {
                 any.as_slice().choose(rng).map(|&&m| m)
             };
 
-            let Some(m) = pick_from(&*want_worker, &used_media, &used_workers, &mut rng)
-            else {
+            let Some(m) = pick_from(&*want_worker, &used_media, &used_workers, &mut rng) else {
                 continue;
             };
             used_media.insert(m.media);
@@ -691,8 +686,7 @@ mod tests {
     #[test]
     fn moop_places_three_distinct_workers_two_racks() {
         let snap = paper_like();
-        let req =
-            PlacementRequest::unspecified(3, 128 << 20, ClientLocation::OffCluster);
+        let req = PlacementRequest::unspecified(3, 128 << 20, ClientLocation::OffCluster);
         let placed = moop().place(&snap, &req).unwrap();
         assert_eq!(placed.len(), 3);
         let chosen = stats_of(&snap, &placed);
@@ -710,6 +704,33 @@ mod tests {
     }
 
     #[test]
+    fn excluded_workers_never_host_replicas() {
+        let snap = paper_like();
+        // Every policy must honor the exclusion list a recovering pipeline
+        // sends (§3.1), even when the excluded worker is the client-local
+        // favorite.
+        let mut req =
+            PlacementRequest::unspecified(3, 128 << 20, ClientLocation::OnWorker(WorkerId(4)));
+        req.excluded_workers = vec![WorkerId(4), WorkerId(0)];
+        let policies: Vec<Box<dyn PlacementPolicy>> = vec![
+            Box::new(moop()),
+            Box::new(RuleBasedPolicy::new(PolicyConfig::default(), 7)),
+            Box::new(HdfsPolicy::tier_blind(7)),
+        ];
+        for p in policies {
+            let placed = p.place(&snap, &req).unwrap();
+            assert!(!placed.is_empty());
+            for m in stats_of(&snap, &placed) {
+                assert!(
+                    !req.excluded_workers.contains(&m.worker),
+                    "replica landed on excluded {}",
+                    m.worker
+                );
+            }
+        }
+    }
+
+    #[test]
     fn moop_respects_tier_pins() {
         let snap = paper_like();
         let rv = ReplicationVector::msh(1, 1, 1);
@@ -723,11 +744,8 @@ mod tests {
     #[test]
     fn moop_prefers_client_local_first_replica() {
         let snap = paper_like();
-        let req = PlacementRequest::unspecified(
-            3,
-            128 << 20,
-            ClientLocation::OnWorker(WorkerId(4)),
-        );
+        let req =
+            PlacementRequest::unspecified(3, 128 << 20, ClientLocation::OnWorker(WorkerId(4)));
         let placed = moop().place(&snap, &req).unwrap();
         let first = snap.media_stats(placed[0]).unwrap();
         assert_eq!(first.worker, WorkerId(4));
@@ -736,11 +754,8 @@ mod tests {
     #[test]
     fn moop_second_replica_leaves_first_rack() {
         let snap = paper_like();
-        let req = PlacementRequest::unspecified(
-            2,
-            128 << 20,
-            ClientLocation::OnWorker(WorkerId(0)),
-        );
+        let req =
+            PlacementRequest::unspecified(2, 128 << 20, ClientLocation::OnWorker(WorkerId(0)));
         let placed = moop().place(&snap, &req).unwrap();
         let chosen = stats_of(&snap, &placed);
         assert_ne!(chosen[0].rack, chosen[1].rack);
@@ -786,19 +801,15 @@ mod tests {
         let snap = paper_like();
         let req = PlacementRequest::unspecified(3, 1 << 20, ClientLocation::OffCluster);
         let placed = moop_mem().place(&snap, &req).unwrap();
-        let vol = stats_of(&snap, &placed)
-            .iter()
-            .filter(|m| m.tier == StorageTier::Memory.id())
-            .count();
+        let vol =
+            stats_of(&snap, &placed).iter().filter(|m| m.tier == StorageTier::Memory.id()).count();
         assert!(vol <= 1, "at most ⌊3/3⌋ = 1 memory replica, got {vol}");
 
         // With 6 replicas the cap is 2.
         let req = PlacementRequest::unspecified(6, 1 << 20, ClientLocation::OffCluster);
         let placed = moop_mem().place(&snap, &req).unwrap();
-        let vol = stats_of(&snap, &placed)
-            .iter()
-            .filter(|m| m.tier == StorageTier::Memory.id())
-            .count();
+        let vol =
+            stats_of(&snap, &placed).iter().filter(|m| m.tier == StorageTier::Memory.id()).count();
         assert!(vol <= 2);
     }
 
@@ -836,14 +847,8 @@ mod tests {
     #[test]
     fn moop_fails_when_nothing_feasible() {
         let mb = 1048576.0;
-        let snap = snapshot(
-            2,
-            1,
-            1,
-            (100, 0, 1900.0 * mb),
-            (100, 0, 340.0 * mb),
-            (100, 0, 126.0 * mb),
-        );
+        let snap =
+            snapshot(2, 1, 1, (100, 0, 1900.0 * mb), (100, 0, 340.0 * mb), (100, 0, 126.0 * mb));
         let req = PlacementRequest::unspecified(1, 1 << 20, ClientLocation::OffCluster);
         assert!(matches!(moop().place(&snap, &req), Err(FsError::PlacementFailed(_))));
     }
@@ -988,11 +993,7 @@ mod tests {
     fn hdfs_pipeline_topology_rules() {
         let snap = paper_like();
         let p = HdfsPolicy::hdd_only(123);
-        let req = PlacementRequest::unspecified(
-            3,
-            1 << 20,
-            ClientLocation::OnWorker(WorkerId(2)),
-        );
+        let req = PlacementRequest::unspecified(3, 1 << 20, ClientLocation::OnWorker(WorkerId(2)));
         for _ in 0..10 {
             let placed = p.place(&snap, &req).unwrap();
             let chosen = stats_of(&snap, &placed);
@@ -1023,8 +1024,7 @@ mod tests {
 
         let refs: Vec<&MediaStats> = snap.media.iter().collect();
         let ctx = ObjectiveContext::new(&refs, 1 << 20, 3, 3, 2);
-        let greedy_score =
-            score(&stats_of(&snap, &placed), &ctx, &Objective::ALL);
+        let greedy_score = score(&stats_of(&snap, &placed), &ctx, &Objective::ALL);
 
         // Exhaustive search over all 3-subsets.
         let mut best = f64::INFINITY;
@@ -1037,10 +1037,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            greedy_score <= best * 1.5 + 1e-9,
-            "greedy {greedy_score} vs exhaustive {best}"
-        );
+        assert!(greedy_score <= best * 1.5 + 1e-9, "greedy {greedy_score} vs exhaustive {best}");
     }
 
     #[test]

@@ -89,13 +89,9 @@ mod tests {
             loc_on(&snap, 0, StorageTier::Hdd, 1),
             loc_on(&snap, 4, StorageTier::Hdd, 0),
         ];
-        let victim = choose_replica_to_remove(
-            &snap,
-            &replicas,
-            Some(StorageTier::Hdd.id()),
-            1 << 20,
-        )
-        .unwrap();
+        let victim =
+            choose_replica_to_remove(&snap, &replicas, Some(StorageTier::Hdd.id()), 1 << 20)
+                .unwrap();
         assert_eq!(victim.worker, WorkerId(0), "keep the node-diverse replica");
     }
 
@@ -107,24 +103,17 @@ mod tests {
             loc_on(&snap, 1, StorageTier::Hdd, 0),
             loc_on(&snap, 5, StorageTier::Hdd, 0),
         ];
-        let victim = choose_replica_to_remove(
-            &snap,
-            &replicas,
-            Some(StorageTier::Hdd.id()),
-            1 << 20,
-        )
-        .unwrap();
+        let victim =
+            choose_replica_to_remove(&snap, &replicas, Some(StorageTier::Hdd.id()), 1 << 20)
+                .unwrap();
         assert_eq!(victim.tier, StorageTier::Hdd.id());
     }
 
     #[test]
     fn prefers_dead_replica() {
         let snap = paper_like();
-        let dead = Location {
-            worker: WorkerId(77),
-            media: MediaId(7777),
-            tier: StorageTier::Hdd.id(),
-        };
+        let dead =
+            Location { worker: WorkerId(77), media: MediaId(7777), tier: StorageTier::Hdd.id() };
         let replicas = vec![
             loc_on(&snap, 1, StorageTier::Hdd, 0),
             dead,
@@ -138,13 +127,8 @@ mod tests {
     fn no_candidate_on_other_tier() {
         let snap = paper_like();
         let replicas = vec![loc_on(&snap, 0, StorageTier::Hdd, 0)];
-        assert!(choose_replica_to_remove(
-            &snap,
-            &replicas,
-            Some(StorageTier::Ssd.id()),
-            1 << 20
-        )
-        .is_none());
+        assert!(choose_replica_to_remove(&snap, &replicas, Some(StorageTier::Ssd.id()), 1 << 20)
+            .is_none());
     }
 
     #[test]

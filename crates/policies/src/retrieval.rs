@@ -102,10 +102,7 @@ impl RetrievalPolicy for RateBasedPolicy {
             })
             .collect();
         keyed.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap()
-                .then(b.1.partial_cmp(&a.1).unwrap())
-                .then(a.2.cmp(&b.2))
+            b.0.partial_cmp(&a.0).unwrap().then(b.1.partial_cmp(&a.1).unwrap()).then(a.2.cmp(&b.2))
         });
         keyed.into_iter().map(|(_, _, _, l)| l).collect()
     }
@@ -124,19 +121,14 @@ impl HdfsLocalityPolicy {
         Self { rng: Mutex::new(StdRng::seed_from_u64(seed)) }
     }
 
-    fn distance_weight(
-        snap: &ClusterSnapshot,
-        client: ClientLocation,
-        loc: &Location,
-    ) -> u32 {
+    fn distance_weight(snap: &ClusterSnapshot, client: ClientLocation, loc: &Location) -> u32 {
         let ClientLocation::OnWorker(cw) = client else {
             return 4; // off-cluster: everything is off-rack
         };
         if cw == loc.worker {
             return 0;
         }
-        let (Some(a), Some(b)) = (snap.worker_stats(cw), snap.worker_stats(loc.worker))
-        else {
+        let (Some(a), Some(b)) = (snap.worker_stats(cw), snap.worker_stats(loc.worker)) else {
             return 4;
         };
         if a.rack == b.rack {
@@ -240,11 +232,8 @@ mod tests {
     fn rate_based_unknown_media_sorts_last() {
         let snap = paper_like();
         let good = loc(&snap, 1, StorageTier::Hdd);
-        let dead = Location {
-            worker: WorkerId(99),
-            media: MediaId(9999),
-            tier: StorageTier::Hdd.id(),
-        };
+        let dead =
+            Location { worker: WorkerId(99), media: MediaId(9999), tier: StorageTier::Hdd.id() };
         let p = RateBasedPolicy::new(1);
         let ordered = p.order(&snap, ClientLocation::OffCluster, &[dead, good]);
         assert_eq!(ordered[0], good);
@@ -292,8 +281,7 @@ mod tests {
     #[test]
     fn hdfs_off_cluster_client_shuffles() {
         let snap = paper_like();
-        let locations: Vec<Location> =
-            (0..6).map(|w| loc(&snap, w, StorageTier::Hdd)).collect();
+        let locations: Vec<Location> = (0..6).map(|w| loc(&snap, w, StorageTier::Hdd)).collect();
         let p = HdfsLocalityPolicy::new(99);
         let o1 = p.order(&snap, ClientLocation::OffCluster, &locations);
         let o2 = p.order(&snap, ClientLocation::OffCluster, &locations);

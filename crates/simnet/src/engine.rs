@@ -152,11 +152,7 @@ impl SimNet {
 
     /// Total rate currently allocated on a resource, bytes/s.
     pub fn resource_allocated(&self, r: ResourceId) -> f64 {
-        self.flows
-            .values()
-            .filter(|f| f.path.contains(&r))
-            .map(|f| f.rate)
-            .sum()
+        self.flows.values().filter(|f| f.path.contains(&r)).map(|f| f.rate).sum()
     }
 
     /// Configured capacity of a resource, bytes/s.
@@ -515,9 +511,8 @@ mod tests {
         // on every resource must not exceed capacity (within epsilon), and
         // all flows must eventually complete.
         let mut net = SimNet::new();
-        let res: Vec<_> = (0..5)
-            .map(|i| net.add_resource(&format!("r{i}"), 50.0 + 37.0 * i as f64))
-            .collect();
+        let res: Vec<_> =
+            (0..5).map(|i| net.add_resource(&format!("r{i}"), 50.0 + 37.0 * i as f64)).collect();
         let mut seed = 0x12345u64;
         let mut rand = move || {
             seed ^= seed << 13;
@@ -537,10 +532,7 @@ mod tests {
             done += 1;
             for &r in &res {
                 let alloc = net.resource_allocated(r);
-                assert!(
-                    alloc <= net.resource_capacity(r) + 1e-6,
-                    "over-allocated {r:?}: {alloc}"
-                );
+                assert!(alloc <= net.resource_capacity(r) + 1e-6, "over-allocated {r:?}: {alloc}");
             }
         }
         assert_eq!(done, 40);

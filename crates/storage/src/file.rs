@@ -107,8 +107,8 @@ impl FileStore {
     }
 
     fn read_file(&self, id: BlockId) -> Result<(Header, Vec<u8>)> {
-        let mut f = fs::File::open(self.path_of(id))
-            .map_err(|_| FsError::NotFound(id.to_string()))?;
+        let mut f =
+            fs::File::open(self.path_of(id)).map_err(|_| FsError::NotFound(id.to_string()))?;
         let mut all = Vec::new();
         f.read_to_end(&mut all)?;
         let hdr = decode_header(&all)?;
@@ -170,10 +170,7 @@ impl BlockStore for FileStore {
     fn get(&self, id: BlockId) -> Result<BlockData> {
         let expected = {
             let g = self.inner.read();
-            g.index
-                .get(&id)
-                .ok_or_else(|| FsError::NotFound(id.to_string()))?
-                .checksum
+            g.index.get(&id).ok_or_else(|| FsError::NotFound(id.to_string()))?.checksum
         };
         let (hdr, payload) = self.read_file(id)?;
         let data = match hdr.kind {
@@ -230,10 +227,7 @@ mod tests {
         let d = std::env::temp_dir().join(format!(
             "octopus_filestore_{tag}_{}_{}",
             std::process::id(),
-            std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .unwrap()
-                .as_nanos()
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
         ));
         fs::create_dir_all(&d).unwrap();
         d

@@ -10,9 +10,7 @@ use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use octopus_common::{
-    BlockId, FsError, MediaId, MediaStats, RackId, Result, TierId, WorkerId,
-};
+use octopus_common::{BlockId, FsError, MediaId, MediaStats, RackId, Result, TierId, WorkerId};
 
 use crate::store::BlockStore;
 
@@ -118,10 +116,7 @@ impl MediaManager {
 
     /// Looks up a medium by id.
     pub fn get(&self, id: MediaId) -> Result<&Arc<Media>> {
-        self.media
-            .iter()
-            .find(|m| m.id == id)
-            .ok_or_else(|| FsError::UnknownMedia(id.to_string()))
+        self.media.iter().find(|m| m.id == id).ok_or_else(|| FsError::UnknownMedia(id.to_string()))
     }
 
     /// Finds the medium holding a given block, if any.

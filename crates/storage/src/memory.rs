@@ -31,10 +31,7 @@ pub struct MemoryStore {
 impl MemoryStore {
     /// Creates a store with the given capacity in bytes.
     pub fn new(capacity: u64) -> Self {
-        Self {
-            capacity,
-            inner: RwLock::new(Inner { entries: HashMap::new(), used: 0 }),
-        }
+        Self { capacity, inner: RwLock::new(Inner { entries: HashMap::new(), used: 0 }) }
     }
 
     /// Test hook: flips a byte of a stored real payload (or perturbs the
@@ -42,10 +39,7 @@ impl MemoryStore {
     /// verification, simulating silent corruption.
     pub fn corrupt(&self, id: BlockId) -> Result<()> {
         let mut g = self.inner.write();
-        let e = g
-            .entries
-            .get_mut(&id)
-            .ok_or_else(|| FsError::NotFound(id.to_string()))?;
+        let e = g.entries.get_mut(&id).ok_or_else(|| FsError::NotFound(id.to_string()))?;
         match &e.data {
             BlockData::Real(b) => {
                 let mut v = b.to_vec();

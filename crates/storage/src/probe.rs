@@ -31,17 +31,13 @@ pub fn probe(
     id_base: u64,
 ) -> Result<ProbeResult> {
     let total = (chunk_bytes as u64) * (chunks as u64);
-    let payloads: Vec<BlockData> = (0..chunks)
-        .map(|i| BlockData::generate_real(chunk_bytes, 0xBEEF + i as u64))
-        .collect();
+    let payloads: Vec<BlockData> =
+        (0..chunks).map(|i| BlockData::generate_real(chunk_bytes, 0xBEEF + i as u64)).collect();
 
     let wt = Instant::now();
     for (i, p) in payloads.iter().enumerate() {
-        let block = Block {
-            id: BlockId(id_base + i as u64),
-            gen: GenStamp(0),
-            len: chunk_bytes as u64,
-        };
+        let block =
+            Block { id: BlockId(id_base + i as u64), gen: GenStamp(0), len: chunk_bytes as u64 };
         store.put(block, p)?;
     }
     let write_secs = wt.elapsed().as_secs_f64().max(1e-9);
@@ -56,10 +52,7 @@ pub fn probe(
         store.delete(BlockId(id_base + i as u64))?;
     }
 
-    Ok(ProbeResult {
-        write_bps: total as f64 / write_secs,
-        read_bps: total as f64 / read_secs,
-    })
+    Ok(ProbeResult { write_bps: total as f64 / write_secs, read_bps: total as f64 / read_secs })
 }
 
 #[cfg(test)]

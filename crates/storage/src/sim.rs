@@ -32,10 +32,7 @@ pub struct SimStore {
 impl SimStore {
     /// Creates a store with the given logical capacity in bytes.
     pub fn new(capacity: u64) -> Self {
-        Self {
-            capacity,
-            inner: RwLock::new(Inner { entries: HashMap::new(), used: 0 }),
-        }
+        Self { capacity, inner: RwLock::new(Inner { entries: HashMap::new(), used: 0 }) }
     }
 }
 

@@ -9,10 +9,8 @@
 use octopusfs::compute::{pegasus_workloads, run_pegasus, PegasusMode};
 
 fn main() {
-    let workload = pegasus_workloads()
-        .into_iter()
-        .find(|w| w.name == "HADI")
-        .expect("HADI is defined");
+    let workload =
+        pegasus_workloads().into_iter().find(|w| w.name == "HADI").expect("HADI is defined");
     println!(
         "Pegasus {} — {:.1} GB graph, {} iterations, ~{:.0} GB intermediate/iter\n",
         workload.name,

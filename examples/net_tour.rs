@@ -1,7 +1,8 @@
-//! Networked deployment tour: boots a real TCP cluster (master RPC server
-//! + per-worker data servers + heartbeat threads) in one process, writes
-//! through the worker-to-worker pipeline, corrupts a replica, and watches
-//! the scrubber + replication monitor heal it over RPC.
+//! Networked deployment tour: boots a real TCP cluster (master RPC
+//! server, per-worker data servers, and heartbeat threads) in one
+//! process, writes through the worker-to-worker pipeline, corrupts a
+//! replica, and watches the scrubber and replication monitor heal it
+//! over RPC.
 //!
 //! Run with: `cargo run --release --example net_tour`
 
@@ -26,8 +27,7 @@ fn main() -> octopusfs::Result<()> {
 
     let blocks = client.get_file_block_locations("/tour/file", 0, u64::MAX)?;
     for lb in &blocks {
-        let workers: Vec<String> =
-            lb.locations.iter().map(|l| l.worker.to_string()).collect();
+        let workers: Vec<String> = lb.locations.iter().map(|l| l.worker.to_string()).collect();
         println!("  block {} replicas on {}", lb.block.id, workers.join(", "));
     }
 

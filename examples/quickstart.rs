@@ -24,11 +24,8 @@ fn main() -> octopusfs::Result<()> {
 
     println!("wrote /demo/dataset ({} bytes) with vector {rv}", data.len());
     for lb in client.get_file_block_locations("/demo/dataset", 0, u64::MAX)? {
-        let tiers: Vec<String> = lb
-            .locations
-            .iter()
-            .map(|l| format!("{}@{}", l.tier, l.worker))
-            .collect();
+        let tiers: Vec<String> =
+            lb.locations.iter().map(|l| format!("{}@{}", l.tier, l.worker)).collect();
         println!("  block {} -> {}", lb.block.id, tiers.join(", "));
     }
 
@@ -53,8 +50,7 @@ fn main() -> octopusfs::Result<()> {
 
     println!("\nafter setReplication ⟨0,1,2⟩:");
     for lb in client.get_file_block_locations("/demo/dataset", 0, u64::MAX)? {
-        let tiers: Vec<String> =
-            lb.locations.iter().map(|l| l.tier.to_string()).collect();
+        let tiers: Vec<String> = lb.locations.iter().map(|l| l.tier.to_string()).collect();
         println!("  block {} -> tiers {}", lb.block.id, tiers.join(", "));
     }
 

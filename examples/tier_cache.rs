@@ -76,16 +76,14 @@ fn main() -> octopusfs::Result<()> {
     // --- Or let the CacheManager automate all of the above (§6) -----------
     // Bob ingests tables and just *reads*; the manager watches accesses,
     // promotes the hot set into memory, and LRU-evicts under pressure.
-    println!("
-automated cache management for bob:");
+    println!(
+        "
+automated cache management for bob:"
+    );
     client.set_replication("/tenants/alice/t2", ReplicationVector::msh(0, 0, 1))?;
     cluster.run_replication_round()?; // free alice's memory for clarity
     for t in ["hot", "warm", "cold"] {
-        client.write_file(
-            &format!("/tenants/bob/{t}"),
-            &table,
-            ReplicationVector::msh(0, 0, 2),
-        )?;
+        client.write_file(&format!("/tenants/bob/{t}"), &table, ReplicationVector::msh(0, 0, 2))?;
     }
     // Budget fits two tables; promote on the 2nd access (scan-resistant).
     let mut cache = CacheManager::new(client.clone(), 4 << 20, 2);

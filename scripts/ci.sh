@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally: build, tests, formatting, lints.
+# Everything must pass before a change merges.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "CI green."

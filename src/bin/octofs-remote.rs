@@ -49,7 +49,9 @@ fn run(args: &[String]) -> Result<()> {
             let rv = if args.len() >= 4 && args[2] == "--rv" {
                 args[3]
                     .parse::<ReplicationVector>()
-                    .or_else(|_| args[3].parse::<u8>().map(ReplicationVector::from_replication_factor))
+                    .or_else(|_| {
+                        args[3].parse::<u8>().map(ReplicationVector::from_replication_factor)
+                    })
                     .map_err(|_| usage("bad --rv"))?
             } else {
                 ReplicationVector::from_replication_factor(2)

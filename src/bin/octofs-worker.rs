@@ -21,8 +21,26 @@ use parking_lot::RwLock;
 
 use octopusfs::core::net::proto::{MasterRequest, MasterResponse};
 use octopusfs::core::net::worker_server::{call_master, WorkerServer};
+use octopusfs::core::worker::Worker;
 use octopusfs::core::{build_single_worker, StorageMode};
 use octopusfs::{ClusterConfig, FsError, Result, WorkerId};
+
+/// Heartbeats between full block reports.
+const BEATS_PER_REPORT: u64 = 8;
+
+/// Sends a full block report and applies the master's invalidation reply
+/// — replicas the master no longer tracks, e.g. a delete this worker
+/// missed while offline (§5).
+fn report_blocks(master_addr: std::net::SocketAddr, worker: &Worker) -> Result<()> {
+    if let MasterResponse::Invalidate(stale) =
+        call_master(master_addr, &MasterRequest::BlockReport(worker.id(), worker.block_report()))?
+    {
+        for b in stale {
+            worker.invalidate_block(b);
+        }
+    }
+    Ok(())
+}
 
 fn run(args: &[String]) -> Result<()> {
     let mut master = None;
@@ -87,7 +105,8 @@ fn run(args: &[String]) -> Result<()> {
 
     // Peer map, refreshed from the master on every heartbeat.
     let peers = Arc::new(RwLock::new(HashMap::new()));
-    let server = WorkerServer::spawn(Arc::clone(&worker), master_addr, Arc::clone(&peers))?;
+    let server =
+        WorkerServer::spawn_on(Arc::clone(&worker), master_addr, Arc::clone(&peers), &*listen)?;
     println!("octofs-worker {} serving on {}", id, server.addr());
 
     // Register, report blocks, then heartbeat forever.
@@ -101,19 +120,19 @@ fn run(args: &[String]) -> Result<()> {
             server.addr().to_string(),
         ),
     )?;
-    call_master(
-        master_addr,
-        &MasterRequest::BlockReport(worker.id(), worker.block_report()),
-    )?;
+    report_blocks(master_addr, &worker)?;
 
     let epoch = Instant::now();
+    let mut beats = 0u64;
     loop {
         let now_ms = epoch.elapsed().as_millis() as u64;
         let (stats, conns) = worker.heartbeat_stats();
-        let _ = call_master(
-            master_addr,
-            &MasterRequest::Heartbeat(worker.id(), stats, conns, now_ms),
-        );
+        let _ =
+            call_master(master_addr, &MasterRequest::Heartbeat(worker.id(), stats, conns, now_ms));
+        beats += 1;
+        if beats.is_multiple_of(BEATS_PER_REPORT) {
+            let _ = report_blocks(master_addr, &worker);
+        }
         if let Ok(MasterResponse::Addresses(list)) =
             call_master(master_addr, &MasterRequest::WorkerAddresses)
         {

@@ -119,9 +119,10 @@ fn run(args: &[String]) -> Result<()> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--root" => {
-                root = Some(PathBuf::from(it.next().ok_or_else(|| {
-                    FsError::InvalidArgument("--root needs a directory".into())
-                })?));
+                root =
+                    Some(PathBuf::from(it.next().ok_or_else(|| {
+                        FsError::InvalidArgument("--root needs a directory".into())
+                    })?));
             }
             _ => rest.push(a.clone()),
         }
@@ -133,8 +134,7 @@ fn run(args: &[String]) -> Result<()> {
         println!("{}", usage());
         return Ok(());
     }
-    let root =
-        root.ok_or_else(|| FsError::InvalidArgument("--root DIR is required".into()))?;
+    let root = root.ok_or_else(|| FsError::InvalidArgument("--root DIR is required".into()))?;
     let args = &rest[1..];
 
     match cmd.as_str() {
@@ -151,26 +151,24 @@ fn run(args: &[String]) -> Result<()> {
             while i < args.len() {
                 match args[i].as_str() {
                     "--workers" => {
-                        conf.workers = args[i + 1].parse().map_err(|_| {
-                            FsError::InvalidArgument("bad --workers".into())
-                        })?;
+                        conf.workers = args[i + 1]
+                            .parse()
+                            .map_err(|_| FsError::InvalidArgument("bad --workers".into()))?;
                         i += 2;
                     }
                     "--block-size" => {
-                        conf.block_size = args[i + 1].parse().map_err(|_| {
-                            FsError::InvalidArgument("bad --block-size".into())
-                        })?;
+                        conf.block_size = args[i + 1]
+                            .parse()
+                            .map_err(|_| FsError::InvalidArgument("bad --block-size".into()))?;
                         i += 2;
                     }
                     "--capacity" => {
-                        conf.capacity = args[i + 1].parse().map_err(|_| {
-                            FsError::InvalidArgument("bad --capacity".into())
-                        })?;
+                        conf.capacity = args[i + 1]
+                            .parse()
+                            .map_err(|_| FsError::InvalidArgument("bad --capacity".into()))?;
                         i += 2;
                     }
-                    a => {
-                        return Err(FsError::InvalidArgument(format!("unknown flag {a}")))
-                    }
+                    a => return Err(FsError::InvalidArgument(format!("unknown flag {a}"))),
                 }
             }
             conf.save(&root)?;

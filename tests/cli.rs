@@ -13,10 +13,7 @@ impl Cli {
         let root = std::env::temp_dir().join(format!(
             "octofs_cli_{tag}_{}_{}",
             std::process::id(),
-            std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .unwrap()
-                .as_nanos()
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
         ));
         Cli { root }
     }

@@ -46,9 +46,7 @@ fn parallel_readers_on_one_file() {
     let cluster = Cluster::start(ClusterConfig::test_cluster(6, 128 * MB, MB)).unwrap();
     let writer = cluster.client(ClientLocation::OffCluster);
     let data = payload(3 * MB as usize, 7);
-    writer
-        .write_file("/shared", &data, ReplicationVector::from_replication_factor(3))
-        .unwrap();
+    writer.write_file("/shared", &data, ReplicationVector::from_replication_factor(3)).unwrap();
 
     thread::scope(|s| {
         for t in 0..12u32 {
@@ -74,7 +72,11 @@ fn exactly_one_creator_wins_a_contended_path() {
             let successes = &successes;
             s.spawn(move |_| {
                 if client
-                    .write_file("/contended", &payload(1024, 1), ReplicationVector::from_replication_factor(2))
+                    .write_file(
+                        "/contended",
+                        &payload(1024, 1),
+                        ReplicationVector::from_replication_factor(2),
+                    )
                     .is_ok()
                 {
                     successes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -84,7 +86,10 @@ fn exactly_one_creator_wins_a_contended_path() {
     })
     .unwrap();
     assert_eq!(successes.load(std::sync::atomic::Ordering::Relaxed), 1);
-    assert_eq!(cluster.client(ClientLocation::OffCluster).read_file("/contended").unwrap().len(), 1024);
+    assert_eq!(
+        cluster.client(ClientLocation::OffCluster).read_file("/contended").unwrap().len(),
+        1024
+    );
 }
 
 #[test]
@@ -92,9 +97,7 @@ fn reads_race_with_replication_repair() {
     let cluster = Cluster::start(ClusterConfig::test_cluster(6, 128 * MB, MB)).unwrap();
     let client = cluster.client(ClientLocation::OffCluster);
     let data = payload(2 * MB as usize, 9);
-    client
-        .write_file("/race", &data, ReplicationVector::from_replication_factor(3))
-        .unwrap();
+    client.write_file("/race", &data, ReplicationVector::from_replication_factor(3)).unwrap();
     let victim = client.get_file_block_locations("/race", 0, u64::MAX).unwrap()[0].locations[0];
     cluster.kill_worker(victim.worker);
 
@@ -135,13 +138,25 @@ fn concurrent_namespace_churn_stays_consistent() {
                 for i in 0..10 {
                     let path = format!("{dir}/f{i}");
                     client
-                        .write_file(&path, &payload(4096, i), ReplicationVector::from_replication_factor(1))
+                        .write_file(
+                            &path,
+                            &payload(4096, i),
+                            ReplicationVector::from_replication_factor(1),
+                        )
                         .unwrap();
                     if i % 2 == 0 {
                         client.rename(&path, &format!("{dir}/g{i}")).unwrap();
                     }
                     if i % 3 == 0 {
-                        client.delete(&format!("{dir}/{}", if i % 2 == 0 { format!("g{i}") } else { format!("f{i}") }), false).unwrap();
+                        client
+                            .delete(
+                                &format!(
+                                    "{dir}/{}",
+                                    if i % 2 == 0 { format!("g{i}") } else { format!("f{i}") }
+                                ),
+                                false,
+                            )
+                            .unwrap();
                     }
                 }
             });

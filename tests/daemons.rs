@@ -203,10 +203,7 @@ fn daemon_deployment_self_heals_after_worker_crash() {
         if ok && out.as_bytes() == &data[..] {
             break;
         }
-        assert!(
-            Instant::now() < deadline,
-            "file unreadable after worker crash (ok={ok})"
-        );
+        assert!(Instant::now() < deadline, "file unreadable after worker crash (ok={ok})");
         std::thread::sleep(Duration::from_millis(100));
     }
     std::fs::remove_dir_all(tmp).ok();

@@ -24,9 +24,7 @@ fn backup_takeover_preserves_namespace_and_data() {
     let client = cluster.client(ClientLocation::OffCluster);
     let data = payload(3 << 20, 5);
     client.mkdir("/prod").unwrap();
-    client
-        .write_file("/prod/db", &data, ReplicationVector::msh(0, 1, 2))
-        .unwrap();
+    client.write_file("/prod/db", &data, ReplicationVector::msh(0, 1, 2)).unwrap();
 
     // The backup tails the primary's edit log.
     let mut backup = BackupMaster::new();
@@ -61,21 +59,15 @@ fn file_backed_edit_log_survives_restart() {
     let dir = std::env::temp_dir().join(format!(
         "octopus_failover_{}_{}",
         std::process::id(),
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .unwrap()
-            .as_nanos()
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
     ));
     std::fs::create_dir_all(&dir).unwrap();
     let log_path = dir.join("edits.log");
 
     {
-        let master =
-            Master::with_log(config(), EditLog::open(&log_path).unwrap()).unwrap();
+        let master = Master::with_log(config(), EditLog::open(&log_path).unwrap()).unwrap();
         master.mkdir("/a/b").unwrap();
-        master
-            .create_file("/a/b/f", ReplicationVector::from_replication_factor(2), None)
-            .unwrap();
+        master.create_file("/a/b/f", ReplicationVector::from_replication_factor(2), None).unwrap();
         master.complete_file("/a/b/f").unwrap();
         master.rename("/a/b/f", "/a/g").unwrap();
     }

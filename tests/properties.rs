@@ -8,7 +8,6 @@ use octopusfs::common::config::PolicyConfig;
 use octopusfs::common::{ClientLocation, Location, MediaId, TierId, WorkerId};
 use octopusfs::master::blockmap::replication_state;
 use octopusfs::policies::{ClusterSnapshot, GreedyPolicy, PlacementPolicy, PlacementRequest};
-use octopusfs::policies::PlacementPolicy as _;
 use octopusfs::simnet::{EventKind, SimNet};
 use octopusfs::ReplicationVector;
 

@@ -1,0 +1,142 @@
+//! Offline stand-in for `criterion`: a timer-only benchmark harness with
+//! the `Criterion`/`BenchmarkGroup`/`Bencher` surface the workspace's
+//! benches use. No statistics, no plots — median-of-samples reporting.
+
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring criterion's `black_box`.
+pub use std::hint::black_box;
+
+/// Declared throughput of a benchmark, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timing driver handed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f` over several samples, recording per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: aim for samples of roughly 5 ms each.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 1_000_000);
+        self.iters_per_sample = iters as u64;
+        for _ in 0..self.samples.capacity() {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        if per_iter.is_empty() {
+            return 0.0;
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        per_iter[per_iter.len() / 2]
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let ns = bencher.median_ns();
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if ns > 0.0 => {
+            format!("  {:>10.1} MiB/s", b as f64 / (ns * 1e-9) / (1 << 20) as f64)
+        }
+        Some(Throughput::Elements(e)) if ns > 0.0 => {
+            format!("  {:>10.1} Melem/s", e as f64 / (ns * 1e-9) / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!("bench {name:<50} {ns:>12.1} ns/iter{rate}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the declared throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { samples: Vec::with_capacity(10), iters_per_sample: 1 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { samples: Vec::with_capacity(10), iters_per_sample: 1 };
+        f(&mut b);
+        report(&id.to_string(), &b, None);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _parent: self }
+    }
+}
+
+/// Bundles bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,58 @@
+//! Offline stand-in for `crossbeam`: scoped threads over
+//! `std::thread::scope` with crossbeam's closure signature (the spawned
+//! closure receives the scope, enabling nested spawns).
+
+pub mod thread {
+    //! Scoped thread spawning.
+
+    /// A scope handle passed to spawned closures.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before this
+    /// returns. Unlike crossbeam, a panicking child propagates the panic
+    /// here (std semantics) instead of surfacing as `Err` — equivalent
+    /// for tests that `.unwrap()` the result.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_share() {
+        let n = AtomicU32::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|scope| {
+                    n.fetch_add(1, Ordering::SeqCst);
+                    scope.spawn(|_| {
+                        n.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 8);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`: marker traits with blanket impls. The
+//! workspace derives `Serialize`/`Deserialize` to document intent but
+//! never actually serializes (there is no format crate in the tree), so
+//! marker semantics are sufficient.
+
+/// Marker for serializable types. Blanket-implemented for everything.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented for everything.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker mirroring serde's owned-deserialization helper trait.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

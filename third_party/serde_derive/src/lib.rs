@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde_derive`: the `Serialize`/`Deserialize`
+//! derives expand to nothing because the stand-in `serde` traits are
+//! blanket-implemented for every type.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (the trait has a blanket impl).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (the trait has a blanket impl).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
