@@ -1,0 +1,6 @@
+//! Dumps the cluster-wide metrics snapshot after a mixed networked
+//! workload (see DESIGN.md "Observability"). Run with --release.
+
+fn main() {
+    octopus_bench::experiments::net_metrics::run();
+}

@@ -16,6 +16,7 @@ pub mod config;
 pub mod error;
 pub mod fstypes;
 pub mod ids;
+pub mod metrics;
 pub mod repvector;
 pub mod stats;
 pub mod tier;
@@ -28,6 +29,9 @@ pub use config::{ClusterConfig, MediaConfig, RpcConfig, WorkerConfig};
 pub use error::{FsError, Result};
 pub use fstypes::{DirEntry, FileStatus};
 pub use ids::{BlockId, GenStamp, INodeId, IdGenerator, MediaId, WorkerId};
+pub use metrics::{
+    Counter, Gauge, GaugeGuard, Histogram, Labels, MetricsRegistry, MetricsSnapshot, OwnedLabels,
+};
 pub use repvector::{ReplicationVector, VectorDiff};
 pub use stats::{MediaStats, StorageTierReport, TierStats, WorkerStats};
 pub use tier::{StorageTier, TierId, TierRegistry, MAX_TIERS, UNSPECIFIED_SLOT};

@@ -1,0 +1,617 @@
+//! Cluster observability: named counters, gauges, and fixed-bucket latency
+//! histograms over plain atomics.
+//!
+//! The paper's management policies run on *measured* signals — per-medium
+//! `NrConn`, `WThru`/`RThru` (§3.2), and the replication monitor's view of
+//! cluster health (§5) — so the reproduction needs those signals observable
+//! end to end. This module is the substrate: a [`MetricsRegistry`] lives in
+//! every long-lived component (master, each worker, every RPC client), hot
+//! paths bump atomics through cheap cloned handles, and a
+//! [`MetricsSnapshot`] travels over the `Metrics` RPC so the whole
+//! cluster's state can be aggregated and asserted on.
+//!
+//! Design constraints, in order:
+//!
+//! - **Hot-path cost**: one `BTreeMap` read-lock lookup plus one relaxed
+//!   atomic RMW. Handles ([`Counter`], [`Gauge`], [`Histogram`]) are
+//!   cloneable `Arc`s, so steady-state call sites can cache them and skip
+//!   the lookup entirely.
+//! - **No external dependencies**: values are `std` atomics; the registry
+//!   map uses `std::sync::RwLock` (taken for write only on first use of a
+//!   new `(name, labels)` pair).
+//! - **Determinism**: the registry is a `BTreeMap` keyed by
+//!   `(name, labels)`, so snapshots and the text exposition are fully
+//!   ordered — byte-identical for identical metric states.
+//!
+//! # Naming scheme
+//!
+//! `<component>_<what>[_<unit>][_total]`, with the component one of
+//! `rpc_client`, `master`, `worker`, `client`, or `cache`. Counters end in
+//! `_total`; latency histograms end in `_us` (microseconds). Labels are
+//! the closed set `{tier, worker, request_type}`; absent labels are
+//! omitted from the exposition.
+//!
+//! # Exposition format
+//!
+//! One line per sample, Prometheus-flavoured, sorted by kind
+//! (counters, then gauges, then histograms) and within a kind by
+//! `(name, labels)`:
+//!
+//! ```text
+//! worker_read_bytes_total{tier="2",worker="1"} 1048576
+//! worker_media_io_conn{tier="2",worker="1"} 0
+//! rpc_client_request_us_bucket{request_type="ReadBlock",le="250"} 3
+//! rpc_client_request_us_sum{request_type="ReadBlock"} 412
+//! rpc_client_request_us_count{request_type="ReadBlock"} 3
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use crate::ids::WorkerId;
+use crate::tier::TierId;
+use crate::wire::{Wire, WireReader};
+use crate::Result;
+
+/// Histogram bucket upper bounds for latencies, in microseconds. The last
+/// implicit bucket is `+Inf`.
+pub const LATENCY_BUCKETS_US: [u64; 12] =
+    [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000];
+
+/// The closed label set every metric may carry. Instrument sites use
+/// `&'static str` request types, so constructing labels never allocates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Labels {
+    /// Storage tier the sample refers to.
+    pub tier: Option<TierId>,
+    /// Worker the sample refers to (stamped by worker-side registries so
+    /// merged cluster snapshots stay distinguishable).
+    pub worker: Option<WorkerId>,
+    /// RPC request type (`"ReadBlock"`, `"Heartbeat"`, ...).
+    pub request_type: Option<&'static str>,
+}
+
+impl Labels {
+    /// No labels.
+    pub const NONE: Labels = Labels { tier: None, worker: None, request_type: None };
+
+    /// Labels with only a request type.
+    pub fn req(request_type: &'static str) -> Self {
+        Labels { request_type: Some(request_type), ..Self::NONE }
+    }
+
+    /// Labels with only a worker.
+    pub fn worker(worker: WorkerId) -> Self {
+        Labels { worker: Some(worker), ..Self::NONE }
+    }
+
+    /// Adds a tier.
+    pub fn with_tier(mut self, tier: TierId) -> Self {
+        self.tier = Some(tier);
+        self
+    }
+
+    /// Adds a request type.
+    pub fn with_req(mut self, request_type: &'static str) -> Self {
+        self.request_type = Some(request_type);
+        self
+    }
+}
+
+/// Owned form of [`Labels`] carried inside snapshots (wire-encodable).
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OwnedLabels {
+    /// Storage tier.
+    pub tier: Option<TierId>,
+    /// Worker.
+    pub worker: Option<WorkerId>,
+    /// RPC request type.
+    pub request_type: Option<String>,
+}
+
+impl From<Labels> for OwnedLabels {
+    fn from(l: Labels) -> Self {
+        OwnedLabels {
+            tier: l.tier,
+            worker: l.worker,
+            request_type: l.request_type.map(String::from),
+        }
+    }
+}
+
+impl OwnedLabels {
+    fn render(&self, out: &mut String, extra: Option<(&str, &str)>) {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(t) = self.tier {
+            parts.push(format!("tier=\"{}\"", t.0));
+        }
+        if let Some(w) = self.worker {
+            parts.push(format!("worker=\"{}\"", w.0));
+        }
+        if let Some(r) = &self.request_type {
+            parts.push(format!("request_type=\"{r}\""));
+        }
+        if let Some((k, v)) = extra {
+            parts.push(format!("{k}=\"{v}\""));
+        }
+        if !parts.is_empty() {
+            out.push('{');
+            out.push_str(&parts.join(","));
+            out.push('}');
+        }
+    }
+}
+
+impl Wire for OwnedLabels {
+    fn put(&self, buf: &mut Vec<u8>) {
+        self.tier.put(buf);
+        self.worker.put(buf);
+        self.request_type.put(buf);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(OwnedLabels { tier: Wire::get(r)?, worker: Wire::get(r)?, request_type: Wire::get(r)? })
+    }
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle (a value that goes up and down).
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Increments now and decrements when the returned guard drops —
+    /// "active things" accounting (in-flight requests, open connections).
+    pub fn inc_scoped(&self) -> GaugeGuard {
+        self.add(1);
+        GaugeGuard(self.clone())
+    }
+}
+
+/// RAII guard from [`Gauge::inc_scoped`].
+pub struct GaugeGuard(Gauge);
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.0.add(-1);
+    }
+}
+
+/// Shared storage of one histogram: per-bucket counts plus sum/count.
+pub struct HistogramCore {
+    buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-bucket latency histogram handle (microseconds).
+#[derive(Clone, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one observation, in microseconds.
+    pub fn observe_us(&self, us: u64) {
+        let idx = LATENCY_BUCKETS_US.partition_point(|&b| us > b);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(us, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the elapsed time since `start`.
+    pub fn observe_since(&self, start: Instant) {
+        self.observe_us(start.elapsed().as_micros() as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+}
+
+type Key = (&'static str, Labels);
+
+/// A registry of named metrics. Cheap to share (`Arc`); hot paths pay one
+/// read-locked map lookup (or nothing, with cached handles).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<Key, Counter>>,
+    gauges: RwLock<BTreeMap<Key, Gauge>>,
+    histograms: RwLock<BTreeMap<Key, Histogram>>,
+}
+
+fn get_or_insert<V: Clone + Default>(map: &RwLock<BTreeMap<Key, V>>, key: Key) -> V {
+    if let Some(v) = map.read().unwrap().get(&key) {
+        return v.clone();
+    }
+    map.write().unwrap().entry(key).or_default().clone()
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `(name, labels)`, creating it at zero.
+    pub fn counter(&self, name: &'static str, labels: Labels) -> Counter {
+        get_or_insert(&self.counters, (name, labels))
+    }
+
+    /// The gauge registered under `(name, labels)`, creating it at zero.
+    pub fn gauge(&self, name: &'static str, labels: Labels) -> Gauge {
+        get_or_insert(&self.gauges, (name, labels))
+    }
+
+    /// The histogram registered under `(name, labels)`, creating it empty.
+    pub fn histogram(&self, name: &'static str, labels: Labels) -> Histogram {
+        get_or_insert(&self.histograms, (name, labels))
+    }
+
+    /// Convenience: `counter(name, labels).inc()`.
+    pub fn inc(&self, name: &'static str, labels: Labels) {
+        self.counter(name, labels).inc();
+    }
+
+    /// Convenience: `counter(name, labels).add(n)`.
+    pub fn add(&self, name: &'static str, labels: Labels, n: u64) {
+        self.counter(name, labels).add(n);
+    }
+
+    /// Convenience: `histogram(name, labels).observe_since(start)`.
+    pub fn observe_since(&self, name: &'static str, labels: Labels, start: Instant) {
+        self.histogram(name, labels).observe_since(start);
+    }
+
+    /// A point-in-time copy of every metric, fully ordered.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(&(name, labels), c)| CounterSample {
+                name: name.to_string(),
+                labels: labels.into(),
+                value: c.get(),
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(&(name, labels), g)| GaugeSample {
+                name: name.to_string(),
+                labels: labels.into(),
+                value: g.get(),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(&(name, labels), h)| HistogramSample {
+                name: name.to_string(),
+                labels: labels.into(),
+                buckets: h.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                sum: h.0.sum.load(Ordering::Relaxed),
+                count: h.0.count.load(Ordering::Relaxed),
+            })
+            .collect();
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+}
+
+/// One counter sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Metric name.
+    pub name: String,
+    /// Label set.
+    pub labels: OwnedLabels,
+    /// Value.
+    pub value: u64,
+}
+
+/// One gauge sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Label set.
+    pub labels: OwnedLabels,
+    /// Value.
+    pub value: i64,
+}
+
+/// One histogram sample: per-bucket counts (non-cumulative, last bucket is
+/// `+Inf`), total sum (µs) and observation count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// Label set.
+    pub labels: OwnedLabels,
+    /// Per-bucket observation counts, aligned to [`LATENCY_BUCKETS_US`]
+    /// plus a final `+Inf` bucket.
+    pub buckets: Vec<u64>,
+    /// Sum of observations (µs).
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+macro_rules! wire_sample {
+    ($t:ty, $($field:ident),+) => {
+        impl Wire for $t {
+            fn put(&self, buf: &mut Vec<u8>) {
+                $( self.$field.put(buf); )+
+            }
+            fn get(r: &mut WireReader<'_>) -> Result<Self> {
+                Ok(Self { $( $field: Wire::get(r)?, )+ })
+            }
+        }
+    };
+}
+
+wire_sample!(CounterSample, name, labels, value);
+wire_sample!(GaugeSample, name, labels, value);
+wire_sample!(HistogramSample, name, labels, buckets, sum, count);
+
+/// A point-in-time, wire-encodable copy of one or more registries.
+///
+/// Snapshots merge ([`MetricsSnapshot::merge`]): the master's and every
+/// worker's snapshots combine into one cluster-wide view, with worker
+/// samples kept distinguishable by their `worker` label.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter samples, sorted by `(name, labels)`.
+    pub counters: Vec<CounterSample>,
+    /// Gauge samples, sorted by `(name, labels)`.
+    pub gauges: Vec<GaugeSample>,
+    /// Histogram samples, sorted by `(name, labels)`.
+    pub histograms: Vec<HistogramSample>,
+}
+
+wire_sample!(MetricsSnapshot, counters, gauges, histograms);
+
+impl MetricsSnapshot {
+    /// Sum of a counter across all label sets.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().filter(|s| s.name == name).map(|s| s.value).sum()
+    }
+
+    /// Sum of a counter across label sets accepted by `pred`.
+    pub fn counter_where(&self, name: &str, pred: impl Fn(&OwnedLabels) -> bool) -> u64 {
+        self.counters.iter().filter(|s| s.name == name && pred(&s.labels)).map(|s| s.value).sum()
+    }
+
+    /// Sum of a gauge across all label sets.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.iter().filter(|s| s.name == name).map(|s| s.value).sum()
+    }
+
+    /// Sum of a gauge across label sets accepted by `pred`.
+    pub fn gauge_where(&self, name: &str, pred: impl Fn(&OwnedLabels) -> bool) -> i64 {
+        self.gauges.iter().filter(|s| s.name == name && pred(&s.labels)).map(|s| s.value).sum()
+    }
+
+    /// Total observation count of a histogram across all label sets.
+    pub fn histogram_count(&self, name: &str) -> u64 {
+        self.histograms.iter().filter(|s| s.name == name).map(|s| s.count).sum()
+    }
+
+    /// Whether any sample of any kind carries `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.counters.iter().any(|s| s.name == name)
+            || self.gauges.iter().any(|s| s.name == name)
+            || self.histograms.iter().any(|s| s.name == name)
+    }
+
+    /// Merges `other` into `self`: same-`(name, labels)` counters and
+    /// gauges sum, histograms add bucket-wise. Result stays sorted.
+    pub fn merge(&mut self, other: MetricsSnapshot) {
+        for s in other.counters {
+            match self.counters.binary_search_by(|e| {
+                (e.name.as_str(), &e.labels).cmp(&(s.name.as_str(), &s.labels))
+            }) {
+                Ok(i) => self.counters[i].value += s.value,
+                Err(i) => self.counters.insert(i, s),
+            }
+        }
+        for s in other.gauges {
+            match self.gauges.binary_search_by(|e| {
+                (e.name.as_str(), &e.labels).cmp(&(s.name.as_str(), &s.labels))
+            }) {
+                Ok(i) => self.gauges[i].value += s.value,
+                Err(i) => self.gauges.insert(i, s),
+            }
+        }
+        for s in other.histograms {
+            match self.histograms.binary_search_by(|e| {
+                (e.name.as_str(), &e.labels).cmp(&(s.name.as_str(), &s.labels))
+            }) {
+                Ok(i) => {
+                    let e = &mut self.histograms[i];
+                    for (b, v) in e.buckets.iter_mut().zip(&s.buckets) {
+                        *b += v;
+                    }
+                    e.sum += s.sum;
+                    e.count += s.count;
+                }
+                Err(i) => self.histograms.insert(i, s),
+            }
+        }
+    }
+
+    /// The deterministic text exposition (see the module docs): counters,
+    /// then gauges, then histograms, each sorted by `(name, labels)`.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for s in &self.counters {
+            out.push_str(&s.name);
+            s.labels.render(&mut out, None);
+            let _ = writeln!(out, " {}", s.value);
+        }
+        for s in &self.gauges {
+            out.push_str(&s.name);
+            s.labels.render(&mut out, None);
+            let _ = writeln!(out, " {}", s.value);
+        }
+        for s in &self.histograms {
+            let mut cumulative = 0u64;
+            for (i, v) in s.buckets.iter().enumerate() {
+                cumulative += v;
+                let le = LATENCY_BUCKETS_US
+                    .get(i)
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "+Inf".to_string());
+                let _ = write!(out, "{}_bucket", s.name);
+                s.labels.render(&mut out, Some(("le", &le)));
+                let _ = writeln!(out, " {cumulative}");
+            }
+            let _ = write!(out, "{}_sum", s.name);
+            s.labels.render(&mut out, None);
+            let _ = writeln!(out, " {}", s.sum);
+            let _ = write!(out, "{}_count", s.name);
+            s.labels.render(&mut out, None);
+            let _ = writeln!(out, " {}", s.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{decode, encode};
+
+    #[test]
+    fn counters_and_gauges_register_and_count() {
+        let r = MetricsRegistry::new();
+        r.inc("x_total", Labels::NONE);
+        r.add("x_total", Labels::req("Read"), 4);
+        r.counter("x_total", Labels::req("Read")).inc();
+        let g = r.gauge("y", Labels::NONE);
+        g.set(7);
+        g.add(-2);
+        {
+            let _held = g.inc_scoped();
+            assert_eq!(r.gauge("y", Labels::NONE).get(), 6);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("x_total"), 6);
+        assert_eq!(snap.counter_where("x_total", |l| l.request_type.is_none()), 1);
+        assert_eq!(snap.gauge("y"), 5);
+        assert!(snap.contains("x_total"));
+        assert!(!snap.contains("z"));
+    }
+
+    #[test]
+    fn histogram_buckets_partition_correctly() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat_us", Labels::NONE);
+        h.observe_us(49); // bucket 0 (≤50)
+        h.observe_us(50); // bucket 0 (≤50)
+        h.observe_us(51); // bucket 1 (≤100)
+        h.observe_us(1_000_000); // +Inf bucket
+        let snap = r.snapshot();
+        let s = &snap.histograms[0];
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(*s.buckets.last().unwrap(), 1);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 49 + 50 + 51 + 1_000_000);
+    }
+
+    #[test]
+    fn snapshot_round_trips_over_wire() {
+        let r = MetricsRegistry::new();
+        r.add("a_total", Labels::req("X").with_tier(TierId(2)), 3);
+        r.gauge("b", Labels::worker(WorkerId(1))).set(-4);
+        r.histogram("c_us", Labels::NONE).observe_us(123);
+        let snap = r.snapshot();
+        let back: MetricsSnapshot = decode(&encode(&snap)).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn merge_sums_and_keeps_order() {
+        let a = MetricsRegistry::new();
+        a.add("m_total", Labels::NONE, 2);
+        a.histogram("h_us", Labels::NONE).observe_us(10);
+        let b = MetricsRegistry::new();
+        b.add("m_total", Labels::NONE, 3);
+        b.add("n_total", Labels::worker(WorkerId(2)), 1);
+        b.histogram("h_us", Labels::NONE).observe_us(20);
+        let mut merged = a.snapshot();
+        merged.merge(b.snapshot());
+        assert_eq!(merged.counter("m_total"), 5);
+        assert_eq!(merged.counter("n_total"), 1);
+        assert_eq!(merged.histogram_count("h_us"), 2);
+        let names: Vec<&str> = merged.counters.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["m_total", "n_total"]);
+    }
+
+    #[test]
+    fn exposition_is_deterministic_and_labeled() {
+        let r = MetricsRegistry::new();
+        r.add("req_total", Labels::req("Read").with_tier(TierId(1)), 2);
+        r.gauge("conn", Labels::worker(WorkerId(3))).set(1);
+        r.histogram("lat_us", Labels::req("Read")).observe_us(75);
+        let text = r.snapshot().render_text();
+        assert!(text.contains("req_total{tier=\"1\",request_type=\"Read\"} 2"), "{text}");
+        assert!(text.contains("conn{worker=\"3\"} 1"), "{text}");
+        assert!(text.contains("lat_us_bucket{request_type=\"Read\",le=\"100\"} 1"), "{text}");
+        assert!(text.contains("lat_us_count{request_type=\"Read\"} 1"), "{text}");
+        assert_eq!(text, r.snapshot().render_text(), "identical state renders identically");
+    }
+}

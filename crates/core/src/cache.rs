@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 
+use octopus_common::metrics::{Labels, MetricsRegistry};
 use octopus_common::{FsError, ReplicationVector, Result, StorageTier};
 
 use crate::client::Client;
@@ -57,6 +58,7 @@ pub struct CacheManager {
     used: u64,
     tick: u64,
     entries: HashMap<String, Entry>,
+    metrics: MetricsRegistry,
 }
 
 impl CacheManager {
@@ -70,7 +72,14 @@ impl CacheManager {
             used: 0,
             tick: 0,
             entries: HashMap::new(),
+            metrics: MetricsRegistry::new(),
         }
+    }
+
+    /// This manager's metrics (`cache_promotions_total`,
+    /// `cache_evictions_total`, `cache_used_bytes`).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Bytes of memory-tier budget currently committed.
@@ -154,6 +163,8 @@ impl CacheManager {
             e.cached = true;
             self.used += e.bytes;
         }
+        self.metrics.inc("cache_promotions_total", Labels::NONE);
+        self.metrics.gauge("cache_used_bytes", Labels::NONE).set(self.used as i64);
         Ok(())
     }
 
@@ -177,6 +188,8 @@ impl CacheManager {
                 self.used = self.used.saturating_sub(e.bytes);
             }
         }
+        self.metrics.inc("cache_evictions_total", Labels::NONE);
+        self.metrics.gauge("cache_used_bytes", Labels::NONE).set(self.used as i64);
         Ok(())
     }
 }

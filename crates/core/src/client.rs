@@ -234,6 +234,9 @@ impl Client {
             ClientLocation::OnWorker(me) if me == loc.worker => None,
             _ => Some(w.connect_net()),
         };
+        // Hold the medium's I/O span for the transfer so heartbeat NrConn
+        // reflects it (§3.2).
+        let _io = w.media_io(loc.media)?;
         let data = w.read_block(loc.media, lb.block.id)?;
         if data.len() != lb.block.len {
             return Err(FsError::BlockUnavailable(format!(
@@ -260,6 +263,7 @@ impl Client {
                     ClientLocation::OnWorker(me) if me == loc.worker && stored.is_empty() => None,
                     _ => Some(w.connect_net()),
                 };
+                let _io = w.media_io(loc.media)?;
                 w.write_block(loc.media, block, &data)
             })();
             match res {

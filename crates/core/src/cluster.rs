@@ -115,8 +115,10 @@ pub(crate) fn execute_replication_tasks(master: &Master, plane: &DataPlane) -> R
                 let mut copied = false;
                 for src in &sources {
                     let Ok(sw) = plane.worker(src.worker) else { continue };
+                    let Ok(_src_io) = sw.media_io(src.media) else { continue };
                     let Ok(data) = sw.read_block(src.media, block.id) else { continue };
                     let tw = plane.worker(target.worker)?;
+                    let _dst_io = tw.media_io(target.media)?;
                     tw.write_block(target.media, block, &data)?;
                     master.commit_replica(block, target)?;
                     copied = true;
@@ -127,8 +129,15 @@ pub(crate) fn execute_replication_tasks(master: &Master, plane: &DataPlane) -> R
                 }
             }
             ReplicationTask::Delete { block, location } => {
-                if let Ok(w) = plane.worker(location.worker) {
-                    let _ = w.delete_block(location.media, block.id);
+                // Same contract as the networked monitor: the scan already
+                // dropped the location, so a failed delete must reinstate
+                // the replica or the bytes leak until the next block report.
+                let deleted = plane
+                    .worker(location.worker)
+                    .and_then(|w| w.delete_block(location.media, block.id))
+                    .is_ok();
+                if !deleted {
+                    master.reinstate_replica(block, location);
                 }
             }
         }
@@ -296,8 +305,10 @@ impl Cluster {
                 let mut copied = false;
                 for src in &sources {
                     let Ok(sw) = self.plane.worker(src.worker) else { continue };
+                    let Ok(_src_io) = sw.media_io(src.media) else { continue };
                     let Ok(data) = sw.read_block(src.media, block.id) else { continue };
                     let tw = self.plane.worker(target.worker)?;
+                    let _dst_io = tw.media_io(target.media)?;
                     tw.write_block(target.media, block, &data)?;
                     self.master.commit_replica(block, target)?;
                     copied = true;

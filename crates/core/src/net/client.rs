@@ -7,6 +7,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 
 use octopus_common::checksum::crc32;
+use octopus_common::metrics::{Labels, MetricsSnapshot};
 use octopus_common::{
     BlockData, ClientLocation, DirEntry, FileStatus, FsError, LocatedBlock, ReplicationVector,
     Result, RpcConfig, StorageTierReport, WorkerId,
@@ -81,6 +82,33 @@ impl RemoteFs {
             }
             r => Err(FsError::Io(format!("unexpected response {r:?}"))),
         }
+    }
+
+    /// Snapshot of this client's metrics: the `rpc_client_*` series of the
+    /// underlying [`RpcClient`] plus the `client_*` recovery/failover
+    /// counters the read and write paths record into the same registry.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.rpc.metrics().snapshot()
+    }
+
+    /// Cluster-wide metrics: the master's registry plus every reachable
+    /// worker's (both over the idempotent `Metrics` RPC), merged with this
+    /// client's own series. Unreachable workers are skipped — scraping
+    /// must not fail because one node is down.
+    pub fn cluster_metrics_snapshot(&self) -> Result<MetricsSnapshot> {
+        let mut snap = match self.call(MasterRequest::Metrics)? {
+            MasterResponse::Metrics(s) => s,
+            r => return Err(FsError::Io(format!("unexpected response {r:?}"))),
+        };
+        let addrs: Vec<SocketAddr> = self.workers.read().values().copied().collect();
+        for addr in addrs {
+            if let Ok(WorkerResponse::Metrics(s)) = self.call_worker(addr, &WorkerRequest::Metrics)
+            {
+                snap.merge(s);
+            }
+        }
+        snap.merge(self.metrics_snapshot());
+        Ok(snap)
     }
 
     fn call(&self, req: MasterRequest) -> Result<MasterResponse> {
@@ -184,6 +212,7 @@ impl RemoteFs {
             self.write_one_block(path, chunk)?;
             offset = end;
         }
+        self.rpc.metrics().add("client_write_bytes_total", Labels::NONE, data.len() as u64);
         self.call(MasterRequest::CompleteFile(path.into(), self.holder)).map(|_| ())
     }
 
@@ -236,6 +265,7 @@ impl RemoteFs {
             // The entry worker failed (or nothing was stored): release the
             // allocated block so the file has no dangling last block, then
             // re-request placement avoiding the failed worker.
+            self.rpc.metrics().inc("client_pipeline_recoveries_total", Labels::NONE);
             let _ = self.call(MasterRequest::AbandonBlock(path.into(), block, self.holder));
             excluded.push(first.worker);
         }
@@ -253,12 +283,13 @@ impl RemoteFs {
         for lb in blocks {
             out.extend_from_slice(&self.read_block(&lb)?);
         }
+        self.rpc.metrics().add("client_read_bytes_total", Labels::NONE, out.len() as u64);
         Ok(out)
     }
 
     fn read_block(&self, lb: &LocatedBlock) -> Result<Bytes> {
         let mut last_err = FsError::BlockUnavailable(format!("{}: no replicas", lb.block.id));
-        for loc in &lb.locations {
+        for (i, loc) in lb.locations.iter().enumerate() {
             let attempt = self.worker_addr(loc.worker).and_then(|addr| {
                 self.call_worker(addr, &WorkerRequest::ReadBlock(loc.media, lb.block.id))
             });
@@ -272,6 +303,7 @@ impl RemoteFs {
                     if crc32(&b) == sum {
                         return Ok(b);
                     }
+                    self.rpc.metrics().inc("client_checksum_failovers_total", Labels::NONE);
                     last_err = FsError::ChecksumMismatch { expected: sum, actual: crc32(&b) };
                 }
                 Ok(WorkerResponse::Data(d, _)) => {
@@ -284,6 +316,10 @@ impl RemoteFs {
                 }
                 Ok(r) => last_err = FsError::Io(format!("unexpected response {r:?}")),
                 Err(e) => last_err = e,
+            }
+            // A further location exists: this failure becomes a failover.
+            if i + 1 < lb.locations.len() {
+                self.rpc.metrics().inc("client_replica_failovers_total", Labels::NONE);
             }
         }
         Err(last_err)

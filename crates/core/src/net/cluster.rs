@@ -183,15 +183,44 @@ impl NetCluster {
 
     /// Runs one replication round over RPC (§5) — see
     /// [`super::monitor::run_replication_round`].
-    pub fn run_replication_round(&self) -> Result<usize> {
+    pub fn run_replication_round(&self) -> Result<super::monitor::ReplicationOutcome> {
         let snapshot = self.addrs.read().clone();
         super::monitor::run_replication_round(&self.master, &snapshot)
     }
 
-    /// Runs one fleet-wide scrub round over RPC.
-    pub fn run_scrub_round(&self) -> Result<u32> {
+    /// Runs one fleet-wide scrub round over RPC, reporting per-worker
+    /// outcomes (unreachable workers are surfaced, not counted clean).
+    pub fn run_scrub_round(&self) -> Result<super::monitor::ScrubRound> {
         let snapshot = self.addrs.read().clone();
-        super::monitor::run_scrub_round(&snapshot)
+        super::monitor::run_scrub_round(&self.master, &snapshot)
+    }
+
+    /// Merged cluster-wide metrics snapshot: the master's registry, every
+    /// reachable worker's registry (fetched over the `Metrics` RPC), and
+    /// the process-shared RPC client's `rpc_client_*` / `client_*` series.
+    pub fn metrics_snapshot(&self) -> Result<octopus_common::MetricsSnapshot> {
+        use super::proto::{WorkerRequest, WorkerResponse};
+        let mut snap = match call_master(self.master_addr(), &MasterRequest::Metrics)? {
+            MasterResponse::Metrics(s) => s,
+            r => {
+                return Err(octopus_common::FsError::Io(format!("unexpected response {r:?}")));
+            }
+        };
+        for (i, w) in self.workers.iter().enumerate() {
+            if self.worker_servers[i].is_none() {
+                continue;
+            }
+            let Some(addr) = self.worker_addr(w.id()) else { continue };
+            if let Ok(WorkerResponse::Metrics(s)) =
+                super::worker_server::call_worker(addr, &WorkerRequest::Metrics)
+            {
+                snap.merge(s);
+            }
+        }
+        // The shared pooled client serves servers and default clients alike;
+        // merge it once (it is a process-wide singleton, not per worker).
+        snap.merge(super::rpc::shared().metrics().snapshot());
+        Ok(snap)
     }
 
     /// Sends a block report for every worker whose server is up and

@@ -152,8 +152,21 @@ fn connection_loop(mut stream: TcpStream, server_addr: SocketAddr, state: Arc<Ma
     }
 }
 
-/// Maps one request onto the master API.
+/// Maps one request onto the master API, recording per-request-type op
+/// counts and latency into the master's registry.
 pub fn dispatch(state: &MasterState, req: MasterRequest) -> Result<MasterResponse> {
+    let labels = octopus_common::metrics::Labels::req(req.name());
+    state.master.metrics().inc("master_requests_total", labels);
+    let start = std::time::Instant::now();
+    let out = dispatch_inner(state, req);
+    state.master.metrics().observe_since("master_request_us", labels, start);
+    if out.is_err() {
+        state.master.metrics().inc("master_request_failures_total", labels);
+    }
+    out
+}
+
+fn dispatch_inner(state: &MasterState, req: MasterRequest) -> Result<MasterResponse> {
     use MasterRequest as Q;
     use MasterResponse as A;
     let master = &*state.master;
@@ -228,5 +241,6 @@ pub fn dispatch(state: &MasterState, req: MasterRequest) -> Result<MasterRespons
         Q::WorkerAddresses => {
             A::Addresses(state.addrs.read().iter().map(|(w, a)| (*w, a.clone())).collect())
         }
+        Q::Metrics => A::Metrics(master.metrics().snapshot()),
     })
 }

@@ -1,11 +1,32 @@
 //! The networked replication monitor: executes the master's §5 tasks by
 //! RPC — copies via the target worker's `Replicate` handler, deletions via
 //! `DeleteBlock` — and drives scrub rounds across the fleet.
+//!
+//! Failure handling (the silent-swallowing bugs this module used to have):
+//!
+//! - A failed `Copy` aborts the pending replica at the master, so the next
+//!   scan re-schedules it (unchanged behaviour).
+//! - A failed `Delete` **reinstates** the replica in the master's block
+//!   map ([`octopus_master::Master::reinstate_replica`]): the scan removed
+//!   the location before the RPC ran, so dropping the error would leave
+//!   the master believing the excess replica was gone while the bytes
+//!   still sit on the worker until its next block report. Reinstating
+//!   keeps the block visibly over-replicated and the next round re-issues
+//!   the delete.
+//! - Scrub distinguishes a *clean* worker from an *unreachable* one
+//!   ([`ScrubStatus`]); an unreachable worker no longer masquerades as "0
+//!   corrupt replicas".
+//!
+//! Tasks are grouped by the worker that executes them and the per-worker
+//! batches run concurrently on scoped threads, so one dead worker costs
+//! its own RPC deadline budget — not a serial stall of every other
+//! worker's tasks.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
 
-use octopus_common::{Result, WorkerId};
+use octopus_common::metrics::Labels;
+use octopus_common::{Location, Result, WorkerId};
 use octopus_master::{Master, ReplicationTask};
 
 use super::proto::{WorkerRequest, WorkerResponse};
@@ -14,44 +35,193 @@ use super::worker_server::call_worker;
 /// Snapshot of worker data-server addresses.
 pub type Addrs = HashMap<WorkerId, SocketAddr>;
 
-/// Runs one replication scan and executes the tasks over RPC. Returns the
-/// number of tasks attempted.
-pub fn run_replication_round(master: &Master, addrs: &Addrs) -> Result<usize> {
-    let tasks = master.replication_scan();
-    let n = tasks.len();
+/// Tally of one replication round's task executions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationOutcome {
+    /// Tasks the scan produced.
+    pub attempted: usize,
+    /// Copies that reached the target worker and committed.
+    pub copies_ok: usize,
+    /// Copies that failed (aborted at the master; rescheduled next scan).
+    pub copies_failed: usize,
+    /// Deletes acknowledged by the hosting worker.
+    pub deletes_ok: usize,
+    /// Deletes that failed (replica reinstated; re-issued next scan).
+    pub deletes_failed: usize,
+}
+
+impl ReplicationOutcome {
+    /// Whether every task executed successfully.
+    pub fn all_ok(&self) -> bool {
+        self.copies_failed == 0 && self.deletes_failed == 0
+    }
+}
+
+/// One worker's scrub outcome in a [`ScrubRound`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScrubStatus {
+    /// The worker scrubbed and found nothing.
+    Clean,
+    /// The worker scrubbed and dropped this many corrupt replicas.
+    Corrupt(u32),
+    /// The worker could not be reached (or errored) — its replicas are
+    /// *unverified*, which is not the same as healthy.
+    Unreachable,
+}
+
+/// Fleet-wide scrub results, per worker.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubRound {
+    /// Outcome per scrubbed worker.
+    pub workers: Vec<(WorkerId, ScrubStatus)>,
+}
+
+impl ScrubRound {
+    /// Total corrupt replicas dropped by reachable workers.
+    pub fn corrupt_total(&self) -> u32 {
+        self.workers
+            .iter()
+            .map(|(_, s)| match s {
+                ScrubStatus::Corrupt(n) => *n,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Workers that could not be scrubbed this round.
+    pub fn unreachable(&self) -> Vec<WorkerId> {
+        self.workers
+            .iter()
+            .filter(|(_, s)| matches!(s, ScrubStatus::Unreachable))
+            .map(|(w, _)| *w)
+            .collect()
+    }
+}
+
+/// Executes one task batch against its worker, sequentially (tasks for
+/// one worker share its data server; concurrency lives across workers).
+fn run_worker_batch(
+    master: &Master,
+    addr: Option<SocketAddr>,
+    tasks: Vec<ReplicationTask>,
+) -> ReplicationOutcome {
+    let mut out = ReplicationOutcome::default();
     for task in tasks {
         match task {
             ReplicationTask::Copy { block, sources, target } => {
-                let addr = addrs.get(&target.worker).copied();
-                match addr {
-                    Some(a) => {
-                        if call_worker(a, &WorkerRequest::Replicate(block, sources, target.media))
-                            .is_err()
-                        {
-                            master.abort_replica(block, target);
-                        }
-                    }
-                    None => master.abort_replica(block, target),
+                let ok = addr.is_some_and(|a| {
+                    call_worker(a, &WorkerRequest::Replicate(block, sources.clone(), target.media))
+                        .is_ok()
+                });
+                if ok {
+                    out.copies_ok += 1;
+                } else {
+                    master.abort_replica(block, target);
+                    out.copies_failed += 1;
                 }
             }
             ReplicationTask::Delete { block, location } => {
-                if let Some(a) = addrs.get(&location.worker).copied() {
-                    let _ = call_worker(a, &WorkerRequest::DeleteBlock(location.media, block.id));
+                // `NotFound` counts as done: a retried delete whose first
+                // reply was lost has already removed the replica.
+                let ok = addr.is_some_and(|a| {
+                    match call_worker(a, &WorkerRequest::DeleteBlock(location.media, block.id)) {
+                        Ok(_) => true,
+                        Err(octopus_common::FsError::NotFound(_)) => true,
+                        Err(_) => false,
+                    }
+                });
+                if ok {
+                    out.deletes_ok += 1;
+                } else {
+                    // The scan already dropped the location; a failed (or
+                    // unaddressable) delete means the bytes still exist —
+                    // put the replica back so the next scan retries.
+                    master.reinstate_replica(block, location);
+                    out.deletes_failed += 1;
                 }
             }
         }
     }
-    Ok(n)
+    out
 }
 
-/// Asks every registered worker to scrub its replicas. Returns the total
-/// number of corrupt replicas found (and dropped) fleet-wide.
-pub fn run_scrub_round(addrs: &Addrs) -> Result<u32> {
-    let mut total = 0;
-    for (_, addr) in addrs.iter().map(|(w, a)| (*w, *a)).collect::<Vec<_>>() {
-        if let Ok(WorkerResponse::Scrubbed(n)) = call_worker(addr, &WorkerRequest::Scrub) {
-            total += n;
+/// The worker whose data server executes a task.
+fn executing_worker(task: &ReplicationTask) -> WorkerId {
+    match task {
+        ReplicationTask::Copy { target: Location { worker, .. }, .. } => *worker,
+        ReplicationTask::Delete { location: Location { worker, .. }, .. } => *worker,
+    }
+}
+
+/// Runs one replication scan and executes the tasks over RPC, one
+/// concurrent batch per executing worker (a dead worker's connect timeout
+/// bounds only its own batch). Failures are counted — and compensated at
+/// the master — rather than swallowed.
+pub fn run_replication_round(master: &Master, addrs: &Addrs) -> Result<ReplicationOutcome> {
+    let tasks = master.replication_scan();
+    let attempted = tasks.len();
+
+    let mut by_worker: HashMap<WorkerId, Vec<ReplicationTask>> = HashMap::new();
+    for task in tasks {
+        by_worker.entry(executing_worker(&task)).or_default().push(task);
+    }
+
+    let mut total = ReplicationOutcome { attempted, ..Default::default() };
+    let outcomes: Vec<ReplicationOutcome> = std::thread::scope(|s| {
+        let handles: Vec<_> = by_worker
+            .into_iter()
+            .map(|(w, batch)| {
+                let addr = addrs.get(&w).copied();
+                s.spawn(move || run_worker_batch(master, addr, batch))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap_or_default()).collect()
+    });
+    for o in outcomes {
+        total.copies_ok += o.copies_ok;
+        total.copies_failed += o.copies_failed;
+        total.deletes_ok += o.deletes_ok;
+        total.deletes_failed += o.deletes_failed;
+    }
+
+    let m = master.metrics();
+    m.add("master_replication_copy_failures_total", Labels::NONE, total.copies_failed as u64);
+    m.add("master_replication_delete_failures_total", Labels::NONE, total.deletes_failed as u64);
+    Ok(total)
+}
+
+/// Asks every registered worker to scrub its replicas, reporting each
+/// worker's outcome individually — an unreachable worker surfaces as
+/// [`ScrubStatus::Unreachable`] instead of being counted as clean.
+pub fn run_scrub_round(master: &Master, addrs: &Addrs) -> Result<ScrubRound> {
+    let mut round = ScrubRound::default();
+    let mut targets: Vec<(WorkerId, SocketAddr)> = addrs.iter().map(|(w, a)| (*w, *a)).collect();
+    targets.sort_by_key(|(w, _)| *w);
+    let results: Vec<(WorkerId, ScrubStatus)> = std::thread::scope(|s| {
+        let handles: Vec<_> = targets
+            .into_iter()
+            .map(|(w, addr)| {
+                s.spawn(move || {
+                    let status = match call_worker(addr, &WorkerRequest::Scrub) {
+                        Ok(WorkerResponse::Scrubbed(0)) => ScrubStatus::Clean,
+                        Ok(WorkerResponse::Scrubbed(n)) => ScrubStatus::Corrupt(n),
+                        Ok(_) | Err(_) => ScrubStatus::Unreachable,
+                    };
+                    (w, status)
+                })
+            })
+            .collect();
+        handles.into_iter().filter_map(|h| h.join().ok()).collect()
+    });
+    round.workers = results;
+    round.workers.sort_by_key(|(w, _)| *w);
+
+    let m = master.metrics();
+    m.inc("master_scrub_rounds_total", Labels::NONE);
+    for (w, status) in &round.workers {
+        if matches!(status, ScrubStatus::Unreachable) {
+            m.inc("master_scrub_unreachable_total", Labels::worker(*w));
         }
     }
-    Ok(total)
+    Ok(round)
 }

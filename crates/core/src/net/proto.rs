@@ -5,7 +5,8 @@
 use octopus_common::wire::{Wire, WireReader};
 use octopus_common::{
     Block, BlockData, BlockId, ClientLocation, DirEntry, FileStatus, FsError, LocatedBlock,
-    Location, MediaId, MediaStats, RackId, ReplicationVector, Result, StorageTierReport, WorkerId,
+    Location, MediaId, MediaStats, MetricsSnapshot, RackId, ReplicationVector, Result,
+    StorageTierReport, WorkerId,
 };
 
 /// A request to the master.
@@ -59,6 +60,8 @@ pub enum MasterRequest {
     /// Abandon an allocated-but-unwritten last block after a failed
     /// pipeline, reversing the namespace append; `(path, block, holder)`.
     AbandonBlock(String, Block, u64),
+    /// The master's metrics registry snapshot (observability).
+    Metrics,
 }
 
 impl MasterRequest {
@@ -78,6 +81,35 @@ impl MasterRequest {
                 | Delete(..)
                 | Rename(..)
         )
+    }
+
+    /// Stable request-type label for metrics (`request_type="..."`).
+    pub fn name(&self) -> &'static str {
+        use MasterRequest::*;
+        match self {
+            Mkdir(..) => "Mkdir",
+            CreateFile(..) => "CreateFile",
+            AddBlock(..) => "AddBlock",
+            CommitReplica(..) => "CommitReplica",
+            AbortReplica(..) => "AbortReplica",
+            CompleteFile(..) => "CompleteFile",
+            AppendFile(..) => "AppendFile",
+            GetBlockLocations(..) => "GetBlockLocations",
+            SetReplication(..) => "SetReplication",
+            Delete(..) => "Delete",
+            Rename(..) => "Rename",
+            List(..) => "List",
+            Status(..) => "Status",
+            TierReports => "TierReports",
+            RegisterWorker(..) => "RegisterWorker",
+            Heartbeat(..) => "Heartbeat",
+            BlockReport(..) => "BlockReport",
+            WorkerAddresses => "WorkerAddresses",
+            EditsSince(..) => "EditsSince",
+            ReportCorrupt(..) => "ReportCorrupt",
+            AbandonBlock(..) => "AbandonBlock",
+            Metrics => "Metrics",
+        }
     }
 }
 
@@ -106,6 +138,8 @@ pub enum MasterResponse {
     Addresses(Vec<(WorkerId, String)>),
     /// A framed edit-log byte stream (see `octopus_master::editlog`).
     Edits(bytes::Bytes),
+    /// The master's metrics snapshot.
+    Metrics(MetricsSnapshot),
 }
 
 macro_rules! tagged {
@@ -140,6 +174,7 @@ impl Wire for MasterRequest {
             EditsSince(n) => tagged!(buf, 18, n),
             ReportCorrupt(b, l) => tagged!(buf, 19, b, l),
             AbandonBlock(p, b, h) => tagged!(buf, 20, p, b, h),
+            Metrics => tagged!(buf, 21),
         }
     }
 
@@ -175,6 +210,7 @@ impl Wire for MasterRequest {
             18 => EditsSince(Wire::get(r)?),
             19 => ReportCorrupt(Wire::get(r)?, Wire::get(r)?),
             20 => AbandonBlock(Wire::get(r)?, Wire::get(r)?, Wire::get(r)?),
+            21 => Metrics,
             t => return Err(FsError::Io(format!("bad master request tag {t}"))),
         })
     }
@@ -195,6 +231,7 @@ impl Wire for MasterResponse {
             Invalidate(i) => tagged!(buf, 8, i),
             Addresses(a) => tagged!(buf, 9, a),
             Edits(b) => tagged!(buf, 10, b),
+            Metrics(s) => tagged!(buf, 11, s),
         }
     }
 
@@ -212,6 +249,7 @@ impl Wire for MasterResponse {
             8 => Invalidate(Wire::get(r)?),
             9 => Addresses(Wire::get(r)?),
             10 => Edits(Wire::get(r)?),
+            11 => Metrics(Wire::get(r)?),
             t => return Err(FsError::Io(format!("bad master response tag {t}"))),
         })
     }
@@ -236,6 +274,8 @@ pub enum WorkerRequest {
     /// and reported to the master (the §5 scrubber). Responds with the
     /// number of corrupt replicas found.
     Scrub,
+    /// The worker's metrics registry snapshot (observability).
+    Metrics,
 }
 
 impl WorkerRequest {
@@ -245,6 +285,19 @@ impl WorkerRequest {
     /// its caller recovers by abandoning the block and re-placing it.
     pub fn is_idempotent(&self) -> bool {
         !matches!(self, WorkerRequest::WriteBlock(..))
+    }
+
+    /// Stable request-type label for metrics (`request_type="..."`).
+    pub fn name(&self) -> &'static str {
+        use WorkerRequest::*;
+        match self {
+            WriteBlock(..) => "WriteBlock",
+            ReadBlock(..) => "ReadBlock",
+            DeleteBlock(..) => "DeleteBlock",
+            Replicate(..) => "Replicate",
+            Scrub => "Scrub",
+            Metrics => "Metrics",
+        }
     }
 }
 
@@ -261,6 +314,8 @@ pub enum WorkerResponse {
     Unit,
     /// Scrub outcome: number of corrupt replicas dropped.
     Scrubbed(u32),
+    /// The worker's metrics snapshot.
+    Metrics(MetricsSnapshot),
 }
 
 impl Wire for WorkerRequest {
@@ -272,6 +327,7 @@ impl Wire for WorkerRequest {
             DeleteBlock(m, b) => tagged!(buf, 2, m, b),
             Replicate(b, s, m) => tagged!(buf, 3, b, s, m),
             Scrub => tagged!(buf, 4),
+            Metrics => tagged!(buf, 5),
         }
     }
 
@@ -283,6 +339,7 @@ impl Wire for WorkerRequest {
             2 => DeleteBlock(Wire::get(r)?, Wire::get(r)?),
             3 => Replicate(Wire::get(r)?, Wire::get(r)?, Wire::get(r)?),
             4 => Scrub,
+            5 => Metrics,
             t => return Err(FsError::Io(format!("bad worker request tag {t}"))),
         })
     }
@@ -296,6 +353,7 @@ impl Wire for WorkerResponse {
             Data(d, sum) => tagged!(buf, 1, d, sum),
             Unit => tagged!(buf, 2),
             Scrubbed(n) => tagged!(buf, 3, n),
+            Metrics(s) => tagged!(buf, 4, s),
         }
     }
 
@@ -306,6 +364,7 @@ impl Wire for WorkerResponse {
             1 => Data(Wire::get(r)?, Wire::get(r)?),
             2 => Unit,
             3 => Scrubbed(Wire::get(r)?),
+            4 => Metrics(Wire::get(r)?),
             t => return Err(FsError::Io(format!("bad worker response tag {t}"))),
         })
     }
@@ -426,6 +485,22 @@ mod tests {
             BlockData::Synthetic { len: 1, seed: 0 },
         )
         .is_idempotent());
+    }
+
+    #[test]
+    fn metrics_messages_round_trip() {
+        use octopus_common::metrics::{Labels, MetricsRegistry};
+        rt(MasterRequest::Metrics);
+        rt(WorkerRequest::Metrics);
+        assert!(MasterRequest::Metrics.is_idempotent());
+        assert!(WorkerRequest::Metrics.is_idempotent());
+        assert_eq!(MasterRequest::Metrics.name(), "Metrics");
+
+        let reg = MetricsRegistry::new();
+        reg.add("x_total", Labels::req("ReadBlock").with_tier(TierId(1)), 7);
+        reg.histogram("lat_us", Labels::worker(WorkerId(2))).observe_us(99);
+        rt(MasterResponse::Metrics(reg.snapshot()));
+        rt(WorkerResponse::Metrics(reg.snapshot()));
     }
 
     #[test]

@@ -26,8 +26,9 @@ use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, LazyLock, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use octopus_common::metrics::{Labels, MetricsRegistry};
 use octopus_common::wire::encode;
 use octopus_common::{FsError, Result, RpcConfig};
 
@@ -50,6 +51,7 @@ pub struct RpcClient {
     pool: Mutex<HashMap<SocketAddr, Vec<TcpStream>>>,
     /// Deterministic jitter state (an splitmix64 walk); no RNG dependency.
     jitter: AtomicU64,
+    metrics: MetricsRegistry,
 }
 
 impl RpcClient {
@@ -59,6 +61,7 @@ impl RpcClient {
             cfg,
             pool: Mutex::new(HashMap::new()),
             jitter: AtomicU64::new(0x243F_6A88_85A3_08D3),
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -67,24 +70,62 @@ impl RpcClient {
         &self.cfg
     }
 
+    /// This client's metrics registry (`rpc_client_*` plus the `client_*`
+    /// counters recorded by `RemoteFs` instances using this client).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
     /// One typed round trip to the master.
     pub fn call_master(&self, addr: SocketAddr, req: &MasterRequest) -> Result<MasterResponse> {
-        let frame = self.call_raw(addr, &encode(req), req.is_idempotent())?;
+        let frame = self.call_labeled(addr, &encode(req), req.is_idempotent(), req.name())?;
         decode_result::<MasterResponse>(&frame)
     }
 
     /// One typed round trip to a worker data server.
     pub fn call_worker(&self, addr: SocketAddr, req: &WorkerRequest) -> Result<WorkerResponse> {
-        let frame = self.call_raw(addr, &encode(req), req.is_idempotent())?;
+        let frame = self.call_labeled(addr, &encode(req), req.is_idempotent(), req.name())?;
         decode_result::<WorkerResponse>(&frame)
     }
 
     /// Sends one request frame and returns the raw response frame,
     /// applying pooling, deadlines, and the retry policy.
     pub fn call_raw(&self, addr: SocketAddr, payload: &[u8], idempotent: bool) -> Result<Vec<u8>> {
+        self.call_labeled(addr, payload, idempotent, "raw")
+    }
+
+    fn call_labeled(
+        &self,
+        addr: SocketAddr,
+        payload: &[u8],
+        idempotent: bool,
+        request_type: &'static str,
+    ) -> Result<Vec<u8>> {
+        let labels = Labels::req(request_type);
+        self.metrics.inc("rpc_client_requests_total", labels);
+        let start = Instant::now();
+        let out = self.attempt_loop(addr, payload, idempotent, labels);
+        self.metrics.observe_since("rpc_client_request_us", labels, start);
+        if matches!(out, Err(FsError::Timeout(_))) {
+            self.metrics.inc("rpc_client_timeouts_total", labels);
+        }
+        if out.is_err() {
+            self.metrics.inc("rpc_client_failures_total", labels);
+        }
+        out
+    }
+
+    fn attempt_loop(
+        &self,
+        addr: SocketAddr,
+        payload: &[u8],
+        idempotent: bool,
+        labels: Labels,
+    ) -> Result<Vec<u8>> {
         let mut last_err = FsError::Unreachable(format!("{addr}: no attempt made"));
         for attempt in 0..=self.cfg.max_retries {
             if attempt > 0 {
+                self.metrics.inc("rpc_client_retries_total", labels);
                 std::thread::sleep(self.backoff(attempt));
             }
 

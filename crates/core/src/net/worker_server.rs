@@ -11,6 +11,7 @@ use std::thread::JoinHandle;
 use parking_lot::RwLock;
 
 use octopus_common::checksum::crc32;
+use octopus_common::metrics::Labels;
 use octopus_common::wire::decode;
 use octopus_common::{BlockData, FsError, Location, Result, WorkerId};
 
@@ -171,9 +172,31 @@ fn dispatch(
     peers: &AddressMap,
     req: WorkerRequest,
 ) -> Result<WorkerResponse> {
+    let labels = Labels::worker(worker.id()).with_req(req.name());
+    worker.metrics().inc("worker_requests_total", labels);
+    let start = std::time::Instant::now();
+    let out = dispatch_inner(worker, master, peers, req);
+    worker.metrics().observe_since("worker_request_us", labels, start);
+    if out.is_err() {
+        worker.metrics().inc("worker_request_failures_total", labels);
+    }
+    out
+}
+
+fn dispatch_inner(
+    worker: &Worker,
+    master: SocketAddr,
+    peers: &AddressMap,
+    req: WorkerRequest,
+) -> Result<WorkerResponse> {
     match req {
         WorkerRequest::WriteBlock(block, media, rest, data) => {
             let _net = worker.connect_net();
+            // Hold the medium's I/O-connection span across the whole
+            // service of this write (store + commit + forward), so the
+            // heartbeat `NrConn` the placement policy consumes reflects
+            // transfer-duration contention (§3.2).
+            let _io = worker.media_io(media)?;
             worker.write_block(media, block, &data)?;
             let my_loc = Location { worker: worker.id(), media, tier: worker.tier_of(media)? };
             // Commit our replica before forwarding, so the master's view
@@ -182,6 +205,7 @@ fn dispatch(
             let mut stored = vec![my_loc];
 
             if let Some((next, remainder)) = rest.split_first() {
+                let fwd_start = std::time::Instant::now();
                 let next_addr = peers.read().get(&next.worker).copied();
                 let forwarded = next_addr
                     .ok_or_else(|| FsError::UnknownWorker(next.worker.to_string()))
@@ -196,10 +220,19 @@ fn dispatch(
                             ),
                         )
                     });
+                worker.metrics().observe_since(
+                    "worker_pipeline_forward_us",
+                    Labels::worker(worker.id()),
+                    fwd_start,
+                );
                 match forwarded {
                     Ok(WorkerResponse::Stored(locs)) => stored.extend(locs),
                     Ok(_) => return Err(FsError::Internal("unexpected forward response".into())),
                     Err(_) => {
+                        worker.metrics().inc(
+                            "worker_pipeline_forward_failures_total",
+                            Labels::worker(worker.id()),
+                        );
                         // Downstream failed: release the master's pending
                         // reservations for the unreached stages; the
                         // replication monitor heals the block later (§5).
@@ -213,6 +246,7 @@ fn dispatch(
         }
         WorkerRequest::ReadBlock(media, block) => {
             let _net = worker.connect_net();
+            let _io = worker.media_io(media)?;
             let data = worker.read_block(media, block)?;
             let sum = worker.stored_checksum(media, block)?;
             Ok(WorkerResponse::Data(data, sum))
@@ -222,6 +256,7 @@ fn dispatch(
             Ok(WorkerResponse::Unit)
         }
         WorkerRequest::Replicate(block, sources, media) => {
+            let _io = worker.media_io(media)?;
             let mut data = None;
             for src in &sources {
                 let Some(addr) = peers.read().get(&src.worker).copied() else { continue };
@@ -266,5 +301,6 @@ fn dispatch(
             }
             Ok(WorkerResponse::Scrubbed(n))
         }
+        WorkerRequest::Metrics => Ok(WorkerResponse::Metrics(worker.metrics().snapshot())),
     }
 }

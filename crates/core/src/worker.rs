@@ -4,17 +4,30 @@
 use std::sync::atomic::AtomicU32;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
+use octopus_common::metrics::{GaugeGuard, Labels, MetricsRegistry};
 use octopus_common::{
     Block, BlockData, BlockId, FsError, MediaId, MediaStats, RackId, Result, TierId, WorkerId,
 };
 use octopus_storage::{ConnGuard, Media, MediaManager};
+
+/// One active I/O span against one medium: counted in the medium's
+/// `NrConn` (feeding heartbeats and thereby §3.2 placement) and mirrored
+/// in the `worker_media_io_conn` gauge. Held for the *full* service span
+/// of a request — transfer included — not just the store operation, so
+/// heartbeats observe real contention rather than probe-instant noise.
+pub struct MediaIo {
+    _conn: ConnGuard,
+    _gauge: GaugeGuard,
+}
 
 /// One worker node.
 pub struct Worker {
     manager: MediaManager,
     net_conns: Arc<AtomicU32>,
     net_bps: f64,
+    metrics: MetricsRegistry,
 }
 
 impl Worker {
@@ -24,7 +37,19 @@ impl Worker {
             manager: MediaManager::new(worker, rack, media),
             net_conns: Arc::new(AtomicU32::new(0)),
             net_bps,
+            metrics: MetricsRegistry::new(),
         }
+    }
+
+    /// The worker's metrics registry (`worker_*` counters/gauges, stamped
+    /// with this worker's id so merged cluster snapshots stay
+    /// distinguishable).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    fn labels(&self) -> Labels {
+        Labels::worker(self.id())
     }
 
     /// This worker's id.
@@ -63,26 +88,52 @@ impl Worker {
         self.net_conns.load(Ordering::Relaxed)
     }
 
-    /// Stores a replica on the given medium, with connection accounting.
+    /// Opens an I/O-connection span against a medium. The caller holds the
+    /// returned guard for the duration of the transfer it serves (an RPC
+    /// service span, an in-process block copy); [`Worker::write_block`] /
+    /// [`Worker::read_block`] do *not* count connections themselves, so a
+    /// span covers the whole transfer exactly once.
+    pub fn media_io(&self, media: MediaId) -> Result<MediaIo> {
+        let m = self.manager.get(media)?;
+        let gauge = self
+            .metrics
+            .gauge("worker_media_io_conn", self.labels().with_tier(m.tier))
+            .inc_scoped();
+        Ok(MediaIo { _conn: m.connect(), _gauge: gauge })
+    }
+
+    /// Stores a replica on the given medium. Connection accounting is the
+    /// caller's via [`Worker::media_io`].
     pub fn write_block(&self, media: MediaId, block: Block, data: &BlockData) -> Result<()> {
         let m = self.manager.get(media)?;
-        let _conn = m.connect();
-        m.store.put(block, data)
+        let labels = self.labels().with_tier(m.tier);
+        let start = Instant::now();
+        let out = m.store.put(block, data);
+        self.metrics.observe_since("worker_write_us", labels, start);
+        if out.is_ok() {
+            self.metrics.add("worker_write_bytes_total", labels, block.len);
+        }
+        out
     }
 
     /// Reads a block from the given medium, verifying its checksum.
     pub fn read_block(&self, media: MediaId, block: BlockId) -> Result<BlockData> {
         let m = self.manager.get(media)?;
-        let _conn = m.connect();
-        m.store.get(block)
+        let labels = self.labels().with_tier(m.tier);
+        let start = Instant::now();
+        let out = m.store.get(block);
+        self.metrics.observe_since("worker_read_us", labels, start);
+        if let Ok(d) = &out {
+            self.metrics.add("worker_read_bytes_total", labels, d.len());
+        }
+        out
     }
 
     /// Reads a block from whichever local medium holds it.
     pub fn read_block_any(&self, block: BlockId) -> Result<(MediaId, BlockData)> {
         let m =
             self.manager.find_block(block).ok_or_else(|| FsError::NotFound(block.to_string()))?;
-        let _conn = m.connect();
-        Ok((m.id, m.store.get(block)?))
+        Ok((m.id, self.read_block(m.id, block)?))
     }
 
     /// Deletes a replica.
@@ -142,6 +193,8 @@ impl Worker {
                 }
             }
         }
+        self.metrics.inc("worker_scrub_runs_total", self.labels());
+        self.metrics.add("worker_scrub_corrupt_total", self.labels(), corrupt.len() as u64);
         corrupt
     }
 

@@ -261,15 +261,19 @@ fn networked_scrub_and_replication_heal_corruption() {
 
     // Scrub over RPC finds and drops it; the replication round re-creates
     // it by pulling from a healthy peer over TCP.
-    assert_eq!(cluster.run_scrub_round().unwrap(), 1);
+    let round = cluster.run_scrub_round().unwrap();
+    assert_eq!(round.corrupt_total(), 1);
+    assert!(round.unreachable().is_empty());
     let after = client.get_file_block_locations("/heal", 0, u64::MAX).unwrap();
     assert_eq!(after[0].locations.len(), 2);
-    assert!(cluster.run_replication_round().unwrap() >= 1);
+    let outcome = cluster.run_replication_round().unwrap();
+    assert!(outcome.attempted >= 1);
+    assert!(outcome.all_ok());
     let healed = client.get_file_block_locations("/heal", 0, u64::MAX).unwrap();
     assert_eq!(healed[0].locations.len(), 3);
     assert_eq!(client.read_file("/heal").unwrap(), data);
     // Clean fleet afterwards.
-    assert_eq!(cluster.run_scrub_round().unwrap(), 0);
+    assert_eq!(cluster.run_scrub_round().unwrap().corrupt_total(), 0);
 }
 
 #[test]

@@ -3,6 +3,7 @@
 
 use parking_lot::RwLock;
 
+use octopus_common::metrics::{Labels, MetricsRegistry};
 use octopus_common::{
     Block, BlockId, ClientLocation, ClusterConfig, FsError, GenStamp, IdGenerator, LocatedBlock,
     Location, MediaStats, RackId, ReplicationVector, Result, StorageTierReport, TierId, WorkerId,
@@ -70,6 +71,7 @@ pub struct Master {
     retrieval: Box<dyn RetrievalPolicy>,
     block_ids: IdGenerator,
     gen_stamps: IdGenerator,
+    metrics: MetricsRegistry,
 }
 
 impl Master {
@@ -120,7 +122,14 @@ impl Master {
             retrieval,
             block_ids,
             gen_stamps: IdGenerator::new(1),
+            metrics: MetricsRegistry::new(),
         })
+    }
+
+    /// The master's metrics registry (`master_*` counters, gauges, and
+    /// latency histograms).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The cluster configuration.
@@ -158,7 +167,15 @@ impl Master {
     ) -> Result<()> {
         let mut g = self.inner.write();
         g.clock_ms = g.clock_ms.max(now_ms);
-        g.cluster.heartbeat(worker, media, nr_conn, now_ms)
+        let out = g.cluster.heartbeat(worker, media, nr_conn, now_ms);
+        self.metrics.inc("master_heartbeats_total", Labels::worker(worker));
+        self.update_liveness_gauge(&g);
+        out
+    }
+
+    fn update_liveness_gauge(&self, g: &Inner) {
+        let live = g.cluster.workers().filter(|w| w.live).count() as i64;
+        self.metrics.gauge("master_live_workers", Labels::NONE).set(live);
     }
 
     /// Processes a full block report from a worker: confirms reported
@@ -238,6 +255,7 @@ impl Master {
             }
             g.leases.release(&path);
         }
+        self.update_liveness_gauge(&g);
         dead
     }
 
@@ -254,6 +272,7 @@ impl Master {
     pub fn report_corrupt(&self, block: BlockId, location: Location) {
         let mut g = self.inner.write();
         g.blocks.remove_replica(block, location.media);
+        self.metrics.inc("master_scrub_corrupt_total", Labels::worker(location.worker));
     }
 
     /// Begins draining a worker: it stops receiving new replicas and its
@@ -473,6 +492,18 @@ impl Master {
         let mut g = self.inner.write();
         g.blocks.abandon_pending(block.id, &loc);
         g.cluster.complete_write(loc.media, 0);
+    }
+
+    /// Re-records a replica the replication monitor failed to delete: the
+    /// scan already dropped it from the block map, but the `DeleteBlock`
+    /// RPC never executed, so the bytes still exist on the worker. Putting
+    /// the location back keeps the block visibly over-replicated and the
+    /// next scan re-issues the delete (§5). No capacity adjustment: the
+    /// replica never left the medium. A no-op if the block was deleted in
+    /// the meantime (the worker's next block report purges the replica).
+    pub fn reinstate_replica(&self, block: Block, loc: Location) {
+        let mut g = self.inner.write();
+        let _ = g.blocks.confirm(block.id, loc);
     }
 
     /// Abandons an allocated block whose pipeline never stored a replica:
@@ -790,6 +821,13 @@ impl Master {
                     }
                 }
             }
+        }
+        for task in &tasks {
+            let kind = match task {
+                ReplicationTask::Copy { .. } => "copy",
+                ReplicationTask::Delete { .. } => "delete",
+            };
+            self.metrics.inc("master_replication_tasks_total", Labels::req(kind));
         }
         tasks
     }

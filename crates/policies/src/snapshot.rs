@@ -57,6 +57,13 @@ impl ClusterSnapshot {
     pub fn media_in_tier(&self, tier: TierId) -> impl Iterator<Item = &MediaStats> {
         self.media.iter().filter(move |m| m.tier == tier)
     }
+
+    /// The live I/O-connection count (`NrConn`, §3.2) of one medium, as
+    /// last heartbeated — what the placement cost model keys congestion
+    /// avoidance on. `None` when the medium is unknown.
+    pub fn media_nr_conn(&self, id: MediaId) -> Option<u32> {
+        self.media_stats(id).map(|m| m.nr_conn)
+    }
 }
 
 impl ClusterSnapshot {

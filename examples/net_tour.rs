@@ -45,9 +45,9 @@ fn main() -> octopusfs::Result<()> {
 
     // The fleet-wide scrub finds it; the replication monitor re-creates it
     // by pulling from a healthy peer over TCP.
-    let found = cluster.run_scrub_round()?;
+    let found = cluster.run_scrub_round()?.corrupt_total();
     println!("scrub found {found} corrupt replica(s)");
-    let tasks = cluster.run_replication_round()?;
+    let tasks = cluster.run_replication_round()?.attempted;
     println!("replication monitor ran {tasks} repair task(s)");
 
     let healed = client.get_file_block_locations("/tour/file", 0, u64::MAX)?;

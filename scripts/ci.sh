@@ -16,4 +16,19 @@ cargo fmt --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> metrics smoke test"
+# Boot a networked cluster, do one write/read, and check the merged
+# metrics snapshot exposes the expected series from every layer.
+smoke_out=$(cargo run --release --quiet --example metrics_smoke)
+for series in master_requests_total master_live_workers \
+    worker_requests_total worker_write_bytes_total worker_read_bytes_total \
+    rpc_client_requests_total rpc_client_request_us_bucket \
+    client_write_bytes_total client_read_bytes_total; do
+    if ! grep -q "^${series}" <<<"$smoke_out"; then
+        echo "metrics smoke: missing series ${series}" >&2
+        exit 1
+    fi
+done
+echo "metrics smoke: all expected series present"
+
 echo "CI green."

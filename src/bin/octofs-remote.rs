@@ -2,7 +2,7 @@
 //! `octofs-master`/`octofs-worker` deployment.
 //!
 //! ```text
-//! octofs-remote --master ADDR <mkdir|put|get|cat|ls|rm|mv|setrep|report> [args]
+//! octofs-remote --master ADDR <mkdir|put|get|cat|ls|rm|mv|setrep|report|metrics> [args]
 //! ```
 
 use std::io::Write as _;
@@ -35,7 +35,8 @@ fn run(args: &[String]) -> Result<()> {
 
     let Some(cmd) = rest.first().cloned() else {
         return Err(FsError::InvalidArgument(
-            "usage: octofs-remote --master ADDR <mkdir|put|get|cat|ls|rm|mv|setrep|report>".into(),
+            "usage: octofs-remote --master ADDR <mkdir|put|get|cat|ls|rm|mv|setrep|report|metrics>"
+                .into(),
         ));
     };
     let args = &rest[1..];
@@ -99,6 +100,9 @@ fn run(args: &[String]) -> Result<()> {
                 .map_err(|_| usage("bad vector"))?;
             let old = fs.set_replication(&args[0], rv)?;
             println!("replication of {}: {old} -> {rv}", args[0]);
+        }
+        "metrics" => {
+            print!("{}", fs.cluster_metrics_snapshot()?.render_text());
         }
         "report" => {
             for r in fs.get_storage_tier_reports()? {
