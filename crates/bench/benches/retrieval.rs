@@ -20,11 +20,11 @@ fn bench_retrieval(c: &mut Criterion) {
     for count in [3usize, 10] {
         let locs = locations(&snap, count);
         let rate = RateBasedPolicy::new(1);
-        c.bench_function(&format!("retrieval/rate_based/{count}"), |b| {
+        c.bench_function(format!("retrieval/rate_based/{count}"), |b| {
             b.iter(|| rate.order(black_box(&snap), client, black_box(&locs)))
         });
         let hdfs = HdfsLocalityPolicy::new(1);
-        c.bench_function(&format!("retrieval/hdfs_locality/{count}"), |b| {
+        c.bench_function(format!("retrieval/hdfs_locality/{count}"), |b| {
             b.iter(|| hdfs.order(black_box(&snap), client, black_box(&locs)))
         });
     }

@@ -1,0 +1,7 @@
+//! Assembles end-to-end distributed traces of a faulted mixed workload
+//! and prints the top-k slowest requests with critical paths (see
+//! DESIGN.md "Observability" → "Tracing"). Run with --release.
+
+fn main() {
+    octopus_bench::experiments::net_trace::run();
+}

@@ -18,9 +18,13 @@ fn main() {
         ("Use case: tier-aware scheduling", octopus_bench::experiments::usecase_sched::run),
     ];
     for (name, run) in experiments {
-        eprintln!("=== running {name} ===");
+        octopus_common::log_info!(target: "bench", "msg=\"experiment starting\" name=\"{name}\"");
         let t = std::time::Instant::now();
         run();
-        eprintln!("=== {name} done in {:.1}s ===\n", t.elapsed().as_secs_f64());
+        octopus_common::log_info!(
+            target: "bench",
+            "msg=\"experiment done\" name=\"{name}\" secs={:.1}",
+            t.elapsed().as_secs_f64()
+        );
     }
 }

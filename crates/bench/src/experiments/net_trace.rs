@@ -1,0 +1,188 @@
+//! Distributed-tracing run: drives a faulted mixed workload through a
+//! real TCP deployment, assembles end-to-end traces from every node's
+//! collector, and reports the top-k slowest requests with their
+//! critical-path breakdowns. The full span set is dumped to
+//! `results/traces/net_trace.jsonl`.
+//!
+//! The faults make the interesting structure appear: dropped master
+//! replies surface as sibling `rpc.*` retry spans under one parent, and
+//! corrupted worker payloads surface as sibling `client.read_replica`
+//! failover spans — all stitched under the original request's trace id.
+
+use std::time::Instant;
+
+use octopus_common::{
+    ClientLocation, ClusterConfig, ReplicationVector, Trace, TraceSnapshot, WorkerId, MB,
+};
+use octopus_core::net::{faults, FaultAction, NetCluster};
+
+use crate::table::{emit, render};
+
+const FILES: u64 = 6;
+const TOP_K: usize = 3;
+
+fn payload(len: usize, seed: u64) -> Vec<u8> {
+    let octopus_common::BlockData::Real(b) = octopus_common::BlockData::generate_real(len, seed)
+    else {
+        unreachable!()
+    };
+    b.to_vec()
+}
+
+/// Whether a trace contains ≥2 same-named sibling spans whose name starts
+/// with `prefix` (a retry or failover fanned out under one parent).
+fn has_siblings(trace: &Trace, prefix: &str) -> bool {
+    for s in &trace.spans {
+        if !s.name.starts_with(prefix) {
+            continue;
+        }
+        let twins = trace
+            .spans
+            .iter()
+            .filter(|t| t.name == s.name && t.parent_span == s.parent_span)
+            .count();
+        if twins >= 2 {
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs the workload and returns the report text.
+pub fn run() -> String {
+    let mut config = ClusterConfig::test_cluster(4, 256 * MB, MB);
+    config.heartbeat_ms = 25;
+    let cluster = NetCluster::start(config).unwrap();
+    let client = cluster.client(ClientLocation::OffCluster);
+
+    client.mkdir("/trace").unwrap();
+    // Measured wall time per request, keyed by (op, path): the acceptance
+    // check compares each trace's attributed critical path against it.
+    let mut walls: Vec<(&'static str, String, u64)> = Vec::new();
+    for i in 0..FILES {
+        let path = format!("/trace/{i}");
+        let data = payload(2 * MB as usize + 13 * i as usize, i);
+        let rv = if i % 2 == 0 {
+            ReplicationVector::from_replication_factor(3)
+        } else {
+            ReplicationVector::msh(1, 0, 2)
+        };
+        let t = Instant::now();
+        client.write_file(&path, &data, rv).unwrap();
+        walls.push(("write", path, t.elapsed().as_micros() as u64));
+    }
+
+    // Faults: a burst of dropped master replies forces visible `rpc.*`
+    // retry siblings (worker heartbeats consume some of the burst, so it
+    // must outpace them); corrupted payloads on two of the four workers
+    // force checksummed read failover to another replica (every file
+    // keeps 3 replicas, so at least one clean copy always remains).
+    for _ in 0..8 {
+        faults::inject(cluster.master_addr(), FaultAction::DropConnection);
+    }
+    for w in 0..2 {
+        if let Some(addr) = cluster.worker_addr(WorkerId(w)) {
+            faults::inject(addr, FaultAction::CorruptPayload);
+        }
+    }
+    for i in 0..FILES {
+        let path = format!("/trace/{i}");
+        let t = Instant::now();
+        let read = client.read_file(&path).unwrap();
+        walls.push(("read", path, t.elapsed().as_micros() as u64));
+        assert!(!read.is_empty());
+    }
+    faults::clear(cluster.master_addr());
+    for w in 0..2 {
+        if let Some(addr) = cluster.worker_addr(WorkerId(w)) {
+            faults::clear(addr);
+        }
+    }
+
+    // Assemble: client collector + master + every worker over the Trace
+    // RPC, grouped into per-request trees.
+    let snap = client.cluster_trace_snapshot().unwrap();
+    let mut traces = snap.traces();
+    traces.retain(|t| t.root().name.starts_with("client."));
+    traces.sort_by_key(|t| std::cmp::Reverse(t.duration_us()));
+
+    let mut out = String::from("End-to-end traces of a faulted mixed workload (4 workers, TCP):\n");
+    let rows: Vec<Vec<String>> = traces
+        .iter()
+        .map(|t| {
+            let root = t.root();
+            vec![
+                root.name.clone(),
+                root.annotation("path").unwrap_or("-").to_string(),
+                format!("{}", t.trace_id),
+                t.duration_us().to_string(),
+                t.spans.len().to_string(),
+                t.nodes().len().to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&render(&["op", "path", "trace", "total µs", "spans", "nodes"], &rows));
+
+    out.push_str(&format!("\nTop {TOP_K} slowest requests, critical paths:\n\n"));
+    for t in traces.iter().take(TOP_K) {
+        out.push_str(&t.critical_path().render());
+        out.push('\n');
+    }
+
+    // Acceptance: ≥1 trace spans client + master + ≥2 distinct workers.
+    let wide = traces
+        .iter()
+        .find(|t| {
+            let nodes = t.nodes();
+            nodes.contains("client")
+                && nodes.contains("master")
+                && nodes.iter().filter(|n| n.starts_with("worker-")).count() >= 2
+        })
+        .expect("no trace covering client, master, and >=2 workers");
+    out.push_str(&format!("\nwidest trace {} touches nodes: {:?}\n", wide.trace_id, wide.nodes()));
+
+    // Acceptance: the critical path is an exact partition of the request —
+    // attributed segments sum to within 5% of the measured wall time.
+    let mut checked = 0;
+    for t in &traces {
+        let root = t.root();
+        let Some(path) = root.annotation("path") else { continue };
+        let op = root.name.strip_prefix("client.").and_then(|n| n.strip_suffix("_file"));
+        let Some(op) = op else { continue };
+        let Some((_, _, wall)) = walls.iter().find(|(o, p, _)| *o == op && p == path) else {
+            continue;
+        };
+        let attributed = t.critical_path().attributed_us();
+        let diff = wall.abs_diff(attributed);
+        assert!(
+            diff * 20 <= *wall,
+            "critical path of {op} {path}: attributed {attributed}µs vs wall {wall}µs"
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "no trace matched a measured request");
+
+    // Acceptance: retries and failover appear as sibling spans inside the
+    // original request's trace.
+    let retried = traces.iter().filter(|t| has_siblings(t, "rpc.")).count();
+    let failovers = traces.iter().filter(|t| has_siblings(t, "client.read_replica")).count();
+    assert!(retried >= 1, "dropped master replies produced no retry siblings");
+    assert!(failovers >= 1, "corrupted payloads produced no failover siblings");
+    out.push_str(&format!(
+        "{checked} traces matched measured wall times within 5%; \
+         {retried} with rpc retry siblings; {failovers} with read-failover siblings\n"
+    ));
+
+    std::fs::create_dir_all("results/traces").unwrap();
+    let dump = TraceSnapshot { spans: snap.spans.clone() };
+    std::fs::write("results/traces/net_trace.jsonl", dump.to_jsonl()).unwrap();
+    out.push_str(&format!(
+        "dumped {} spans across {} traces to results/traces/net_trace.jsonl\n",
+        snap.spans.len(),
+        traces.len()
+    ));
+
+    println!("{out}");
+    emit("net_trace", &out);
+    out
+}

@@ -16,11 +16,13 @@ pub mod config;
 pub mod error;
 pub mod fstypes;
 pub mod ids;
+pub mod log;
 pub mod metrics;
 pub mod repvector;
 pub mod stats;
 pub mod tier;
 pub mod topology;
+pub mod trace;
 pub mod units;
 pub mod wire;
 
@@ -29,6 +31,7 @@ pub use config::{ClusterConfig, MediaConfig, RpcConfig, WorkerConfig};
 pub use error::{FsError, Result};
 pub use fstypes::{DirEntry, FileStatus};
 pub use ids::{BlockId, GenStamp, INodeId, IdGenerator, MediaId, WorkerId};
+pub use log::Level;
 pub use metrics::{
     Counter, Gauge, GaugeGuard, Histogram, Labels, MetricsRegistry, MetricsSnapshot, OwnedLabels,
 };
@@ -36,4 +39,8 @@ pub use repvector::{ReplicationVector, VectorDiff};
 pub use stats::{MediaStats, StorageTierReport, TierStats, WorkerStats};
 pub use tier::{StorageTier, TierId, TierRegistry, MAX_TIERS, UNSPECIFIED_SLOT};
 pub use topology::{ClientLocation, NetDistance, RackId, Topology};
+pub use trace::{
+    CriticalPath, SpanGuard, SpanId, SpanRecord, Trace, TraceCollector, TraceContext, TraceId,
+    TraceSnapshot,
+};
 pub use units::{DEFAULT_BLOCK_SIZE, GB, KB, MB, TB};

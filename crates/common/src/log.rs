@@ -1,0 +1,190 @@
+//! A minimal leveled, structured logger (no dependencies).
+//!
+//! Replaces the scattered ad-hoc `eprintln!` diagnostics with one format:
+//!
+//! ```text
+//! ts=1722900000.123 level=warn target=net::client trace=00c0ffee00c0ffee msg="replica failed" block=17
+//! ```
+//!
+//! - The level is controlled by the `OCTOPUS_LOG` environment variable
+//!   (`error`, `warn`, `info`, `debug`; default `info`) or
+//!   programmatically via [`set_level`].
+//! - Every line carries a `target=` field (module path by default).
+//! - When the calling thread is inside an active trace span, the line is
+//!   stamped `trace=<hex id>` so log lines and traces cross-reference.
+//!
+//! Use through the [`log_error!`](crate::log_error),
+//! [`log_warn!`](crate::log_warn), [`log_info!`](crate::log_info), and
+//! [`log_debug!`](crate::log_debug) macros; the message is only formatted
+//! when the level is enabled.
+
+use std::fmt;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::LazyLock;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-affecting problems.
+    Error = 0,
+    /// Degraded operation the system routed around (failover, retry).
+    Warn = 1,
+    /// High-level lifecycle events.
+    Info = 2,
+    /// Verbose diagnostics.
+    Debug = 3,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            "off" | "none" => None,
+            _ => Some(Level::Info),
+        }
+    }
+}
+
+// Stored as `level + 1`; 0 means logging is off.
+const OFF: u8 = 0;
+
+fn encode_level(level: Option<Level>) -> u8 {
+    level.map(|l| l as u8 + 1).unwrap_or(OFF)
+}
+
+static LEVEL: LazyLock<AtomicU8> = LazyLock::new(|| {
+    let initial = match std::env::var("OCTOPUS_LOG") {
+        Ok(v) => encode_level(Level::parse(&v)),
+        Err(_) => encode_level(Some(Level::Info)),
+    };
+    AtomicU8::new(initial)
+});
+
+/// Overrides the active level (`None` disables logging entirely).
+pub fn set_level(level: Option<Level>) {
+    LEVEL.store(encode_level(level), Ordering::Relaxed);
+}
+
+/// Whether a record at `level` would be emitted.
+pub fn enabled(level: Level) -> bool {
+    (level as u8 + 1) <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Formats and writes one record to stderr. Callers use the macros, which
+/// check [`enabled`] first so disabled levels cost one atomic load.
+pub fn write(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    let ts = SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default();
+    let mut line = format!(
+        "ts={}.{:03} level={} target={}",
+        ts.as_secs(),
+        ts.subsec_millis(),
+        level.as_str(),
+        target
+    );
+    if let Some(id) = crate::trace::current_trace_id() {
+        line.push_str(&format!(" trace={id}"));
+    }
+    line.push(' ');
+    let _ = fmt::write(&mut line, args);
+    line.push('\n');
+    // One write_all per record keeps concurrent lines whole.
+    let _ = std::io::stderr().write_all(line.as_bytes());
+}
+
+/// Logs at [`Level::Error`]. `log_error!("msg {x}")` or with an explicit
+/// target: `log_error!(target: "net::rpc", "msg {x}")`.
+#[macro_export]
+macro_rules! log_error {
+    (target: $target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::write($crate::log::Level::Error, $target, format_args!($($arg)*));
+        }
+    };
+    ($($arg:tt)*) => { $crate::log_error!(target: module_path!(), $($arg)*) };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! log_warn {
+    (target: $target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::write($crate::log::Level::Warn, $target, format_args!($($arg)*));
+        }
+    };
+    ($($arg:tt)*) => { $crate::log_warn!(target: module_path!(), $($arg)*) };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! log_info {
+    (target: $target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::write($crate::log::Level::Info, $target, format_args!($($arg)*));
+        }
+    };
+    ($($arg:tt)*) => { $crate::log_info!(target: module_path!(), $($arg)*) };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! log_debug {
+    (target: $target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::write($crate::log::Level::Debug, $target, format_args!($($arg)*));
+        }
+    };
+    ($($arg:tt)*) => { $crate::log_debug!(target: module_path!(), $($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests here mutate the process-global level; serialize them.
+    static LEVEL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("warn"), Some(Level::Warn));
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("off"), None);
+        assert_eq!(Level::parse("garbage"), Some(Level::Info));
+    }
+
+    #[test]
+    fn level_ordering_gates() {
+        let _g = LEVEL_LOCK.lock().unwrap();
+        set_level(Some(Level::Warn));
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(None);
+        assert!(!enabled(Level::Error));
+        set_level(Some(Level::Info));
+    }
+
+    #[test]
+    fn macros_compile_with_and_without_target() {
+        let _g = LEVEL_LOCK.lock().unwrap();
+        set_level(None); // silent in test output
+        crate::log_info!("plain {}", 1);
+        crate::log_warn!(target: "custom::target", "x={x}", x = 2);
+        set_level(Some(Level::Info));
+    }
+}

@@ -609,7 +609,7 @@ mod tests {
         let s = "x".repeat(100);
         round_trip(s);
         assert_eq!(MAX_SEQ_LEN, 16_777_216);
-        assert!(MAX_BYTES_LEN > MAX_SEQ_LEN);
+        const { assert!(MAX_BYTES_LEN > MAX_SEQ_LEN) };
     }
 
     #[test]

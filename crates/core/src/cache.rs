@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 
 use octopus_common::metrics::{Labels, MetricsRegistry};
+use octopus_common::trace::TraceCollector;
 use octopus_common::{FsError, ReplicationVector, Result, StorageTier};
 
 use crate::client::Client;
@@ -59,6 +60,7 @@ pub struct CacheManager {
     tick: u64,
     entries: HashMap<String, Entry>,
     metrics: MetricsRegistry,
+    trace: TraceCollector,
 }
 
 impl CacheManager {
@@ -73,7 +75,14 @@ impl CacheManager {
             tick: 0,
             entries: HashMap::new(),
             metrics: MetricsRegistry::new(),
+            trace: TraceCollector::new("cache"),
         }
+    }
+
+    /// This manager's trace collector (`cache.promote` / `cache.evict`
+    /// spans, stitched under the triggering access when one is traced).
+    pub fn trace(&self) -> &TraceCollector {
+        &self.trace
     }
 
     /// This manager's metrics (`cache_promotions_total`,
@@ -153,8 +162,11 @@ impl CacheManager {
     }
 
     fn promote(&mut self, path: &str) -> Result<()> {
+        let mut span = self.trace.root_or_child("cache.promote");
+        span.annotate("path", path);
         let mem = StorageTier::Memory.id();
         let status = self.client.status(path)?;
+        span.annotate("bytes", status.len);
         let rv = status.rv;
         if rv.tier(mem) == 0 {
             self.client.set_replication(path, rv.with_tier(mem, 1))?;
@@ -169,6 +181,8 @@ impl CacheManager {
     }
 
     fn evict(&mut self, path: &str) -> Result<()> {
+        let mut span = self.trace.root_or_child("cache.evict");
+        span.annotate("path", path);
         let mem = StorageTier::Memory.id();
         match self.client.status(path) {
             Ok(status) if status.rv.tier(mem) > 0 => {

@@ -1,13 +1,17 @@
 //! [`RemoteFs`]: the Table 1 client API over the network.
 
+use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use bytes::Bytes;
 
 use octopus_common::checksum::crc32;
-use octopus_common::metrics::{Labels, MetricsSnapshot};
+use octopus_common::log_warn;
+use octopus_common::metrics::{Labels, MetricsRegistry, MetricsSnapshot};
+use octopus_common::trace::{self, TraceCollector, TraceSnapshot};
 use octopus_common::{
     BlockData, ClientLocation, DirEntry, FileStatus, FsError, LocatedBlock, ReplicationVector,
     Result, RpcConfig, StorageTierReport, WorkerId,
@@ -24,6 +28,27 @@ static NEXT_HOLDER: AtomicU64 = AtomicU64::new(1 << 32);
 /// of the next `AddBlock` (§3.1 pipeline recovery).
 const MAX_PIPELINE_ATTEMPTS: usize = 4;
 
+/// Default end-to-end latency above which a read/write emits a structured
+/// slow-request line (overridable via `OCTOPUS_SLOW_REQUEST_MS` or
+/// [`RemoteFs::with_slow_request_threshold_ms`]).
+const DEFAULT_SLOW_REQUEST_MS: u64 = 1000;
+
+fn default_slow_request_ms() -> u64 {
+    std::env::var("OCTOPUS_SLOW_REQUEST_MS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(DEFAULT_SLOW_REQUEST_MS)
+}
+
+/// Per-worker metrics-scrape bookkeeping: how often the scrape failed and
+/// when it last succeeded, so unreachable workers are *visible* in the
+/// merged snapshot instead of silently absent.
+#[derive(Default, Clone, Copy)]
+pub(crate) struct ScrapeState {
+    pub(crate) errors: u64,
+    pub(crate) last_ok: Option<Instant>,
+}
+
 /// A networked OctopusFS client.
 #[derive(Clone)]
 pub struct RemoteFs {
@@ -32,6 +57,8 @@ pub struct RemoteFs {
     location: ClientLocation,
     holder: u64,
     rpc: Arc<RpcClient>,
+    slow_ms: u64,
+    scrapes: Arc<Mutex<HashMap<WorkerId, ScrapeState>>>,
 }
 
 impl RemoteFs {
@@ -44,7 +71,16 @@ impl RemoteFs {
             location,
             holder: NEXT_HOLDER.fetch_add(1, Ordering::Relaxed),
             rpc: Arc::clone(rpc::shared()),
+            slow_ms: default_slow_request_ms(),
+            scrapes: Arc::new(Mutex::new(HashMap::new())),
         }
+    }
+
+    /// Overrides the slow-request log threshold (milliseconds). `0` logs
+    /// every read/write; `u64::MAX` disables the log.
+    pub fn with_slow_request_threshold_ms(mut self, ms: u64) -> Self {
+        self.slow_ms = ms;
+        self
     }
 
     /// Replaces the RPC deadlines/retry budget with a dedicated client
@@ -91,28 +127,89 @@ impl RemoteFs {
         self.rpc.metrics().snapshot()
     }
 
+    /// This client's trace collector (request root spans plus per-attempt
+    /// transport spans).
+    pub fn trace(&self) -> &TraceCollector {
+        self.rpc.trace()
+    }
+
     /// Cluster-wide metrics: the master's registry plus every reachable
     /// worker's (both over the idempotent `Metrics` RPC), merged with this
-    /// client's own series. Unreachable workers are skipped — scraping
-    /// must not fail because one node is down.
+    /// client's own series. Unreachable workers are skipped so scraping
+    /// does not fail because one node is down — but every skip is counted
+    /// in `metrics_scrape_errors_total{worker=…}`, and
+    /// `metrics_scrape_age_ms{worker=…}` reports how stale each worker's
+    /// contribution is, so a silent blind spot cannot form.
     pub fn cluster_metrics_snapshot(&self) -> Result<MetricsSnapshot> {
         let mut snap = match self.call(MasterRequest::Metrics)? {
             MasterResponse::Metrics(s) => s,
             r => return Err(FsError::Io(format!("unexpected response {r:?}"))),
         };
-        let addrs: Vec<SocketAddr> = self.workers.read().values().copied().collect();
-        for addr in addrs {
-            if let Ok(WorkerResponse::Metrics(s)) = self.call_worker(addr, &WorkerRequest::Metrics)
-            {
+        let targets: Vec<(WorkerId, SocketAddr)> =
+            self.workers.read().iter().map(|(w, a)| (*w, *a)).collect();
+        let mut scrapes = self.scrapes.lock().unwrap();
+        for (w, addr) in targets {
+            let state = scrapes.entry(w).or_default();
+            match self.call_worker(addr, &WorkerRequest::Metrics) {
+                Ok(WorkerResponse::Metrics(s)) => {
+                    state.last_ok = Some(Instant::now());
+                    snap.merge(s);
+                }
+                _ => {
+                    state.errors += 1;
+                    log_warn!(
+                        target: "net::client",
+                        "msg=\"metrics scrape failed\" worker={w} errors={}",
+                        state.errors
+                    );
+                }
+            }
+        }
+        snap.merge(scrape_visibility(&scrapes));
+        drop(scrapes);
+        snap.merge(self.metrics_snapshot());
+        Ok(snap)
+    }
+
+    /// Cluster-wide trace snapshot: the master's collector, every
+    /// reachable worker's, and this client's own spans merged into one
+    /// assembly (the trace analogue of
+    /// [`RemoteFs::cluster_metrics_snapshot`]).
+    pub fn cluster_trace_snapshot(&self) -> Result<TraceSnapshot> {
+        let mut snap = match self.call(MasterRequest::Trace)? {
+            MasterResponse::Trace(s) => s,
+            r => return Err(FsError::Io(format!("unexpected response {r:?}"))),
+        };
+        let targets: Vec<SocketAddr> = self.workers.read().values().copied().collect();
+        for addr in targets {
+            if let Ok(WorkerResponse::Trace(s)) = self.call_worker(addr, &WorkerRequest::Trace) {
                 snap.merge(s);
             }
         }
-        snap.merge(self.metrics_snapshot());
+        snap.merge(self.trace().snapshot());
         Ok(snap)
     }
 
     fn call(&self, req: MasterRequest) -> Result<MasterResponse> {
         self.rpc.call_master(self.master, &req)
+    }
+
+    /// Emits one structured warn line when an end-to-end request exceeded
+    /// the slow threshold, with its trace id (stamped by the logger from
+    /// the still-active root span) and per-stage breakdown.
+    fn maybe_log_slow(&self, op: &str, path: &str, start: Instant, stages: &[(&str, u64)]) {
+        let total_ms = start.elapsed().as_millis() as u64;
+        if total_ms < self.slow_ms {
+            return;
+        }
+        let mut breakdown = String::new();
+        for (name, us) in stages {
+            breakdown.push_str(&format!(" {name}_us={us}"));
+        }
+        log_warn!(
+            target: "net::client",
+            "msg=\"slow request\" op={op} path={path} total_ms={total_ms}{breakdown}"
+        );
     }
 
     fn call_worker(&self, addr: SocketAddr, req: &WorkerRequest) -> Result<WorkerResponse> {
@@ -197,14 +294,22 @@ impl RemoteFs {
 
     /// Creates `path` and writes `data` through worker pipelines (§3.1).
     pub fn write_file(&self, path: &str, data: &[u8], rv: ReplicationVector) -> Result<()> {
+        let start = Instant::now();
+        let mut span = self.trace().root_or_child("client.write_file");
+        span.annotate("path", path);
+        span.annotate("bytes", data.len());
+
+        let stage = Instant::now();
         let status =
             match self.call(MasterRequest::CreateFile(path.into(), rv, None, self.holder))? {
                 MasterResponse::Status(s) => s,
                 r => return Err(FsError::Io(format!("unexpected response {r:?}"))),
             };
+        let create_us = stage.elapsed().as_micros() as u64;
         let block_size = status.block_size as usize;
         // Zero-length files have no blocks: the loop body never runs and
         // the file is closed immediately below.
+        let stage = Instant::now();
         let mut offset = 0;
         while offset < data.len() {
             let end = (offset + block_size).min(data.len());
@@ -212,8 +317,18 @@ impl RemoteFs {
             self.write_one_block(path, chunk)?;
             offset = end;
         }
+        let blocks_us = stage.elapsed().as_micros() as u64;
         self.rpc.metrics().add("client_write_bytes_total", Labels::NONE, data.len() as u64);
-        self.call(MasterRequest::CompleteFile(path.into(), self.holder)).map(|_| ())
+        let stage = Instant::now();
+        let out = self.call(MasterRequest::CompleteFile(path.into(), self.holder)).map(|_| ());
+        let complete_us = stage.elapsed().as_micros() as u64;
+        self.maybe_log_slow(
+            "write",
+            path,
+            start,
+            &[("create", create_us), ("blocks", blocks_us), ("complete", complete_us)],
+        );
+        out
     }
 
     /// Writes one block through a worker pipeline, recovering from stage
@@ -222,10 +337,17 @@ impl RemoteFs {
     /// master and a fresh placement is requested that excludes every
     /// worker a previous attempt already failed on.
     fn write_one_block(&self, path: &str, payload: Bytes) -> Result<()> {
+        let mut span = trace::child("client.write_block");
         let len = payload.len() as u64;
+        if let Some(s) = span.as_mut() {
+            s.annotate("bytes", len);
+        }
         let mut excluded: Vec<WorkerId> = Vec::new();
         let mut last_err = FsError::PlacementFailed(format!("no pipeline attempted for {path}"));
-        for _ in 0..MAX_PIPELINE_ATTEMPTS {
+        for attempt in 0..MAX_PIPELINE_ATTEMPTS {
+            if let (Some(s), true) = (span.as_mut(), attempt > 0) {
+                s.annotate("retry", attempt);
+            }
             let (block, pipeline) = match self.call(MasterRequest::AddBlock(
                 path.into(),
                 len,
@@ -265,6 +387,12 @@ impl RemoteFs {
             // The entry worker failed (or nothing was stored): release the
             // allocated block so the file has no dangling last block, then
             // re-request placement avoiding the failed worker.
+            log_warn!(
+                target: "net::client",
+                "msg=\"pipeline recovery\" path={path} block={} failed_worker={} err=\"{last_err}\"",
+                block.id,
+                first.worker
+            );
             self.rpc.metrics().inc("client_pipeline_recoveries_total", Labels::NONE);
             let _ = self.call(MasterRequest::AbandonBlock(path.into(), block, self.holder));
             excluded.push(first.worker);
@@ -274,22 +402,41 @@ impl RemoteFs {
 
     /// Reads a whole file, failing over across replicas (§4.1).
     pub fn read_file(&self, path: &str) -> Result<Vec<u8>> {
+        let start = Instant::now();
+        let mut span = self.trace().root_or_child("client.read_file");
+        span.annotate("path", path);
+
+        let stage = Instant::now();
         let status = self.status(path)?;
         if status.is_dir {
             return Err(FsError::IsADirectory(path.into()));
         }
         let blocks = self.get_file_block_locations(path, 0, u64::MAX)?;
+        let locate_us = stage.elapsed().as_micros() as u64;
+        let stage = Instant::now();
         let mut out = Vec::with_capacity(status.len as usize);
         for lb in blocks {
             out.extend_from_slice(&self.read_block(&lb)?);
         }
+        let blocks_us = stage.elapsed().as_micros() as u64;
+        span.annotate("bytes", out.len());
         self.rpc.metrics().add("client_read_bytes_total", Labels::NONE, out.len() as u64);
+        self.maybe_log_slow("read", path, start, &[("locate", locate_us), ("blocks", blocks_us)]);
         Ok(out)
     }
 
     fn read_block(&self, lb: &LocatedBlock) -> Result<Bytes> {
         let mut last_err = FsError::BlockUnavailable(format!("{}: no replicas", lb.block.id));
         for (i, loc) in lb.locations.iter().enumerate() {
+            // One span per replica attempt: failovers become sibling spans
+            // under the read's root, annotated with the replica index.
+            let mut rep_span = trace::child("client.read_replica");
+            if let Some(s) = rep_span.as_mut() {
+                s.annotate("block", lb.block.id);
+                s.annotate("replica", i);
+                s.annotate("worker", loc.worker);
+                s.annotate("tier", loc.tier);
+            }
             let attempt = self.worker_addr(loc.worker).and_then(|addr| {
                 self.call_worker(addr, &WorkerRequest::ReadBlock(loc.media, lb.block.id))
             });
@@ -300,11 +447,23 @@ impl RemoteFs {
                     // Verify against the checksum recorded at write time:
                     // catches both a corrupt replica and bytes damaged in
                     // flight; either way the next replica is tried (§4.1).
-                    if crc32(&b) == sum {
+                    let verify = trace::child("client.checksum");
+                    let actual = crc32(&b);
+                    drop(verify);
+                    if actual == sum {
                         return Ok(b);
                     }
+                    log_warn!(
+                        target: "net::client",
+                        "msg=\"checksum failover\" block={} replica={i} worker={}",
+                        lb.block.id,
+                        loc.worker
+                    );
                     self.rpc.metrics().inc("client_checksum_failovers_total", Labels::NONE);
-                    last_err = FsError::ChecksumMismatch { expected: sum, actual: crc32(&b) };
+                    last_err = FsError::ChecksumMismatch { expected: sum, actual };
+                    if let Some(s) = rep_span.as_mut() {
+                        s.annotate("error", "checksum mismatch");
+                    }
                 }
                 Ok(WorkerResponse::Data(d, _)) => {
                     last_err = FsError::BlockUnavailable(format!(
@@ -315,7 +474,12 @@ impl RemoteFs {
                     ));
                 }
                 Ok(r) => last_err = FsError::Io(format!("unexpected response {r:?}")),
-                Err(e) => last_err = e,
+                Err(e) => {
+                    if let Some(s) = rep_span.as_mut() {
+                        s.annotate("error", &e);
+                    }
+                    last_err = e;
+                }
             }
             // A further location exists: this failure becomes a failover.
             if i + 1 < lb.locations.len() {
@@ -324,4 +488,19 @@ impl RemoteFs {
         }
         Err(last_err)
     }
+}
+
+/// Renders the scrape bookkeeping as metric samples:
+/// `metrics_scrape_errors_total{worker=…}` (cumulative failed scrapes) and
+/// `metrics_scrape_age_ms{worker=…}` (time since the last successful
+/// scrape; `-1` when the worker has never been scraped successfully).
+pub(crate) fn scrape_visibility(scrapes: &HashMap<WorkerId, ScrapeState>) -> MetricsSnapshot {
+    let reg = MetricsRegistry::new();
+    for (w, state) in scrapes {
+        let labels = Labels::worker(*w);
+        reg.add("metrics_scrape_errors_total", labels, state.errors);
+        let age_ms = state.last_ok.map(|t| t.elapsed().as_millis() as i64).unwrap_or(-1);
+        reg.gauge("metrics_scrape_age_ms", labels).set(age_ms);
+    }
+    reg.snapshot()
 }

@@ -5,13 +5,13 @@
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use parking_lot::RwLock;
 
-use octopus_common::{ClientLocation, ClusterConfig, Result, WorkerId};
+use octopus_common::{log_warn, ClientLocation, ClusterConfig, Result, WorkerId};
 use octopus_master::Master;
 
 use super::client::RemoteFs;
@@ -35,6 +35,7 @@ pub struct NetCluster {
     epoch: Instant,
     hb_stops: Vec<Arc<AtomicBool>>,
     hb_threads: Vec<Option<JoinHandle<()>>>,
+    scrapes: Mutex<HashMap<WorkerId, super::client::ScrapeState>>,
 }
 
 /// Sends one full block report for `w` and applies the master's
@@ -146,6 +147,7 @@ impl NetCluster {
             epoch,
             hb_stops,
             hb_threads,
+            scrapes: Mutex::new(HashMap::new()),
         })
     }
 
@@ -198,10 +200,61 @@ impl NetCluster {
     /// Merged cluster-wide metrics snapshot: the master's registry, every
     /// reachable worker's registry (fetched over the `Metrics` RPC), and
     /// the process-shared RPC client's `rpc_client_*` / `client_*` series.
+    /// Workers that cannot be scraped (killed or unreachable) are skipped
+    /// but *counted*: `metrics_scrape_errors_total{worker=…}` and
+    /// `metrics_scrape_age_ms{worker=…}` surface the blind spot.
     pub fn metrics_snapshot(&self) -> Result<octopus_common::MetricsSnapshot> {
         use super::proto::{WorkerRequest, WorkerResponse};
         let mut snap = match call_master(self.master_addr(), &MasterRequest::Metrics)? {
             MasterResponse::Metrics(s) => s,
+            r => {
+                return Err(octopus_common::FsError::Io(format!("unexpected response {r:?}")));
+            }
+        };
+        let mut scrapes = self.scrapes.lock().unwrap();
+        for (i, w) in self.workers.iter().enumerate() {
+            let state = scrapes.entry(w.id()).or_default();
+            let scraped = self.worker_servers[i].is_some()
+                && match self.worker_addr(w.id()) {
+                    Some(addr) => {
+                        match super::worker_server::call_worker(addr, &WorkerRequest::Metrics) {
+                            Ok(WorkerResponse::Metrics(s)) => {
+                                snap.merge(s);
+                                true
+                            }
+                            _ => false,
+                        }
+                    }
+                    None => false,
+                };
+            if scraped {
+                state.last_ok = Some(Instant::now());
+            } else {
+                state.errors += 1;
+                log_warn!(
+                    target: "net::cluster",
+                    "msg=\"metrics scrape failed\" worker={} errors={}",
+                    w.id(),
+                    state.errors
+                );
+            }
+        }
+        snap.merge(super::client::scrape_visibility(&scrapes));
+        drop(scrapes);
+        // The shared pooled client serves servers and default clients alike;
+        // merge it once (it is a process-wide singleton, not per worker).
+        snap.merge(super::rpc::shared().metrics().snapshot());
+        Ok(snap)
+    }
+
+    /// Merged cluster-wide trace snapshot: the master's collector, every
+    /// reachable worker's, and the process-shared RPC client's spans —
+    /// the assembly point for cross-node traces (the `Trace` analogue of
+    /// [`NetCluster::metrics_snapshot`]).
+    pub fn trace_snapshot(&self) -> Result<octopus_common::TraceSnapshot> {
+        use super::proto::{WorkerRequest, WorkerResponse};
+        let mut snap = match call_master(self.master_addr(), &MasterRequest::Trace)? {
+            MasterResponse::Trace(s) => s,
             r => {
                 return Err(octopus_common::FsError::Io(format!("unexpected response {r:?}")));
             }
@@ -211,15 +264,13 @@ impl NetCluster {
                 continue;
             }
             let Some(addr) = self.worker_addr(w.id()) else { continue };
-            if let Ok(WorkerResponse::Metrics(s)) =
-                super::worker_server::call_worker(addr, &WorkerRequest::Metrics)
+            if let Ok(WorkerResponse::Trace(s)) =
+                super::worker_server::call_worker(addr, &WorkerRequest::Trace)
             {
                 snap.merge(s);
             }
         }
-        // The shared pooled client serves servers and default clients alike;
-        // merge it once (it is a process-wide singleton, not per worker).
-        snap.merge(super::rpc::shared().metrics().snapshot());
+        snap.merge(super::rpc::shared().trace().snapshot());
         Ok(snap)
     }
 

@@ -9,6 +9,7 @@ use std::thread::JoinHandle;
 
 use parking_lot::RwLock;
 
+use octopus_common::trace::{self, TraceContext};
 use octopus_common::wire::decode;
 use octopus_common::{Result, WorkerId};
 use octopus_master::{ClientId, Master};
@@ -144,7 +145,9 @@ fn connection_loop(mut stream: TcpStream, server_addr: SocketAddr, state: Arc<Ma
             Ok(Some(f)) => f,
             Ok(None) | Err(_) => return,
         };
-        let result = decode::<MasterRequest>(&frame).and_then(|req| dispatch(&state, req));
+        let result = trace::unwrap_envelope(&frame).and_then(|(ctx, body)| {
+            decode::<MasterRequest>(body).and_then(|req| dispatch_traced(&state, req, ctx))
+        });
         match faults::write_response(server_addr, &mut stream, &encode_result(&result)) {
             Ok(true) => {}
             Ok(false) | Err(_) => return,
@@ -155,6 +158,17 @@ fn connection_loop(mut stream: TcpStream, server_addr: SocketAddr, state: Arc<Ma
 /// Maps one request onto the master API, recording per-request-type op
 /// counts and latency into the master's registry.
 pub fn dispatch(state: &MasterState, req: MasterRequest) -> Result<MasterResponse> {
+    dispatch_traced(state, req, None)
+}
+
+/// [`dispatch`] continuing a propagated trace context: traced requests
+/// record a `master.<Name>` span into the master's collector.
+pub fn dispatch_traced(
+    state: &MasterState,
+    req: MasterRequest,
+    ctx: Option<TraceContext>,
+) -> Result<MasterResponse> {
+    let mut span = ctx.map(|c| state.master.trace().child_of(format!("master.{}", req.name()), c));
     let labels = octopus_common::metrics::Labels::req(req.name());
     state.master.metrics().inc("master_requests_total", labels);
     let start = std::time::Instant::now();
@@ -162,6 +176,9 @@ pub fn dispatch(state: &MasterState, req: MasterRequest) -> Result<MasterRespons
     state.master.metrics().observe_since("master_request_us", labels, start);
     if out.is_err() {
         state.master.metrics().inc("master_request_failures_total", labels);
+        if let (Some(s), Err(e)) = (span.as_mut(), &out) {
+            s.annotate("error", e);
+        }
     }
     out
 }
@@ -242,5 +259,6 @@ fn dispatch_inner(state: &MasterState, req: MasterRequest) -> Result<MasterRespo
             A::Addresses(state.addrs.read().iter().map(|(w, a)| (*w, a.clone())).collect())
         }
         Q::Metrics => A::Metrics(master.metrics().snapshot()),
+        Q::Trace => A::Trace(master.trace().snapshot()),
     })
 }

@@ -25,7 +25,9 @@
 use std::collections::HashMap;
 use std::net::SocketAddr;
 
+use octopus_common::log_warn;
 use octopus_common::metrics::Labels;
+use octopus_common::trace::TraceContext;
 use octopus_common::{Location, Result, WorkerId};
 use octopus_master::{Master, ReplicationTask};
 
@@ -104,11 +106,20 @@ fn run_worker_batch(
     master: &Master,
     addr: Option<SocketAddr>,
     tasks: Vec<ReplicationTask>,
+    ctx: Option<TraceContext>,
 ) -> ReplicationOutcome {
     let mut out = ReplicationOutcome::default();
     for task in tasks {
         match task {
             ReplicationTask::Copy { block, sources, target } => {
+                // Scoped threads don't inherit the round's thread-local
+                // span stack, so the parent context travels explicitly.
+                let mut span = ctx.map(|c| master.trace().child_of("monitor.copy", c));
+                if let Some(s) = span.as_mut() {
+                    s.annotate("block", block.id);
+                    s.annotate("target", target.worker);
+                    s.annotate("tier", target.tier);
+                }
                 let ok = addr.is_some_and(|a| {
                     call_worker(a, &WorkerRequest::Replicate(block, sources.clone(), target.media))
                         .is_ok()
@@ -116,11 +127,22 @@ fn run_worker_batch(
                 if ok {
                     out.copies_ok += 1;
                 } else {
+                    log_warn!(
+                        target: "net::monitor",
+                        "msg=\"replication copy failed\" block={} target={}",
+                        block.id,
+                        target.worker
+                    );
                     master.abort_replica(block, target);
                     out.copies_failed += 1;
                 }
             }
             ReplicationTask::Delete { block, location } => {
+                let mut span = ctx.map(|c| master.trace().child_of("monitor.delete", c));
+                if let Some(s) = span.as_mut() {
+                    s.annotate("block", block.id);
+                    s.annotate("target", location.worker);
+                }
                 // `NotFound` counts as done: a retried delete whose first
                 // reply was lost has already removed the replica.
                 let ok = addr.is_some_and(|a| {
@@ -133,6 +155,12 @@ fn run_worker_batch(
                 if ok {
                     out.deletes_ok += 1;
                 } else {
+                    log_warn!(
+                        target: "net::monitor",
+                        "msg=\"replication delete failed, reinstating\" block={} worker={}",
+                        block.id,
+                        location.worker
+                    );
                     // The scan already dropped the location; a failed (or
                     // unaddressable) delete means the bytes still exist —
                     // put the replica back so the next scan retries.
@@ -158,8 +186,11 @@ fn executing_worker(task: &ReplicationTask) -> WorkerId {
 /// bounds only its own batch). Failures are counted — and compensated at
 /// the master — rather than swallowed.
 pub fn run_replication_round(master: &Master, addrs: &Addrs) -> Result<ReplicationOutcome> {
+    let mut round_span = master.trace().root_or_child("monitor.replication_round");
+    let ctx = Some(round_span.context());
     let tasks = master.replication_scan();
     let attempted = tasks.len();
+    round_span.annotate("tasks", attempted);
 
     let mut by_worker: HashMap<WorkerId, Vec<ReplicationTask>> = HashMap::new();
     for task in tasks {
@@ -172,7 +203,7 @@ pub fn run_replication_round(master: &Master, addrs: &Addrs) -> Result<Replicati
             .into_iter()
             .map(|(w, batch)| {
                 let addr = addrs.get(&w).copied();
-                s.spawn(move || run_worker_batch(master, addr, batch))
+                s.spawn(move || run_worker_batch(master, addr, batch, ctx))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap_or_default()).collect()
@@ -194,6 +225,8 @@ pub fn run_replication_round(master: &Master, addrs: &Addrs) -> Result<Replicati
 /// worker's outcome individually — an unreachable worker surfaces as
 /// [`ScrubStatus::Unreachable`] instead of being counted as clean.
 pub fn run_scrub_round(master: &Master, addrs: &Addrs) -> Result<ScrubRound> {
+    let round_span = master.trace().root_or_child("monitor.scrub_round");
+    let ctx = round_span.context();
     let mut round = ScrubRound::default();
     let mut targets: Vec<(WorkerId, SocketAddr)> = addrs.iter().map(|(w, a)| (*w, *a)).collect();
     targets.sort_by_key(|(w, _)| *w);
@@ -202,11 +235,20 @@ pub fn run_scrub_round(master: &Master, addrs: &Addrs) -> Result<ScrubRound> {
             .into_iter()
             .map(|(w, addr)| {
                 s.spawn(move || {
+                    let mut span = master.trace().child_of("monitor.scrub", ctx);
+                    span.annotate("worker", w);
                     let status = match call_worker(addr, &WorkerRequest::Scrub) {
                         Ok(WorkerResponse::Scrubbed(0)) => ScrubStatus::Clean,
                         Ok(WorkerResponse::Scrubbed(n)) => ScrubStatus::Corrupt(n),
                         Ok(_) | Err(_) => ScrubStatus::Unreachable,
                     };
+                    if matches!(status, ScrubStatus::Unreachable) {
+                        log_warn!(
+                            target: "net::monitor",
+                            "msg=\"scrub unreachable\" worker={w}"
+                        );
+                        span.annotate("error", "unreachable");
+                    }
                     (w, status)
                 })
             })

@@ -6,7 +6,7 @@ use octopus_common::wire::{Wire, WireReader};
 use octopus_common::{
     Block, BlockData, BlockId, ClientLocation, DirEntry, FileStatus, FsError, LocatedBlock,
     Location, MediaId, MediaStats, MetricsSnapshot, RackId, ReplicationVector, Result,
-    StorageTierReport, WorkerId,
+    StorageTierReport, TraceSnapshot, WorkerId,
 };
 
 /// A request to the master.
@@ -62,6 +62,8 @@ pub enum MasterRequest {
     AbandonBlock(String, Block, u64),
     /// The master's metrics registry snapshot (observability).
     Metrics,
+    /// The master's trace-collector snapshot (observability).
+    Trace,
 }
 
 impl MasterRequest {
@@ -109,6 +111,7 @@ impl MasterRequest {
             ReportCorrupt(..) => "ReportCorrupt",
             AbandonBlock(..) => "AbandonBlock",
             Metrics => "Metrics",
+            Trace => "Trace",
         }
     }
 }
@@ -140,6 +143,8 @@ pub enum MasterResponse {
     Edits(bytes::Bytes),
     /// The master's metrics snapshot.
     Metrics(MetricsSnapshot),
+    /// The master's trace snapshot.
+    Trace(TraceSnapshot),
 }
 
 macro_rules! tagged {
@@ -175,6 +180,7 @@ impl Wire for MasterRequest {
             ReportCorrupt(b, l) => tagged!(buf, 19, b, l),
             AbandonBlock(p, b, h) => tagged!(buf, 20, p, b, h),
             Metrics => tagged!(buf, 21),
+            Trace => tagged!(buf, 22),
         }
     }
 
@@ -211,6 +217,7 @@ impl Wire for MasterRequest {
             19 => ReportCorrupt(Wire::get(r)?, Wire::get(r)?),
             20 => AbandonBlock(Wire::get(r)?, Wire::get(r)?, Wire::get(r)?),
             21 => Metrics,
+            22 => Trace,
             t => return Err(FsError::Io(format!("bad master request tag {t}"))),
         })
     }
@@ -232,6 +239,7 @@ impl Wire for MasterResponse {
             Addresses(a) => tagged!(buf, 9, a),
             Edits(b) => tagged!(buf, 10, b),
             Metrics(s) => tagged!(buf, 11, s),
+            Trace(s) => tagged!(buf, 12, s),
         }
     }
 
@@ -250,6 +258,7 @@ impl Wire for MasterResponse {
             9 => Addresses(Wire::get(r)?),
             10 => Edits(Wire::get(r)?),
             11 => Metrics(Wire::get(r)?),
+            12 => Trace(Wire::get(r)?),
             t => return Err(FsError::Io(format!("bad master response tag {t}"))),
         })
     }
@@ -276,6 +285,8 @@ pub enum WorkerRequest {
     Scrub,
     /// The worker's metrics registry snapshot (observability).
     Metrics,
+    /// The worker's trace-collector snapshot (observability).
+    Trace,
 }
 
 impl WorkerRequest {
@@ -297,6 +308,7 @@ impl WorkerRequest {
             Replicate(..) => "Replicate",
             Scrub => "Scrub",
             Metrics => "Metrics",
+            Trace => "Trace",
         }
     }
 }
@@ -316,6 +328,8 @@ pub enum WorkerResponse {
     Scrubbed(u32),
     /// The worker's metrics snapshot.
     Metrics(MetricsSnapshot),
+    /// The worker's trace snapshot.
+    Trace(TraceSnapshot),
 }
 
 impl Wire for WorkerRequest {
@@ -328,6 +342,7 @@ impl Wire for WorkerRequest {
             Replicate(b, s, m) => tagged!(buf, 3, b, s, m),
             Scrub => tagged!(buf, 4),
             Metrics => tagged!(buf, 5),
+            Trace => tagged!(buf, 6),
         }
     }
 
@@ -340,6 +355,7 @@ impl Wire for WorkerRequest {
             3 => Replicate(Wire::get(r)?, Wire::get(r)?, Wire::get(r)?),
             4 => Scrub,
             5 => Metrics,
+            6 => Trace,
             t => return Err(FsError::Io(format!("bad worker request tag {t}"))),
         })
     }
@@ -354,6 +370,7 @@ impl Wire for WorkerResponse {
             Unit => tagged!(buf, 2),
             Scrubbed(n) => tagged!(buf, 3, n),
             Metrics(s) => tagged!(buf, 4, s),
+            Trace(s) => tagged!(buf, 5, s),
         }
     }
 
@@ -365,6 +382,7 @@ impl Wire for WorkerResponse {
             2 => Unit,
             3 => Scrubbed(Wire::get(r)?),
             4 => Metrics(Wire::get(r)?),
+            5 => Trace(Wire::get(r)?),
             t => return Err(FsError::Io(format!("bad worker response tag {t}"))),
         })
     }
@@ -501,6 +519,25 @@ mod tests {
         reg.histogram("lat_us", Labels::worker(WorkerId(2))).observe_us(99);
         rt(MasterResponse::Metrics(reg.snapshot()));
         rt(WorkerResponse::Metrics(reg.snapshot()));
+    }
+
+    #[test]
+    fn trace_messages_round_trip() {
+        use octopus_common::trace::TraceCollector;
+        rt(MasterRequest::Trace);
+        rt(WorkerRequest::Trace);
+        assert!(MasterRequest::Trace.is_idempotent());
+        assert!(WorkerRequest::Trace.is_idempotent());
+        assert_eq!(MasterRequest::Trace.name(), "Trace");
+        assert_eq!(WorkerRequest::Trace.name(), "Trace");
+
+        let col = TraceCollector::new("test");
+        {
+            let mut s = col.root("op");
+            s.annotate("block", 7);
+        }
+        rt(MasterResponse::Trace(col.snapshot()));
+        rt(WorkerResponse::Trace(col.snapshot()));
     }
 
     #[test]

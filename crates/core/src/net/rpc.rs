@@ -29,6 +29,7 @@ use std::sync::{Arc, LazyLock, Mutex};
 use std::time::{Duration, Instant};
 
 use octopus_common::metrics::{Labels, MetricsRegistry};
+use octopus_common::trace::{self, TraceCollector};
 use octopus_common::wire::encode;
 use octopus_common::{FsError, Result, RpcConfig};
 
@@ -52,6 +53,7 @@ pub struct RpcClient {
     /// Deterministic jitter state (an splitmix64 walk); no RNG dependency.
     jitter: AtomicU64,
     metrics: MetricsRegistry,
+    trace: TraceCollector,
 }
 
 impl RpcClient {
@@ -62,6 +64,7 @@ impl RpcClient {
             pool: Mutex::new(HashMap::new()),
             jitter: AtomicU64::new(0x243F_6A88_85A3_08D3),
             metrics: MetricsRegistry::new(),
+            trace: TraceCollector::new("client"),
         }
     }
 
@@ -74,6 +77,13 @@ impl RpcClient {
     /// counters recorded by `RemoteFs` instances using this client).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// This client's trace collector. `RemoteFs` roots request spans
+    /// here; per-attempt transport spans nest under whatever span is
+    /// active on the calling thread.
+    pub fn trace(&self) -> &TraceCollector {
+        &self.trace
     }
 
     /// One typed round trip to the master.
@@ -104,7 +114,7 @@ impl RpcClient {
         let labels = Labels::req(request_type);
         self.metrics.inc("rpc_client_requests_total", labels);
         let start = Instant::now();
-        let out = self.attempt_loop(addr, payload, idempotent, labels);
+        let out = self.attempt_loop(addr, payload, idempotent, labels, request_type);
         self.metrics.observe_since("rpc_client_request_us", labels, start);
         if matches!(out, Err(FsError::Timeout(_))) {
             self.metrics.inc("rpc_client_timeouts_total", labels);
@@ -121,6 +131,7 @@ impl RpcClient {
         payload: &[u8],
         idempotent: bool,
         labels: Labels,
+        request_type: &'static str,
     ) -> Result<Vec<u8>> {
         let mut last_err = FsError::Unreachable(format!("{addr}: no attempt made"));
         for attempt in 0..=self.cfg.max_retries {
@@ -129,18 +140,41 @@ impl RpcClient {
                 std::thread::sleep(self.backoff(attempt));
             }
 
+            // One transport span per attempt: retries become sibling spans
+            // under the caller's span, and the backoff gap between them
+            // shows up as the parent's self time in the critical path.
+            // Untraced calls (no active span) skip both the span and the
+            // envelope, so old-format receivers keep decoding bare frames.
+            let mut span = trace::child(format!("rpc.{request_type}"));
+            let enveloped;
+            let wire_payload: &[u8] = match span.as_mut() {
+                Some(s) => {
+                    s.annotate("peer", addr);
+                    s.annotate("attempt", attempt);
+                    enveloped = trace::wrap_envelope(&s.context(), payload);
+                    &enveloped
+                }
+                None => payload,
+            };
+            let fail = |span: &mut Option<trace::SpanGuard>, e: &FsError| {
+                if let Some(s) = span.as_mut() {
+                    s.annotate("error", e);
+                }
+            };
+
             // Pooled connections first. A send failure here is the stale
             // keep-alive race — the request never left, so trying the next
             // connection (or a fresh one) is free.
             let mut receive_failed_pooled = false;
             while let Some(mut stream) = self.checkout(addr) {
-                match self.round_trip(&mut stream, payload) {
+                match self.round_trip(&mut stream, wire_payload) {
                     Ok(frame) => {
                         self.checkin(addr, stream);
                         return Ok(frame);
                     }
                     Err((Stage::Send, e)) => last_err = e,
                     Err((Stage::Receive, e)) => {
+                        fail(&mut span, &e);
                         if !idempotent {
                             return Err(e);
                         }
@@ -160,17 +194,24 @@ impl RpcClient {
             let mut stream = match self.connect(addr) {
                 Ok(s) => s,
                 Err(e) => {
+                    fail(&mut span, &e);
                     last_err = e;
                     continue;
                 }
             };
-            match self.round_trip(&mut stream, payload) {
+            match self.round_trip(&mut stream, wire_payload) {
                 Ok(frame) => {
                     self.checkin(addr, stream);
                     return Ok(frame);
                 }
-                Err((Stage::Receive, e)) if !idempotent => return Err(e),
-                Err((_, e)) => last_err = e,
+                Err((Stage::Receive, e)) if !idempotent => {
+                    fail(&mut span, &e);
+                    return Err(e);
+                }
+                Err((_, e)) => {
+                    fail(&mut span, &e);
+                    last_err = e;
+                }
             }
         }
         Err(last_err)

@@ -11,7 +11,9 @@ use std::thread::JoinHandle;
 use parking_lot::RwLock;
 
 use octopus_common::checksum::crc32;
+use octopus_common::log_warn;
 use octopus_common::metrics::Labels;
+use octopus_common::trace::{self, TraceContext};
 use octopus_common::wire::decode;
 use octopus_common::{BlockData, FsError, Location, Result, WorkerId};
 
@@ -157,8 +159,10 @@ fn connection_loop(
             Ok(Some(f)) => f,
             Ok(None) | Err(_) => return,
         };
-        let result =
-            decode::<WorkerRequest>(&frame).and_then(|req| dispatch(&worker, master, &peers, req));
+        let result = trace::unwrap_envelope(&frame).and_then(|(ctx, body)| {
+            decode::<WorkerRequest>(body)
+                .and_then(|req| dispatch_traced(&worker, master, &peers, req, ctx))
+        });
         match faults::write_response(server_addr, &mut stream, &encode_result(&result)) {
             Ok(true) => {}
             Ok(false) | Err(_) => return,
@@ -166,12 +170,20 @@ fn connection_loop(
     }
 }
 
-fn dispatch(
+fn dispatch_traced(
     worker: &Worker,
     master: SocketAddr,
     peers: &AddressMap,
     req: WorkerRequest,
+    ctx: Option<TraceContext>,
 ) -> Result<WorkerResponse> {
+    // Traced requests record a `worker.<Name>` span in this worker's
+    // collector; calls this dispatch makes (commit, forward) nest under
+    // it via the thread-local span stack.
+    let mut span = ctx.map(|c| worker.trace().child_of(format!("worker.{}", req.name()), c));
+    if let Some(s) = span.as_mut() {
+        s.annotate("worker", worker.id());
+    }
     let labels = Labels::worker(worker.id()).with_req(req.name());
     worker.metrics().inc("worker_requests_total", labels);
     let start = std::time::Instant::now();
@@ -179,6 +191,9 @@ fn dispatch(
     worker.metrics().observe_since("worker_request_us", labels, start);
     if out.is_err() {
         worker.metrics().inc("worker_request_failures_total", labels);
+        if let (Some(s), Err(e)) = (span.as_mut(), &out) {
+            s.annotate("error", e);
+        }
     }
     out
 }
@@ -197,7 +212,15 @@ fn dispatch_inner(
             // heartbeat `NrConn` the placement policy consumes reflects
             // transfer-duration contention (§3.2).
             let _io = worker.media_io(media)?;
-            worker.write_block(media, block, &data)?;
+            {
+                let mut store_span = trace::child("worker.store");
+                if let Some(s) = store_span.as_mut() {
+                    s.annotate("block", block.id);
+                    s.annotate("bytes", block.len);
+                    s.annotate("tier", worker.tier_of(media)?);
+                }
+                worker.write_block(media, block, &data)?;
+            }
             let my_loc = Location { worker: worker.id(), media, tier: worker.tier_of(media)? };
             // Commit our replica before forwarding, so the master's view
             // converges even if the tail of the pipeline fails.
@@ -228,7 +251,13 @@ fn dispatch_inner(
                 match forwarded {
                     Ok(WorkerResponse::Stored(locs)) => stored.extend(locs),
                     Ok(_) => return Err(FsError::Internal("unexpected forward response".into())),
-                    Err(_) => {
+                    Err(e) => {
+                        log_warn!(
+                            target: "net::worker_server",
+                            "msg=\"pipeline forward failed\" block={} next={} err=\"{e}\"",
+                            block.id,
+                            next.worker
+                        );
                         worker.metrics().inc(
                             "worker_pipeline_forward_failures_total",
                             Labels::worker(worker.id()),
@@ -247,8 +276,14 @@ fn dispatch_inner(
         WorkerRequest::ReadBlock(media, block) => {
             let _net = worker.connect_net();
             let _io = worker.media_io(media)?;
+            let mut read_span = trace::child("worker.read");
             let data = worker.read_block(media, block)?;
             let sum = worker.stored_checksum(media, block)?;
+            if let Some(s) = read_span.as_mut() {
+                s.annotate("block", block);
+                s.annotate("bytes", data.len());
+                s.annotate("tier", worker.tier_of(media)?);
+            }
             Ok(WorkerResponse::Data(data, sum))
         }
         WorkerRequest::DeleteBlock(media, block) => {
@@ -282,6 +317,12 @@ fn dispatch_inner(
                     Ok(WorkerResponse::Unit)
                 }
                 None => {
+                    log_warn!(
+                        target: "net::worker_server",
+                        "msg=\"replication found no reachable source\" block={} sources={}",
+                        block.id,
+                        sources.len()
+                    );
                     let _ = call_master(master, &MasterRequest::AbortReplica(block, my_loc));
                     Err(FsError::BlockUnavailable(format!(
                         "{}: no reachable source replica",
@@ -302,5 +343,6 @@ fn dispatch_inner(
             Ok(WorkerResponse::Scrubbed(n))
         }
         WorkerRequest::Metrics => Ok(WorkerResponse::Metrics(worker.metrics().snapshot())),
+        WorkerRequest::Trace => Ok(WorkerResponse::Trace(worker.trace().snapshot())),
     }
 }

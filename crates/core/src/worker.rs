@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use octopus_common::metrics::{GaugeGuard, Labels, MetricsRegistry};
+use octopus_common::trace::TraceCollector;
 use octopus_common::{
     Block, BlockData, BlockId, FsError, MediaId, MediaStats, RackId, Result, TierId, WorkerId,
 };
@@ -28,6 +29,7 @@ pub struct Worker {
     net_conns: Arc<AtomicU32>,
     net_bps: f64,
     metrics: MetricsRegistry,
+    trace: TraceCollector,
 }
 
 impl Worker {
@@ -38,6 +40,7 @@ impl Worker {
             net_conns: Arc::new(AtomicU32::new(0)),
             net_bps,
             metrics: MetricsRegistry::new(),
+            trace: TraceCollector::new(format!("worker-{}", worker.0)),
         }
     }
 
@@ -46,6 +49,12 @@ impl Worker {
     /// distinguishable).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The worker's trace collector (spans for data-server RPCs serviced
+    /// by this worker, node-stamped `worker-<id>`).
+    pub fn trace(&self) -> &TraceCollector {
+        &self.trace
     }
 
     fn labels(&self) -> Labels {

@@ -5,7 +5,7 @@
 
 use std::time::Duration;
 
-use octopus_common::{ClientLocation, ClusterConfig, ReplicationVector, MB};
+use octopus_common::{ClientLocation, ClusterConfig, ReplicationVector, WorkerId, MB};
 use octopus_core::net::{faults, FaultAction};
 use octopus_core::NetCluster;
 
@@ -102,16 +102,34 @@ fn checksum_and_replica_failovers_are_counted() {
     let data = payload(MB as usize / 2, 9);
     client.write_file("/cf", &data, rf(3)).unwrap();
 
+    // The retrieval policy random tie-breaks replica order per request,
+    // so no single faulted worker is guaranteed to be read first: corrupt
+    // all holders but one and re-read until a failover is counted (each
+    // round hits with probability 2/3).
     let blocks = client.get_file_block_locations("/cf", 0, u64::MAX).unwrap();
-    let victim = blocks[0].locations[0].worker;
-    let addr = cluster.worker_addr(victim).unwrap();
-    faults::inject(addr, FaultAction::CorruptPayload);
-    assert_eq!(client.read_file("/cf").unwrap(), data, "read fails over past the bad replica");
-    faults::clear(addr);
-
-    let snap = cluster.metrics_snapshot().unwrap();
-    assert!(snap.counter("client_checksum_failovers_total") >= 1);
-    assert!(snap.counter("client_replica_failovers_total") >= 1);
+    let holders: Vec<WorkerId> = blocks[0].locations.iter().map(|l| l.worker).collect();
+    let victims = &holders[..holders.len() - 1];
+    let mut counted = false;
+    for _ in 0..10 {
+        for v in victims {
+            let addr = cluster.worker_addr(*v).unwrap();
+            if faults::pending(addr) == 0 {
+                faults::inject(addr, FaultAction::CorruptPayload);
+            }
+        }
+        assert_eq!(client.read_file("/cf").unwrap(), data, "read fails over past the bad replica");
+        let snap = cluster.metrics_snapshot().unwrap();
+        if snap.counter("client_checksum_failovers_total") >= 1
+            && snap.counter("client_replica_failovers_total") >= 1
+        {
+            counted = true;
+            break;
+        }
+    }
+    for v in victims {
+        faults::clear(cluster.worker_addr(*v).unwrap());
+    }
+    assert!(counted, "checksum/replica failovers must surface in the cluster snapshot");
 }
 
 #[test]
@@ -157,6 +175,55 @@ fn media_io_gauge_feeds_heartbeat_nr_conn_and_policy_snapshot() {
         std::thread::sleep(Duration::from_millis(10));
     }
     assert!(drained, "NrConn must fall back to zero after the span ends");
+}
+
+#[test]
+fn unreachable_worker_scrapes_are_visible_in_cluster_snapshot() {
+    let mut cluster = NetCluster::start(config()).unwrap();
+    cluster.kill_worker(0);
+    let dead = cluster.workers()[0].id();
+
+    // The dead worker no longer silently vanishes from the merge: its
+    // failed scrape is counted and its staleness gauge pinned at -1
+    // (never successfully scraped).
+    let snap = cluster.metrics_snapshot().unwrap();
+    assert!(
+        snap.counter_where("metrics_scrape_errors_total", |l| l.worker == Some(dead)) >= 1,
+        "killed worker's failed scrape must be counted"
+    );
+    assert_eq!(
+        snap.gauge_where("metrics_scrape_age_ms", |l| l.worker == Some(dead)),
+        -1,
+        "never-scraped worker must report age -1"
+    );
+    // Live workers were scraped within this snapshot: age present and
+    // recent (the gauge reports milliseconds since the last success).
+    for w in cluster.workers().iter().skip(1) {
+        let age = snap.gauge_where("metrics_scrape_age_ms", |l| l.worker == Some(w.id()));
+        assert!((0..10_000).contains(&age), "live worker {} age {age}ms", w.id());
+    }
+
+    // The error count grows on every blind snapshot, so a worker that
+    // stays unreachable keeps getting louder rather than disappearing.
+    let snap2 = cluster.metrics_snapshot().unwrap();
+    assert!(snap2.counter_where("metrics_scrape_errors_total", |l| l.worker == Some(dead)) >= 2);
+}
+
+#[test]
+fn dedicated_client_snapshot_counts_scrape_errors() {
+    let mut cluster = NetCluster::start(config()).unwrap();
+    let client = cluster
+        .client(ClientLocation::OffCluster)
+        .with_rpc_config(octopus_common::RpcConfig::fast_test());
+    cluster.kill_worker(0);
+    let dead = cluster.workers()[0].id();
+
+    let snap = client.cluster_metrics_snapshot().unwrap();
+    assert!(
+        snap.counter_where("metrics_scrape_errors_total", |l| l.worker == Some(dead)) >= 1,
+        "client-side merge must surface the unreachable worker"
+    );
+    assert_eq!(snap.gauge_where("metrics_scrape_age_ms", |l| l.worker == Some(dead)), -1);
 }
 
 #[test]

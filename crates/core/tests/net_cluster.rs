@@ -153,7 +153,7 @@ fn concurrent_remote_writers_one_winner() {
             s.spawn(move || {
                 let r = client.write_file(
                     "/contended",
-                    &payload((MB + seed as u64) as usize, seed),
+                    &payload((MB + seed) as usize, seed),
                     ReplicationVector::from_replication_factor(2),
                 );
                 match r {

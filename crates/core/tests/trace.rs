@@ -1,0 +1,196 @@
+//! Distributed-tracing integration tests: trace context must survive the
+//! wire (client→master→worker), RPC retries must appear as sibling spans
+//! under the original parent, and §4.1 checksum failover must keep the
+//! replacement replica read inside the original request's trace.
+
+use octopus_common::{
+    ClientLocation, ClusterConfig, ReplicationVector, SpanRecord, Trace, WorkerId, MB,
+};
+use octopus_core::net::{faults, FaultAction};
+use octopus_core::NetCluster;
+
+fn config() -> ClusterConfig {
+    let mut c = ClusterConfig::test_cluster(4, 64 * MB, MB);
+    c.heartbeat_ms = 20;
+    c
+}
+
+fn payload(len: usize, seed: u64) -> Vec<u8> {
+    let octopus_common::BlockData::Real(b) = octopus_common::BlockData::generate_real(len, seed)
+    else {
+        unreachable!()
+    };
+    b.to_vec()
+}
+
+fn rf(n: u8) -> ReplicationVector {
+    ReplicationVector::from_replication_factor(n)
+}
+
+/// The most recent assembled trace whose root is `root_name`.
+fn latest_trace(snap: &octopus_common::TraceSnapshot, root_name: &str) -> Trace {
+    snap.traces()
+        .into_iter()
+        .find(|t| t.root().name == root_name)
+        .unwrap_or_else(|| panic!("no assembled trace rooted at {root_name}"))
+}
+
+/// Faults all-but-one holders of a file's first block with `action` and
+/// re-reads until the traced fan-out (≥2 same-named siblings) appears,
+/// returning that read's trace. The master's retrieval policy random
+/// tie-breaks replica order per request, so the client may start at the
+/// one spared replica on any given read — each round re-arms the faults
+/// and retries; with two of three holders faulted a round hits with
+/// probability 2/3, so ten rounds are overwhelmingly sufficient.
+fn read_until_fanout(
+    cluster: &NetCluster,
+    client: &octopus_core::net::RemoteFs,
+    path: &str,
+    data: &[u8],
+    action: FaultAction,
+    sibling_name: &str,
+) -> Trace {
+    let blocks = client.get_file_block_locations(path, 0, u64::MAX).unwrap();
+    let holders: Vec<WorkerId> = blocks[0].locations.iter().map(|l| l.worker).collect();
+    assert!(holders.len() >= 2, "need >=2 replicas to observe fan-out");
+    let victims = &holders[..holders.len() - 1];
+
+    let mut found = None;
+    for _ in 0..10 {
+        for v in victims {
+            let addr = cluster.worker_addr(*v).unwrap();
+            if faults::pending(addr) == 0 {
+                faults::inject(addr, action.clone());
+            }
+        }
+        assert_eq!(client.read_file(path).unwrap(), data);
+        let snap = client.cluster_trace_snapshot().unwrap();
+        let trace = latest_trace(&snap, "client.read_file");
+        if sibling_groups(&trace, sibling_name).iter().any(|g| g.len() >= 2) {
+            found = Some(trace);
+            break;
+        }
+    }
+    for v in victims {
+        faults::clear(cluster.worker_addr(*v).unwrap());
+    }
+    found.unwrap_or_else(|| panic!("no read produced sibling {sibling_name} spans"))
+}
+
+/// Same-named spans sharing one parent (retry or failover fan-out).
+fn sibling_groups<'a>(trace: &'a Trace, name: &str) -> Vec<Vec<&'a SpanRecord>> {
+    let mut groups: Vec<Vec<&SpanRecord>> = Vec::new();
+    for s in trace.spans.iter().filter(|s| s.name == name) {
+        match groups.iter_mut().find(|g| g[0].parent_span == s.parent_span) {
+            Some(g) => g.push(s),
+            None => groups.push(vec![s]),
+        }
+    }
+    groups
+}
+
+#[test]
+fn spans_stitch_across_client_master_and_workers() {
+    let cluster = NetCluster::start(config()).unwrap();
+    let client = cluster.client(ClientLocation::OffCluster);
+    let data = payload(2 * MB as usize + 99, 7);
+    client.write_file("/stitch", &data, rf(3)).unwrap();
+    assert_eq!(client.read_file("/stitch").unwrap(), data);
+
+    let snap = client.cluster_trace_snapshot().unwrap();
+    let write = latest_trace(&snap, "client.write_file");
+    let nodes = write.nodes();
+    assert!(nodes.contains("client"), "write trace missing client spans: {nodes:?}");
+    assert!(nodes.contains("master"), "write trace missing master spans: {nodes:?}");
+    assert!(
+        nodes.iter().filter(|n| n.starts_with("worker-")).count() >= 2,
+        "3-replica pipelined write must touch >=2 workers: {nodes:?}"
+    );
+    // Every span of the assembled tree carries the root's trace id.
+    assert!(write.spans.iter().all(|s| s.trace_id == write.trace_id));
+
+    // The critical path partitions the root exactly: attributed segment
+    // time sums to the root's duration, with no gaps or double counting.
+    let cp = write.critical_path();
+    assert_eq!(cp.attributed_us(), write.duration_us());
+
+    let read = latest_trace(&snap, "client.read_file");
+    assert!(read.nodes().iter().any(|n| n.starts_with("worker-")));
+    assert_eq!(read.critical_path().attributed_us(), read.duration_us());
+}
+
+#[test]
+fn retry_spans_are_siblings_under_the_original_trace() {
+    let cluster = NetCluster::start(config()).unwrap();
+    let client = cluster.client(ClientLocation::OffCluster);
+    let data = payload(MB as usize / 2, 3);
+    client.write_file("/retry", &data, rf(3)).unwrap();
+
+    // A dropped ReadBlock reply: the idempotent call retries the same
+    // worker, so the attempts appear as sibling `rpc.ReadBlock` spans
+    // under one `client.read_replica` parent.
+    let trace = read_until_fanout(
+        &cluster,
+        &client,
+        "/retry",
+        &data,
+        FaultAction::DropConnection,
+        "rpc.ReadBlock",
+    );
+    let retried = sibling_groups(&trace, "rpc.ReadBlock")
+        .into_iter()
+        .find(|g| g.len() >= 2)
+        .expect("dropped reply must produce sibling rpc.ReadBlock attempt spans");
+    // Both attempts belong to the original trace, under one parent, and
+    // are distinguishable by their attempt annotation.
+    assert!(retried.iter().all(|s| s.trace_id == trace.trace_id));
+    assert_eq!(retried[0].parent_span, retried[1].parent_span);
+    let attempts: Vec<_> = retried.iter().filter_map(|s| s.annotation("attempt")).collect();
+    assert!(attempts.contains(&"0") && attempts.contains(&"1"), "attempts: {attempts:?}");
+}
+
+#[test]
+fn checksum_failover_spans_share_the_original_trace_and_parent() {
+    let cluster = NetCluster::start(config()).unwrap();
+    let client = cluster.client(ClientLocation::OffCluster);
+    let data = payload(MB as usize / 2, 5);
+    client.write_file("/crc", &data, rf(3)).unwrap();
+
+    // A corrupted payload: the checksum rejects the replica and the read
+    // fails over, appearing as sibling `client.read_replica` spans.
+    let trace = read_until_fanout(
+        &cluster,
+        &client,
+        "/crc",
+        &data,
+        FaultAction::CorruptPayload,
+        "client.read_replica",
+    );
+    let replicas = sibling_groups(&trace, "client.read_replica")
+        .into_iter()
+        .find(|g| g.len() >= 2)
+        .expect("checksum failover must produce sibling read_replica spans");
+    assert!(replicas.iter().all(|s| s.trace_id == trace.trace_id));
+    assert!(replicas.iter().all(|s| s.parent_span == trace.root().span_id));
+    // The failed replica attempt is annotated; the successful one is not.
+    assert!(replicas.iter().any(|s| s.annotation("error").is_some()));
+    assert!(replicas.iter().any(|s| s.annotation("error").is_none()));
+}
+
+#[test]
+fn untraced_requests_still_use_the_bare_wire_format() {
+    // Old-format compatibility: requests issued with no active span (e.g.
+    // heartbeats, background traffic) carry no envelope, and a fresh
+    // cluster serves them — decode of both forms coexists on one socket.
+    let cluster = NetCluster::start(config()).unwrap();
+    let client = cluster.client(ClientLocation::OffCluster);
+    // Status/mkdir have no client-side root span, so they go enveloped
+    // only when nested under a traced operation — bare here.
+    client.mkdir("/plain").unwrap();
+    assert!(client.status("/plain").unwrap().is_dir);
+    let snap = client.trace().snapshot();
+    assert!(
+        !snap.spans.iter().any(|s| s.name == "rpc.Mkdir"),
+        "untraced requests must not record spans"
+    );
+}

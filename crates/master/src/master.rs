@@ -4,6 +4,7 @@
 use parking_lot::RwLock;
 
 use octopus_common::metrics::{Labels, MetricsRegistry};
+use octopus_common::trace::TraceCollector;
 use octopus_common::{
     Block, BlockId, ClientLocation, ClusterConfig, FsError, GenStamp, IdGenerator, LocatedBlock,
     Location, MediaStats, RackId, ReplicationVector, Result, StorageTierReport, TierId, WorkerId,
@@ -72,6 +73,7 @@ pub struct Master {
     block_ids: IdGenerator,
     gen_stamps: IdGenerator,
     metrics: MetricsRegistry,
+    trace: TraceCollector,
 }
 
 impl Master {
@@ -123,6 +125,7 @@ impl Master {
             block_ids,
             gen_stamps: IdGenerator::new(1),
             metrics: MetricsRegistry::new(),
+            trace: TraceCollector::new("master"),
         })
     }
 
@@ -130,6 +133,12 @@ impl Master {
     /// latency histograms).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The master's trace collector (spans for RPCs dispatched onto this
+    /// master, plus replication/scrub rounds driven from it).
+    pub fn trace(&self) -> &TraceCollector {
+        &self.trace
     }
 
     /// The cluster configuration.

@@ -353,7 +353,14 @@ impl PlacementPolicy for GreedyPolicy {
             ctx_media.extend_from_slice(&chosen_stats);
             let ctx = ObjectiveContext::new(&ctx_media, req.block_size, k, n, t);
             let Some(best) = self.solve_moop(&options, &chosen_stats, &ctx) else {
-                continue; // cannot place this replica now; master retries
+                // Cannot place this replica now; the master retries on a
+                // later scan, so this is expected pressure — not an error.
+                octopus_common::log_debug!(
+                    target: "policies::placement",
+                    "msg=\"replica deferred\" policy={} replica={i} pin={pin:?}",
+                    self.name
+                );
+                continue;
             };
             used.insert(best.media);
             if !rack_order.contains(&best.rack) {

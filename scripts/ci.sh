@@ -31,4 +31,27 @@ for series in master_requests_total master_live_workers \
 done
 echo "metrics smoke: all expected series present"
 
+echo "==> trace smoke test"
+# Boot a networked cluster, run a traced write/read, and check the JSONL
+# dump stitches one client→master→worker span tree under a single trace id.
+cargo run --release --quiet --example trace_smoke >/dev/null
+dump=results/traces/smoke.jsonl
+if [ ! -s "$dump" ]; then
+    echo "trace smoke: missing or empty ${dump}" >&2
+    exit 1
+fi
+read_trace=$(grep '"name":"client.read_file"' "$dump" | head -1 |
+    sed 's/.*"trace_id":"\([0-9a-f]*\)".*/\1/')
+if [ -z "$read_trace" ]; then
+    echo "trace smoke: no client.read_file root span in ${dump}" >&2
+    exit 1
+fi
+for node in '"node":"client"' '"node":"master"' '"node":"worker-'; do
+    if ! grep "\"trace_id\":\"${read_trace}\"" "$dump" | grep -q "$node"; then
+        echo "trace smoke: trace ${read_trace} has no span with ${node}" >&2
+        exit 1
+    fi
+done
+echo "trace smoke: stitched client→master→worker tree under trace ${read_trace}"
+
 echo "CI green."

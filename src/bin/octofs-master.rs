@@ -83,7 +83,7 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("octofs-master: {e}");
+            octopus_common::log_error!(target: "octofs-master", "msg=\"startup failed\" err=\"{e}\"");
             ExitCode::FAILURE
         }
     }

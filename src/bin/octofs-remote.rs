@@ -2,8 +2,12 @@
 //! `octofs-master`/`octofs-worker` deployment.
 //!
 //! ```text
-//! octofs-remote --master ADDR <mkdir|put|get|cat|ls|rm|mv|setrep|report|metrics> [args]
+//! octofs-remote --master ADDR <mkdir|put|get|cat|ls|rm|mv|setrep|report|metrics|trace> [args]
 //! ```
+//!
+//! `trace read PATH` / `trace write PATH [BYTES]` runs the operation with
+//! distributed tracing, prints the assembled critical path, and dumps the
+//! full span tree to `results/traces/trace-<id>.jsonl`.
 
 use std::io::Write as _;
 use std::net::ToSocketAddrs;
@@ -35,7 +39,8 @@ fn run(args: &[String]) -> Result<()> {
 
     let Some(cmd) = rest.first().cloned() else {
         return Err(FsError::InvalidArgument(
-            "usage: octofs-remote --master ADDR <mkdir|put|get|cat|ls|rm|mv|setrep|report|metrics>"
+            "usage: octofs-remote --master ADDR \
+             <mkdir|put|get|cat|ls|rm|mv|setrep|report|metrics|trace>"
                 .into(),
         ));
     };
@@ -104,6 +109,38 @@ fn run(args: &[String]) -> Result<()> {
         "metrics" => {
             print!("{}", fs.cluster_metrics_snapshot()?.render_text());
         }
+        "trace" => {
+            if args.len() < 2 {
+                return Err(usage("trace <read PATH | write PATH [BYTES]>"));
+            }
+            let op = args[0].as_str();
+            match op {
+                "read" => {
+                    let data = fs.read_file(&args[1])?;
+                    println!("read {} ({})", args[1], fmt_bytes(data.len() as u64));
+                }
+                "write" => {
+                    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1 << 20);
+                    let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+                    fs.write_file(&args[1], &data, ReplicationVector::from_replication_factor(2))?;
+                    println!("wrote {} ({})", args[1], fmt_bytes(n as u64));
+                }
+                other => return Err(usage(&format!("trace: unknown op {other}"))),
+            }
+            let snap = fs.cluster_trace_snapshot()?;
+            let want = format!("client.{op}_file");
+            let trace = snap
+                .traces()
+                .into_iter()
+                .find(|t| t.spans.iter().any(|s| s.name == want))
+                .ok_or_else(|| FsError::NotFound("no assembled trace for operation".into()))?;
+            print!("{}", trace.critical_path().render());
+            std::fs::create_dir_all("results/traces")?;
+            let out = format!("results/traces/trace-{}.jsonl", trace.trace_id);
+            let dump = octopusfs::common::TraceSnapshot { spans: trace.spans.clone() };
+            std::fs::write(&out, dump.to_jsonl())?;
+            println!("{} spans ({} nodes) -> {out}", trace.spans.len(), trace.nodes().len());
+        }
         "report" => {
             for r in fs.get_storage_tier_reports()? {
                 println!(
@@ -129,7 +166,7 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("octofs-remote: {e}");
+            octopus_common::log_error!(target: "octofs-remote", "msg=\"command failed\" err=\"{e}\"");
             ExitCode::FAILURE
         }
     }

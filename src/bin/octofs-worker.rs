@@ -161,7 +161,7 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("octofs-worker: {e}");
+            octopus_common::log_error!(target: "octofs-worker", "msg=\"startup failed\" err=\"{e}\"");
             ExitCode::FAILURE
         }
     }

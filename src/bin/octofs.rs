@@ -318,7 +318,7 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("octofs: {e}");
+            octopus_common::log_error!(target: "octofs", "msg=\"command failed\" err=\"{e}\"");
             ExitCode::FAILURE
         }
     }
