@@ -1,0 +1,11 @@
+//! Sweeps the client I/O window over a multi-block write+read workload on
+//! a real TCP cluster (see DESIGN.md "Parallel data path"). Run with
+//! --release; `--quick` runs the reduced CI smoke variant.
+
+fn main() {
+    if std::env::args().any(|a| a == "--quick") {
+        octopus_bench::experiments::parallel_io::run_quick();
+    } else {
+        octopus_bench::experiments::parallel_io::run();
+    }
+}

@@ -16,6 +16,7 @@ fn main() {
         ("Ablation", octopus_bench::experiments::ablation::run),
         ("Scalability", octopus_bench::experiments::scalability::run),
         ("Use case: tier-aware scheduling", octopus_bench::experiments::usecase_sched::run),
+        ("Parallel I/O window", octopus_bench::experiments::parallel_io::run),
     ];
     for (name, run) in experiments {
         octopus_common::log_info!(target: "bench", "msg=\"experiment starting\" name=\"{name}\"");

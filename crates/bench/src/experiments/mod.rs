@@ -12,6 +12,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod net_metrics;
 pub mod net_trace;
+pub mod parallel_io;
 pub mod scalability;
 pub mod table2;
 pub mod table3;

@@ -183,6 +183,34 @@ pub struct ClusterConfig {
     /// behind the paper's hierarchical network topology (§3.2). `None`
     /// models a non-blocking core (the default calibration).
     pub rack_uplink_bps: Option<f64>,
+    /// Client-side I/O window: how many blocks of one file a networked
+    /// client keeps in flight concurrently (writes pipeline into distinct
+    /// workers; reads fan out across replicas). `1` restores the fully
+    /// serial data path. Overridable per process via `OCTOPUS_IO_WINDOW`.
+    #[serde(default = "default_io_window")]
+    pub io_window: u32,
+    /// When set, networked data servers pace each block transfer to the
+    /// serving medium's configured `write_bps`/`read_bps`. Real devices
+    /// impose this pacing themselves; loopback test deployments store
+    /// every tier in RAM, so without emulation a multi-block benchmark
+    /// measures memcpy instead of the tiered-device behaviour placement
+    /// (§3.2) and the client I/O window are designed around. Off by
+    /// default: latency-sensitive unit tests keep raw loopback speed.
+    #[serde(default = "default_emulate_media_bps")]
+    pub emulate_media_bps: bool,
+}
+
+/// Default client I/O window (blocks in flight per file transfer). Four
+/// keeps a DFSIO-style client busy without overwhelming small clusters —
+/// the same default window HDFS-style clients use for packet pipelining.
+pub const DEFAULT_IO_WINDOW: u32 = 4;
+
+fn default_io_window() -> u32 {
+    DEFAULT_IO_WINDOW
+}
+
+fn default_emulate_media_bps() -> bool {
+    false
 }
 
 impl ClusterConfig {
@@ -202,6 +230,9 @@ impl ClusterConfig {
         }
         if self.block_size == 0 {
             return Err(FsError::Config("block size must be positive".into()));
+        }
+        if self.io_window == 0 {
+            return Err(FsError::Config("io window must be at least 1".into()));
         }
         for (i, w) in self.workers.iter().enumerate() {
             if w.media.is_empty() {
@@ -291,6 +322,8 @@ impl ClusterConfig {
             heartbeat_ms: 3000,
             dead_after_missed: 10,
             rack_uplink_bps: None,
+            io_window: default_io_window(),
+            emulate_media_bps: default_emulate_media_bps(),
         }
     }
 
@@ -358,6 +391,8 @@ impl ClusterConfig {
             heartbeat_ms: 100,
             dead_after_missed: 10,
             rack_uplink_bps: None,
+            io_window: default_io_window(),
+            emulate_media_bps: default_emulate_media_bps(),
         }
     }
 }

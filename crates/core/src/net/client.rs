@@ -2,8 +2,8 @@
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use bytes::Bytes;
@@ -11,10 +11,10 @@ use bytes::Bytes;
 use octopus_common::checksum::crc32;
 use octopus_common::log_warn;
 use octopus_common::metrics::{Labels, MetricsRegistry, MetricsSnapshot};
-use octopus_common::trace::{self, TraceCollector, TraceSnapshot};
+use octopus_common::trace::{self, TraceCollector, TraceContext, TraceSnapshot};
 use octopus_common::{
-    BlockData, ClientLocation, DirEntry, FileStatus, FsError, LocatedBlock, ReplicationVector,
-    Result, RpcConfig, StorageTierReport, WorkerId,
+    Block, BlockData, ClientLocation, DirEntry, FileStatus, FsError, LocatedBlock, Location,
+    ReplicationVector, Result, RpcConfig, StorageTierReport, WorkerId, DEFAULT_IO_WINDOW,
 };
 
 use super::proto::{MasterRequest, MasterResponse, WorkerRequest, WorkerResponse};
@@ -40,6 +40,13 @@ fn default_slow_request_ms() -> u64 {
         .unwrap_or(DEFAULT_SLOW_REQUEST_MS)
 }
 
+/// The `OCTOPUS_IO_WINDOW` override, when set to a positive integer. The
+/// environment wins over `ClusterConfig::io_window` so one process can be
+/// re-windowed without editing cluster config (bench sweeps, triage).
+pub(crate) fn env_io_window() -> Option<u32> {
+    std::env::var("OCTOPUS_IO_WINDOW").ok().and_then(|v| v.trim().parse().ok()).filter(|&n| n >= 1)
+}
+
 /// Per-worker metrics-scrape bookkeeping: how often the scrape failed and
 /// when it last succeeded, so unreachable workers are *visible* in the
 /// merged snapshot instead of silently absent.
@@ -58,6 +65,7 @@ pub struct RemoteFs {
     holder: u64,
     rpc: Arc<RpcClient>,
     slow_ms: u64,
+    window: usize,
     scrapes: Arc<Mutex<HashMap<WorkerId, ScrapeState>>>,
 }
 
@@ -72,8 +80,23 @@ impl RemoteFs {
             holder: NEXT_HOLDER.fetch_add(1, Ordering::Relaxed),
             rpc: Arc::clone(rpc::shared()),
             slow_ms: default_slow_request_ms(),
+            window: env_io_window().unwrap_or(DEFAULT_IO_WINDOW) as usize,
             scrapes: Arc::new(Mutex::new(HashMap::new())),
         }
+    }
+
+    /// Overrides the I/O window: how many blocks of one transfer are kept
+    /// in flight concurrently. `1` restores the fully serial data path;
+    /// values are clamped to at least 1. The `OCTOPUS_IO_WINDOW`
+    /// environment variable seeds the default.
+    pub fn with_io_window(mut self, window: u32) -> Self {
+        self.window = window.max(1) as usize;
+        self
+    }
+
+    /// The configured I/O window.
+    pub fn io_window(&self) -> u32 {
+        self.window as u32
     }
 
     /// Overrides the slow-request log threshold (milliseconds). `0` logs
@@ -307,15 +330,17 @@ impl RemoteFs {
             };
         let create_us = stage.elapsed().as_micros() as u64;
         let block_size = status.block_size as usize;
-        // Zero-length files have no blocks: the loop body never runs and
-        // the file is closed immediately below.
+        // Zero-length files have no blocks: `chunks` is empty and the file
+        // is closed immediately below.
         let stage = Instant::now();
-        let mut offset = 0;
-        while offset < data.len() {
-            let end = (offset + block_size).min(data.len());
-            let chunk = Bytes::copy_from_slice(&data[offset..end]);
-            self.write_one_block(path, chunk)?;
-            offset = end;
+        let chunks: Vec<Bytes> =
+            data.chunks(block_size.max(1)).map(Bytes::copy_from_slice).collect();
+        if chunks.len() <= 1 || self.window == 1 {
+            for chunk in chunks {
+                self.write_one_block(path, chunk)?;
+            }
+        } else {
+            self.write_blocks_windowed(path, chunks, span.context())?;
         }
         let blocks_us = stage.elapsed().as_micros() as u64;
         self.rpc.metrics().add("client_write_bytes_total", Labels::NONE, data.len() as u64);
@@ -400,6 +425,168 @@ impl RemoteFs {
         Err(last_err)
     }
 
+    /// Writes `chunks` through up to `window` concurrent pipelines.
+    ///
+    /// Block order is the file's byte order (the master's ordering
+    /// invariant — see `Master::reassign_block_as`), so `AddBlock` calls
+    /// go through a turnstile that admits them strictly in chunk order
+    /// while the transfers themselves overlap. Recovery from a failed
+    /// pipeline stage uses `ReassignBlock` rather than the serial path's
+    /// abandon-and-reallocate: a mid-file block must keep its slot.
+    ///
+    /// First-error cancellation: one failed block stops further blocks
+    /// from being issued, in-flight transfers drain, and every reserved
+    /// block from the tail down to the first incomplete slot is abandoned
+    /// in reverse order — the file is left with exactly its completed
+    /// prefix of blocks and the first error is returned.
+    fn write_blocks_windowed(
+        &self,
+        path: &str,
+        chunks: Vec<Bytes>,
+        ctx: TraceContext,
+    ) -> Result<()> {
+        let n = chunks.len();
+        let window = self.window.min(n);
+        let sched = WriteScheduler::new();
+        // Per-chunk outcome, written by the owning worker thread only:
+        // the reserved block (AddBlock succeeded) and whether its transfer
+        // completed. Reserved slots form a contiguous prefix because the
+        // turnstile serializes AddBlock in chunk order.
+        let states: Vec<Mutex<(Option<Block>, bool)>> =
+            (0..n).map(|_| Mutex::new((None, false))).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..window {
+                scope.spawn(|| loop {
+                    let i = sched.next.fetch_add(1, Ordering::SeqCst);
+                    if i >= n || sched.is_cancelled() {
+                        break;
+                    }
+                    // Scoped threads have no span on their TLS stack: the
+                    // explicit context handoff keeps every per-block span
+                    // (and everything nested under it) in the write's
+                    // trace, as siblings under the root.
+                    let mut bspan = self.trace().child_of("client.write_block", ctx);
+                    bspan.annotate("index", i);
+                    bspan.annotate("bytes", chunks[i].len());
+                    if !sched.await_turn(i) {
+                        break;
+                    }
+                    let alloc = self.call(MasterRequest::AddBlock(
+                        path.into(),
+                        chunks[i].len() as u64,
+                        self.location,
+                        self.holder,
+                        Vec::new(),
+                    ));
+                    let (block, pipeline) = match alloc {
+                        Ok(MasterResponse::Allocated(b, p)) => (b, p),
+                        Ok(r) => {
+                            sched.fail(FsError::Io(format!("unexpected response {r:?}")));
+                            break;
+                        }
+                        Err(e) => {
+                            sched.fail(e);
+                            break;
+                        }
+                    };
+                    // The slot is reserved: later chunks may allocate now,
+                    // while this thread runs the (long) transfer.
+                    sched.advance_turn();
+                    states[i].lock().unwrap().0 = Some(block);
+                    match self.transfer_block(path, block, pipeline, &chunks[i]) {
+                        Ok(()) => states[i].lock().unwrap().1 = true,
+                        Err(e) => {
+                            bspan.annotate("error", &e);
+                            sched.fail(e);
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        let Some(err) = sched.take_error() else { return Ok(()) };
+        // Cleanly abandon the tail: from the last reserved block down to
+        // the first incomplete slot, in reverse order (the namespace only
+        // removes last blocks). Completed blocks above a failed one are
+        // sacrificed — their replicas become unknown to the master and are
+        // purged via block reports — leaving the file's completed prefix.
+        let outcomes: Vec<(Option<Block>, bool)> =
+            states.iter().map(|s| *s.lock().unwrap()).collect();
+        let first_incomplete =
+            outcomes.iter().position(|(b, done)| b.is_none() || !done).unwrap_or(n);
+        for (block, _) in outcomes[first_incomplete..].iter().rev() {
+            if let Some(block) = block {
+                let _ = self.call(MasterRequest::AbandonBlock(path.into(), *block, self.holder));
+            }
+        }
+        Err(err)
+    }
+
+    /// Transfers one already-allocated block through its pipeline,
+    /// recovering from retryable entry-stage failures by re-placing the
+    /// block in its slot (`ReassignBlock`) with the failed workers
+    /// excluded — the §3.1 recovery loop of [`RemoteFs::write_one_block`]
+    /// adapted to blocks that may no longer be the file's last.
+    fn transfer_block(
+        &self,
+        path: &str,
+        block: Block,
+        mut pipeline: Vec<Location>,
+        payload: &Bytes,
+    ) -> Result<()> {
+        let mut excluded: Vec<WorkerId> = Vec::new();
+        let mut last_err = FsError::PlacementFailed(format!("no pipeline attempted for {path}"));
+        for attempt in 0..MAX_PIPELINE_ATTEMPTS {
+            if attempt > 0 {
+                pipeline = match self.call(MasterRequest::ReassignBlock(
+                    path.into(),
+                    block,
+                    self.location,
+                    self.holder,
+                    excluded.clone(),
+                ))? {
+                    MasterResponse::Allocated(_, p) => p,
+                    r => return Err(FsError::Io(format!("unexpected response {r:?}"))),
+                };
+            }
+            let Some((first, rest)) = pipeline.split_first() else {
+                return Err(FsError::PlacementFailed(format!("empty pipeline for {path}")));
+            };
+            let outcome = self.worker_addr(first.worker).and_then(|addr| {
+                self.call_worker(
+                    addr,
+                    &WorkerRequest::WriteBlock(
+                        block,
+                        first.media,
+                        rest.to_vec(),
+                        BlockData::Real(payload.clone()),
+                    ),
+                )
+            });
+            match outcome {
+                Ok(WorkerResponse::Stored(locs)) if !locs.is_empty() => return Ok(()),
+                Ok(WorkerResponse::Stored(_)) => {
+                    last_err = FsError::BlockUnavailable(format!(
+                        "no pipeline stage stored block {}",
+                        block.id
+                    ));
+                }
+                Ok(r) => return Err(FsError::Io(format!("unexpected response {r:?}"))),
+                Err(e) if e.is_retryable() => last_err = e,
+                Err(e) => return Err(e),
+            }
+            log_warn!(
+                target: "net::client",
+                "msg=\"pipeline recovery\" path={path} block={} failed_worker={} err=\"{last_err}\"",
+                block.id,
+                first.worker
+            );
+            self.rpc.metrics().inc("client_pipeline_recoveries_total", Labels::NONE);
+            excluded.push(first.worker);
+        }
+        Err(last_err)
+    }
+
     /// Reads a whole file, failing over across replicas (§4.1).
     pub fn read_file(&self, path: &str) -> Result<Vec<u8>> {
         let start = Instant::now();
@@ -415,13 +602,75 @@ impl RemoteFs {
         let locate_us = stage.elapsed().as_micros() as u64;
         let stage = Instant::now();
         let mut out = Vec::with_capacity(status.len as usize);
-        for lb in blocks {
-            out.extend_from_slice(&self.read_block(&lb)?);
+        if blocks.len() <= 1 || self.window == 1 {
+            for lb in blocks {
+                out.extend_from_slice(&self.read_block(&lb)?);
+            }
+        } else {
+            for b in self.read_blocks_windowed(&blocks, span.context())? {
+                out.extend_from_slice(&b);
+            }
         }
         let blocks_us = stage.elapsed().as_micros() as u64;
         span.annotate("bytes", out.len());
         self.rpc.metrics().add("client_read_bytes_total", Labels::NONE, out.len() as u64);
         self.maybe_log_slow("read", path, start, &[("locate", locate_us), ("blocks", blocks_us)]);
+        Ok(out)
+    }
+
+    /// Reads `blocks` with up to `window` fetches in flight; blocks
+    /// complete out of order into their slots and are returned in block
+    /// (byte) order. Each fetch keeps the full per-replica checksum
+    /// failover of [`RemoteFs::read_block`]; the first failed block
+    /// cancels the fan-out and its error is returned.
+    fn read_blocks_windowed(
+        &self,
+        blocks: &[LocatedBlock],
+        ctx: TraceContext,
+    ) -> Result<Vec<Bytes>> {
+        let n = blocks.len();
+        let window = self.window.min(n);
+        let next = AtomicUsize::new(0);
+        let cancelled = AtomicBool::new(false);
+        let first_err: Mutex<Option<FsError>> = Mutex::new(None);
+        let slots: Vec<Mutex<Option<Bytes>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..window {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= n || cancelled.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    // Explicit context handoff (scoped threads carry no
+                    // TLS span): the per-block spans — and the replica
+                    // failover spans nested under them — stay in the
+                    // read's trace as siblings under the root.
+                    let mut bspan = self.trace().child_of("client.read_block", ctx);
+                    bspan.annotate("index", i);
+                    bspan.annotate("block", blocks[i].block.id);
+                    match self.read_block(&blocks[i]) {
+                        Ok(b) => *slots[i].lock().unwrap() = Some(b),
+                        Err(e) => {
+                            bspan.annotate("error", &e);
+                            let mut err = first_err.lock().unwrap();
+                            if err.is_none() {
+                                *err = Some(e);
+                            }
+                            cancelled.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(e) = first_err.lock().unwrap().take() {
+            return Err(e);
+        }
+        let out: Vec<Bytes> = slots
+            .iter()
+            .map(|s| s.lock().unwrap().take())
+            .collect::<Option<_>>()
+            .ok_or_else(|| FsError::Internal("parallel read left an unfilled slot".into()))?;
         Ok(out)
     }
 
@@ -487,6 +736,81 @@ impl RemoteFs {
             }
         }
         Err(last_err)
+    }
+}
+
+/// Coordination state of one windowed write: a work counter handing out
+/// chunk indices, a turnstile admitting `AddBlock` calls strictly in chunk
+/// order (the master appends blocks in call order — the file's byte
+/// layout), and first-error cancellation.
+struct WriteScheduler {
+    /// Next chunk index to claim.
+    next: AtomicUsize,
+    /// The chunk index whose `AddBlock` may run now.
+    turn: Mutex<usize>,
+    turn_cv: Condvar,
+    cancelled: AtomicBool,
+    /// The first error; later failures are dropped (the first is what the
+    /// caller acts on, matching the serial path's early return).
+    error: Mutex<Option<FsError>>,
+}
+
+impl WriteScheduler {
+    fn new() -> Self {
+        Self {
+            next: AtomicUsize::new(0),
+            turn: Mutex::new(0),
+            turn_cv: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+            error: Mutex::new(None),
+        }
+    }
+
+    /// Blocks until chunk `index` may issue its `AddBlock`. Returns false
+    /// when the write was cancelled instead (a failed thread never
+    /// advances the turn; it wakes the waiters through `fail`).
+    fn await_turn(&self, index: usize) -> bool {
+        let mut turn = self.turn.lock().unwrap();
+        loop {
+            if self.cancelled.load(Ordering::SeqCst) {
+                return false;
+            }
+            if *turn == index {
+                return true;
+            }
+            turn = self.turn_cv.wait(turn).unwrap();
+        }
+    }
+
+    /// Admits the next chunk's `AddBlock` (called once the current one is
+    /// allocated, before its transfer runs).
+    fn advance_turn(&self) {
+        let mut turn = self.turn.lock().unwrap();
+        *turn += 1;
+        self.turn_cv.notify_all();
+    }
+
+    /// Records the first error and cancels the write: no new chunks are
+    /// claimed, turnstile waiters wake and exit. Notifying under the turn
+    /// lock closes the missed-wakeup race with `await_turn`.
+    fn fail(&self, e: FsError) {
+        {
+            let mut err = self.error.lock().unwrap();
+            if err.is_none() {
+                *err = Some(e);
+            }
+        }
+        let _turn = self.turn.lock().unwrap();
+        self.cancelled.store(true, Ordering::SeqCst);
+        self.turn_cv.notify_all();
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    fn take_error(&self) -> Option<FsError> {
+        self.error.lock().unwrap().take()
     }
 }
 

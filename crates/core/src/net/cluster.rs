@@ -32,6 +32,7 @@ pub struct NetCluster {
     workers: Vec<Arc<Worker>>,
     addrs: AddressMap,
     heartbeat_ms: u64,
+    io_window: u32,
     epoch: Instant,
     hb_stops: Vec<Arc<AtomicBool>>,
     hb_threads: Vec<Option<JoinHandle<()>>>,
@@ -94,7 +95,14 @@ impl NetCluster {
     pub fn start_with_mode(config: ClusterConfig, mode: StorageMode) -> Result<Self> {
         config.validate()?;
         let heartbeat_ms = config.heartbeat_ms;
+        let io_window = config.io_window;
+        let emulate_media_bps = config.emulate_media_bps;
         let workers = build_workers_for(&config, &mode)?;
+        if emulate_media_bps {
+            for w in &workers {
+                w.set_emulate_media_bps(true);
+            }
+        }
         let master = Arc::new(Master::new(config)?);
         let master_server = MasterServer::spawn(Arc::clone(&master))?;
         let master_addr = master_server.addr();
@@ -144,6 +152,7 @@ impl NetCluster {
             workers,
             addrs,
             heartbeat_ms,
+            io_window,
             epoch,
             hb_stops,
             hb_threads,
@@ -171,9 +180,12 @@ impl NetCluster {
         &self.workers
     }
 
-    /// A networked client at the given location.
+    /// A networked client at the given location. The client's I/O window
+    /// comes from the cluster config unless `OCTOPUS_IO_WINDOW` overrides
+    /// it ([`RemoteFs::with_io_window`] re-windows a single client).
     pub fn client(&self, location: ClientLocation) -> RemoteFs {
-        RemoteFs::new(self.master_addr(), Arc::clone(&self.addrs), location)
+        let window = super::client::env_io_window().unwrap_or(self.io_window);
+        RemoteFs::new(self.master_addr(), Arc::clone(&self.addrs), location).with_io_window(window)
     }
 
     /// Advances the master's failure detector to the cluster's current

@@ -204,6 +204,11 @@ fn dispatch_inner(state: &MasterState, req: MasterRequest) -> Result<MasterRespo
             master.abandon_block_as(&path, block, ClientId(holder))?;
             A::Unit
         }
+        Q::ReassignBlock(path, block, client, holder, excluded) => {
+            let pipeline =
+                master.reassign_block_as(&path, block, client, ClientId(holder), &excluded)?;
+            A::Allocated(block, pipeline)
+        }
         Q::CommitReplica(block, loc) => {
             master.commit_replica(block, loc)?;
             A::Unit

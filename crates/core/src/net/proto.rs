@@ -64,6 +64,12 @@ pub enum MasterRequest {
     Metrics,
     /// The master's trace-collector snapshot (observability).
     Trace,
+    /// Re-place an already-allocated block onto a fresh pipeline, keeping
+    /// its slot in the file (parallel-write pipeline recovery — a mid-file
+    /// block cannot be abandoned without scrambling block order); `(path,
+    /// block, client location, holder, excluded workers)`. Responds with
+    /// [`MasterResponse::Allocated`] carrying the same block.
+    ReassignBlock(String, Block, ClientLocation, u64, Vec<WorkerId>),
 }
 
 impl MasterRequest {
@@ -77,6 +83,7 @@ impl MasterRequest {
             self,
             CreateFile(..)
                 | AddBlock(..)
+                | ReassignBlock(..)
                 | AbandonBlock(..)
                 | CompleteFile(..)
                 | AppendFile(..)
@@ -112,6 +119,7 @@ impl MasterRequest {
             AbandonBlock(..) => "AbandonBlock",
             Metrics => "Metrics",
             Trace => "Trace",
+            ReassignBlock(..) => "ReassignBlock",
         }
     }
 }
@@ -181,6 +189,7 @@ impl Wire for MasterRequest {
             AbandonBlock(p, b, h) => tagged!(buf, 20, p, b, h),
             Metrics => tagged!(buf, 21),
             Trace => tagged!(buf, 22),
+            ReassignBlock(p, b, c, h, x) => tagged!(buf, 23, p, b, c, h, x),
         }
     }
 
@@ -218,6 +227,13 @@ impl Wire for MasterRequest {
             20 => AbandonBlock(Wire::get(r)?, Wire::get(r)?, Wire::get(r)?),
             21 => Metrics,
             22 => Trace,
+            23 => ReassignBlock(
+                Wire::get(r)?,
+                Wire::get(r)?,
+                Wire::get(r)?,
+                Wire::get(r)?,
+                Wire::get(r)?,
+            ),
             t => return Err(FsError::Io(format!("bad master request tag {t}"))),
         })
     }
@@ -453,6 +469,13 @@ mod tests {
             Block { id: BlockId(8), gen: GenStamp(2), len: 100 },
             42,
         ));
+        rt(MasterRequest::ReassignBlock(
+            "/f".into(),
+            Block { id: BlockId(8), gen: GenStamp(2), len: 100 },
+            ClientLocation::OffCluster,
+            42,
+            vec![WorkerId(0), WorkerId(3)],
+        ));
         rt(MasterRequest::TierReports);
         rt(MasterRequest::BlockReport(
             WorkerId(1),
@@ -491,6 +514,14 @@ mod tests {
         .is_idempotent());
         assert!(!MasterRequest::AddBlock("/f".into(), 1, ClientLocation::OffCluster, 1, vec![],)
             .is_idempotent());
+        assert!(!MasterRequest::ReassignBlock(
+            "/f".into(),
+            Block { id: BlockId(1), gen: GenStamp(0), len: 1 },
+            ClientLocation::OffCluster,
+            1,
+            vec![],
+        )
+        .is_idempotent());
         assert!(!MasterRequest::Delete("/f".into(), false).is_idempotent());
         assert!(!MasterRequest::Rename("/a".into(), "/b".into()).is_idempotent());
 

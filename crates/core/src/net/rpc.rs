@@ -23,6 +23,7 @@
 //! retry: they are deterministic for a given cluster state.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, LazyLock, Mutex};
@@ -37,7 +38,15 @@ use super::frame::{read_frame, write_frame};
 use super::proto::{decode_result, MasterRequest, MasterResponse, WorkerRequest, WorkerResponse};
 
 /// Connections kept per peer; beyond this, finished connections close.
-const POOL_PER_PEER: usize = 4;
+/// Sized to the largest client I/O window the bench sweeps, so a fully
+/// parallel transfer reuses pooled connections instead of reconnecting.
+const POOL_PER_PEER: usize = 8;
+
+/// Stripes of the connection pool. Concurrent block transfers from one
+/// client (the parallel data path) checkout/checkin on different peers;
+/// sharding the pool lock by peer address keeps them from serializing on
+/// one global mutex.
+const POOL_SHARDS: usize = 8;
 
 /// Which phase of the round trip failed — determines retry eligibility.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,7 +58,7 @@ enum Stage {
 /// A pooled RPC client. Cheap to share (`Arc`); all state is internal.
 pub struct RpcClient {
     cfg: RpcConfig,
-    pool: Mutex<HashMap<SocketAddr, Vec<TcpStream>>>,
+    pool: [Mutex<HashMap<SocketAddr, Vec<TcpStream>>>; POOL_SHARDS],
     /// Deterministic jitter state (an splitmix64 walk); no RNG dependency.
     jitter: AtomicU64,
     metrics: MetricsRegistry,
@@ -61,11 +70,18 @@ impl RpcClient {
     pub fn new(cfg: RpcConfig) -> Self {
         Self {
             cfg,
-            pool: Mutex::new(HashMap::new()),
+            pool: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             jitter: AtomicU64::new(0x243F_6A88_85A3_08D3),
             metrics: MetricsRegistry::new(),
             trace: TraceCollector::new("client"),
         }
+    }
+
+    /// The pool stripe owning `addr`'s connections.
+    fn shard(&self, addr: SocketAddr) -> &Mutex<HashMap<SocketAddr, Vec<TcpStream>>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        addr.hash(&mut h);
+        &self.pool[(h.finish() as usize) % POOL_SHARDS]
     }
 
     /// The client's configuration.
@@ -219,7 +235,11 @@ impl RpcClient {
 
     /// Closes every pooled connection (a peer restarted, tests).
     pub fn evict(&self, addr: SocketAddr) {
-        self.pool.lock().unwrap().remove(&addr);
+        if let Some(conns) = self.shard(addr).lock().unwrap().remove(&addr) {
+            self.metrics
+                .gauge("rpc_client_pooled_connections", Labels::NONE)
+                .add(-(conns.len() as i64));
+        }
     }
 
     fn connect(&self, addr: SocketAddr) -> Result<TcpStream> {
@@ -253,14 +273,19 @@ impl RpcClient {
     }
 
     fn checkout(&self, addr: SocketAddr) -> Option<TcpStream> {
-        self.pool.lock().unwrap().get_mut(&addr)?.pop()
+        let stream = self.shard(addr).lock().unwrap().get_mut(&addr)?.pop();
+        if stream.is_some() {
+            self.metrics.gauge("rpc_client_pooled_connections", Labels::NONE).add(-1);
+        }
+        stream
     }
 
     fn checkin(&self, addr: SocketAddr, stream: TcpStream) {
-        let mut pool = self.pool.lock().unwrap();
+        let mut pool = self.shard(addr).lock().unwrap();
         let conns = pool.entry(addr).or_default();
         if conns.len() < POOL_PER_PEER {
             conns.push(stream);
+            self.metrics.gauge("rpc_client_pooled_connections", Labels::NONE).add(1);
         }
     }
 
@@ -417,6 +442,65 @@ mod tests {
         let client = RpcClient::new(RpcConfig { max_retries: 0, ..fast() });
         let err = client.call_raw(addr, b"req", true).unwrap_err();
         assert!(matches!(err, FsError::Unreachable(_) | FsError::Timeout(_)), "got {err:?}");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn striped_pool_accounts_connections_under_concurrency() {
+        // An echo server accepting any number of connections.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            listener.set_nonblocking(true).unwrap();
+            let mut conns = Vec::new();
+            while !stop_accept.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((s, _)) => {
+                        s.set_nonblocking(false).ok();
+                        conns.push(std::thread::spawn(move || {
+                            let mut s = s;
+                            while let Ok(Some(frame)) = read_frame(&mut s) {
+                                if write_frame(&mut s, &frame).is_err() {
+                                    break;
+                                }
+                            }
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => break,
+                }
+            }
+            drop(conns);
+        });
+
+        // 8 threads hammer one peer: every call must round-trip its own
+        // payload (no cross-thread frame interleaving through the pool),
+        // and afterwards the pooled-connection gauge must equal the number
+        // of streams actually parked in the pool (≤ POOL_PER_PEER).
+        let client = Arc::new(RpcClient::new(fast()));
+        std::thread::scope(|scope| {
+            for t in 0..8u8 {
+                let client = Arc::clone(&client);
+                scope.spawn(move || {
+                    for i in 0..20u8 {
+                        let payload = [t, i, t ^ i];
+                        let resp = client.call_raw(addr, &payload, true).unwrap();
+                        assert_eq!(resp, payload);
+                    }
+                });
+            }
+        });
+        let pooled = client.metrics().snapshot().gauge("rpc_client_pooled_connections");
+        assert!(pooled >= 1, "at least one connection must be parked, got {pooled}");
+        assert!(pooled <= POOL_PER_PEER as i64, "pool overfilled: {pooled}");
+        client.evict(addr);
+        let after = client.metrics().snapshot().gauge("rpc_client_pooled_connections");
+        assert_eq!(after, 0, "evict must release every accounted connection");
+        stop.store(true, Ordering::SeqCst);
         handle.join().unwrap();
     }
 

@@ -220,6 +220,9 @@ fn dispatch_inner(
                     s.annotate("tier", worker.tier_of(media)?);
                 }
                 worker.write_block(media, block, &data)?;
+                if let Some(d) = worker.transfer_pacing(media, block.len, true) {
+                    std::thread::sleep(d);
+                }
             }
             let my_loc = Location { worker: worker.id(), media, tier: worker.tier_of(media)? };
             // Commit our replica before forwarding, so the master's view
@@ -279,6 +282,9 @@ fn dispatch_inner(
             let mut read_span = trace::child("worker.read");
             let data = worker.read_block(media, block)?;
             let sum = worker.stored_checksum(media, block)?;
+            if let Some(d) = worker.transfer_pacing(media, data.len(), false) {
+                std::thread::sleep(d);
+            }
             if let Some(s) = read_span.as_mut() {
                 s.annotate("block", block);
                 s.annotate("bytes", data.len());

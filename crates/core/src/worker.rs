@@ -1,10 +1,10 @@
 //! The worker runtime (paper §2.2): owns the node's storage media, serves
 //! block reads/writes, and produces heartbeat statistics and block reports.
 
-use std::sync::atomic::AtomicU32;
 use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, AtomicU32};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use octopus_common::metrics::{GaugeGuard, Labels, MetricsRegistry};
 use octopus_common::trace::TraceCollector;
@@ -28,6 +28,7 @@ pub struct Worker {
     manager: MediaManager,
     net_conns: Arc<AtomicU32>,
     net_bps: f64,
+    emulate_bps: AtomicBool,
     metrics: MetricsRegistry,
     trace: TraceCollector,
 }
@@ -39,6 +40,7 @@ impl Worker {
             manager: MediaManager::new(worker, rack, media),
             net_conns: Arc::new(AtomicU32::new(0)),
             net_bps,
+            emulate_bps: AtomicBool::new(false),
             metrics: MetricsRegistry::new(),
             trace: TraceCollector::new(format!("worker-{}", worker.0)),
         }
@@ -109,6 +111,33 @@ impl Worker {
             .gauge("worker_media_io_conn", self.labels().with_tier(m.tier))
             .inc_scoped();
         Ok(MediaIo { _conn: m.connect(), _gauge: gauge })
+    }
+
+    /// Enables device-throughput emulation (see
+    /// `ClusterConfig::emulate_media_bps`): data servers pace each served
+    /// transfer to the medium's configured rates via
+    /// [`Worker::transfer_pacing`].
+    pub fn set_emulate_media_bps(&self, on: bool) {
+        self.emulate_bps.store(on, Ordering::Relaxed);
+    }
+
+    /// How long serving a `len`-byte transfer against `media` should take
+    /// at the medium's nominal device throughput, or `None` when emulation
+    /// is off. Data servers sleep this long while holding the transfer's
+    /// [`Worker::media_io`] span, so loopback deployments exhibit the
+    /// per-tier bandwidths and NrConn contention the paper's evaluation
+    /// assumes of real devices.
+    pub fn transfer_pacing(&self, media: MediaId, len: u64, write: bool) -> Option<Duration> {
+        if !self.emulate_bps.load(Ordering::Relaxed) {
+            return None;
+        }
+        let m = self.manager.get(media).ok()?;
+        let (write_bps, read_bps) = m.throughput();
+        let bps = if write { write_bps } else { read_bps };
+        if bps <= 0.0 {
+            return None;
+        }
+        Some(Duration::from_secs_f64(len as f64 / bps))
     }
 
     /// Stores a replica on the given medium. Connection accounting is the

@@ -539,6 +539,88 @@ impl Master {
         })
     }
 
+    /// Re-places an already-allocated block onto a fresh pipeline, keeping
+    /// its file slot.
+    ///
+    /// # Block-ordering invariant
+    ///
+    /// A file's byte layout is exactly the order of `AddBlock` calls: the
+    /// namespace appends each block to `meta.blocks`, and
+    /// [`Master::get_file_block_locations`] derives offsets by walking that
+    /// list in order. Parallel clients therefore *serialize* `AddBlock`
+    /// (issuing them in offset order) while parallelizing the transfers,
+    /// and a failed transfer must not abandon a mid-file block —
+    /// `Namespace::remove_last_block` deliberately rejects that, because
+    /// re-adding would move the block to the end and scramble the file.
+    /// `ReassignBlock` is the recovery path that preserves the slot: the
+    /// block keeps its id, generation, length, and position in
+    /// `meta.blocks`; only its replica placement is replaced.
+    ///
+    /// Replicas an earlier attempt already committed become surplus and
+    /// are invalidated through their owners' block reports (the same
+    /// convergence path abandoned blocks use). Placement failure leaves
+    /// the old assignment untouched, so the caller can retry or give up
+    /// without losing state.
+    pub fn reassign_block_as(
+        &self,
+        path: &str,
+        block: Block,
+        client: ClientLocation,
+        holder: ClientId,
+        excluded: &[WorkerId],
+    ) -> Result<Vec<Location>> {
+        let mut g = self.inner.write();
+        Self::check_writable(&g)?;
+        let now = g.clock_ms;
+        g.leases.check(path, holder, now)?;
+        let file = g.ns.resolve(path)?;
+        let meta = g.ns.file_meta(file)?;
+        if meta.complete {
+            return Err(FsError::InvalidArgument(format!("{path} is not open for writing")));
+        }
+        if !meta.blocks.contains(&block.id) {
+            return Err(FsError::InvalidArgument(format!(
+                "block {} is not part of {path}",
+                block.id
+            )));
+        }
+        let rv = meta.rv;
+        let mut req = PlacementRequest::from_vector(rv, block.len, client);
+        req.excluded_workers = excluded.to_vec();
+        let snap = g.cluster.snapshot();
+        // Place first: a placement failure must leave the old assignment
+        // intact (no edit-log entry either way — replica locations are
+        // never logged, exactly as in `add_block_excluding`).
+        let media = self.placement.place(&snap, &req)?;
+        if media.is_empty() {
+            return Err(FsError::PlacementFailed(format!(
+                "no media available for block of {path}"
+            )));
+        }
+        let locations: Vec<Location> = media
+            .iter()
+            .map(|&m| {
+                let (worker, tier) = g
+                    .cluster
+                    .locate_media(m)
+                    .ok_or_else(|| FsError::UnknownMedia(m.to_string()))?;
+                Ok(Location { worker, media: m, tier })
+            })
+            .collect::<Result<_>>()?;
+        if let Some(info) = g.blocks.remove_block(block.id) {
+            // Refund write reservations of the failed pipeline; committed
+            // replicas become unknown blocks, purged via block reports.
+            for loc in info.pending {
+                g.cluster.complete_write(loc.media, 0);
+            }
+        }
+        for l in &locations {
+            g.cluster.schedule_write(l.media, block.len);
+        }
+        g.blocks.insert(block, file, locations.clone());
+        Ok(locations)
+    }
+
     /// Reopens a complete file for append (new blocks only; the existing
     /// last block is not reopened — appends start a fresh block). The
     /// caller takes the file's write lease.

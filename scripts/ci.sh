@@ -54,4 +54,22 @@ for node in '"node":"client"' '"node":"master"' '"node":"worker-'; do
 done
 echo "trace smoke: stitched client→master→worker tree under trace ${read_trace}"
 
+echo "==> parallel I/O stress smoke"
+# The windowed-data-path concurrency suite, then the quick window sweep on
+# a real TCP cluster. The GATE line asserts window=4 beats the serial
+# client; results/parallel_io.json is the machine-readable artifact CI
+# uploads and diffs across runs.
+cargo test --release -q -p octopus-core --test parallel_io
+pio_out=$(cargo run --release --quiet -p octopus-bench --bin exp_parallel_io -- --quick)
+if ! grep -q "^GATE parallel_io .* pass=true" <<<"$pio_out"; then
+    echo "parallel I/O smoke: window sweep gate failed" >&2
+    grep "^GATE" <<<"$pio_out" >&2 || true
+    exit 1
+fi
+if [ ! -s results/parallel_io.json ]; then
+    echo "parallel I/O smoke: missing results/parallel_io.json" >&2
+    exit 1
+fi
+grep "^GATE" <<<"$pio_out"
+
 echo "CI green."

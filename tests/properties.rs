@@ -214,6 +214,74 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The windowed data path round-trips bit-exactly for arbitrary
+    /// (length, block size, window) triples on a real TCP cluster, and
+    /// injected mid-write connection drops (pipeline recovery via
+    /// re-placement) leave the blockmap clean: unique block ids, offsets
+    /// covering the file contiguously, every block with at least one
+    /// committed replica, and nothing dangling after a block-report round.
+    #[test]
+    fn windowed_data_path_round_trips_and_keeps_blockmap_clean(
+        len_kb in 0u64..1200,
+        bs_64kb in 1u64..5,
+        window in 1u32..6,
+        drops in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        use octopusfs::common::{ClientLocation, ClusterConfig, RpcConfig};
+        use octopusfs::core::net::{faults, FaultAction};
+        use octopusfs::core::NetCluster;
+
+        let block_size = bs_64kb * 64 * 1024;
+        let mut config = ClusterConfig::test_cluster(4, 64 << 20, block_size);
+        config.heartbeat_ms = 20;
+        config.io_window = window;
+        let cluster = NetCluster::start(config).unwrap();
+        let client = cluster
+            .client(ClientLocation::OffCluster)
+            .with_rpc_config(RpcConfig::fast_test());
+        prop_assert_eq!(client.io_window(), window.max(1));
+
+        let octopusfs::common::BlockData::Real(bytes) =
+            octopusfs::common::BlockData::generate_real((len_kb * 1024) as usize, seed)
+        else { unreachable!() };
+        let data = bytes.to_vec();
+
+        // Drop some data-server responses mid-write: the client must
+        // recover each affected pipeline and still commit every block.
+        let victim = cluster.worker_addr(cluster.workers()[1].id()).unwrap();
+        for _ in 0..drops {
+            faults::inject(victim, FaultAction::DropConnection);
+        }
+        let rv = ReplicationVector::from_replication_factor(2);
+        client.write_file("/p", &data, rv).unwrap();
+        faults::clear(victim);
+
+        prop_assert_eq!(client.read_file("/p").unwrap(), data.clone());
+
+        let blocks = client.get_file_block_locations("/p", 0, u64::MAX).unwrap();
+        let expected = data.len().div_ceil(block_size as usize);
+        prop_assert_eq!(blocks.len(), expected);
+        let mut ids = std::collections::HashSet::new();
+        let mut next_offset = 0u64;
+        for lb in &blocks {
+            prop_assert!(ids.insert(lb.block.id), "duplicate block id {}", lb.block.id);
+            prop_assert_eq!(lb.offset, next_offset, "offsets must be contiguous");
+            prop_assert!(!lb.locations.is_empty(), "dangling block {}", lb.block.id);
+            next_offset += lb.block.len;
+        }
+        prop_assert_eq!(next_offset, data.len() as u64);
+
+        // Reconcile replicas abandoned by recovery, then re-verify: the
+        // purge must not touch any live block.
+        cluster.run_block_report_round().unwrap();
+        prop_assert_eq!(client.read_file("/p").unwrap(), data);
+    }
+}
+
+proptest! {
     /// Pipeline flows never exceed the capacity of any traversed resource,
     /// and the completion time is at least bytes / min-capacity.
     #[test]
