@@ -1,0 +1,12 @@
+//! Sweeps concurrent client counts over a write+read workload on a real
+//! TCP cluster, measuring aggregate throughput through the multiplexed
+//! transport (see DESIGN.md "Multiplexed transport"). Run with --release;
+//! `--quick` runs the reduced CI smoke variant.
+
+fn main() {
+    if std::env::args().any(|a| a == "--quick") {
+        octopus_bench::experiments::aggregate_io::run_quick();
+    } else {
+        octopus_bench::experiments::aggregate_io::run();
+    }
+}

@@ -4,6 +4,7 @@
 //! `run_all` regenerates everything for EXPERIMENTS.md.
 
 pub mod ablation;
+pub mod aggregate_io;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

@@ -129,6 +129,25 @@ pub struct RpcConfig {
     pub backoff_base_ms: u64,
     /// Upper bound on a single backoff sleep, milliseconds.
     pub backoff_max_ms: u64,
+    /// Multiplexed connections kept per peer. Requests from any number of
+    /// threads interleave over these few sockets, matched to responses by
+    /// request id.
+    #[serde(default = "default_conns_per_peer")]
+    pub conns_per_peer: u32,
+    /// In-flight cap per peer: at most this many calls to one peer are
+    /// outstanding across the whole client; the next caller *blocks*
+    /// (backpressure, not an error) until a slot frees or its acquire
+    /// budget (one call's write+read deadline) expires.
+    #[serde(default = "default_max_inflight_per_peer")]
+    pub max_inflight_per_peer: u32,
+}
+
+fn default_conns_per_peer() -> u32 {
+    2
+}
+
+fn default_max_inflight_per_peer() -> u32 {
+    64
 }
 
 impl Default for RpcConfig {
@@ -140,6 +159,8 @@ impl Default for RpcConfig {
             max_retries: 3,
             backoff_base_ms: 10,
             backoff_max_ms: 500,
+            conns_per_peer: default_conns_per_peer(),
+            max_inflight_per_peer: default_max_inflight_per_peer(),
         }
     }
 }
@@ -155,6 +176,58 @@ impl RpcConfig {
             max_retries: 2,
             backoff_base_ms: 2,
             backoff_max_ms: 20,
+            conns_per_peer: default_conns_per_peer(),
+            max_inflight_per_peer: default_max_inflight_per_peer(),
+        }
+    }
+}
+
+/// Sizing and lifecycle knobs of an RPC server (master or worker data
+/// server). The accept loop, per-connection request caps, the shared
+/// dispatch pool, and idle-connection reaping are all bounded by these —
+/// nothing in the server scales with the number of misbehaving clients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Threads in the shared dispatch pool executing requests. A slice of
+    /// the pool is reserved for pipeline-leaf work (see
+    /// `octopus-core::net::server`), so forwarding stages can never
+    /// deadlock the pool.
+    pub dispatch_threads: u32,
+    /// Maximum concurrently open connections; at the cap the accept loop
+    /// stops accepting (backpressure via the listen backlog).
+    pub max_connections: u32,
+    /// Per-connection in-flight request cap: the connection's reader
+    /// stalls (TCP backpressure) once this many requests from it are
+    /// queued or executing.
+    pub max_inflight_per_conn: u32,
+    /// A connection with no traffic and no in-flight requests for this
+    /// long is severed by the reaper.
+    pub idle_conn_ms: u64,
+    /// How often the idle reaper scans connections.
+    pub reap_interval_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            dispatch_threads: 16,
+            max_connections: 1024,
+            max_inflight_per_conn: 32,
+            idle_conn_ms: 60_000,
+            reap_interval_ms: 5_000,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Small bounds for tests that exercise the limits themselves.
+    pub fn fast_test() -> Self {
+        Self {
+            dispatch_threads: 8,
+            max_connections: 64,
+            max_inflight_per_conn: 8,
+            idle_conn_ms: 60_000,
+            reap_interval_ms: 25,
         }
     }
 }

@@ -27,7 +27,9 @@ pub mod units;
 pub mod wire;
 
 pub use block::{Block, BlockData, LocatedBlock, Location};
-pub use config::{ClusterConfig, MediaConfig, RpcConfig, WorkerConfig, DEFAULT_IO_WINDOW};
+pub use config::{
+    ClusterConfig, MediaConfig, RpcConfig, ServerConfig, WorkerConfig, DEFAULT_IO_WINDOW,
+};
 pub use error::{FsError, Result};
 pub use fstypes::{DirEntry, FileStatus};
 pub use ids::{BlockId, GenStamp, INodeId, IdGenerator, MediaId, WorkerId};

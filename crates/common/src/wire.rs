@@ -16,12 +16,23 @@ use crate::{
 pub struct WireReader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// When decoding out of a shared frame buffer: the backing [`Bytes`]
+    /// plus the offset of `buf` within it. Byte payloads then decode as
+    /// zero-copy slices of the frame instead of fresh allocations.
+    shared: Option<(&'a bytes::Bytes, usize)>,
 }
 
 impl<'a> WireReader<'a> {
     /// Wraps a payload.
     pub fn new(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0 }
+        Self { buf, pos: 0, shared: None }
+    }
+
+    /// Wraps a suffix of a shared frame buffer, starting at `offset`.
+    /// [`bytes::Bytes`] values decoded through this reader are zero-copy
+    /// views into `frame` (they share its allocation).
+    pub fn new_shared(frame: &'a bytes::Bytes, offset: usize) -> Self {
+        Self { buf: &frame[offset..], pos: 0, shared: Some((frame, offset)) }
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
@@ -31,6 +42,19 @@ impl<'a> WireReader<'a> {
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
+    }
+
+    /// Takes `n` bytes as a [`bytes::Bytes`]: a zero-copy slice when the
+    /// reader is backed by a shared frame, a copy otherwise.
+    pub fn take_bytes(&mut self, n: usize) -> Result<bytes::Bytes> {
+        match self.shared {
+            Some((frame, off)) => {
+                let start = off + self.pos;
+                self.take(n)?; // bounds check + advance
+                Ok(frame.slice(start..start + n))
+            }
+            None => Ok(bytes::Bytes::copy_from_slice(self.take(n)?)),
+        }
     }
 
     /// Whether every byte has been consumed.
@@ -200,7 +224,7 @@ impl Wire for bytes::Bytes {
         if len > MAX_BYTES_LEN {
             return Err(FsError::Io(format!("wire byte payload length {len} too large")));
         }
-        Ok(bytes::Bytes::copy_from_slice(r.take(len)?))
+        r.take_bytes(len)
     }
 }
 
@@ -633,6 +657,20 @@ mod tests {
         let mut buf = Vec::new();
         ((MAX_BYTES_LEN as u32) + 1).put(&mut buf);
         assert!(decode::<bytes::Bytes>(&buf).is_err());
+    }
+
+    #[test]
+    fn shared_reader_decodes_bytes_zero_copy() {
+        let payload = bytes::Bytes::from(vec![5u8; 4096]);
+        let mut enc = vec![0xAAu8; 3]; // pretend 3 bytes of preceding fields
+        payload.put(&mut enc);
+        let frame = bytes::Bytes::from(enc);
+        let mut r = WireReader::new_shared(&frame, 3);
+        let got = bytes::Bytes::get(&mut r).unwrap();
+        assert_eq!(got, payload);
+        // The decoded value aliases the frame's allocation (no copy).
+        assert!(std::ptr::eq(got.as_ref().as_ptr(), frame[7..].as_ptr()));
+        r.expect_finished().unwrap();
     }
 
     #[test]

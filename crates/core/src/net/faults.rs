@@ -17,7 +17,8 @@ use std::time::Duration;
 
 use octopus_common::Result;
 
-use super::frame::write_frame;
+use super::frame::{write_mux_frame, MUX_ID_LEN};
+use super::proto::FramePayload;
 
 /// One injected fault, applied to the next response of the target server.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,19 +69,26 @@ fn take(server: SocketAddr) -> Option<FaultAction> {
     REGISTRY.lock().unwrap().get_mut(&server)?.pop_front()
 }
 
-/// Writes one response frame on behalf of the server at `server`, applying
-/// at most one pending fault. Returns `Ok(true)` when the connection is
-/// still usable, `Ok(false)` when the fault consumed it (the caller should
-/// drop the connection without writing anything else).
-pub fn write_response(server: SocketAddr, stream: &mut TcpStream, payload: &[u8]) -> Result<bool> {
+/// Writes one multiplexed response frame (request id `id`) on behalf of
+/// the server at `server`, applying at most one pending fault. Returns
+/// `Ok(true)` when the connection is still usable, `Ok(false)` when the
+/// fault consumed it (the caller should drop the connection without
+/// writing anything else). The fault-free path writes the payload's
+/// segments without concatenating them; only the mangling faults flatten.
+pub fn write_response(
+    server: SocketAddr,
+    stream: &mut TcpStream,
+    id: u64,
+    payload: &FramePayload,
+) -> Result<bool> {
     match take(server) {
         None => {
-            write_frame(stream, payload)?;
+            write_mux_frame(stream, id, &payload.segs())?;
             Ok(true)
         }
         Some(FaultAction::Delay(d)) => {
             std::thread::sleep(d);
-            write_frame(stream, payload)?;
+            write_mux_frame(stream, id, &payload.segs())?;
             Ok(true)
         }
         Some(FaultAction::DropConnection) => {
@@ -89,19 +97,21 @@ pub fn write_response(server: SocketAddr, stream: &mut TcpStream, payload: &[u8]
         }
         Some(FaultAction::TruncateFrame) => {
             use std::io::Write;
-            let _ = stream.write_all(&(payload.len() as u32).to_le_bytes());
-            let _ = stream.write_all(&payload[..payload.len() / 2]);
+            let flat = payload.concat();
+            let _ = stream.write_all(&((flat.len() + MUX_ID_LEN) as u32).to_le_bytes());
+            let _ = stream.write_all(&id.to_le_bytes());
+            let _ = stream.write_all(&flat[..flat.len() / 2]);
             let _ = stream.flush();
             let _ = stream.shutdown(Shutdown::Both);
             Ok(false)
         }
         Some(FaultAction::CorruptPayload) => {
-            let mut bad = payload.to_vec();
+            let mut bad = payload.concat();
             if !bad.is_empty() {
                 let mid = bad.len() / 2;
                 bad[mid] ^= 0xFF;
             }
-            write_frame(stream, &bad)?;
+            write_mux_frame(stream, id, &[&bad])?;
             Ok(true)
         }
     }

@@ -1,38 +1,51 @@
-//! The master's RPC server: a blocking, thread-per-connection loop that
-//! dispatches [`MasterRequest`]s onto an [`octopus_master::Master`].
+//! The master's RPC server: a multiplexed [`super::server::ServerCore`]
+//! dispatching [`MasterRequest`]s onto an [`octopus_master::Master`].
 
 use std::collections::HashMap;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
 
 use parking_lot::RwLock;
 
+use octopus_common::metrics::Labels;
 use octopus_common::trace::{self, TraceContext};
-use octopus_common::wire::decode;
-use octopus_common::{Result, WorkerId};
+use octopus_common::wire::{Wire, WireReader};
+use octopus_common::{Result, ServerConfig, WorkerId};
 use octopus_master::{ClientId, Master};
 
-use super::faults;
-use super::frame::read_frame;
-use super::proto::{encode_result, MasterRequest, MasterResponse};
-
-/// Open connections, retained so shutdown can sever them.
-type ConnSet = Arc<Mutex<Vec<TcpStream>>>;
+use super::proto::{encode_master_result_frame, MasterRequest, MasterResponse};
+use super::server::{Handler, ServerCore};
 
 /// Server-side state: the master plus the registry of worker data-server
 /// addresses (populated by `RegisterWorker`, served by `WorkerAddresses`).
 pub struct MasterState {
     /// The master.
     pub master: Arc<Master>,
-    /// Worker data-server addresses.
+    /// Worker data-server addresses. Mutate through RPC registration (or
+    /// [`MasterState::invalidate_resolved`] after a direct edit) so the
+    /// resolution cache stays coherent.
     pub addrs: Arc<RwLock<HashMap<WorkerId, String>>>,
+    /// Cached DNS resolution of `addrs`, invalidated on (re-)registration.
+    /// The replication monitor calls [`MasterState::resolved_addrs`] every
+    /// round; without the cache each round re-ran a resolver query per
+    /// worker even though registrations change rarely.
+    resolved: Mutex<Option<super::monitor::Addrs>>,
 }
 
 impl MasterState {
-    /// Resolves the registered worker addresses to socket addresses.
+    /// Fresh state around a master.
+    pub fn new(master: Arc<Master>) -> Self {
+        Self { master, addrs: Arc::new(RwLock::new(HashMap::new())), resolved: Mutex::new(None) }
+    }
+
+    /// The registered worker addresses as socket addresses, resolving (and
+    /// counting a `master_addr_resolutions_total` increment) only when the
+    /// cache is cold; registration invalidates it.
     pub fn resolved_addrs(&self) -> super::monitor::Addrs {
+        if let Some(cached) = self.resolved.lock().unwrap().as_ref() {
+            return cached.clone();
+        }
+        self.master.metrics().inc("master_addr_resolutions_total", Labels::NONE);
         let mut out = HashMap::new();
         for (w, a) in self.addrs.read().iter() {
             if let Ok(mut it) = a.as_str().to_socket_addrs() {
@@ -41,17 +54,22 @@ impl MasterState {
                 }
             }
         }
+        *self.resolved.lock().unwrap() = Some(out.clone());
         out
+    }
+
+    /// Drops the cached resolution (a worker registered or an address was
+    /// edited directly); the next [`MasterState::resolved_addrs`] call
+    /// re-resolves.
+    pub fn invalidate_resolved(&self) {
+        *self.resolved.lock().unwrap() = None;
     }
 }
 
 /// A running master RPC server.
 pub struct MasterServer {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    core: ServerCore,
     state: Arc<MasterState>,
-    conns: ConnSet,
-    handle: Option<JoinHandle<()>>,
 }
 
 impl MasterServer {
@@ -62,20 +80,33 @@ impl MasterServer {
 
     /// Binds to an explicit address (daemon deployments).
     pub fn spawn_on(master: Arc<Master>, bind: impl ToSocketAddrs) -> Result<Self> {
-        let listener = TcpListener::bind(bind)?;
-        let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&shutdown);
-        let state = Arc::new(MasterState { master, addrs: Arc::new(RwLock::new(HashMap::new())) });
-        let loop_state = Arc::clone(&state);
-        let conns: ConnSet = Arc::new(Mutex::new(Vec::new()));
-        let conn_set = Arc::clone(&conns);
-        let handle = std::thread::Builder::new()
-            .name("octopus-master-rpc".into())
-            .spawn(move || accept_loop(listener, addr, loop_state, flag, conn_set))
-            .map_err(|e| octopus_common::FsError::Io(e.to_string()))?;
-        Ok(Self { addr, shutdown, state, conns, handle: Some(handle) })
+        Self::spawn_with(master, bind, ServerConfig::default())
+    }
+
+    /// Binds with an explicit server configuration (tests tune the pool,
+    /// connection caps, and idle-reap horizon).
+    pub fn spawn_with(
+        master: Arc<Master>,
+        bind: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> Result<Self> {
+        let state = Arc::new(MasterState::new(master));
+        let handler_state = Arc::clone(&state);
+        let handler: Handler = Arc::new(move |frame: bytes::Bytes| {
+            let result = (|| {
+                let (ctx, body) = trace::unwrap_envelope(&frame)?;
+                let offset = frame.len() - body.len();
+                let mut r = WireReader::new_shared(&frame, offset);
+                let req = MasterRequest::get(&mut r)?;
+                r.expect_finished()?;
+                dispatch_traced(&handler_state, req, ctx)
+            })();
+            encode_master_result_frame(&result)
+        });
+        // Master requests never issue nested worker/master RPCs: all
+        // dispatch is class 0.
+        let core = ServerCore::spawn(bind, "octopus-master", cfg, Arc::new(|_| 0), handler)?;
+        Ok(Self { core, state })
     }
 
     /// The server's shared state (master + worker-address registry).
@@ -85,73 +116,13 @@ impl MasterServer {
 
     /// The bound address.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.core.addr()
     }
 
-    /// Stops accepting connections, joins the accept loop, and severs
-    /// open connections so in-flight callers fail fast.
+    /// Stops accepting connections and severs open ones so in-flight
+    /// callers fail fast.
     pub fn shutdown(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
-        for s in self.conns.lock().unwrap().drain(..) {
-            let _ = s.shutdown(Shutdown::Both);
-        }
-    }
-}
-
-impl Drop for MasterServer {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-fn accept_loop(
-    listener: TcpListener,
-    server_addr: SocketAddr,
-    state: Arc<MasterState>,
-    shutdown: Arc<AtomicBool>,
-    conns: ConnSet,
-) {
-    while !shutdown.load(Ordering::Relaxed) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let state = Arc::clone(&state);
-                let _ = stream.set_nodelay(true);
-                if let Ok(clone) = stream.try_clone() {
-                    let mut set = conns.lock().unwrap();
-                    if set.len() > 32 {
-                        set.retain(|s| s.peer_addr().is_ok());
-                    }
-                    set.push(clone);
-                }
-                let _ = std::thread::Builder::new()
-                    .name("octopus-master-conn".into())
-                    .spawn(move || connection_loop(stream, server_addr, state));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(std::time::Duration::from_millis(5));
-            }
-            Err(_) => break,
-        }
-    }
-}
-
-fn connection_loop(mut stream: TcpStream, server_addr: SocketAddr, state: Arc<MasterState>) {
-    let _ = stream.set_nonblocking(false);
-    loop {
-        let frame = match read_frame(&mut stream) {
-            Ok(Some(f)) => f,
-            Ok(None) | Err(_) => return,
-        };
-        let result = trace::unwrap_envelope(&frame).and_then(|(ctx, body)| {
-            decode::<MasterRequest>(body).and_then(|req| dispatch_traced(&state, req, ctx))
-        });
-        match faults::write_response(server_addr, &mut stream, &encode_result(&result)) {
-            Ok(true) => {}
-            Ok(false) | Err(_) => return,
-        }
+        self.core.shutdown();
     }
 }
 
@@ -237,6 +208,9 @@ fn dispatch_inner(state: &MasterState, req: MasterRequest) -> Result<MasterRespo
         Q::RegisterWorker(worker, rack, net_bps, now_ms, addr) => {
             master.register_worker(worker, rack, net_bps, now_ms);
             state.addrs.write().insert(worker, addr);
+            // A (re-)registration may carry a new address: drop the DNS
+            // resolution cache so the monitor sees it next round.
+            state.invalidate_resolved();
             A::Unit
         }
         Q::Heartbeat(worker, media, nr_conn, now_ms) => {

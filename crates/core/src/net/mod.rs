@@ -5,18 +5,26 @@
 //! through worker-to-worker pipelines).
 //!
 //! - [`proto`]: request/response message types over the
-//!   [`octopus_common::wire`] codec;
-//! - [`frame`]: length-prefixed message framing over a TCP stream;
-//! - [`master_server`] / [`worker_server`]: blocking thread-per-connection
-//!   servers around the existing [`octopus_master::Master`] and
-//!   [`crate::Worker`];
+//!   [`octopus_common::wire`] codec, plus the gather/scatter
+//!   [`proto::FramePayload`] that lets block bytes ride as shared slices;
+//! - [`frame`]: length-prefixed message framing over a TCP stream — the
+//!   legacy unframed form plus the multiplexed `[len][request id][payload]`
+//!   form every RPC now uses;
+//! - [`server`]: [`server::ServerCore`], the shared multiplexed server
+//!   runtime — per-connection demux readers feeding a bounded dispatch
+//!   pool with class-based admission, per-connection in-flight caps, a
+//!   bounded accept loop, and idle-connection reaping;
+//! - [`master_server`] / [`worker_server`]: the master and worker request
+//!   dispatchers mounted on that core, around the existing
+//!   [`octopus_master::Master`] and [`crate::Worker`];
 //! - [`client`]: [`RemoteFs`], the Table 1 client API over the network,
 //!   including the worker-to-worker write pipeline (§3.1) and read
 //!   failover (§4.1);
 //! - [`cluster`]: [`NetCluster`], which boots a master and N workers on
 //!   loopback ports with real heartbeat threads;
-//! - [`rpc`]: [`RpcClient`], the pooled, deadline-bounded transport every
-//!   networked call goes through;
+//! - [`rpc`]: [`RpcClient`], the multiplexing, deadline-bounded transport
+//!   every networked call goes through — few connections per peer, an
+//!   in-flight map keyed by request id, and absolute per-call deadlines;
 //! - [`faults`]: deterministic fault injection at the servers' response
 //!   boundary, driving the failover test suite.
 
@@ -29,6 +37,7 @@ pub mod master_server;
 pub mod monitor;
 pub mod proto;
 pub mod rpc;
+pub mod server;
 pub mod worker_server;
 
 pub use backup::NetBackup;

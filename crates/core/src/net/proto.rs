@@ -420,6 +420,160 @@ pub fn encode_result<R: Wire>(res: &Result<R>) -> Vec<u8> {
     buf
 }
 
+/// An RPC payload as scatter/gather segments: a small encoded `head`, an
+/// optional large `body` (a block payload, shared, never copied), and a
+/// small `tail` (fields the wire format places after the payload, like
+/// the `Data` response checksum). The framing layer writes the segments
+/// directly to the socket, so a block travels from the caller's buffer to
+/// the kernel with no intermediate copy.
+#[derive(Debug, Clone)]
+pub struct FramePayload {
+    /// Encoded fields up to (and including) the body's length prefix.
+    pub head: Vec<u8>,
+    /// The block payload, if the message carries one.
+    pub body: Option<bytes::Bytes>,
+    /// Encoded fields after the body.
+    pub tail: Vec<u8>,
+}
+
+impl FramePayload {
+    /// A payload with no large body (the common small-message case).
+    pub fn small(head: Vec<u8>) -> Self {
+        Self { head, body: None, tail: Vec::new() }
+    }
+
+    /// Total encoded length.
+    pub fn len(&self) -> usize {
+        self.head.len() + self.body.as_ref().map_or(0, |b| b.len()) + self.tail.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The non-empty segments, in wire order.
+    pub fn segs(&self) -> Vec<&[u8]> {
+        let mut v: Vec<&[u8]> = Vec::with_capacity(3);
+        if !self.head.is_empty() {
+            v.push(&self.head);
+        }
+        if let Some(b) = &self.body {
+            v.push(b);
+        }
+        if !self.tail.is_empty() {
+            v.push(&self.tail);
+        }
+        v
+    }
+
+    /// Flattens into one contiguous buffer. Only the fault-injection
+    /// paths use this (they must mangle the full encoded payload); the
+    /// normal path writes the segments without concatenating.
+    pub fn concat(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len());
+        for s in self.segs() {
+            out.extend_from_slice(s);
+        }
+        out
+    }
+}
+
+/// Encodes a worker request as a [`FramePayload`]. A `WriteBlock` carrying
+/// real bytes keeps the block as a shared `body` segment; everything else
+/// encodes into the head.
+pub fn encode_worker_frame(req: &WorkerRequest) -> FramePayload {
+    if let WorkerRequest::WriteBlock(b, m, rest, BlockData::Real(bytes)) = req {
+        // Mirrors the `Wire` layout of `WriteBlock`: tag, block, media,
+        // rest, then `BlockData::Real` = `[0u8][u32 len][bytes]` — with
+        // the bytes as a shared segment instead of a copy.
+        let mut head = Vec::with_capacity(64);
+        head.push(0);
+        b.put(&mut head);
+        m.put(&mut head);
+        rest.put(&mut head);
+        head.push(0);
+        (bytes.len() as u32).put(&mut head);
+        FramePayload { head, body: Some(bytes.clone()), tail: Vec::new() }
+    } else {
+        FramePayload::small(octopus_common::wire::encode(req))
+    }
+}
+
+/// Encodes a worker result as a [`FramePayload`]. A `Data` response with
+/// real bytes keeps the block as a shared `body` segment; the trailing
+/// checksum becomes the tail.
+pub fn encode_worker_result_frame(res: &Result<WorkerResponse>) -> FramePayload {
+    if let Ok(WorkerResponse::Data(BlockData::Real(bytes), sum)) = res {
+        // `[status 0][tag 1][BlockData tag 0][u32 len]` + bytes + `[u32 sum]`.
+        let mut head = vec![0u8, 1, 0];
+        (bytes.len() as u32).put(&mut head);
+        let mut tail = Vec::with_capacity(4);
+        sum.put(&mut tail);
+        FramePayload { head, body: Some(bytes.clone()), tail }
+    } else {
+        FramePayload::small(encode_result(res))
+    }
+}
+
+/// Encodes a master result as a [`FramePayload`]. An `Edits` response
+/// keeps the edit-log byte stream as a shared `body` segment.
+pub fn encode_master_result_frame(res: &Result<MasterResponse>) -> FramePayload {
+    if let Ok(MasterResponse::Edits(bytes)) = res {
+        // `[status 0][tag 10][u32 len]` + bytes.
+        let mut head = vec![0u8, 10];
+        (bytes.len() as u32).put(&mut head);
+        FramePayload { head, body: Some(bytes.clone()), tail: Vec::new() }
+    } else {
+        FramePayload::small(encode_result(res))
+    }
+}
+
+/// Decodes a status-tagged response frame into `Result<R>` *sharing* the
+/// frame's allocation: any `bytes::Bytes` field (block payloads) becomes a
+/// view into `frame` instead of a copy.
+pub fn decode_result_bytes<R: Wire>(frame: &bytes::Bytes) -> Result<R> {
+    let mut r = WireReader::new_shared(frame, 0);
+    match u8::get(&mut r)? {
+        0 => {
+            let v = R::get(&mut r)?;
+            r.expect_finished()?;
+            Ok(v)
+        }
+        1 => {
+            let e = FsError::get(&mut r)?;
+            r.expect_finished()?;
+            Err(e)
+        }
+        t => Err(FsError::Io(format!("bad result status {t}"))),
+    }
+}
+
+/// Dispatch class of an encoded worker request (`body` starts at the
+/// request tag, after any trace envelope): how many further nested RPC
+/// levels serving it can require. `WriteBlock` forwarding through N more
+/// stages is class `min(N, 2)`; `Replicate` issues one nested `ReadBlock`
+/// (class 1); everything else resolves locally (class 0). The dispatch
+/// pool admits higher classes only while enough threads remain free for
+/// the lower ones, which keeps nested pipeline forwards deadlock-free.
+pub fn classify_worker_request(body: &[u8]) -> usize {
+    let mut r = WireReader::new(body);
+    match u8::get(&mut r) {
+        Ok(0) => {
+            if Block::get(&mut r).is_err() || MediaId::get(&mut r).is_err() {
+                return 0;
+            }
+            // Vec<Location> starts with its u32 element count.
+            match u32::get(&mut r) {
+                Ok(n) => (n as usize).min(2),
+                Err(_) => 0,
+            }
+        }
+        Ok(3) => 1,
+        _ => 0,
+    }
+}
+
 /// Decodes a status-tagged payload back into `Result<R>`.
 pub fn decode_result<R: Wire>(buf: &[u8]) -> Result<R> {
     let mut r = WireReader::new(buf);
@@ -569,6 +723,74 @@ mod tests {
         }
         rt(MasterResponse::Trace(col.snapshot()));
         rt(WorkerResponse::Trace(col.snapshot()));
+    }
+
+    #[test]
+    fn frame_payloads_match_wire_encoding() {
+        // The scatter/gather encodings must byte-for-byte match the plain
+        // `Wire` encodings — a receiver cannot tell them apart.
+        let req = WorkerRequest::WriteBlock(
+            Block { id: BlockId(5), gen: GenStamp(1), len: 6 },
+            MediaId(2),
+            vec![Location { worker: WorkerId(1), media: MediaId(0), tier: TierId(0) }],
+            BlockData::Real(bytes::Bytes::from_static(b"payload")),
+        );
+        assert_eq!(encode_worker_frame(&req).concat(), encode(&req));
+
+        let res: Result<WorkerResponse> =
+            Ok(WorkerResponse::Data(BlockData::Real(bytes::Bytes::from_static(b"data")), 0xfeed));
+        assert_eq!(encode_worker_result_frame(&res).concat(), encode_result(&res));
+
+        let mres: Result<MasterResponse> =
+            Ok(MasterResponse::Edits(bytes::Bytes::from_static(b"oplog")));
+        assert_eq!(encode_master_result_frame(&mres).concat(), encode_result(&mres));
+
+        // Small messages take the head-only path.
+        let small = encode_worker_frame(&WorkerRequest::Scrub);
+        assert!(small.body.is_none());
+        assert_eq!(small.concat(), encode(&WorkerRequest::Scrub));
+    }
+
+    #[test]
+    fn decode_result_bytes_shares_the_frame() {
+        let data = bytes::Bytes::from(vec![42u8; 4096]);
+        let res: Result<WorkerResponse> = Ok(WorkerResponse::Data(BlockData::Real(data), 7));
+        let frame = bytes::Bytes::from(encode_result(&res));
+        let decoded: WorkerResponse = decode_result_bytes(&frame).unwrap();
+        let WorkerResponse::Data(BlockData::Real(out), 7) = decoded else {
+            panic!("wrong decode");
+        };
+        assert_eq!(out, vec![42u8; 4096]);
+        // The decoded payload aliases the frame allocation (no copy).
+        assert!(std::ptr::eq(out.as_ref().as_ptr(), frame[7..].as_ptr()));
+    }
+
+    #[test]
+    fn worker_requests_classify_by_forward_depth() {
+        let block = Block { id: BlockId(1), gen: GenStamp(0), len: 1 };
+        let loc = |w| Location { worker: WorkerId(w), media: MediaId(0), tier: TierId(0) };
+        let wb = |rest: Vec<Location>| {
+            encode(&WorkerRequest::WriteBlock(
+                block,
+                MediaId(0),
+                rest,
+                BlockData::Synthetic { len: 1, seed: 0 },
+            ))
+        };
+        assert_eq!(classify_worker_request(&wb(vec![])), 0);
+        assert_eq!(classify_worker_request(&wb(vec![loc(1)])), 1);
+        assert_eq!(classify_worker_request(&wb(vec![loc(1), loc(2)])), 2);
+        assert_eq!(classify_worker_request(&wb(vec![loc(1), loc(2), loc(3)])), 2);
+        assert_eq!(
+            classify_worker_request(&encode(&WorkerRequest::Replicate(block, vec![], MediaId(0)))),
+            1
+        );
+        assert_eq!(classify_worker_request(&encode(&WorkerRequest::Scrub)), 0);
+        assert_eq!(
+            classify_worker_request(&encode(&WorkerRequest::ReadBlock(MediaId(0), BlockId(1)))),
+            0
+        );
+        assert_eq!(classify_worker_request(b""), 0); // garbage never panics
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! The worker's data server: stores and serves block replicas over TCP,
 //! forwarding pipelined writes to the next stage (§3.1) and committing its
-//! own replica to the master.
+//! own replica to the master. Runs on the multiplexed
+//! [`super::server::ServerCore`]; block payloads enter and leave as shared
+//! [`bytes::Bytes`] views into the received frames (no copy per hop).
 
 use std::collections::HashMap;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::net::SocketAddr;
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 
@@ -14,55 +14,35 @@ use octopus_common::checksum::crc32;
 use octopus_common::log_warn;
 use octopus_common::metrics::Labels;
 use octopus_common::trace::{self, TraceContext};
-use octopus_common::wire::decode;
-use octopus_common::{BlockData, FsError, Location, Result, WorkerId};
+use octopus_common::wire::{Wire, WireReader};
+use octopus_common::{
+    BlockData, BlockId, FsError, Location, MediaId, Result, ServerConfig, WorkerId,
+};
 
-use super::faults;
-use super::frame::read_frame;
-use super::proto::{encode_result, MasterRequest, MasterResponse, WorkerRequest, WorkerResponse};
+use super::proto::{
+    classify_worker_request, encode_worker_result_frame, MasterRequest, MasterResponse,
+    WorkerRequest, WorkerResponse,
+};
+use super::server::{Handler, ServerCore};
 use crate::worker::Worker;
 
 /// Shared map of worker data-server addresses (for pipeline forwarding).
 pub type AddressMap = Arc<RwLock<HashMap<WorkerId, SocketAddr>>>;
 
-/// One RPC round trip to the master, over the process-wide pooled client.
+/// One RPC round trip to the master, over the process-wide shared client.
 pub fn call_master(addr: SocketAddr, req: &MasterRequest) -> Result<MasterResponse> {
     super::rpc::shared().call_master(addr, req)
 }
 
 /// One RPC round trip to a worker data server, over the process-wide
-/// pooled client.
+/// shared client.
 pub fn call_worker(addr: SocketAddr, req: &WorkerRequest) -> Result<WorkerResponse> {
     super::rpc::shared().call_worker(addr, req)
 }
 
-/// Open connections accepted by a server, retained so shutdown can sever
-/// them (clients observe `Unreachable` instead of hanging).
-type ConnSet = Arc<Mutex<Vec<TcpStream>>>;
-
-fn track(conns: &ConnSet, stream: &TcpStream) {
-    if let Ok(clone) = stream.try_clone() {
-        let mut set = conns.lock().unwrap();
-        // Opportunistically drop entries whose sockets are already gone.
-        if set.len() > 32 {
-            set.retain(|s| s.peer_addr().is_ok());
-        }
-        set.push(clone);
-    }
-}
-
-fn sever(conns: &ConnSet) {
-    for s in conns.lock().unwrap().drain(..) {
-        let _ = s.shutdown(Shutdown::Both);
-    }
-}
-
 /// A running worker data server.
 pub struct WorkerServer {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    conns: ConnSet,
-    handle: Option<JoinHandle<()>>,
+    core: ServerCore,
 }
 
 impl WorkerServer {
@@ -81,92 +61,43 @@ impl WorkerServer {
         peers: AddressMap,
         bind: impl std::net::ToSocketAddrs,
     ) -> Result<Self> {
-        let listener = TcpListener::bind(bind)?;
-        let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&shutdown);
-        let conns: ConnSet = Arc::new(Mutex::new(Vec::new()));
-        let conn_set = Arc::clone(&conns);
-        let handle = std::thread::Builder::new()
-            .name(format!("octopus-{}-data", worker.id()))
-            .spawn(move || accept_loop(listener, addr, worker, master, peers, flag, conn_set))
-            .map_err(|e| FsError::Io(e.to_string()))?;
-        Ok(Self { addr, shutdown, conns, handle: Some(handle) })
+        Self::spawn_with(worker, master, peers, bind, ServerConfig::default())
+    }
+
+    /// Like [`WorkerServer::spawn_on`] with an explicit server
+    /// configuration (tests tune the pool and idle-reap horizon).
+    pub fn spawn_with(
+        worker: Arc<Worker>,
+        master: SocketAddr,
+        peers: AddressMap,
+        bind: impl std::net::ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> Result<Self> {
+        let name = format!("octopus-{}", worker.id());
+        let handler: Handler = Arc::new(move |frame: bytes::Bytes| {
+            let result = (|| {
+                let (ctx, body) = trace::unwrap_envelope(&frame)?;
+                let offset = frame.len() - body.len();
+                let mut r = WireReader::new_shared(&frame, offset);
+                let req = WorkerRequest::get(&mut r)?;
+                r.expect_finished()?;
+                dispatch_traced(&worker, master, &peers, req, ctx)
+            })();
+            encode_worker_result_frame(&result)
+        });
+        let core = ServerCore::spawn(bind, &name, cfg, Arc::new(classify_worker_request), handler)?;
+        Ok(Self { core })
     }
 
     /// The bound address.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.core.addr()
     }
 
     /// Stops the server: the accept loop exits and every open connection
     /// is severed, so in-flight callers fail fast instead of hanging.
     pub fn shutdown(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
-        sever(&self.conns);
-    }
-}
-
-impl Drop for WorkerServer {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn accept_loop(
-    listener: TcpListener,
-    server_addr: SocketAddr,
-    worker: Arc<Worker>,
-    master: SocketAddr,
-    peers: AddressMap,
-    shutdown: Arc<AtomicBool>,
-    conns: ConnSet,
-) {
-    while !shutdown.load(Ordering::Relaxed) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let worker = Arc::clone(&worker);
-                let peers = Arc::clone(&peers);
-                let _ = stream.set_nodelay(true);
-                track(&conns, &stream);
-                let _ = std::thread::Builder::new()
-                    .name("octopus-worker-conn".into())
-                    .spawn(move || connection_loop(stream, server_addr, worker, master, peers));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(std::time::Duration::from_millis(5));
-            }
-            Err(_) => break,
-        }
-    }
-}
-
-fn connection_loop(
-    mut stream: TcpStream,
-    server_addr: SocketAddr,
-    worker: Arc<Worker>,
-    master: SocketAddr,
-    peers: AddressMap,
-) {
-    let _ = stream.set_nonblocking(false);
-    loop {
-        let frame = match read_frame(&mut stream) {
-            Ok(Some(f)) => f,
-            Ok(None) | Err(_) => return,
-        };
-        let result = trace::unwrap_envelope(&frame).and_then(|(ctx, body)| {
-            decode::<WorkerRequest>(body)
-                .and_then(|req| dispatch_traced(&worker, master, &peers, req, ctx))
-        });
-        match faults::write_response(server_addr, &mut stream, &encode_result(&result)) {
-            Ok(true) => {}
-            Ok(false) | Err(_) => return,
-        }
+        self.core.shutdown();
     }
 }
 
@@ -198,6 +129,39 @@ fn dispatch_traced(
     out
 }
 
+/// Deletes and reports a scrub round's corrupt replicas, returning how
+/// many were actually handled. A replica whose medium this worker no
+/// longer maps (removed or reconfigured since the scan) is skipped and
+/// logged — it must not abort the handling of the *other* corrupt
+/// replicas, some of which may already have been deleted.
+pub fn scrub_and_report(
+    worker: &Worker,
+    master: SocketAddr,
+    corrupt: Vec<(BlockId, MediaId)>,
+) -> u32 {
+    let mut handled = 0u32;
+    for (block, media) in corrupt {
+        let tier = match worker.tier_of(media) {
+            Ok(t) => t,
+            Err(e) => {
+                log_warn!(
+                    target: "net::worker_server",
+                    "msg=\"corrupt replica on unmapped medium, skipping\" block={block} media={media} err=\"{e}\"",
+                );
+                worker
+                    .metrics()
+                    .inc("worker_scrub_unmapped_media_total", Labels::worker(worker.id()));
+                continue;
+            }
+        };
+        let loc = Location { worker: worker.id(), media, tier };
+        let _ = worker.delete_block(media, block);
+        let _ = call_master(master, &MasterRequest::ReportCorrupt(block, loc));
+        handled += 1;
+    }
+    handled
+}
+
 fn dispatch_inner(
     worker: &Worker,
     master: SocketAddr,
@@ -219,7 +183,20 @@ fn dispatch_inner(
                     s.annotate("bytes", block.len);
                     s.annotate("tier", worker.tier_of(media)?);
                 }
-                worker.write_block(media, block, &data)?;
+                if let Err(e) = worker.write_block(media, block, &data) {
+                    // Pipeline recovery re-sends a block whose earlier
+                    // store succeeded but whose response was lost (a
+                    // severed connection fails every call in flight on
+                    // it). Re-storing identical bytes is a no-op; any
+                    // other collision is a real error.
+                    let idempotent = matches!(&e, FsError::AlreadyExists(_))
+                        && worker
+                            .stored_checksum(media, block.id)
+                            .is_ok_and(|c| c == data.checksum());
+                    if !idempotent {
+                        return Err(e);
+                    }
+                }
                 if let Some(d) = worker.transfer_pacing(media, block.len, true) {
                     std::thread::sleep(d);
                 }
@@ -268,6 +245,9 @@ fn dispatch_inner(
                         // Downstream failed: release the master's pending
                         // reservations for the unreached stages; the
                         // replication monitor heals the block later (§5).
+                        // The master refuses to demote a stage that did
+                        // commit (e.g. it stored, committed, and then the
+                        // connection died before its ack reached us).
                         for loc in &rest {
                             let _ = call_master(master, &MasterRequest::AbortReplica(block, *loc));
                         }
@@ -339,14 +319,7 @@ fn dispatch_inner(
         }
         WorkerRequest::Scrub => {
             let corrupt = worker.scrub();
-            let n = corrupt.len() as u32;
-            for (block, media) in corrupt {
-                let tier = worker.tier_of(media)?;
-                let loc = Location { worker: worker.id(), media, tier };
-                let _ = worker.delete_block(media, block);
-                let _ = call_master(master, &MasterRequest::ReportCorrupt(block, loc));
-            }
-            Ok(WorkerResponse::Scrubbed(n))
+            Ok(WorkerResponse::Scrubbed(scrub_and_report(worker, master, corrupt)))
         }
         WorkerRequest::Metrics => Ok(WorkerResponse::Metrics(worker.metrics().snapshot())),
         WorkerRequest::Trace => Ok(WorkerResponse::Trace(worker.trace().snapshot())),

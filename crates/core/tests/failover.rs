@@ -64,6 +64,8 @@ fn delayed_response_times_out_within_deadline() {
         max_retries: 0,
         backoff_base_ms: 1,
         backoff_max_ms: 5,
+        conns_per_peer: 2,
+        max_inflight_per_peer: 64,
     });
     // The master stalls for far longer than the client's read deadline.
     faults::inject(cluster.master_addr(), FaultAction::Delay(Duration::from_millis(2_000)));

@@ -1,0 +1,299 @@
+//! Tests of the multiplexed transport: response demultiplexing, per-peer
+//! in-flight caps, server-side idle-connection reaping, and the
+//! pipeline-abort semantics the mux servers rely on (committed replicas
+//! survive late aborts; aborted stages return their write reservations;
+//! scrub handling survives unmapped media).
+
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use octopus_common::{
+    BlockData, ClientLocation, ClusterConfig, MediaId, ReplicationVector, RpcConfig, ServerConfig,
+    MB,
+};
+use octopus_core::net::frame::{read_mux_frame, write_mux_frame};
+use octopus_core::net::proto::{WorkerRequest, WorkerResponse};
+use octopus_core::net::worker_server::{call_worker, scrub_and_report};
+use octopus_core::net::{MasterServer, NetCluster, RpcClient};
+use octopus_master::Master;
+
+fn config() -> ClusterConfig {
+    let mut c = ClusterConfig::test_cluster(4, 64 * MB, MB);
+    c.heartbeat_ms = 20;
+    c
+}
+
+fn client_cfg() -> RpcConfig {
+    RpcConfig::fast_test()
+}
+
+#[test]
+fn interleaved_responses_reach_their_own_callers() {
+    // A server that reads TWO requests off one connection before answering
+    // either, then replies in REVERSE order. With one connection per peer
+    // both calls share the socket, so only correct request-id demux (not
+    // arrival order) can route each response to its caller.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let mut s = listener.accept().unwrap().0;
+        let (id_a, frame_a) = read_mux_frame(&mut s).unwrap().unwrap();
+        let (id_b, frame_b) = read_mux_frame(&mut s).unwrap().unwrap();
+        write_mux_frame(&mut s, id_b, &[&frame_b]).unwrap();
+        write_mux_frame(&mut s, id_a, &[&frame_a]).unwrap();
+    });
+
+    let client = Arc::new(RpcClient::new(RpcConfig { conns_per_peer: 1, ..client_cfg() }));
+    let mut callers = Vec::new();
+    for i in 0..2u8 {
+        let client = Arc::clone(&client);
+        callers.push(std::thread::spawn(move || {
+            let payload = vec![i; 64 + i as usize];
+            let echoed = client.call_raw(addr, &payload, true).unwrap();
+            assert_eq!(echoed, payload, "caller {i} got someone else's response");
+        }));
+    }
+    for c in callers {
+        c.join().unwrap();
+    }
+    server.join().unwrap();
+}
+
+#[test]
+fn inflight_cap_blocks_the_next_caller_instead_of_erroring() {
+    // Cap of 2 in-flight calls per peer. The server holds the first two
+    // responses; a third call must WAIT for a slot (not fail), then
+    // complete once a response frees one.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let served = Arc::new(AtomicUsize::new(0));
+    let served_srv = Arc::clone(&served);
+    // Detached: the accept loop blocks in `incoming()` until process exit.
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut s) = conn else { break };
+            let served = Arc::clone(&served_srv);
+            std::thread::spawn(move || {
+                while let Ok(Some((id, frame))) = read_mux_frame(&mut s) {
+                    let n = served.fetch_add(1, Ordering::SeqCst);
+                    if n < 2 {
+                        std::thread::sleep(Duration::from_millis(400));
+                    }
+                    if write_mux_frame(&mut s, id, &[&frame]).is_err() {
+                        break;
+                    }
+                    if n >= 2 {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    let client = Arc::new(RpcClient::new(RpcConfig {
+        conns_per_peer: 2,
+        max_inflight_per_peer: 2,
+        read_timeout_ms: 5_000,
+        max_retries: 0,
+        ..client_cfg()
+    }));
+    let mut held = Vec::new();
+    for i in 0..2u8 {
+        let client = Arc::clone(&client);
+        held.push(std::thread::spawn(move || client.call_raw(addr, &[i; 8], true).unwrap()));
+    }
+    // Let the first two occupy both in-flight slots.
+    std::thread::sleep(Duration::from_millis(100));
+    let start = Instant::now();
+    let third = client.call_raw(addr, b"third", true).unwrap();
+    let elapsed = start.elapsed();
+    assert_eq!(third, b"third");
+    assert!(
+        elapsed >= Duration::from_millis(200),
+        "third call should have waited for a slot, finished in {elapsed:?}"
+    );
+    for h in held {
+        h.join().unwrap();
+    }
+    assert!(served.load(Ordering::SeqCst) >= 3);
+    client.evict(addr);
+}
+
+#[test]
+fn idle_reaper_severs_silent_connections_but_not_active_ones() {
+    let master = Arc::new(Master::new(config()).unwrap());
+    let mut server = MasterServer::spawn_with(
+        master,
+        "127.0.0.1:0",
+        ServerConfig { idle_conn_ms: 150, reap_interval_ms: 25, ..ServerConfig::fast_test() },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let mut silent = TcpStream::connect(addr).unwrap();
+    silent.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+    let mut active = TcpStream::connect(addr).unwrap();
+    active.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+
+    // Keep the active connection talking (any payload earns a response
+    // frame — a decode error is still an answer) while the silent one
+    // crosses the idle horizon.
+    for id in 0..8u64 {
+        write_mux_frame(&mut active, id, &[b"ping"]).unwrap();
+        let (rid, _) = read_mux_frame(&mut active).unwrap().expect("active conn must stay served");
+        assert_eq!(rid, id);
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The reaper severed the silent connection: its read sees EOF.
+    let mut buf = [0u8; 1];
+    let got = silent.read(&mut buf).expect("severed socket reads EOF, not a timeout");
+    assert_eq!(got, 0, "silent connection should have been reaped");
+
+    // The active connection still works after the reaping.
+    write_mux_frame(&mut active, 99, &[b"still-here"]).unwrap();
+    assert!(read_mux_frame(&mut active).unwrap().is_some());
+    server.shutdown();
+}
+
+#[test]
+fn scrub_skips_corrupt_replicas_on_unmapped_media() {
+    // Regression: the scrub handler used `?` on tier_of(media), so one
+    // unmapped medium aborted the whole response AFTER deletions had
+    // already happened — the master never heard about them. Unmapped
+    // media must be skipped; mapped ones must still be deleted+reported.
+    let cluster = NetCluster::start(config()).unwrap();
+    let client = cluster.client(ClientLocation::OffCluster).with_rpc_config(client_cfg());
+    let data = {
+        let BlockData::Real(b) = BlockData::generate_real(MB as usize, 7) else { unreachable!() };
+        b.to_vec()
+    };
+    client.write_file("/f", &data, ReplicationVector::from_replication_factor(2)).unwrap();
+    let blocks = client.get_file_block_locations("/f", 0, u64::MAX).unwrap();
+    let victim = blocks[0].locations[0];
+    let block = blocks[0].block;
+    let worker = cluster.workers().iter().find(|w| w.id() == victim.worker).cloned().unwrap();
+
+    // One corrupt replica on a medium this worker no longer maps, one on a
+    // real medium: only the real one is handled, and the bogus entry does
+    // not abort it.
+    let handled = scrub_and_report(
+        &worker,
+        cluster.master_addr(),
+        vec![(block.id, MediaId(9_999)), (block.id, victim.media)],
+    );
+    assert_eq!(handled, 1, "the mapped replica must be handled despite the unmapped one");
+    assert!(
+        !cluster.master().block_locations(block.id).contains(&victim),
+        "the deletion must have been reported to the master"
+    );
+    // The data survives via the other replica.
+    assert_eq!(client.read_file("/f").unwrap(), data);
+}
+
+#[test]
+fn dead_pipeline_tail_leaves_two_live_replicas_and_no_reservation_leak() {
+    // Kill the tail of a 3-stage pipeline before the write: stages 1 and 2
+    // store and commit, the forward to the tail fails, and the abort for
+    // the tail's pending replica must (a) leave the two committed replicas
+    // alone and (b) return the tail's scheduled-write reservation.
+    let mut cluster = NetCluster::start(config()).unwrap();
+    let master = Arc::clone(cluster.master());
+    master.create_file("/p", ReplicationVector::from_replication_factor(3), None).unwrap();
+    let (block, pipeline) = master.add_block("/p", MB, ClientLocation::OffCluster).unwrap();
+    assert_eq!(pipeline.len(), 3);
+    let tail = pipeline[2];
+
+    let tail_idx = (0..cluster.workers().len())
+        .find(|&i| cluster.workers()[i].id() == tail.worker)
+        .expect("tail worker exists");
+    cluster.kill_worker(tail_idx);
+
+    let data = BlockData::generate_real(MB as usize, 3);
+    let first = cluster.worker_addr(pipeline[0].worker).unwrap();
+    let res = call_worker(
+        first,
+        &WorkerRequest::WriteBlock(block, pipeline[0].media, pipeline[1..].to_vec(), data),
+    )
+    .unwrap();
+    let WorkerResponse::Stored(stored) = res else { panic!("expected Stored, got {res:?}") };
+    assert_eq!(stored.len(), 2, "only the two live stages stored");
+
+    let live = master.block_locations(block.id);
+    assert_eq!(live.len(), 2, "blockmap must keep the two committed replicas, got {live:?}");
+    assert!(live.contains(&pipeline[0]) && live.contains(&pipeline[1]));
+    assert!(
+        master.pending_locations(block.id).is_empty(),
+        "the dead tail's pending entry must be cleared"
+    );
+    // Regression: the abort used to release 0 of the reserved bytes,
+    // leaking the tail's scheduled-write reservation forever.
+    assert_eq!(
+        master.scheduled_bytes(tail.media),
+        0,
+        "aborting the unreachable tail must return its reservation"
+    );
+}
+
+#[test]
+fn late_abort_after_tail_commit_is_refused() {
+    // The tail stores and commits but its response is lost (connection
+    // dropped): the forwarding stage sees the failure and sends an abort
+    // for the tail's location. The master must refuse to demote the
+    // committed replica.
+    let cluster = NetCluster::start(config()).unwrap();
+    let master = Arc::clone(cluster.master());
+    master.create_file("/q", ReplicationVector::from_replication_factor(3), None).unwrap();
+    let (block, pipeline) = master.add_block("/q", MB, ClientLocation::OffCluster).unwrap();
+    let tail_addr = cluster.worker_addr(pipeline[2].worker).unwrap();
+    octopus_core::net::faults::inject(tail_addr, octopus_core::net::FaultAction::DropConnection);
+
+    let data = BlockData::generate_real(MB as usize, 4);
+    let first = cluster.worker_addr(pipeline[0].worker).unwrap();
+    call_worker(
+        first,
+        &WorkerRequest::WriteBlock(block, pipeline[0].media, pipeline[1..].to_vec(), data),
+    )
+    .unwrap();
+    octopus_core::net::faults::clear(tail_addr);
+
+    let live = master.block_locations(block.id);
+    assert_eq!(
+        live.len(),
+        3,
+        "all three stages committed; the late abort must not demote the tail ({live:?})"
+    );
+}
+
+#[test]
+fn resending_a_stored_block_is_idempotent_when_the_bytes_match() {
+    // Pipeline recovery re-sends a block to a worker that already holds it
+    // when the original store succeeded but its response was lost (one
+    // severed mux connection fails every call in flight on it). The
+    // re-store of identical bytes must succeed as a no-op; different bytes
+    // under the same block id must still be refused.
+    let cluster = NetCluster::start(config()).unwrap();
+    let master = Arc::clone(cluster.master());
+    master.create_file("/r", ReplicationVector::from_replication_factor(1), None).unwrap();
+    let (block, pipeline) = master.add_block("/r", MB, ClientLocation::OffCluster).unwrap();
+    let head = cluster.worker_addr(pipeline[0].worker).unwrap();
+
+    let data = BlockData::generate_real(MB as usize, 5);
+    let req = WorkerRequest::WriteBlock(block, pipeline[0].media, Vec::new(), data.clone());
+    let WorkerResponse::Stored(first) = call_worker(head, &req).unwrap() else {
+        panic!("expected Stored")
+    };
+    let WorkerResponse::Stored(again) = call_worker(head, &req).unwrap() else {
+        panic!("expected the identical re-send to succeed idempotently")
+    };
+    assert_eq!(first, again);
+    assert_eq!(master.block_locations(block.id).len(), 1, "still exactly one replica");
+
+    let other = BlockData::generate_real(MB as usize, 6);
+    let clash =
+        call_worker(head, &WorkerRequest::WriteBlock(block, pipeline[0].media, Vec::new(), other));
+    assert!(clash.is_err(), "different bytes under a stored block id must be refused: {clash:?}");
+}

@@ -83,11 +83,16 @@ impl BlockMap {
     }
 
     /// Drops a pending replica that will never be written (pipeline
-    /// failure).
-    pub fn abandon_pending(&mut self, id: BlockId, loc: &Location) {
+    /// failure). Returns whether the location was actually pending — the
+    /// caller only releases the write reservation when it was, so repeated
+    /// or spurious aborts can't double-release.
+    pub fn abandon_pending(&mut self, id: BlockId, loc: &Location) -> bool {
         if let Some(info) = self.blocks.get_mut(&id) {
+            let before = info.pending.len();
             info.pending.retain(|l| l != loc);
+            return info.pending.len() != before;
         }
+        false
     }
 
     /// Adds pending replicas (re-replication tasks).
@@ -245,7 +250,10 @@ mod tests {
         let mut bm = BlockMap::new();
         let pipeline = vec![loc(0, 0, 0), loc(1, 5, 2)];
         bm.insert(blk(1), INodeId(1), pipeline.clone());
-        bm.abandon_pending(BlockId(1), &pipeline[1]);
+        assert!(bm.abandon_pending(BlockId(1), &pipeline[1]));
+        // Idempotent: already removed, so nothing to release twice.
+        assert!(!bm.abandon_pending(BlockId(1), &pipeline[1]));
+        assert!(!bm.abandon_pending(BlockId(9), &pipeline[1]));
         assert_eq!(bm.get(BlockId(1)).unwrap().pending, vec![pipeline[0]]);
         bm.confirm(BlockId(1), pipeline[0]).unwrap();
         bm.remove_replica(BlockId(1), MediaId(0));

@@ -124,6 +124,26 @@ impl ClusterState {
         }
     }
 
+    /// Cancels a reservation for a write that never happened (pipeline
+    /// stage aborted before storing). Unlike [`ClusterState::complete_write`]
+    /// this does *not* charge the medium's cached `remaining` — no bytes
+    /// landed — it only returns the scheduled capacity to the placement
+    /// view.
+    pub fn cancel_write(&mut self, media: MediaId, bytes: u64) {
+        if let Some(v) = self.scheduled.get_mut(&media) {
+            *v = v.saturating_sub(bytes);
+            if *v == 0 {
+                self.scheduled.remove(&media);
+            }
+        }
+    }
+
+    /// Total scheduled-write reservation currently held against a medium
+    /// (test observability for reservation-leak regressions).
+    pub fn scheduled_bytes(&self, media: MediaId) -> u64 {
+        self.scheduled.get(&media).copied().unwrap_or(0)
+    }
+
     /// Marks workers dead whose heartbeats stopped; returns the newly dead.
     pub fn tick(&mut self, now_ms: u64) -> Vec<WorkerId> {
         let deadline = self.heartbeat_ms * self.dead_after_missed as u64;
@@ -285,6 +305,18 @@ mod tests {
         // Next heartbeat refreshes authoritative numbers.
         cs.heartbeat(WorkerId(0), vec![media_stats(0, 0, 0, 500)], 0, 10).unwrap();
         assert_eq!(cs.snapshot().media_stats(MediaId(0)).unwrap().remaining, 500);
+    }
+
+    #[test]
+    fn cancelled_writes_release_reservation_without_charging_capacity() {
+        let mut cs = state();
+        cs.schedule_write(MediaId(0), 300);
+        assert_eq!(cs.scheduled_bytes(MediaId(0)), 300);
+        assert_eq!(cs.snapshot().media_stats(MediaId(0)).unwrap().remaining, 500);
+        cs.cancel_write(MediaId(0), 300);
+        assert_eq!(cs.scheduled_bytes(MediaId(0)), 0);
+        // Nothing was written: the full capacity is visible again.
+        assert_eq!(cs.snapshot().media_stats(MediaId(0)).unwrap().remaining, 800);
     }
 
     #[test]

@@ -7,7 +7,8 @@ use octopus_common::metrics::{Labels, MetricsRegistry};
 use octopus_common::trace::TraceCollector;
 use octopus_common::{
     Block, BlockId, ClientLocation, ClusterConfig, FsError, GenStamp, IdGenerator, LocatedBlock,
-    Location, MediaStats, RackId, ReplicationVector, Result, StorageTierReport, TierId, WorkerId,
+    Location, MediaId, MediaStats, RackId, ReplicationVector, Result, StorageTierReport, TierId,
+    WorkerId,
 };
 use octopus_policies::{
     build_placement_policy, build_retrieval_policy, choose_replica_to_remove, PlacementPolicy,
@@ -496,11 +497,20 @@ impl Master {
     }
 
     /// Records that a scheduled replica will not be written (pipeline
-    /// failure).
+    /// failure). Refuses to demote a location that already committed: a
+    /// forwarding stage that loses its connection *after* the tail stored
+    /// and committed still sends an abort for it, and honoring that late
+    /// abort would strip a live replica from the block map. Only a
+    /// still-pending reservation is cleared, and its scheduled-write
+    /// capacity is returned (cancelled, not consumed — no bytes landed).
     pub fn abort_replica(&self, block: Block, loc: Location) {
         let mut g = self.inner.write();
-        g.blocks.abandon_pending(block.id, &loc);
-        g.cluster.complete_write(loc.media, 0);
+        if g.blocks.get(block.id).is_some_and(|info| info.locations.contains(&loc)) {
+            return;
+        }
+        if g.blocks.abandon_pending(block.id, &loc) {
+            g.cluster.cancel_write(loc.media, block.len);
+        }
     }
 
     /// Re-records a replica the replication monitor failed to delete: the
@@ -529,7 +539,7 @@ impl Master {
         g.ns.remove_last_block(file, block.id, block.len)?;
         if let Some(info) = g.blocks.remove_block(block.id) {
             for loc in info.pending {
-                g.cluster.complete_write(loc.media, 0);
+                g.cluster.cancel_write(loc.media, block.len);
             }
         }
         g.log.append(EditOp::AbandonBlock {
@@ -611,7 +621,7 @@ impl Master {
             // Refund write reservations of the failed pipeline; committed
             // replicas become unknown blocks, purged via block reports.
             for loc in info.pending {
-                g.cluster.complete_write(loc.media, 0);
+                g.cluster.cancel_write(loc.media, block.len);
             }
         }
         for l in &locations {
@@ -1050,6 +1060,18 @@ impl Master {
     pub fn block_locations(&self, id: BlockId) -> Vec<Location> {
         self.inner.read().blocks.get(id).map(|i| i.locations.clone()).unwrap_or_default()
     }
+
+    /// Still-pending (scheduled, uncommitted) replica locations of a block
+    /// (test/diagnostic hook).
+    pub fn pending_locations(&self, id: BlockId) -> Vec<Location> {
+        self.inner.read().blocks.get(id).map(|i| i.pending.clone()).unwrap_or_default()
+    }
+
+    /// Scheduled-write bytes currently reserved against a medium
+    /// (test/diagnostic hook for reservation-leak regressions).
+    pub fn scheduled_bytes(&self, media: MediaId) -> u64 {
+        self.inner.read().cluster.scheduled_bytes(media)
+    }
 }
 
 #[cfg(test)]
@@ -1146,6 +1168,50 @@ mod tests {
         for media in &snap.media {
             assert!(media.remaining <= 10 << 20);
         }
+    }
+
+    #[test]
+    fn abort_replica_releases_the_scheduled_reservation() {
+        // Regression: abort_replica used to call complete_write(media, 0),
+        // which released zero of the `len` bytes add_block reserved via
+        // schedule_write — every aborted pipeline stage leaked its
+        // reservation until the medium looked permanently full.
+        let m = boot_master(6);
+        m.create_file("/f", rv_u(3), None).unwrap();
+        let (block, locs) = m.add_block("/f", 1 << 20, ClientLocation::OffCluster).unwrap();
+        for l in &locs {
+            assert_eq!(m.scheduled_bytes(l.media), 1 << 20);
+        }
+        // The whole pipeline fails before storing anything.
+        for l in &locs {
+            m.abort_replica(block, *l);
+        }
+        for l in &locs {
+            assert_eq!(m.scheduled_bytes(l.media), 0, "aborted stage must return its reservation");
+        }
+        assert!(m.pending_locations(block.id).is_empty());
+        // A repeated (spurious) abort must not underflow or double-release.
+        m.abort_replica(block, locs[0]);
+        assert_eq!(m.scheduled_bytes(locs[0].media), 0);
+    }
+
+    #[test]
+    fn abort_replica_refuses_to_demote_a_committed_location() {
+        let m = boot_master(6);
+        m.create_file("/f", rv_u(3), None).unwrap();
+        let (block, locs) = m.add_block("/f", 1 << 20, ClientLocation::OffCluster).unwrap();
+        // Stages 1 and 2 store and commit; the forwarder then loses the
+        // connection and sends aborts for every downstream stage.
+        m.commit_replica(block, locs[1]).unwrap();
+        m.commit_replica(block, locs[2]).unwrap();
+        m.abort_replica(block, locs[1]);
+        m.abort_replica(block, locs[2]);
+        let live = m.block_locations(block.id);
+        assert!(live.contains(&locs[1]) && live.contains(&locs[2]));
+        assert_eq!(live.len(), 2, "late aborts must not strip committed replicas");
+        // Committed stages already consumed their reservation via
+        // commit_replica; the late abort must not touch it again.
+        assert_eq!(m.scheduled_bytes(locs[1].media), 0);
     }
 
     #[test]

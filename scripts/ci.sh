@@ -72,4 +72,23 @@ if [ ! -s results/parallel_io.json ]; then
 fi
 grep "^GATE" <<<"$pio_out"
 
+echo "==> aggregate I/O scaling smoke"
+# The multiplexed-transport suite (interleaved responses, in-flight caps,
+# idle reaping, pipeline tail-kill), then the quick client sweep on a real
+# TCP cluster. The GATE line asserts 64 concurrent clients achieve at
+# least 3x the single-client aggregate; results/aggregate_io.json is the
+# machine-readable artifact CI uploads and diffs across runs.
+cargo test --release -q -p octopus-core --test multiplex
+agg_out=$(cargo run --release --quiet -p octopus-bench --bin exp_aggregate_io -- --quick)
+if ! grep -q "^GATE aggregate_io .* pass=true" <<<"$agg_out"; then
+    echo "aggregate I/O smoke: client sweep gate failed" >&2
+    grep "^GATE" <<<"$agg_out" >&2 || true
+    exit 1
+fi
+if [ ! -s results/aggregate_io.json ]; then
+    echo "aggregate I/O smoke: missing results/aggregate_io.json" >&2
+    exit 1
+fi
+grep "^GATE" <<<"$agg_out"
+
 echo "CI green."

@@ -282,6 +282,94 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Multiplexed transport under concurrency and faults: 32+ callers
+    /// share a couple of connections to one server while responses are
+    /// randomly delayed and connections randomly dropped. Every caller
+    /// must either receive exactly its own payload back or a clean
+    /// transport error — never someone else's response.
+    #[test]
+    fn multiplexed_callers_get_their_own_responses_under_faults(
+        seed in any::<u64>(),
+        drops in 0usize..4,
+        delays in 0usize..4,
+    ) {
+        use octopusfs::common::{FsError, RpcConfig};
+        use octopusfs::core::net::frame::read_mux_frame;
+        use octopusfs::core::net::rpc::RpcClient;
+        use octopusfs::core::net::{faults, FaultAction};
+        use octopusfs::core::net::proto::FramePayload;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Echo server that routes every response through the fault layer,
+        // so injected drops/delays hit real in-flight multiplexed calls.
+        // Detached: the accept loop lives until process exit.
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut s) = conn else { break };
+                std::thread::spawn(move || {
+                    while let Ok(Some((id, frame))) = read_mux_frame(&mut s) {
+                        let payload = FramePayload::small(frame);
+                        match faults::write_response(addr, &mut s, id, &payload) {
+                            Ok(true) => {}
+                            _ => break,
+                        }
+                    }
+                });
+            }
+        });
+
+        for _ in 0..drops {
+            faults::inject(addr, FaultAction::DropConnection);
+        }
+        for i in 0..delays {
+            let ms = 5 + (seed.wrapping_add(i as u64) % 40);
+            faults::inject(addr, FaultAction::Delay(Duration::from_millis(ms)));
+        }
+
+        let client = Arc::new(RpcClient::new(RpcConfig {
+            conns_per_peer: 2,
+            read_timeout_ms: 2_000,
+            max_retries: 3,
+            ..RpcConfig::fast_test()
+        }));
+        let mut callers = Vec::new();
+        for i in 0..36u64 {
+            let client = Arc::clone(&client);
+            callers.push(std::thread::spawn(move || {
+                let payload =
+                    format!("caller-{i}-seed-{seed}").into_bytes();
+                (payload.clone(), client.call_raw(addr, &payload, true))
+            }));
+        }
+        let mut ok = 0usize;
+        for c in callers {
+            let (sent, got) = c.join().unwrap();
+            match got {
+                Ok(echoed) => {
+                    prop_assert_eq!(&echoed, &sent, "response routed to the wrong caller");
+                    ok += 1;
+                }
+                // A dropped connection may fail the calls multiplexed on
+                // it faster than the retry budget recovers; that must
+                // surface as a clean transport error, never a mix-up.
+                Err(FsError::Unreachable(_) | FsError::Timeout(_)) => {}
+                Err(other) => prop_assert!(false, "unexpected error class: {other:?}"),
+            }
+        }
+        faults::clear(addr);
+        client.evict(addr);
+        // Delays never kill connections, so at least the non-dropped
+        // majority must have succeeded.
+        prop_assert!(ok >= 36 - (drops + 1) * 8, "only {ok}/36 calls succeeded");
+    }
+}
+
+proptest! {
     /// Pipeline flows never exceed the capacity of any traversed resource,
     /// and the completion time is at least bytes / min-capacity.
     #[test]

@@ -1,50 +1,83 @@
 //! Offline stand-in for the `bytes` crate: a cheaply clonable, immutable
 //! byte buffer backed by `Arc<[u8]>`. Only the API surface used by this
 //! workspace is provided.
+//!
+//! Like the real crate, [`Bytes::slice`] is zero-copy: the sub-range view
+//! shares the parent's allocation (an `Arc` clone plus two offsets), so
+//! a block payload sliced out of a received RPC frame never copies the
+//! block bytes.
 
 use std::borrow::Borrow;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::Deref;
 use std::sync::Arc;
 
-/// An immutable, reference-counted byte buffer.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Bytes(Arc<[u8]>);
+/// An immutable, reference-counted byte buffer. A `Bytes` is a view
+/// `[start, end)` into a shared allocation; clones and sub-slices share
+/// the allocation.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
 
 impl Bytes {
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let end = data.len();
+        Bytes { data, start: 0, end }
+    }
+
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes(Arc::from(&[][..]))
+        Bytes::from_arc(Arc::from(&[][..]))
     }
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Arc::from(data))
+        Bytes::from_arc(Arc::from(data))
     }
 
     /// Wraps static data (copied here; the real crate borrows it).
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes(Arc::from(data))
+        Bytes::from_arc(Arc::from(data))
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.end - self.start
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.start == self.end
     }
 
     /// Copies the contents into a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.to_vec()
+        self.as_slice().to_vec()
     }
 
-    /// Returns a new `Bytes` over the given subrange.
+    /// Returns a new `Bytes` over the given subrange **without copying**:
+    /// the view shares this buffer's allocation.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
-        Bytes(Arc::from(&self.0[range]))
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {}..{} out of bounds of Bytes of length {}",
+            range.start,
+            range.end,
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
     }
 }
 
@@ -57,25 +90,25 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::from(v.into_boxed_slice()))
+        Bytes::from_arc(Arc::from(v.into_boxed_slice()))
     }
 }
 
@@ -87,7 +120,7 @@ impl From<&[u8]> for Bytes {
 
 impl From<Box<[u8]>> for Bytes {
     fn from(v: Box<[u8]>) -> Self {
-        Bytes(Arc::from(v))
+        Bytes::from_arc(Arc::from(v))
     }
 }
 
@@ -97,21 +130,49 @@ impl FromIterator<u8> for Bytes {
     }
 }
 
+// Equality/ordering/hash compare contents, not allocation identity: two
+// views over different allocations with the same bytes are equal.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &*self.0 == other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        &*self.0 == other.as_slice()
+        self.as_slice() == other.as_slice()
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Bytes(len={})", self.0.len())
+        write!(f, "Bytes(len={})", self.len())
     }
 }
 
@@ -128,5 +189,28 @@ mod tests {
         assert_eq!(b, c);
         assert_eq!(&b[..2], b"he");
         assert_eq!(b.slice(1..3).to_vec(), b"el");
+    }
+
+    #[test]
+    fn slice_shares_allocation() {
+        let b = Bytes::from(vec![7u8; 1024]);
+        let s = b.slice(100..900);
+        assert_eq!(s.len(), 800);
+        assert!(std::ptr::eq(s.as_slice().as_ptr(), &b.as_slice()[100]));
+        // Nested slices keep sharing.
+        let s2 = s.slice(0..10);
+        assert!(std::ptr::eq(s2.as_slice().as_ptr(), &b.as_slice()[100]));
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = Bytes::copy_from_slice(b"abcd").slice(1..3);
+        let b = Bytes::copy_from_slice(b"xbcx").slice(1..3);
+        assert_eq!(a, b);
+        let mut h1 = std::collections::hash_map::DefaultHasher::new();
+        let mut h2 = std::collections::hash_map::DefaultHasher::new();
+        a.hash(&mut h1);
+        b.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
     }
 }
