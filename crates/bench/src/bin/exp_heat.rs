@@ -1,0 +1,11 @@
+//! Measures hot/cold access-heat separation through the full telemetry
+//! path (worker touch rings → heartbeat piggyback → master EWMA). Run
+//! with --release; `--quick` runs the reduced CI smoke variant.
+
+fn main() {
+    if std::env::args().any(|a| a == "--quick") {
+        octopus_bench::experiments::heat::run_quick();
+    } else {
+        octopus_bench::experiments::heat::run();
+    }
+}

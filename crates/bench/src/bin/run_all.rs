@@ -18,6 +18,7 @@ fn main() {
         ("Use case: tier-aware scheduling", octopus_bench::experiments::usecase_sched::run),
         ("Parallel I/O window", octopus_bench::experiments::parallel_io::run),
         ("Aggregate I/O scaling", octopus_bench::experiments::aggregate_io::run),
+        ("Access-heat separation", octopus_bench::experiments::heat::run),
     ];
     for (name, run) in experiments {
         octopus_common::log_info!(target: "bench", "msg=\"experiment starting\" name=\"{name}\"");

@@ -10,35 +10,43 @@
 //! keeps it trivially testable and lets the policy crate stay free of any
 //! dependency on the running system.
 
+pub mod audit;
 pub mod block;
 pub mod checksum;
 pub mod config;
 pub mod error;
 pub mod fstypes;
+pub mod heat;
 pub mod ids;
 pub mod log;
 pub mod metrics;
 pub mod repvector;
+pub mod series;
 pub mod stats;
+pub mod status;
 pub mod tier;
 pub mod topology;
 pub mod trace;
 pub mod units;
 pub mod wire;
 
+pub use audit::{AuditRing, CandidateScore, DecisionEvent, DecisionKind, DecisionRound};
 pub use block::{Block, BlockData, LocatedBlock, Location};
 pub use config::{
     ClusterConfig, MediaConfig, RpcConfig, ServerConfig, WorkerConfig, DEFAULT_IO_WINDOW,
 };
 pub use error::{FsError, Result};
 pub use fstypes::{DirEntry, FileStatus};
+pub use heat::{BlockTouches, HeatInfo, HeatRecorder, HeatTracker};
 pub use ids::{BlockId, GenStamp, INodeId, IdGenerator, MediaId, WorkerId};
 pub use log::Level;
 pub use metrics::{
     Counter, Gauge, GaugeGuard, Histogram, Labels, MetricsRegistry, MetricsSnapshot, OwnedLabels,
 };
 pub use repvector::{ReplicationVector, VectorDiff};
+pub use series::{SeriesPoint, SeriesRing};
 pub use stats::{MediaStats, StorageTierReport, TierStats, WorkerStats};
+pub use status::{ClusterStatusReport, HotFile, WorkerStatusLine};
 pub use tier::{StorageTier, TierId, TierRegistry, MAX_TIERS, UNSPECIFIED_SLOT};
 pub use topology::{ClientLocation, NetDistance, RackId, Topology};
 pub use trace::{

@@ -122,6 +122,23 @@ impl From<Labels> for OwnedLabels {
     }
 }
 
+/// Escapes a label value per the Prometheus exposition rules: backslash,
+/// double quote, and newline must be escaped or a value containing them
+/// (worker addresses, request names from untrusted peers) would corrupt
+/// the surrounding line structure.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl OwnedLabels {
     fn render(&self, out: &mut String, extra: Option<(&str, &str)>) {
         let mut parts: Vec<String> = Vec::new();
@@ -132,10 +149,10 @@ impl OwnedLabels {
             parts.push(format!("worker=\"{}\"", w.0));
         }
         if let Some(r) = &self.request_type {
-            parts.push(format!("request_type=\"{r}\""));
+            parts.push(format!("request_type=\"{}\"", escape_label_value(r)));
         }
         if let Some((k, v)) = extra {
-            parts.push(format!("{k}=\"{v}\""));
+            parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
         }
         if !parts.is_empty() {
             out.push('{');
@@ -169,6 +186,13 @@ impl Counter {
     /// Adds `n`.
     pub fn add(&self, n: u64) {
         self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises the counter to `v` if it is currently lower — for stamping
+    /// an externally accumulated monotonic total (e.g. a collector's
+    /// drop count) into the registry without double counting.
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Current value.
@@ -613,5 +637,36 @@ mod tests {
         assert!(text.contains("lat_us_bucket{request_type=\"Read\",le=\"100\"} 1"), "{text}");
         assert!(text.contains("lat_us_count{request_type=\"Read\"} 1"), "{text}");
         assert_eq!(text, r.snapshot().render_text(), "identical state renders identically");
+    }
+
+    #[test]
+    fn exposition_escapes_label_values() {
+        // Label values can carry quotes, backslashes, and newlines (worker
+        // addresses, hostile request names); the exposition must escape
+        // them so one value cannot forge extra lines or labels.
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.push(CounterSample {
+            name: "evil_total".into(),
+            labels: OwnedLabels {
+                tier: None,
+                worker: None,
+                request_type: Some("a\"b\\c\nd".into()),
+            },
+            value: 1,
+        });
+        let text = snap.render_text();
+        assert_eq!(text, "evil_total{request_type=\"a\\\"b\\\\c\\nd\"} 1\n");
+        assert_eq!(text.lines().count(), 1, "newline in a value must not split the line");
+    }
+
+    #[test]
+    fn counter_set_max_is_monotonic() {
+        let c = Counter::default();
+        c.set_max(5);
+        assert_eq!(c.get(), 5);
+        c.set_max(3);
+        assert_eq!(c.get(), 5, "stamping a lower total must not regress");
+        c.set_max(9);
+        assert_eq!(c.get(), 9);
     }
 }

@@ -1,0 +1,140 @@
+//! Fixed-interval time-series rings for key gauges.
+//!
+//! Metrics snapshots are point samples; tiering decisions (and operators
+//! debugging them) need *history* — was this medium filling up, was that
+//! worker's connection count spiking before the placement happened? A
+//! [`SeriesRing`] keeps a bounded ring of named-gauge samples taken at a
+//! fixed minimum interval: the master samples on its heartbeat-driven
+//! `tick`, each worker on its heartbeat loop, so no extra threads exist
+//! and an idle cluster samples nothing.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::wire::{Wire, WireReader};
+use crate::Result;
+
+/// Default number of points a ring retains.
+pub const DEFAULT_SERIES_POINTS: usize = 256;
+
+/// Default minimum interval between samples.
+pub const DEFAULT_SERIES_INTERVAL_MS: u64 = 1_000;
+
+/// One sample: a timestamp plus named gauge values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeriesPoint {
+    /// Sample time on the sampling node's clock (heartbeat time base).
+    pub t_ms: u64,
+    /// `(gauge name, value)` pairs, in the order the sampler emitted them.
+    pub values: Vec<(String, i64)>,
+}
+
+impl Wire for SeriesPoint {
+    fn put(&self, buf: &mut Vec<u8>) {
+        self.t_ms.put(buf);
+        self.values.put(buf);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(SeriesPoint { t_ms: Wire::get(r)?, values: Wire::get(r)? })
+    }
+}
+
+impl SeriesPoint {
+    /// The value of one named gauge in this point, if sampled.
+    pub fn value(&self, name: &str) -> Option<i64> {
+        self.values.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+struct SeriesInner {
+    last_ms: Option<u64>,
+    points: VecDeque<SeriesPoint>,
+}
+
+/// A bounded ring of [`SeriesPoint`]s sampled at most once per interval.
+pub struct SeriesRing {
+    interval_ms: u64,
+    capacity: usize,
+    inner: Mutex<SeriesInner>,
+}
+
+impl Default for SeriesRing {
+    fn default() -> Self {
+        Self::new(DEFAULT_SERIES_INTERVAL_MS, DEFAULT_SERIES_POINTS)
+    }
+}
+
+impl SeriesRing {
+    /// A ring sampling at most every `interval_ms` (≥1), holding up to
+    /// `capacity` points (≥1).
+    pub fn new(interval_ms: u64, capacity: usize) -> Self {
+        SeriesRing {
+            interval_ms: interval_ms.max(1),
+            capacity: capacity.max(1),
+            inner: Mutex::new(SeriesInner { last_ms: None, points: VecDeque::new() }),
+        }
+    }
+
+    /// Records a sample when at least one interval has elapsed since the
+    /// last one (or none was ever taken); `sample` is only invoked when a
+    /// point will actually be stored. Returns whether a point was taken.
+    pub fn maybe_sample(&self, now_ms: u64, sample: impl FnOnce() -> Vec<(String, i64)>) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(last) = g.last_ms {
+            if now_ms < last.saturating_add(self.interval_ms) {
+                return false;
+            }
+        }
+        g.last_ms = Some(now_ms);
+        let point = SeriesPoint { t_ms: now_ms, values: sample() };
+        g.points.push_back(point);
+        while g.points.len() > self.capacity {
+            g.points.pop_front();
+        }
+        true
+    }
+
+    /// Every retained point, oldest first.
+    pub fn points(&self) -> Vec<SeriesPoint> {
+        self.inner.lock().unwrap().points.iter().cloned().collect()
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().points.len()
+    }
+
+    /// Whether no points are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{decode, encode};
+
+    #[test]
+    fn respects_interval_and_capacity() {
+        let r = SeriesRing::new(100, 3);
+        assert!(r.maybe_sample(0, || vec![("x".into(), 1)]));
+        assert!(!r.maybe_sample(50, || panic!("sampler must not run inside the interval")));
+        assert!(r.maybe_sample(100, || vec![("x".into(), 2)]));
+        for i in 2..6u64 {
+            assert!(r.maybe_sample(i * 100, || vec![("x".into(), i as i64 + 1)]));
+        }
+        let pts = r.points();
+        assert_eq!(pts.len(), 3, "ring stays bounded");
+        assert_eq!(pts.iter().map(|p| p.t_ms).collect::<Vec<_>>(), vec![300, 400, 500]);
+        assert_eq!(pts[2].value("x"), Some(6));
+        assert_eq!(pts[2].value("y"), None);
+    }
+
+    #[test]
+    fn points_round_trip_over_wire() {
+        let p = SeriesPoint { t_ms: 42, values: vec![("used".into(), 7), ("conn".into(), -1)] };
+        let back: SeriesPoint = decode(&encode(&p)).unwrap();
+        assert_eq!(back, p);
+    }
+}

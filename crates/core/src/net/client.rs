@@ -13,8 +13,9 @@ use octopus_common::log_warn;
 use octopus_common::metrics::{Labels, MetricsRegistry, MetricsSnapshot};
 use octopus_common::trace::{self, TraceCollector, TraceContext, TraceSnapshot};
 use octopus_common::{
-    Block, BlockData, ClientLocation, DirEntry, FileStatus, FsError, LocatedBlock, Location,
-    ReplicationVector, Result, RpcConfig, StorageTierReport, WorkerId, DEFAULT_IO_WINDOW,
+    Block, BlockData, BlockId, ClientLocation, ClusterStatusReport, DecisionEvent, DirEntry,
+    FileStatus, FsError, HeatInfo, HotFile, LocatedBlock, Location, ReplicationVector, Result,
+    RpcConfig, SeriesPoint, StorageTierReport, WorkerId, DEFAULT_IO_WINDOW,
 };
 
 use super::proto::{MasterRequest, MasterResponse, WorkerRequest, WorkerResponse};
@@ -211,6 +212,58 @@ impl RemoteFs {
         }
         snap.merge(self.trace().snapshot());
         Ok(snap)
+    }
+
+    /// Access-heat summary of one file (the master-side EWMA fed by
+    /// heartbeat-piggybacked worker touch counts).
+    pub fn heat(&self, path: &str) -> Result<HeatInfo> {
+        match self.call(MasterRequest::Heat(path.into()))? {
+            MasterResponse::Heat(h) => Ok(h),
+            r => Err(FsError::Io(format!("unexpected response {r:?}"))),
+        }
+    }
+
+    /// Every retained placement/retrieval/removal decision event for a
+    /// block, oldest first.
+    pub fn explain_placement(&self, block: BlockId) -> Result<Vec<DecisionEvent>> {
+        match self.call(MasterRequest::ExplainPlacement(block))? {
+            MasterResponse::Decisions(d) => Ok(d),
+            r => Err(FsError::Io(format!("unexpected response {r:?}"))),
+        }
+    }
+
+    /// The master's one-stop cluster status report.
+    pub fn cluster_status(&self) -> Result<ClusterStatusReport> {
+        match self.call(MasterRequest::ClusterStatus)? {
+            MasterResponse::ClusterStatus(s) => Ok(s),
+            r => Err(FsError::Io(format!("unexpected response {r:?}"))),
+        }
+    }
+
+    /// The `k` hottest files, hottest first.
+    pub fn hot_files(&self, k: u32) -> Result<Vec<HotFile>> {
+        match self.call(MasterRequest::HotFiles(k))? {
+            MasterResponse::HotFiles(h) => Ok(h),
+            r => Err(FsError::Io(format!("unexpected response {r:?}"))),
+        }
+    }
+
+    /// The master's sampled time series (per-tier capacity gauges and
+    /// cluster counts), oldest first.
+    pub fn master_series(&self) -> Result<Vec<SeriesPoint>> {
+        match self.call(MasterRequest::Series)? {
+            MasterResponse::Series(s) => Ok(s),
+            r => Err(FsError::Io(format!("unexpected response {r:?}"))),
+        }
+    }
+
+    /// One worker's sampled local time series, oldest first.
+    pub fn worker_series(&self, worker: WorkerId) -> Result<Vec<SeriesPoint>> {
+        let addr = self.worker_addr(worker)?;
+        match self.call_worker(addr, &WorkerRequest::Series)? {
+            WorkerResponse::Series(s) => Ok(s),
+            r => Err(FsError::Io(format!("unexpected response {r:?}"))),
+        }
     }
 
     fn call(&self, req: MasterRequest) -> Result<MasterResponse> {

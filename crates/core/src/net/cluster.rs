@@ -71,9 +71,14 @@ fn spawn_heartbeat(
                 std::thread::sleep(std::time::Duration::from_millis(heartbeat_ms));
                 let now_ms = epoch.elapsed().as_millis() as u64;
                 let (stats, conns) = w.heartbeat_stats();
+                // Piggyback the drained heat epoch and sample the local
+                // series on the same cadence — no extra RPC, no extra
+                // thread.
+                let touches = w.drain_heat_epoch();
+                w.sample_series(now_ms);
                 let _ = call_master(
                     master_addr,
-                    &MasterRequest::Heartbeat(w.id(), stats, conns, now_ms),
+                    &MasterRequest::Heartbeat(w.id(), stats, conns, now_ms, touches),
                 );
                 beats += 1;
                 if beats.is_multiple_of(BEATS_PER_REPORT) {
@@ -124,7 +129,7 @@ impl NetCluster {
                 &MasterRequest::RegisterWorker(w.id(), w.rack(), w.net_bps(), 0, my_addr),
             )?;
             let (stats, conns) = w.heartbeat_stats();
-            call_master(master_addr, &MasterRequest::Heartbeat(w.id(), stats, conns, 0))?;
+            call_master(master_addr, &MasterRequest::Heartbeat(w.id(), stats, conns, 0, vec![]))?;
             call_master(master_addr, &MasterRequest::BlockReport(w.id(), w.block_report()))?;
         }
 
@@ -336,7 +341,10 @@ impl NetCluster {
         )?;
         let (stats, conns) = w.heartbeat_stats();
         let now_ms = self.epoch.elapsed().as_millis() as u64;
-        call_master(master_addr, &MasterRequest::Heartbeat(w.id(), stats, conns, now_ms))?;
+        call_master(
+            master_addr,
+            &MasterRequest::Heartbeat(w.id(), stats, conns, now_ms, w.drain_heat_epoch()),
+        )?;
         report_blocks(master_addr, w)?;
         self.worker_servers[idx] = Some(server);
         let stop = Arc::new(AtomicBool::new(false));

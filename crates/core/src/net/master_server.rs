@@ -213,8 +213,8 @@ fn dispatch_inner(state: &MasterState, req: MasterRequest) -> Result<MasterRespo
             state.invalidate_resolved();
             A::Unit
         }
-        Q::Heartbeat(worker, media, nr_conn, now_ms) => {
-            master.heartbeat(worker, media, nr_conn, now_ms)?;
+        Q::Heartbeat(worker, media, nr_conn, now_ms, touches) => {
+            master.heartbeat_with_heat(worker, media, nr_conn, now_ms, &touches)?;
             master.tick(now_ms);
             A::Unit
         }
@@ -237,7 +237,18 @@ fn dispatch_inner(state: &MasterState, req: MasterRequest) -> Result<MasterRespo
         Q::WorkerAddresses => {
             A::Addresses(state.addrs.read().iter().map(|(w, a)| (*w, a.clone())).collect())
         }
-        Q::Metrics => A::Metrics(master.metrics().snapshot()),
+        Q::Metrics => {
+            master
+                .metrics()
+                .counter("trace_spans_dropped_total", Labels::NONE)
+                .set_max(master.trace().dropped());
+            A::Metrics(master.metrics().snapshot())
+        }
         Q::Trace => A::Trace(master.trace().snapshot()),
+        Q::Heat(path) => A::Heat(master.file_heat(&path)?),
+        Q::ExplainPlacement(block) => A::Decisions(master.explain(block)),
+        Q::ClusterStatus => A::ClusterStatus(master.cluster_status(10)),
+        Q::HotFiles(k) => A::HotFiles(master.hot_files(k as usize)),
+        Q::Series => A::Series(master.series_points()),
     })
 }

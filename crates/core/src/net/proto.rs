@@ -4,9 +4,10 @@
 
 use octopus_common::wire::{Wire, WireReader};
 use octopus_common::{
-    Block, BlockData, BlockId, ClientLocation, DirEntry, FileStatus, FsError, LocatedBlock,
-    Location, MediaId, MediaStats, MetricsSnapshot, RackId, ReplicationVector, Result,
-    StorageTierReport, TraceSnapshot, WorkerId,
+    Block, BlockData, BlockId, BlockTouches, ClientLocation, ClusterStatusReport, DecisionEvent,
+    DirEntry, FileStatus, FsError, HeatInfo, HotFile, LocatedBlock, Location, MediaId, MediaStats,
+    MetricsSnapshot, RackId, ReplicationVector, Result, SeriesPoint, StorageTierReport,
+    TraceSnapshot, WorkerId,
 };
 
 /// A request to the master.
@@ -46,8 +47,10 @@ pub enum MasterRequest {
     /// Worker registration; `(worker, rack, net_bps, now_ms, data-server
     /// address)`.
     RegisterWorker(WorkerId, RackId, f64, u64, String),
-    /// Heartbeat; `(worker, media stats, nr_conn, now_ms)`.
-    Heartbeat(WorkerId, Vec<MediaStats>, u32, u64),
+    /// Heartbeat; `(worker, media stats, nr_conn, now_ms, block touches)`.
+    /// The touches piggyback the worker's per-block read/write counts for
+    /// the heat epoch that just closed (empty when nothing was accessed).
+    Heartbeat(WorkerId, Vec<MediaStats>, u32, u64, Vec<BlockTouches>),
     /// Full block report; `(worker, (block, media) pairs)`.
     BlockReport(WorkerId, Vec<(Block, MediaId)>),
     /// The data-server addresses of all registered workers.
@@ -70,6 +73,16 @@ pub enum MasterRequest {
     /// block, client location, holder, excluded workers)`. Responds with
     /// [`MasterResponse::Allocated`] carrying the same block.
     ReassignBlock(String, Block, ClientLocation, u64, Vec<WorkerId>),
+    /// A file's access-heat score (EWMA over heartbeated block touches).
+    Heat(String),
+    /// The audited placement/retrieval/removal decisions about a block.
+    ExplainPlacement(BlockId),
+    /// The live cluster status report (`octofs-remote status`).
+    ClusterStatus,
+    /// The `n` hottest files, hottest first.
+    HotFiles(u32),
+    /// The master's gauge time-series ring.
+    Series,
 }
 
 impl MasterRequest {
@@ -120,6 +133,11 @@ impl MasterRequest {
             Metrics => "Metrics",
             Trace => "Trace",
             ReassignBlock(..) => "ReassignBlock",
+            Heat(..) => "Heat",
+            ExplainPlacement(..) => "ExplainPlacement",
+            ClusterStatus => "ClusterStatus",
+            HotFiles(..) => "HotFiles",
+            Series => "Series",
         }
     }
 }
@@ -153,6 +171,16 @@ pub enum MasterResponse {
     Metrics(MetricsSnapshot),
     /// The master's trace snapshot.
     Trace(TraceSnapshot),
+    /// A file's heat.
+    Heat(HeatInfo),
+    /// Audited decision events about a block, oldest first.
+    Decisions(Vec<DecisionEvent>),
+    /// The live cluster status report.
+    ClusterStatus(ClusterStatusReport),
+    /// The hottest files, hottest first.
+    HotFiles(Vec<HotFile>),
+    /// Gauge time-series points, oldest first.
+    Series(Vec<SeriesPoint>),
 }
 
 macro_rules! tagged {
@@ -181,7 +209,7 @@ impl Wire for MasterRequest {
             Status(p) => tagged!(buf, 12, p),
             TierReports => tagged!(buf, 13),
             RegisterWorker(w, r, n, t, a) => tagged!(buf, 14, w, r, n, t, a),
-            Heartbeat(w, m, c, t) => tagged!(buf, 15, w, m, c, t),
+            Heartbeat(w, m, c, t, h) => tagged!(buf, 15, w, m, c, t, h),
             BlockReport(w, b) => tagged!(buf, 16, w, b),
             WorkerAddresses => tagged!(buf, 17),
             EditsSince(n) => tagged!(buf, 18, n),
@@ -190,6 +218,11 @@ impl Wire for MasterRequest {
             Metrics => tagged!(buf, 21),
             Trace => tagged!(buf, 22),
             ReassignBlock(p, b, c, h, x) => tagged!(buf, 23, p, b, c, h, x),
+            Heat(p) => tagged!(buf, 24, p),
+            ExplainPlacement(b) => tagged!(buf, 25, b),
+            ClusterStatus => tagged!(buf, 26),
+            HotFiles(n) => tagged!(buf, 27, n),
+            Series => tagged!(buf, 28),
         }
     }
 
@@ -219,7 +252,9 @@ impl Wire for MasterRequest {
                 Wire::get(r)?,
                 Wire::get(r)?,
             ),
-            15 => Heartbeat(Wire::get(r)?, Wire::get(r)?, Wire::get(r)?, Wire::get(r)?),
+            15 => {
+                Heartbeat(Wire::get(r)?, Wire::get(r)?, Wire::get(r)?, Wire::get(r)?, Wire::get(r)?)
+            }
             16 => BlockReport(Wire::get(r)?, Wire::get(r)?),
             17 => WorkerAddresses,
             18 => EditsSince(Wire::get(r)?),
@@ -234,6 +269,11 @@ impl Wire for MasterRequest {
                 Wire::get(r)?,
                 Wire::get(r)?,
             ),
+            24 => Heat(Wire::get(r)?),
+            25 => ExplainPlacement(Wire::get(r)?),
+            26 => ClusterStatus,
+            27 => HotFiles(Wire::get(r)?),
+            28 => Series,
             t => return Err(FsError::Io(format!("bad master request tag {t}"))),
         })
     }
@@ -256,6 +296,11 @@ impl Wire for MasterResponse {
             Edits(b) => tagged!(buf, 10, b),
             Metrics(s) => tagged!(buf, 11, s),
             Trace(s) => tagged!(buf, 12, s),
+            Heat(h) => tagged!(buf, 13, h),
+            Decisions(d) => tagged!(buf, 14, d),
+            ClusterStatus(c) => tagged!(buf, 15, c),
+            HotFiles(h) => tagged!(buf, 16, h),
+            Series(p) => tagged!(buf, 17, p),
         }
     }
 
@@ -275,6 +320,11 @@ impl Wire for MasterResponse {
             10 => Edits(Wire::get(r)?),
             11 => Metrics(Wire::get(r)?),
             12 => Trace(Wire::get(r)?),
+            13 => Heat(Wire::get(r)?),
+            14 => Decisions(Wire::get(r)?),
+            15 => ClusterStatus(Wire::get(r)?),
+            16 => HotFiles(Wire::get(r)?),
+            17 => Series(Wire::get(r)?),
             t => return Err(FsError::Io(format!("bad master response tag {t}"))),
         })
     }
@@ -303,6 +353,8 @@ pub enum WorkerRequest {
     Metrics,
     /// The worker's trace-collector snapshot (observability).
     Trace,
+    /// The worker's gauge time-series ring (observability).
+    Series,
 }
 
 impl WorkerRequest {
@@ -325,6 +377,7 @@ impl WorkerRequest {
             Scrub => "Scrub",
             Metrics => "Metrics",
             Trace => "Trace",
+            Series => "Series",
         }
     }
 }
@@ -346,6 +399,8 @@ pub enum WorkerResponse {
     Metrics(MetricsSnapshot),
     /// The worker's trace snapshot.
     Trace(TraceSnapshot),
+    /// The worker's gauge time-series points, oldest first.
+    Series(Vec<SeriesPoint>),
 }
 
 impl Wire for WorkerRequest {
@@ -359,6 +414,7 @@ impl Wire for WorkerRequest {
             Scrub => tagged!(buf, 4),
             Metrics => tagged!(buf, 5),
             Trace => tagged!(buf, 6),
+            Series => tagged!(buf, 7),
         }
     }
 
@@ -372,6 +428,7 @@ impl Wire for WorkerRequest {
             4 => Scrub,
             5 => Metrics,
             6 => Trace,
+            7 => Series,
             t => return Err(FsError::Io(format!("bad worker request tag {t}"))),
         })
     }
@@ -387,6 +444,7 @@ impl Wire for WorkerResponse {
             Scrubbed(n) => tagged!(buf, 3, n),
             Metrics(s) => tagged!(buf, 4, s),
             Trace(s) => tagged!(buf, 5, s),
+            Series(p) => tagged!(buf, 6, p),
         }
     }
 
@@ -399,6 +457,7 @@ impl Wire for WorkerResponse {
             3 => Scrubbed(Wire::get(r)?),
             4 => Metrics(Wire::get(r)?),
             5 => Trace(Wire::get(r)?),
+            6 => Series(Wire::get(r)?),
             t => return Err(FsError::Io(format!("bad worker response tag {t}"))),
         })
     }
@@ -660,7 +719,13 @@ mod tests {
     #[test]
     fn idempotency_classification() {
         assert!(MasterRequest::Status("/f".into()).is_idempotent());
-        assert!(MasterRequest::Heartbeat(WorkerId(0), vec![], 0, 0).is_idempotent());
+        assert!(MasterRequest::Heartbeat(WorkerId(0), vec![], 0, 0, vec![]).is_idempotent());
+        assert!(MasterRequest::Heat("/f".into()).is_idempotent());
+        assert!(MasterRequest::ExplainPlacement(BlockId(1)).is_idempotent());
+        assert!(MasterRequest::ClusterStatus.is_idempotent());
+        assert!(MasterRequest::HotFiles(5).is_idempotent());
+        assert!(MasterRequest::Series.is_idempotent());
+        assert!(WorkerRequest::Series.is_idempotent());
         assert!(MasterRequest::CommitReplica(
             Block { id: BlockId(1), gen: GenStamp(0), len: 1 },
             Location { worker: WorkerId(0), media: MediaId(0), tier: TierId(0) },
@@ -723,6 +788,73 @@ mod tests {
         }
         rt(MasterResponse::Trace(col.snapshot()));
         rt(WorkerResponse::Trace(col.snapshot()));
+    }
+
+    #[test]
+    fn telemetry_messages_round_trip() {
+        use octopus_common::{
+            BlockTouches, CandidateScore, ClusterStatusReport, DecisionEvent, DecisionKind,
+            DecisionRound, HeatInfo, HotFile, INodeId, SeriesPoint,
+        };
+        rt(MasterRequest::Heartbeat(
+            WorkerId(3),
+            vec![],
+            2,
+            999,
+            vec![BlockTouches { block: BlockId(7), reads: 4, writes: 1 }],
+        ));
+        rt(MasterRequest::Heat("/f".into()));
+        rt(MasterRequest::ExplainPlacement(BlockId(9)));
+        rt(MasterRequest::ClusterStatus);
+        rt(MasterRequest::HotFiles(10));
+        rt(MasterRequest::Series);
+        rt(WorkerRequest::Series);
+        assert_eq!(MasterRequest::Heat("/f".into()).name(), "Heat");
+        assert_eq!(MasterRequest::ExplainPlacement(BlockId(1)).name(), "ExplainPlacement");
+        assert_eq!(MasterRequest::ClusterStatus.name(), "ClusterStatus");
+        assert_eq!(WorkerRequest::Series.name(), "Series");
+
+        rt(MasterResponse::Heat(HeatInfo {
+            file: INodeId(4),
+            reads_ewma: 1.5,
+            writes_ewma: 0.5,
+            cur_reads: 2,
+            cur_writes: 0,
+            score: 2.1,
+        }));
+        rt(MasterResponse::Decisions(vec![DecisionEvent {
+            seq: 1,
+            when_ms: 50,
+            kind: DecisionKind::Placement,
+            block: BlockId(9),
+            file: INodeId(4),
+            policy: "MOOP".into(),
+            chosen: vec![Location { worker: WorkerId(0), media: MediaId(2), tier: TierId(1) }],
+            rounds: vec![DecisionRound {
+                replica_index: 0,
+                tier_pin: None,
+                candidates: vec![CandidateScore {
+                    media: MediaId(2),
+                    worker: WorkerId(0),
+                    tier: TierId(1),
+                    total: 0.4,
+                    db: 0.9,
+                    lb: 1.0,
+                    ft: 3.0,
+                    tm: 0.8,
+                    chosen: true,
+                }],
+                chosen_media: Some(MediaId(2)),
+            }],
+        }]));
+        rt(MasterResponse::ClusterStatus(ClusterStatusReport::default()));
+        rt(MasterResponse::HotFiles(vec![HotFile {
+            path: "/f".into(),
+            heat: HeatInfo { file: INodeId(4), score: 2.0, ..Default::default() },
+        }]));
+        let points = vec![SeriesPoint { t_ms: 5, values: vec![("nr_conn".into(), 3)] }];
+        rt(MasterResponse::Series(points.clone()));
+        rt(WorkerResponse::Series(points));
     }
 
     #[test]

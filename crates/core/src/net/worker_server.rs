@@ -321,7 +321,16 @@ fn dispatch_inner(
             let corrupt = worker.scrub();
             Ok(WorkerResponse::Scrubbed(scrub_and_report(worker, master, corrupt)))
         }
-        WorkerRequest::Metrics => Ok(WorkerResponse::Metrics(worker.metrics().snapshot())),
+        WorkerRequest::Metrics => {
+            // Stamp the drop counter at scrape time: spans are dropped
+            // inside the collector without a metrics hook of their own.
+            worker
+                .metrics()
+                .counter("trace_spans_dropped_total", Labels::worker(worker.id()))
+                .set_max(worker.trace().dropped());
+            Ok(WorkerResponse::Metrics(worker.metrics().snapshot()))
+        }
         WorkerRequest::Trace => Ok(WorkerResponse::Trace(worker.trace().snapshot())),
+        WorkerRequest::Series => Ok(WorkerResponse::Series(worker.series_points())),
     }
 }

@@ -9,7 +9,8 @@ use std::time::{Duration, Instant};
 use octopus_common::metrics::{GaugeGuard, Labels, MetricsRegistry};
 use octopus_common::trace::TraceCollector;
 use octopus_common::{
-    Block, BlockData, BlockId, FsError, MediaId, MediaStats, RackId, Result, TierId, WorkerId,
+    Block, BlockData, BlockId, BlockTouches, FsError, HeatRecorder, MediaId, MediaStats, RackId,
+    Result, SeriesPoint, SeriesRing, TierId, WorkerId,
 };
 use octopus_storage::{ConnGuard, Media, MediaManager};
 
@@ -31,6 +32,8 @@ pub struct Worker {
     emulate_bps: AtomicBool,
     metrics: MetricsRegistry,
     trace: TraceCollector,
+    heat: HeatRecorder,
+    series: SeriesRing,
 }
 
 impl Worker {
@@ -43,6 +46,11 @@ impl Worker {
             emulate_bps: AtomicBool::new(false),
             metrics: MetricsRegistry::new(),
             trace: TraceCollector::new(format!("worker-{}", worker.0)),
+            heat: HeatRecorder::new(octopus_common::heat::DEFAULT_HEAT_EPOCHS),
+            series: SeriesRing::new(
+                octopus_common::series::DEFAULT_SERIES_INTERVAL_MS,
+                octopus_common::series::DEFAULT_SERIES_POINTS,
+            ),
         }
     }
 
@@ -150,6 +158,7 @@ impl Worker {
         self.metrics.observe_since("worker_write_us", labels, start);
         if out.is_ok() {
             self.metrics.add("worker_write_bytes_total", labels, block.len);
+            self.heat.touch_write(block.id);
         }
         out
     }
@@ -163,6 +172,7 @@ impl Worker {
         self.metrics.observe_since("worker_read_us", labels, start);
         if let Ok(d) = &out {
             self.metrics.add("worker_read_bytes_total", labels, d.len());
+            self.heat.touch_read(block);
         }
         out
     }
@@ -207,6 +217,39 @@ impl Worker {
     /// count.
     pub fn heartbeat_stats(&self) -> (Vec<MediaStats>, u32) {
         (self.manager.stats(), self.net_conn_count())
+    }
+
+    /// The worker's block access-heat recorder (touched by
+    /// [`Worker::read_block`] / [`Worker::write_block`]).
+    pub fn heat(&self) -> &HeatRecorder {
+        &self.heat
+    }
+
+    /// Closes the current heat epoch and returns its per-block touch
+    /// counts, sorted by block id — the heartbeat piggyback payload.
+    pub fn drain_heat_epoch(&self) -> Vec<BlockTouches> {
+        self.heat.drain_epoch()
+    }
+
+    /// Samples the worker's local time-series ring if its interval elapsed:
+    /// per-medium remaining bytes plus NIC and I/O connection counts.
+    pub fn sample_series(&self, now_ms: u64) -> bool {
+        self.series.maybe_sample(now_ms, || {
+            let mut values: Vec<(String, i64)> =
+                vec![("net_conn".to_string(), self.net_conn_count() as i64)];
+            let mut io_conn = 0i64;
+            for m in self.manager.stats() {
+                values.push((format!("media{}_remaining_bytes", m.media.0), m.remaining as i64));
+                io_conn += m.nr_conn as i64;
+            }
+            values.push(("io_conn".to_string(), io_conn));
+            values
+        })
+    }
+
+    /// The sampled local time series, oldest first.
+    pub fn series_points(&self) -> Vec<SeriesPoint> {
+        self.series.points()
     }
 
     /// Block report payload: every block on every medium (paper §5).

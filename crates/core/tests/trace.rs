@@ -178,6 +178,40 @@ fn checksum_failover_spans_share_the_original_trace_and_parent() {
 }
 
 #[test]
+fn trace_spans_dropped_total_is_stamped_from_the_collector() {
+    use octopus_common::trace::TraceCollector;
+
+    // Overflowing a bounded collector counts the evicted spans.
+    let tc = TraceCollector::with_capacity("test", 4);
+    for i in 0..10 {
+        let _s = tc.root(format!("span-{i}"));
+    }
+    assert!(tc.dropped() > 0, "overflowing the ring must count drops");
+
+    // The metrics scrape stamps the same counter, one series per node, so
+    // span loss is visible without pulling a trace snapshot.
+    let cluster = NetCluster::start(config()).unwrap();
+    let client = cluster.client(ClientLocation::OffCluster);
+    let data = payload(MB as usize / 2, 11);
+    client.write_file("/drops", &data, rf(2)).unwrap();
+    assert_eq!(client.read_file("/drops").unwrap(), data);
+    let snap = client.cluster_metrics_snapshot().unwrap();
+    let series: Vec<_> =
+        snap.counters.iter().filter(|s| s.name == "trace_spans_dropped_total").collect();
+    assert_eq!(
+        series.len(),
+        1 + cluster.workers().len(),
+        "one stamped series for the master plus one per scraped worker: {series:?}"
+    );
+    // Dropped counts only grow; the stamped value cannot exceed what the
+    // collectors report right now.
+    let stamped: u64 = series.iter().map(|s| s.value).sum();
+    let current: u64 = cluster.master().trace().dropped()
+        + cluster.workers().iter().map(|w| w.trace().dropped()).sum::<u64>();
+    assert!(stamped <= current, "stamped {stamped} > live {current}");
+}
+
+#[test]
 fn untraced_requests_still_use_the_bare_wire_format() {
     // Old-format compatibility: requests issued with no active span (e.g.
     // heartbeats, background traffic) carry no envelope, and a fresh

@@ -144,6 +144,12 @@ impl ClusterState {
         self.scheduled.get(&media).copied().unwrap_or(0)
     }
 
+    /// Sum of scheduled-write reservations across every medium (the
+    /// cluster-wide in-flight write volume).
+    pub fn total_scheduled_bytes(&self) -> u64 {
+        self.scheduled.values().sum()
+    }
+
     /// Marks workers dead whose heartbeats stopped; returns the newly dead.
     pub fn tick(&mut self, now_ms: u64) -> Vec<WorkerId> {
         let deadline = self.heartbeat_ms * self.dead_after_missed as u64;

@@ -1,18 +1,19 @@
 //! The [`Master`] facade: the client-facing namespace/block API (Table 1),
 //! heartbeat and block-report processing, and the replication monitor (§5).
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use octopus_common::metrics::{Labels, MetricsRegistry};
 use octopus_common::trace::TraceCollector;
 use octopus_common::{
-    Block, BlockId, ClientLocation, ClusterConfig, FsError, GenStamp, IdGenerator, LocatedBlock,
-    Location, MediaId, MediaStats, RackId, ReplicationVector, Result, StorageTierReport, TierId,
-    WorkerId,
+    AuditRing, Block, BlockId, BlockTouches, ClientLocation, ClusterConfig, ClusterStatusReport,
+    DecisionEvent, DecisionKind, DecisionRound, FsError, GenStamp, HeatInfo, HeatTracker, HotFile,
+    IdGenerator, LocatedBlock, Location, MediaId, MediaStats, RackId, ReplicationVector, Result,
+    SeriesPoint, SeriesRing, StorageTierReport, TierId, WorkerId, WorkerStatusLine,
 };
 use octopus_policies::{
-    build_placement_policy, build_retrieval_policy, choose_replica_to_remove, PlacementPolicy,
-    PlacementRequest, RetrievalPolicy,
+    build_placement_policy, build_retrieval_policy, choose_replica_to_remove_explained,
+    PlacementPolicy, PlacementRequest, RetrievalPolicy,
 };
 
 use crate::blockmap::{replication_state, BlockMap};
@@ -75,6 +76,13 @@ pub struct Master {
     gen_stamps: IdGenerator,
     metrics: MetricsRegistry,
     trace: TraceCollector,
+    // Telemetry state lives outside `inner` on purpose: heat queries and
+    // audit lookups must not contend with (or upgrade) the namespace lock,
+    // and `get_file_block_locations` records retrieval decisions while
+    // holding only a read lock.
+    heat: Mutex<HeatTracker>,
+    audit: AuditRing,
+    series: SeriesRing,
 }
 
 impl Master {
@@ -127,6 +135,15 @@ impl Master {
             gen_stamps: IdGenerator::new(1),
             metrics: MetricsRegistry::new(),
             trace: TraceCollector::new("master"),
+            heat: Mutex::new(HeatTracker::new(
+                octopus_common::heat::DEFAULT_HEAT_EPOCH_MS,
+                octopus_common::heat::DEFAULT_HEAT_ALPHA,
+            )),
+            audit: AuditRing::new(octopus_common::audit::DEFAULT_AUDIT_CAPACITY),
+            series: SeriesRing::new(
+                octopus_common::series::DEFAULT_SERIES_INTERVAL_MS,
+                octopus_common::series::DEFAULT_SERIES_POINTS,
+            ),
         })
     }
 
@@ -181,6 +198,49 @@ impl Master {
         self.metrics.inc("master_heartbeats_total", Labels::worker(worker));
         self.update_liveness_gauge(&g);
         out
+    }
+
+    /// [`Master::heartbeat`] carrying a worker's drained access-heat epoch:
+    /// per-block read/write touch counts are resolved to their owning files
+    /// and folded into the per-file EWMA heat tracker. Touches for blocks
+    /// the master no longer knows (deleted files, stale workers) are
+    /// silently dropped.
+    pub fn heartbeat_with_heat(
+        &self,
+        worker: WorkerId,
+        media: Vec<MediaStats>,
+        nr_conn: u32,
+        now_ms: u64,
+        touches: &[BlockTouches],
+    ) -> Result<()> {
+        self.heartbeat(worker, media, nr_conn, now_ms)?;
+        self.observe_touches(touches, now_ms);
+        Ok(())
+    }
+
+    /// Folds per-block touch counts into per-file heat (see
+    /// [`Master::heartbeat_with_heat`]). Public so replaying harnesses can
+    /// inject synthetic access patterns.
+    pub fn observe_touches(&self, touches: &[BlockTouches], now_ms: u64) {
+        if touches.is_empty() {
+            return;
+        }
+        let mut per_file: std::collections::HashMap<octopus_common::INodeId, (u64, u64)> =
+            std::collections::HashMap::new();
+        {
+            let g = self.inner.read();
+            for t in touches {
+                if let Some(info) = g.blocks.get(t.block) {
+                    let e = per_file.entry(info.file).or_insert((0, 0));
+                    e.0 += t.reads as u64;
+                    e.1 += t.writes as u64;
+                }
+            }
+        }
+        let mut heat = self.heat.lock();
+        for (file, (reads, writes)) in per_file {
+            heat.observe(file, reads, writes, now_ms);
+        }
     }
 
     fn update_liveness_gauge(&self, g: &Inner) {
@@ -266,6 +326,24 @@ impl Master {
             g.leases.release(&path);
         }
         self.update_liveness_gauge(&g);
+        let sample_at = g.clock_ms;
+        self.series.maybe_sample(sample_at, || {
+            let mut values: Vec<(String, i64)> = vec![
+                ("live_workers".to_string(), g.cluster.workers().filter(|w| w.live).count() as i64),
+                ("files".to_string(), g.ns.counts().0 as i64),
+                ("blocks".to_string(), g.blocks.len() as i64),
+                ("scheduled_bytes".to_string(), g.cluster.total_scheduled_bytes() as i64),
+            ];
+            for r in g.cluster.tier_reports(&self.config.tiers) {
+                let used = r.stats.capacity.saturating_sub(r.stats.remaining);
+                values.push((format!("tier{}_used_bytes", r.stats.tier.0), used as i64));
+                values.push((
+                    format!("tier{}_capacity_bytes", r.stats.tier.0),
+                    r.stats.capacity as i64,
+                ));
+            }
+            values
+        });
         dead
     }
 
@@ -446,7 +524,7 @@ impl Master {
         let mut req = PlacementRequest::from_vector(rv, len, client);
         req.excluded_workers = excluded.to_vec();
         let snap = g.cluster.snapshot();
-        let media = self.placement.place(&snap, &req)?;
+        let (media, rounds) = self.placement.place_with_audit(&snap, &req)?;
         if media.len() < req.tier_pins.len() {
             // Partial placement is tolerated (the replication monitor will
             // top the block up later) but at least one replica must exist.
@@ -485,6 +563,16 @@ impl Master {
             gen: block.gen.0,
             len,
         })?;
+        self.audit.push(DecisionEvent {
+            seq: 0,
+            when_ms: now,
+            kind: DecisionKind::Placement,
+            block: block.id,
+            file,
+            policy: self.placement.name().to_string(),
+            chosen: locations.clone(),
+            rounds,
+        });
         Ok((block, locations))
     }
 
@@ -601,7 +689,7 @@ impl Master {
         // Place first: a placement failure must leave the old assignment
         // intact (no edit-log entry either way — replica locations are
         // never logged, exactly as in `add_block_excluding`).
-        let media = self.placement.place(&snap, &req)?;
+        let (media, rounds) = self.placement.place_with_audit(&snap, &req)?;
         if media.is_empty() {
             return Err(FsError::PlacementFailed(format!(
                 "no media available for block of {path}"
@@ -628,6 +716,16 @@ impl Master {
             g.cluster.schedule_write(l.media, block.len);
         }
         g.blocks.insert(block, file, locations.clone());
+        self.audit.push(DecisionEvent {
+            seq: 0,
+            when_ms: now,
+            kind: DecisionKind::Reassign,
+            block: block.id,
+            file,
+            policy: self.placement.name().to_string(),
+            chosen: locations.clone(),
+            rounds,
+        });
         Ok(locations)
     }
 
@@ -679,19 +777,36 @@ impl Master {
         let file = g.ns.resolve(path)?;
         let meta = g.ns.file_meta(file)?;
         let snap = g.cluster.snapshot();
+        let now = g.clock_ms;
         let mut out = Vec::new();
         let mut offset = 0u64;
         for bid in &meta.blocks {
             let Some(info) = g.blocks.get(*bid) else {
                 return Err(FsError::Internal(format!("file block {bid} missing from map")));
             };
-            let lb = LocatedBlock {
-                block: info.block,
-                offset,
-                locations: self.retrieval.order(&snap, client, &info.locations),
-            };
+            let (ordered, candidates) =
+                self.retrieval.order_with_audit(&snap, client, &info.locations);
+            let lb = LocatedBlock { block: info.block, offset, locations: ordered };
             offset = lb.end();
             if lb.overlaps(start, len) {
+                // Retrieval decisions are audited only for blocks actually
+                // handed to the client (the requested range). The ring has
+                // its own lock, so recording is fine under the read lock.
+                self.audit.push(DecisionEvent {
+                    seq: 0,
+                    when_ms: now,
+                    kind: DecisionKind::Retrieval,
+                    block: info.block.id,
+                    file,
+                    policy: self.retrieval.name().to_string(),
+                    chosen: lb.locations.clone(),
+                    rounds: vec![DecisionRound {
+                        replica_index: 0,
+                        tier_pin: None,
+                        chosen_media: lb.locations.first().map(|l| l.media),
+                        candidates,
+                    }],
+                });
                 out.push(lb);
             }
         }
@@ -849,7 +964,8 @@ impl Master {
                 .map(|(id, _, meta)| (id, meta.rv, meta.blocks.clone()))
                 .collect();
 
-        for (_, rv, blocks) in files {
+        let now = g.clock_ms;
+        for (file, rv, blocks) in files {
             for bid in blocks {
                 let Some(info) = g.blocks.get(bid) else { continue };
                 let block = info.block;
@@ -889,7 +1005,8 @@ impl Master {
                         existing: all.iter().map(|l| l.media).collect(),
                         excluded_workers: Vec::new(),
                     };
-                    if let Ok(media) = self.placement.place(&snap, &req) {
+                    if let Ok((media, rounds)) = self.placement.place_with_audit(&snap, &req) {
+                        let mut targets = Vec::new();
                         for m in media {
                             let Some((worker, tier)) = g.cluster.locate_media(m) else {
                                 continue;
@@ -902,7 +1019,20 @@ impl Master {
                             );
                             g.blocks.add_pending(bid, &[target]).ok();
                             g.cluster.schedule_write(m, block.len);
+                            targets.push(target);
                             tasks.push(ReplicationTask::Copy { block, sources, target });
+                        }
+                        if !targets.is_empty() {
+                            self.audit.push(DecisionEvent {
+                                seq: 0,
+                                when_ms: now,
+                                kind: DecisionKind::Placement,
+                                block: bid,
+                                file,
+                                policy: self.placement.name().to_string(),
+                                chosen: targets,
+                                rounds,
+                            });
                         }
                     }
                 }
@@ -911,13 +1041,32 @@ impl Master {
                 for &(tier, count) in &state.over {
                     let mut current = confirmed.clone();
                     for _ in 0..count {
-                        let Some(victim) =
-                            choose_replica_to_remove(&snap, &current, Some(tier), block.len)
-                        else {
+                        let (victim, candidates) = choose_replica_to_remove_explained(
+                            &snap,
+                            &current,
+                            Some(tier),
+                            block.len,
+                        );
+                        let Some(victim) = victim else {
                             break;
                         };
                         current.retain(|l| l != &victim);
                         g.blocks.remove_replica(bid, victim.media);
+                        self.audit.push(DecisionEvent {
+                            seq: 0,
+                            when_ms: now,
+                            kind: DecisionKind::Removal,
+                            block: bid,
+                            file,
+                            policy: "leave-one-out".to_string(),
+                            chosen: vec![victim],
+                            rounds: vec![DecisionRound {
+                                replica_index: 0,
+                                tier_pin: Some(tier),
+                                chosen_media: Some(victim.media),
+                                candidates,
+                            }],
+                        });
                         tasks.push(ReplicationTask::Delete { block, location: victim });
                     }
                 }
@@ -1071,6 +1220,94 @@ impl Master {
     /// (test/diagnostic hook for reservation-leak regressions).
     pub fn scheduled_bytes(&self, media: MediaId) -> u64 {
         self.inner.read().cluster.scheduled_bytes(media)
+    }
+
+    // -- Tiering telemetry ---------------------------------------------------
+
+    /// Access-heat summary for the file at `path` as of the master's
+    /// logical clock. Untouched files report all-zero heat.
+    pub fn file_heat(&self, path: &str) -> Result<HeatInfo> {
+        let (file, now) = {
+            let g = self.inner.read();
+            (g.ns.resolve(path)?, g.clock_ms)
+        };
+        Ok(self.heat.lock().info(file, now))
+    }
+
+    /// The `k` hottest files by EWMA heat score, hottest first, with their
+    /// current namespace paths. Files deleted since their last touch are
+    /// omitted.
+    pub fn hot_files(&self, k: usize) -> Vec<HotFile> {
+        let now = self.inner.read().clock_ms;
+        // Over-fetch so deleted files do not shrink the answer below `k`.
+        let hottest = self.heat.lock().hottest(k.saturating_mul(2), now);
+        let g = self.inner.read();
+        hottest
+            .into_iter()
+            .filter(|h| g.ns.file_meta(h.file).is_ok())
+            .map(|heat| HotFile { path: g.ns.path_of(heat.file), heat })
+            .take(k)
+            .collect()
+    }
+
+    /// Every audited decision event still retained for `block`, oldest
+    /// first — placement, reassignment, retrieval orderings, and removals.
+    pub fn explain(&self, block: BlockId) -> Vec<DecisionEvent> {
+        self.audit.by_block(block)
+    }
+
+    /// The most recent `n` decision events across all blocks.
+    pub fn recent_decisions(&self, n: usize) -> Vec<DecisionEvent> {
+        self.audit.recent(n)
+    }
+
+    /// The master's time-series ring (sampled on [`Master::tick`]).
+    pub fn series_points(&self) -> Vec<SeriesPoint> {
+        self.series.points()
+    }
+
+    /// One-stop cluster status for the operator surface: namespace and
+    /// block counts, per-tier aggregates, per-worker lines, the hottest
+    /// files, and audit-ring occupancy.
+    pub fn cluster_status(&self, hot_k: usize) -> ClusterStatusReport {
+        let (now_ms, safe_mode, files, blocks, in_flight_blocks, scheduled_bytes, tiers, workers) = {
+            let g = self.inner.read();
+            let workers: Vec<WorkerStatusLine> = g
+                .cluster
+                .workers()
+                .map(|w| WorkerStatusLine {
+                    worker: w.worker,
+                    rack: w.rack,
+                    live: w.live,
+                    nr_conn: w.nr_conn,
+                    last_heartbeat_ms: w.last_heartbeat_ms,
+                    media: w.media.clone(),
+                })
+                .collect();
+            (
+                g.clock_ms,
+                g.safe_mode,
+                g.ns.counts().0 as u64,
+                g.blocks.len() as u64,
+                g.blocks.iter().filter(|(_, i)| !i.pending.is_empty()).count() as u64,
+                g.cluster.total_scheduled_bytes(),
+                g.cluster.tier_reports(&self.config.tiers),
+                workers,
+            )
+        };
+        ClusterStatusReport {
+            now_ms,
+            safe_mode,
+            files,
+            blocks,
+            in_flight_blocks,
+            scheduled_bytes,
+            tiers,
+            workers,
+            hot: self.hot_files(hot_k),
+            decisions_recorded: self.audit.recorded(),
+            decisions_retained: self.audit.len() as u64,
+        }
     }
 }
 

@@ -28,6 +28,6 @@ pub use placement::{
     build_placement_policy, GreedyPolicy, HdfsPolicy, Objective, PlacementPolicy, PlacementRequest,
     RuleBasedPolicy,
 };
-pub use removal::choose_replica_to_remove;
+pub use removal::{choose_replica_to_remove, choose_replica_to_remove_explained};
 pub use retrieval::{build_retrieval_policy, HdfsLocalityPolicy, RateBasedPolicy, RetrievalPolicy};
 pub use snapshot::ClusterSnapshot;

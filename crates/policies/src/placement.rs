@@ -16,12 +16,12 @@ use std::collections::HashSet;
 
 use octopus_common::config::{PlacementPolicyKind, PolicyConfig};
 use octopus_common::{
-    ClientLocation, FsError, MediaId, MediaStats, RackId, ReplicationVector, Result, TierId,
-    WorkerId,
+    CandidateScore, ClientLocation, DecisionRound, FsError, MediaId, MediaStats, RackId,
+    ReplicationVector, Result, TierId, WorkerId,
 };
 
 pub use crate::objectives::Objective;
-use crate::objectives::{score, ObjectiveContext};
+use crate::objectives::{f_db, f_ft, f_lb, f_tm, score, ObjectiveContext};
 use crate::snapshot::ClusterSnapshot;
 
 /// A request to choose storage media for the replicas of one block.
@@ -95,6 +95,18 @@ pub trait PlacementPolicy: Send + Sync {
 
     /// Chooses media for the requested replicas.
     fn place(&self, snap: &ClusterSnapshot, req: &PlacementRequest) -> Result<Vec<MediaId>>;
+
+    /// Like [`place`](Self::place), but also returns one audit
+    /// [`DecisionRound`] per replica slot: every candidate evaluated with
+    /// its per-objective scores and the winner. Policies without a scored
+    /// model (the rule-based and HDFS baselines) return empty rounds.
+    fn place_with_audit(
+        &self,
+        snap: &ClusterSnapshot,
+        req: &PlacementRequest,
+    ) -> Result<(Vec<MediaId>, Vec<DecisionRound>)> {
+        Ok((self.place(snap, req)?, Vec::new()))
+    }
 }
 
 /// Constructs the policy selected by a [`PolicyConfig`].
@@ -218,6 +230,7 @@ impl GreedyPolicy {
         options: &[&'a MediaStats],
         chosen: &[&'a MediaStats],
         ctx: &ObjectiveContext,
+        mut audit: Option<&mut Vec<CandidateScore>>,
     ) -> Option<&'a MediaStats> {
         let mut best_score = f64::INFINITY;
         let mut best: Vec<&MediaStats> = Vec::new();
@@ -227,6 +240,19 @@ impl GreedyPolicy {
             trial.extend_from_slice(chosen);
             trial.push(option);
             let s = score(&trial, ctx, &self.objectives);
+            if let Some(a) = audit.as_deref_mut() {
+                a.push(CandidateScore {
+                    media: option.media,
+                    worker: option.worker,
+                    tier: option.tier,
+                    total: s,
+                    db: f_db(&trial, ctx),
+                    lb: f_lb(&trial),
+                    ft: f_ft(&trial, ctx),
+                    tm: f_tm(&trial, ctx),
+                    chosen: false,
+                });
+            }
             let eps = 1e-9 * (1.0 + best_score.abs().min(1e12));
             if s < best_score - eps {
                 best_score = s;
@@ -237,7 +263,13 @@ impl GreedyPolicy {
             }
         }
         let mut rng = self.tie_rng.lock();
-        best.as_slice().choose(&mut *rng).copied()
+        let winner = best.as_slice().choose(&mut *rng).copied();
+        if let (Some(a), Some(w)) = (audit, winner) {
+            for c in a.iter_mut() {
+                c.chosen = c.media == w.media;
+            }
+        }
+        winner
     }
 
     /// GenOptions: the feasible, heuristically pruned option list for the
@@ -314,15 +346,15 @@ impl GreedyPolicy {
         let r = req.total_replicas();
         (r as f64 * self.cfg.max_memory_fraction).floor() as usize
     }
-}
 
-impl PlacementPolicy for GreedyPolicy {
-    fn name(&self) -> &'static str {
-        self.name
-    }
-
-    /// Algorithm 2.
-    fn place(&self, snap: &ClusterSnapshot, req: &PlacementRequest) -> Result<Vec<MediaId>> {
+    /// Algorithm 2 with optional audit capture: one [`DecisionRound`] per
+    /// replica slot (including deferred ones, with no chosen medium).
+    fn place_inner(
+        &self,
+        snap: &ClusterSnapshot,
+        req: &PlacementRequest,
+        mut audit: Option<&mut Vec<DecisionRound>>,
+    ) -> Result<Vec<MediaId>> {
         let index = snap.media_index();
         let mut chosen_stats: Vec<&MediaStats> = Vec::new();
         let mut used: HashSet<MediaId> = HashSet::new();
@@ -352,7 +384,17 @@ impl PlacementPolicy for GreedyPolicy {
             let mut ctx_media = options.clone();
             ctx_media.extend_from_slice(&chosen_stats);
             let ctx = ObjectiveContext::new(&ctx_media, req.block_size, k, n, t);
-            let Some(best) = self.solve_moop(&options, &chosen_stats, &ctx) else {
+            let mut round_scores = audit.as_ref().map(|_| Vec::new());
+            let best = self.solve_moop(&options, &chosen_stats, &ctx, round_scores.as_mut());
+            if let Some(a) = audit.as_deref_mut() {
+                a.push(DecisionRound {
+                    replica_index: i as u32,
+                    tier_pin: pin,
+                    candidates: round_scores.unwrap_or_default(),
+                    chosen_media: best.map(|m| m.media),
+                });
+            }
+            let Some(best) = best else {
                 // Cannot place this replica now; the master retries on a
                 // later scan, so this is expected pressure — not an error.
                 octopus_common::log_debug!(
@@ -382,6 +424,27 @@ impl PlacementPolicy for GreedyPolicy {
             )));
         }
         Ok(placed)
+    }
+}
+
+impl PlacementPolicy for GreedyPolicy {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Algorithm 2.
+    fn place(&self, snap: &ClusterSnapshot, req: &PlacementRequest) -> Result<Vec<MediaId>> {
+        self.place_inner(snap, req, None)
+    }
+
+    fn place_with_audit(
+        &self,
+        snap: &ClusterSnapshot,
+        req: &PlacementRequest,
+    ) -> Result<(Vec<MediaId>, Vec<DecisionRound>)> {
+        let mut rounds = Vec::with_capacity(req.tier_pins.len());
+        let placed = self.place_inner(snap, req, Some(&mut rounds))?;
+        Ok((placed, rounds))
     }
 }
 
@@ -1045,6 +1108,50 @@ mod tests {
             }
         }
         assert!(greedy_score <= best * 1.5 + 1e-9, "greedy {greedy_score} vs exhaustive {best}");
+    }
+
+    #[test]
+    fn audit_rounds_record_argmin_candidates() {
+        let snap = paper_like();
+        let req = PlacementRequest::unspecified(3, 128 << 20, ClientLocation::OffCluster);
+        let (placed, rounds) = moop().place_with_audit(&snap, &req).unwrap();
+        assert_eq!(placed.len(), 3);
+        assert_eq!(rounds.len(), 3, "one round per replica slot");
+        for (i, round) in rounds.iter().enumerate() {
+            assert_eq!(round.replica_index, i as u32);
+            assert_eq!(round.tier_pin, None);
+            assert_eq!(round.chosen_media, Some(placed[i]));
+            assert!(!round.candidates.is_empty());
+            let chosen: Vec<_> = round.candidates.iter().filter(|c| c.chosen).collect();
+            assert_eq!(chosen.len(), 1);
+            assert_eq!(chosen[0].media, placed[i]);
+            // The winner is the argmin of the recorded Eq. 11 scores,
+            // within the engine's tie-break epsilon.
+            let min = round.candidates.iter().map(|c| c.total).fold(f64::INFINITY, f64::min);
+            let eps = 1e-9 * (1.0 + min.abs().min(1e12));
+            assert!(
+                chosen[0].total <= min + eps,
+                "chosen {} vs min {} in round {i}",
+                chosen[0].total,
+                min
+            );
+        }
+        // Audit and plain placement agree when the RNG state matches.
+        let audited = GreedyPolicy::moop(PolicyConfig::default());
+        let plain = GreedyPolicy::moop(PolicyConfig::default());
+        let (a, _) = audited.place_with_audit(&snap, &req).unwrap();
+        let p = plain.place_with_audit(&snap, &req).map(|(m, _)| m).unwrap();
+        assert_eq!(a, p);
+    }
+
+    #[test]
+    fn baseline_policies_audit_empty_rounds() {
+        let snap = paper_like();
+        let req = PlacementRequest::unspecified(3, 1 << 20, ClientLocation::OffCluster);
+        let rb = RuleBasedPolicy::new(PolicyConfig::default(), 7);
+        let (placed, rounds) = rb.place_with_audit(&snap, &req).unwrap();
+        assert!(!placed.is_empty());
+        assert!(rounds.is_empty(), "rule-based has no scored model to audit");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! list with the Eq. 11 score and removes the replica whose absence yields
 //! the best (lowest) score.
 
-use octopus_common::{Location, MediaStats, TierId};
+use octopus_common::{CandidateScore, Location, MediaStats, TierId};
 
 use crate::objectives::{score, Objective, ObjectiveContext};
 use crate::snapshot::ClusterSnapshot;
@@ -21,6 +21,20 @@ pub fn choose_replica_to_remove(
     over_tier: Option<TierId>,
     block_size: u64,
 ) -> Option<Location> {
+    choose_replica_to_remove_explained(snap, replicas, over_tier, block_size).0
+}
+
+/// [`choose_replica_to_remove`] with audit capture: also returns one
+/// [`CandidateScore`] per eligible candidate, `total` holding the Eq. 11
+/// score of the replica set *with that candidate removed* (lower is
+/// better), `chosen` marking the victim. A replica on dead media wins
+/// outright and is recorded as the sole candidate with `total = 0`.
+pub fn choose_replica_to_remove_explained(
+    snap: &ClusterSnapshot,
+    replicas: &[Location],
+    over_tier: Option<TierId>,
+    block_size: u64,
+) -> (Option<Location>, Vec<CandidateScore>) {
     let stats: Vec<Option<&MediaStats>> =
         replicas.iter().map(|l| snap.media_stats(l.media)).collect();
 
@@ -29,7 +43,19 @@ pub fn choose_replica_to_remove(
     for (i, s) in stats.iter().enumerate() {
         let tier_ok = over_tier.is_none_or(|t| replicas[i].tier == t);
         if s.is_none() && tier_ok {
-            return Some(replicas[i]);
+            let loc = replicas[i];
+            let cand = CandidateScore {
+                media: loc.media,
+                worker: loc.worker,
+                tier: loc.tier,
+                total: 0.0,
+                db: 0.0,
+                lb: 0.0,
+                ft: 0.0,
+                tm: 0.0,
+                chosen: true,
+            };
+            return (Some(loc), vec![cand]);
         }
     }
 
@@ -43,6 +69,7 @@ pub fn choose_replica_to_remove(
     );
 
     let mut best: Option<(f64, Location)> = None;
+    let mut candidates: Vec<CandidateScore> = Vec::new();
     for (i, loc) in replicas.iter().enumerate() {
         if let Some(t) = over_tier {
             if loc.tier != t {
@@ -56,11 +83,27 @@ pub fn choose_replica_to_remove(
             .filter_map(|(j, _)| stats[j])
             .collect();
         let s = score(&remaining, &ctx, &Objective::ALL);
+        candidates.push(CandidateScore {
+            media: loc.media,
+            worker: loc.worker,
+            tier: loc.tier,
+            total: s,
+            db: 0.0,
+            lb: 0.0,
+            ft: 0.0,
+            tm: 0.0,
+            chosen: false,
+        });
         if best.is_none_or(|(bs, _)| s < bs) {
             best = Some((s, *loc));
         }
     }
-    best.map(|(_, l)| l)
+    if let Some((_, victim)) = best {
+        for c in candidates.iter_mut() {
+            c.chosen = c.media == victim.media;
+        }
+    }
+    (best.map(|(_, l)| l), candidates)
 }
 
 #[cfg(test)]
@@ -129,6 +172,30 @@ mod tests {
         let replicas = vec![loc_on(&snap, 0, StorageTier::Hdd, 0)];
         assert!(choose_replica_to_remove(&snap, &replicas, Some(StorageTier::Ssd.id()), 1 << 20)
             .is_none());
+    }
+
+    #[test]
+    fn explained_marks_victim_as_argmin() {
+        let snap = paper_like();
+        let replicas = vec![
+            loc_on(&snap, 0, StorageTier::Hdd, 0),
+            loc_on(&snap, 0, StorageTier::Hdd, 1),
+            loc_on(&snap, 4, StorageTier::Hdd, 0),
+        ];
+        let (victim, cands) = choose_replica_to_remove_explained(
+            &snap,
+            &replicas,
+            Some(StorageTier::Hdd.id()),
+            1 << 20,
+        );
+        let victim = victim.unwrap();
+        assert_eq!(cands.len(), 3);
+        let chosen: Vec<_> = cands.iter().filter(|c| c.chosen).collect();
+        assert_eq!(chosen.len(), 1);
+        assert_eq!(chosen[0].media, victim.media);
+        // The victim's leave-one-out score is the minimum recorded.
+        let min = cands.iter().map(|c| c.total).fold(f64::INFINITY, f64::min);
+        assert!(chosen[0].total <= min + 1e-12);
     }
 
     #[test]

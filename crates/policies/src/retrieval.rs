@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use octopus_common::config::RetrievalPolicyKind;
-use octopus_common::{ClientLocation, Location};
+use octopus_common::{CandidateScore, ClientLocation, Location};
 
 use crate::snapshot::ClusterSnapshot;
 
@@ -28,6 +28,20 @@ pub trait RetrievalPolicy: Send + Sync {
         client: ClientLocation,
         locations: &[Location],
     ) -> Vec<Location>;
+
+    /// Like [`order`](Self::order), but also returns one audit
+    /// [`CandidateScore`] per location with `total` holding the decision
+    /// metric (the Eq. 12 estimated rate for the rate-based policy —
+    /// higher is better) and `chosen` marking the location served first.
+    /// Policies without a scored model return no candidates.
+    fn order_with_audit(
+        &self,
+        snap: &ClusterSnapshot,
+        client: ClientLocation,
+        locations: &[Location],
+    ) -> (Vec<Location>, Vec<CandidateScore>) {
+        (self.order(snap, client, locations), Vec::new())
+    }
 }
 
 /// Constructs the retrieval policy selected by configuration.
@@ -105,6 +119,34 @@ impl RetrievalPolicy for RateBasedPolicy {
             b.0.partial_cmp(&a.0).unwrap().then(b.1.partial_cmp(&a.1).unwrap()).then(a.2.cmp(&b.2))
         });
         keyed.into_iter().map(|(_, _, _, l)| l).collect()
+    }
+
+    fn order_with_audit(
+        &self,
+        snap: &ClusterSnapshot,
+        client: ClientLocation,
+        locations: &[Location],
+    ) -> (Vec<Location>, Vec<CandidateScore>) {
+        let ordered = self.order(snap, client, locations);
+        let first = ordered.first().copied();
+        let candidates = locations
+            .iter()
+            .map(|loc| {
+                let (rate, _) = Self::estimate_rate(snap, client, loc);
+                CandidateScore {
+                    media: loc.media,
+                    worker: loc.worker,
+                    tier: loc.tier,
+                    total: rate,
+                    db: 0.0,
+                    lb: 0.0,
+                    ft: 0.0,
+                    tm: 0.0,
+                    chosen: Some(*loc) == first,
+                }
+            })
+            .collect();
+        (ordered, candidates)
     }
 }
 
@@ -289,6 +331,36 @@ mod tests {
         // With everything equidistant, two orderings should differ
         // (probability of identical shuffles is negligible).
         assert_ne!(o1, o2);
+    }
+
+    #[test]
+    fn rate_based_audit_marks_best_rate_chosen() {
+        let snap = paper_like();
+        let locations = vec![
+            loc(&snap, 3, StorageTier::Hdd),
+            loc(&snap, 5, StorageTier::Memory),
+            loc(&snap, 7, StorageTier::Hdd),
+        ];
+        let p = RateBasedPolicy::new(1);
+        let (ordered, cands) = p.order_with_audit(&snap, ClientLocation::OffCluster, &locations);
+        assert_eq!(cands.len(), 3);
+        let chosen: Vec<_> = cands.iter().filter(|c| c.chosen).collect();
+        assert_eq!(chosen.len(), 1);
+        assert_eq!(chosen[0].media, ordered[0].media);
+        // The chosen location has the maximal recorded rate (higher is
+        // better for retrievals).
+        let max = cands.iter().map(|c| c.total).fold(f64::NEG_INFINITY, f64::max);
+        assert!(chosen[0].total >= max - 1e-9);
+    }
+
+    #[test]
+    fn hdfs_audit_has_no_scored_candidates() {
+        let snap = paper_like();
+        let locations = vec![loc(&snap, 0, StorageTier::Hdd), loc(&snap, 5, StorageTier::Hdd)];
+        let p = HdfsLocalityPolicy::new(1);
+        let (ordered, cands) = p.order_with_audit(&snap, ClientLocation::OffCluster, &locations);
+        assert_eq!(ordered.len(), 2);
+        assert!(cands.is_empty());
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Heat-telemetry smoke test: boots a networked cluster, writes two files,
+//! re-reads one of them, and asserts that (a) the re-read file's EWMA heat
+//! exceeds its untouched sibling's, and (b) the audited placement decision
+//! for its first block matches the block map. CI runs this and greps for
+//! the `HEAT-SMOKE` verdict lines (see `scripts/ci.sh`).
+//!
+//! Run with: `cargo run --release --example heat_smoke`
+
+use std::time::{Duration, Instant};
+
+use octopusfs::common::DecisionKind;
+use octopusfs::core::net::NetCluster;
+use octopusfs::{ClientLocation, ClusterConfig, ReplicationVector};
+
+fn main() -> octopusfs::Result<()> {
+    let mut config = ClusterConfig::test_cluster(4, 64 << 20, 1 << 20);
+    config.heartbeat_ms = 50;
+    let cluster = NetCluster::start(config)?;
+    let client = cluster.client(ClientLocation::OffCluster);
+
+    let data: Vec<u8> = (0..1_500_000u32).map(|i| (i % 241) as u8).collect();
+    let rv = ReplicationVector::from_replication_factor(2);
+    client.write_file("/hot", &data, rv)?;
+    client.write_file("/cold", &data, rv)?;
+    for _ in 0..10 {
+        assert_eq!(client.read_file("/hot")?, data);
+    }
+
+    // Touch counts reach the master on worker heartbeats; poll until the
+    // re-read file pulls ahead of the untouched one.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let (hot, cold) = loop {
+        let hot = client.heat("/hot")?;
+        let cold = client.heat("/cold")?;
+        if hot.score > cold.score || Instant::now() >= deadline {
+            break (hot, cold);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    println!("HEAT-SMOKE hot score={:.4} reads={}", hot.score, hot.cur_reads);
+    println!("HEAT-SMOKE cold score={:.4} reads={}", cold.score, cold.cur_reads);
+    assert!(
+        hot.score > cold.score,
+        "re-read file must be hotter: hot={} cold={}",
+        hot.score,
+        cold.score
+    );
+
+    // The audited placement of /hot's first block names exactly the media
+    // the block map holds the block on.
+    let blocks = client.get_file_block_locations("/hot", 0, u64::MAX)?;
+    let first = &blocks[0];
+    let events = client.explain_placement(first.block.id)?;
+    let placement = events
+        .iter()
+        .find(|e| e.kind == DecisionKind::Placement)
+        .expect("first block has an audited placement decision");
+    for loc in &first.locations {
+        assert!(
+            placement.chosen.iter().any(|c| c.media == loc.media),
+            "block-map location {loc:?} missing from audited decision {placement:?}"
+        );
+    }
+    // Each audited round's winner is marked among its candidate scores.
+    for round in &placement.rounds {
+        if let Some(w) = round.chosen_media {
+            assert!(
+                round.candidates.iter().any(|c| c.chosen && c.media == w),
+                "round winner {w:?} not marked in candidates"
+            );
+        }
+    }
+    println!(
+        "HEAT-SMOKE placement block={} rounds={} chosen={} ok=true",
+        first.block.id,
+        placement.rounds.len(),
+        placement.chosen.len()
+    );
+    Ok(())
+}

@@ -91,4 +91,77 @@ if [ ! -s results/aggregate_io.json ]; then
 fi
 grep "^GATE" <<<"$agg_out"
 
+echo "==> heat telemetry smoke"
+# The heat/audit/series suite on a real TCP cluster, then the example
+# (worker touch rings → heartbeat piggyback → master EWMA, plus the
+# audited placement of a block cross-checked against the block map),
+# then the quick hot/cold separation sweep. The GATE line asserts the
+# re-read file scores above its untouched sibling in ≥95% of epochs;
+# results/heat.json is the machine-readable artifact CI uploads.
+cargo test --release -q -p octopus-core --test telemetry
+heat_out=$(cargo run --release --quiet --example heat_smoke)
+for line in "^HEAT-SMOKE hot " "^HEAT-SMOKE cold " "^HEAT-SMOKE placement .* ok=true"; do
+    if ! grep -q "$line" <<<"$heat_out"; then
+        echo "heat smoke: missing line matching ${line}" >&2
+        exit 1
+    fi
+done
+heat_sweep=$(cargo run --release --quiet -p octopus-bench --bin exp_heat -- --quick)
+if ! grep -q "^GATE heat .* pass=true" <<<"$heat_sweep"; then
+    echo "heat smoke: hot/cold separation gate failed" >&2
+    grep "^GATE" <<<"$heat_sweep" >&2 || true
+    exit 1
+fi
+if [ ! -s results/heat.json ]; then
+    echo "heat smoke: missing results/heat.json" >&2
+    exit 1
+fi
+grep "^GATE" <<<"$heat_sweep"
+
+echo "==> operator status smoke"
+# Boot the real daemons (one master, two workers) and check that
+# `octofs-remote status` renders the live cluster: every tier line must
+# report a non-zero capacity once the workers have heartbeated in.
+status_dir=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$status_dir"' EXIT
+./target/release/octofs-master --listen 127.0.0.1:0 --workers 2 \
+    --heartbeat-ms 100 >"$status_dir/master.log" 2>&1 &
+for _ in $(seq 50); do
+    master_addr=$(sed -n 's/^octofs-master listening on //p' "$status_dir/master.log")
+    [ -n "$master_addr" ] && break
+    sleep 0.1
+done
+if [ -z "${master_addr:-}" ]; then
+    echo "status smoke: master did not report a listen address" >&2
+    cat "$status_dir/master.log" >&2
+    exit 1
+fi
+for w in 0 1; do
+    ./target/release/octofs-worker --master "$master_addr" --id "$w" \
+        --workers 2 --heartbeat-ms 100 >"$status_dir/worker$w.log" 2>&1 &
+done
+# Tier reports materialize as worker heartbeats register media, so poll
+# until at least one non-zero-capacity tier line and a live worker show.
+status_out=""
+for _ in $(seq 50); do
+    status_out=$(./target/release/octofs-remote --master "$master_addr" status || true)
+    if grep -q "^tier " <<<"$status_out" &&
+        ! grep "^tier " <<<"$status_out" | grep -q "capacity=0 B" &&
+        grep -q "^worker .* live " <<<"$status_out"; then
+        break
+    fi
+    sleep 0.2
+done
+if ! grep -q "^tier " <<<"$status_out"; then
+    echo "status smoke: no tier lines in octofs-remote status output" >&2
+    printf '%s\n' "$status_out" >&2
+    exit 1
+fi
+if grep "^tier " <<<"$status_out" | grep -q "capacity=0 B"; then
+    echo "status smoke: a tier reports zero capacity" >&2
+    printf '%s\n' "$status_out" >&2
+    exit 1
+fi
+echo "status smoke: $(grep -c "^tier " <<<"$status_out") tiers with non-zero capacity"
+
 echo "CI green."

@@ -2,12 +2,18 @@
 //! `octofs-master`/`octofs-worker` deployment.
 //!
 //! ```text
-//! octofs-remote --master ADDR <mkdir|put|get|cat|ls|rm|mv|setrep|report|metrics|trace> [args]
+//! octofs-remote --master ADDR <mkdir|put|get|cat|ls|rm|mv|setrep|report|
+//!                              status|heat|explain-placement|metrics|trace> [args]
 //! ```
 //!
 //! `trace read PATH` / `trace write PATH [BYTES]` runs the operation with
 //! distributed tracing, prints the assembled critical path, and dumps the
 //! full span tree to `results/traces/trace-<id>.jsonl`.
+//!
+//! `status` prints the live cluster summary (per-tier capacity, per-worker
+//! lines, hottest files); `heat PATH` prints one file's access-heat EWMA;
+//! `explain-placement BLOCK_ID` replays the audited MOOP decisions for a
+//! block, candidate scores included.
 
 use std::io::Write as _;
 use std::net::ToSocketAddrs;
@@ -40,7 +46,8 @@ fn run(args: &[String]) -> Result<()> {
     let Some(cmd) = rest.first().cloned() else {
         return Err(FsError::InvalidArgument(
             "usage: octofs-remote --master ADDR \
-             <mkdir|put|get|cat|ls|rm|mv|setrep|report|metrics|trace>"
+             <mkdir|put|get|cat|ls|rm|mv|setrep|report|status|heat|explain-placement|\
+             metrics|trace>"
                 .into(),
         ));
     };
@@ -150,6 +157,112 @@ fn run(args: &[String]) -> Result<()> {
                     fmt_bytes(r.stats.remaining),
                     r.stats.remaining_fraction() * 100.0
                 );
+            }
+        }
+        "status" => {
+            let s = fs.cluster_status()?;
+            println!(
+                "cluster: {} files, {} blocks ({} in flight), scheduled={}{}",
+                s.files,
+                s.blocks,
+                s.in_flight_blocks,
+                fmt_bytes(s.scheduled_bytes),
+                if s.safe_mode { ", SAFE MODE" } else { "" }
+            );
+            println!(
+                "decisions: {} recorded, {} retained in audit ring",
+                s.decisions_recorded, s.decisions_retained
+            );
+            for t in &s.tiers {
+                let used = t.stats.capacity.saturating_sub(t.stats.remaining);
+                let pct = if t.stats.capacity > 0 {
+                    used as f64 / t.stats.capacity as f64 * 100.0
+                } else {
+                    0.0
+                };
+                println!(
+                    "tier {:<8} media={:<3} capacity={} used={} ({pct:.1}%)",
+                    t.name,
+                    t.stats.num_media,
+                    fmt_bytes(t.stats.capacity),
+                    fmt_bytes(used),
+                );
+            }
+            for w in &s.workers {
+                let used: u64 =
+                    w.media.iter().map(|m| m.capacity.saturating_sub(m.remaining)).sum();
+                let cap: u64 = w.media.iter().map(|m| m.capacity).sum();
+                println!(
+                    "worker {:<4} rack={} {} conn={} used={}/{} hb={}ms",
+                    w.worker.0,
+                    w.rack.0,
+                    if w.live { "live" } else { "DEAD" },
+                    w.nr_conn,
+                    fmt_bytes(used),
+                    fmt_bytes(cap),
+                    s.now_ms.saturating_sub(w.last_heartbeat_ms),
+                );
+            }
+            for h in &s.hot {
+                println!(
+                    "hot {:<30} score={:.3} reads_ewma={:.2} writes_ewma={:.2}",
+                    h.path, h.heat.score, h.heat.reads_ewma, h.heat.writes_ewma
+                );
+            }
+        }
+        "heat" => {
+            let path = args.first().ok_or_else(|| usage("heat PATH"))?;
+            let h = fs.heat(path)?;
+            println!(
+                "{path}: score={:.3} reads_ewma={:.2} writes_ewma={:.2} \
+                 cur_reads={} cur_writes={}",
+                h.score, h.reads_ewma, h.writes_ewma, h.cur_reads, h.cur_writes
+            );
+        }
+        "explain-placement" => {
+            let id: u64 = args
+                .first()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| usage("explain-placement BLOCK_ID"))?;
+            let events = fs.explain_placement(octopusfs::common::BlockId(id))?;
+            if events.is_empty() {
+                println!("no retained decisions for block {id}");
+            }
+            for e in events {
+                let chosen: Vec<String> = e
+                    .chosen
+                    .iter()
+                    .map(|l| format!("w{}:m{}:t{}", l.worker.0, l.media.0, l.tier.0))
+                    .collect();
+                println!(
+                    "#{} t={}ms {} policy={} chosen=[{}]",
+                    e.seq,
+                    e.when_ms,
+                    e.kind.label(),
+                    e.policy,
+                    chosen.join(", ")
+                );
+                for r in &e.rounds {
+                    let pin = match r.tier_pin {
+                        Some(t) => format!("tier {}", t.0),
+                        None => "unpinned".to_string(),
+                    };
+                    println!("  replica {} ({pin}):", r.replica_index);
+                    for c in &r.candidates {
+                        println!(
+                            "    {}w{}:m{}:t{} total={:.6} db={:.4} lb={:.4} ft={:.4} tm={:.4}",
+                            if c.chosen { "* " } else { "  " },
+                            c.worker.0,
+                            c.media.0,
+                            c.tier.0,
+                            c.total,
+                            c.db,
+                            c.lb,
+                            c.ft,
+                            c.tm,
+                        );
+                    }
+                }
             }
         }
         other => return Err(usage(&format!("unknown command {other}"))),

@@ -127,8 +127,12 @@ fn run(args: &[String]) -> Result<()> {
     loop {
         let now_ms = epoch.elapsed().as_millis() as u64;
         let (stats, conns) = worker.heartbeat_stats();
-        let _ =
-            call_master(master_addr, &MasterRequest::Heartbeat(worker.id(), stats, conns, now_ms));
+        let touches = worker.drain_heat_epoch();
+        worker.sample_series(now_ms);
+        let _ = call_master(
+            master_addr,
+            &MasterRequest::Heartbeat(worker.id(), stats, conns, now_ms, touches),
+        );
         beats += 1;
         if beats.is_multiple_of(BEATS_PER_REPORT) {
             let _ = report_blocks(master_addr, &worker);
