@@ -1,0 +1,11 @@
+//! Measures auto-tiering vs static placement on a shifting working set
+//! (EWMA classifier → migration round → paced copies into memory). Run
+//! with --release; `--quick` runs the reduced CI smoke variant.
+
+fn main() {
+    if std::env::args().any(|a| a == "--quick") {
+        octopus_bench::experiments::autotier::run_quick();
+    } else {
+        octopus_bench::experiments::autotier::run();
+    }
+}

@@ -19,6 +19,7 @@ fn main() {
         ("Parallel I/O window", octopus_bench::experiments::parallel_io::run),
         ("Aggregate I/O scaling", octopus_bench::experiments::aggregate_io::run),
         ("Access-heat separation", octopus_bench::experiments::heat::run),
+        ("Auto-tiering vs static", octopus_bench::experiments::autotier::run),
     ];
     for (name, run) in experiments {
         octopus_common::log_info!(target: "bench", "msg=\"experiment starting\" name=\"{name}\"");

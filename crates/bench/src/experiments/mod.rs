@@ -5,6 +5,7 @@
 
 pub mod ablation;
 pub mod aggregate_io;
+pub mod autotier;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

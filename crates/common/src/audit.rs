@@ -41,6 +41,13 @@ pub enum DecisionKind {
     /// Replica removal for an over-replicated block (§5, leave-one-out):
     /// `total` holds the cluster score *with the candidate removed*.
     Removal,
+    /// An automated tiering move: the migration planner changed a file's
+    /// replication vector because its heat classification changed
+    /// (promotion toward faster tiers or demotion toward slower ones).
+    /// Recorded once per migrated file against its first block; `policy`
+    /// carries the classifier name, direction, score, and the old → new
+    /// vectors.
+    Migration,
 }
 
 impl DecisionKind {
@@ -51,6 +58,7 @@ impl DecisionKind {
             DecisionKind::Reassign => "reassign",
             DecisionKind::Retrieval => "retrieval",
             DecisionKind::Removal => "removal",
+            DecisionKind::Migration => "migration",
         }
     }
 }
@@ -62,6 +70,7 @@ impl Wire for DecisionKind {
             DecisionKind::Reassign => 1,
             DecisionKind::Retrieval => 2,
             DecisionKind::Removal => 3,
+            DecisionKind::Migration => 4,
         };
         b.put(buf);
     }
@@ -71,6 +80,7 @@ impl Wire for DecisionKind {
             1 => DecisionKind::Reassign,
             2 => DecisionKind::Retrieval,
             3 => DecisionKind::Removal,
+            4 => DecisionKind::Migration,
             v => return Err(FsError::Io(format!("bad decision kind {v}"))),
         })
     }
@@ -316,6 +326,18 @@ mod tests {
         let e = event(7);
         let back: DecisionEvent = decode(&encode(&e)).unwrap();
         assert_eq!(back, e);
+        for kind in [
+            DecisionKind::Placement,
+            DecisionKind::Reassign,
+            DecisionKind::Retrieval,
+            DecisionKind::Removal,
+            DecisionKind::Migration,
+        ] {
+            let mut e = event(8);
+            e.kind = kind;
+            let back: DecisionEvent = decode(&encode(&e)).unwrap();
+            assert_eq!(back.kind, kind);
+        }
     }
 
     #[test]

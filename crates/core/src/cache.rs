@@ -33,6 +33,12 @@ struct Entry {
     accesses: u64,
     last_access: u64,
     bytes: u64,
+    /// Bytes this entry currently holds of the budget (0 when not
+    /// cached). Tracked separately from `bytes`, which is refreshed to
+    /// the file's current length on every access: eviction must release
+    /// exactly what promotion charged, or a file that grew while cached
+    /// would release more than it took and corrupt `used`.
+    charged: u64,
     cached: bool,
 }
 
@@ -115,11 +121,19 @@ impl CacheManager {
             accesses: 0,
             last_access: 0,
             bytes: status.len,
+            charged: 0,
             cached: false,
         });
         e.accesses += 1;
         e.last_access = tick;
         e.bytes = status.len;
+        if e.cached && e.charged != e.bytes {
+            // The file changed size while cached (e.g. an append): move
+            // the charge to the current length so the budget stays honest.
+            self.used = self.used.saturating_sub(e.charged).saturating_add(e.bytes);
+            e.charged = e.bytes;
+            self.metrics.gauge("cache_used_bytes", Labels::NONE).set(self.used as i64);
+        }
         let wants_promotion = !e.cached && e.accesses >= self.promote_after;
         if !wants_promotion {
             return Ok(Vec::new());
@@ -173,7 +187,8 @@ impl CacheManager {
         }
         if let Some(e) = self.entries.get_mut(path) {
             e.cached = true;
-            self.used += e.bytes;
+            e.charged = e.bytes;
+            self.used += e.charged;
         }
         self.metrics.inc("cache_promotions_total", Labels::NONE);
         self.metrics.gauge("cache_used_bytes", Labels::NONE).set(self.used as i64);
@@ -199,7 +214,8 @@ impl CacheManager {
         if let Some(e) = self.entries.get_mut(path) {
             if e.cached {
                 e.cached = false;
-                self.used = self.used.saturating_sub(e.bytes);
+                self.used = self.used.saturating_sub(e.charged);
+                e.charged = 0;
             }
         }
         self.metrics.inc("cache_evictions_total", Labels::NONE);

@@ -11,7 +11,8 @@ use std::sync::Arc;
 use octopus_common::{
     ClientLocation, ClusterConfig, FsError, MediaId, RackId, Result, TierId, WorkerId,
 };
-use octopus_master::{Master, ReplicationTask};
+use octopus_master::{AutoTierConfig, Master, MigrationDecision, ReplicationTask};
+use octopus_policies::TierClassifier;
 use octopus_storage::{BlockStore, FileStore, Media, MemoryStore, SimStore};
 
 use crate::client::Client;
@@ -323,6 +324,23 @@ impl Cluster {
         // Trim the over-replicated (overloaded) sources.
         self.run_replication_round()?;
         Ok(n)
+    }
+
+    /// Runs one auto-tiering round: classifies every file's temperature
+    /// through `classifier`, installs the planned replication-vector
+    /// edits (see [`Master::autotier_scan`]), and runs a replication
+    /// round so the §5 monitor realizes the moves. Returns the planned
+    /// migrations. Deterministic and unpaced — the networked
+    /// [`crate::NetCluster::run_migration_round`] adds the bandwidth
+    /// bound.
+    pub fn run_autotier_round(
+        &self,
+        classifier: &dyn TierClassifier,
+        cfg: &AutoTierConfig,
+    ) -> Result<Vec<MigrationDecision>> {
+        let decisions = self.master.autotier_scan(classifier, cfg);
+        self.run_replication_round()?;
+        Ok(decisions)
     }
 
     /// Runs one scrub round: every live worker verifies its block

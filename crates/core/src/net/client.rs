@@ -232,6 +232,15 @@ impl RemoteFs {
         }
     }
 
+    /// The `n` most recent auto-tiering migration decisions, oldest first
+    /// (`octofs-remote migrations`).
+    pub fn migrations(&self, n: u32) -> Result<Vec<DecisionEvent>> {
+        match self.call(MasterRequest::Migrations(n))? {
+            MasterResponse::Decisions(d) => Ok(d),
+            r => Err(FsError::Io(format!("unexpected response {r:?}"))),
+        }
+    }
+
     /// The master's one-stop cluster status report.
     pub fn cluster_status(&self) -> Result<ClusterStatusReport> {
         match self.call(MasterRequest::ClusterStatus)? {

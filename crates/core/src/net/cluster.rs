@@ -36,6 +36,8 @@ pub struct NetCluster {
     epoch: Instant,
     hb_stops: Vec<Arc<AtomicBool>>,
     hb_threads: Vec<Option<JoinHandle<()>>>,
+    autotier_stop: Option<Arc<AtomicBool>>,
+    autotier_thread: Option<JoinHandle<()>>,
     scrapes: Mutex<HashMap<WorkerId, super::client::ScrapeState>>,
 }
 
@@ -161,6 +163,8 @@ impl NetCluster {
             epoch,
             hb_stops,
             hb_threads,
+            autotier_stop: None,
+            autotier_thread: None,
             scrapes: Mutex::new(HashMap::new()),
         })
     }
@@ -212,6 +216,72 @@ impl NetCluster {
     pub fn run_scrub_round(&self) -> Result<super::monitor::ScrubRound> {
         let snapshot = self.addrs.read().clone();
         super::monitor::run_scrub_round(&self.master, &snapshot)
+    }
+
+    /// Runs one auto-tiering round over RPC with bandwidth-capped copies —
+    /// see [`super::monitor::run_migration_round`].
+    pub fn run_migration_round(
+        &self,
+        classifier: &dyn octopus_policies::TierClassifier,
+        cfg: &octopus_master::AutoTierConfig,
+    ) -> Result<super::monitor::MigrationRound> {
+        let snapshot = self.addrs.read().clone();
+        super::monitor::run_migration_round(&self.master, &snapshot, classifier, cfg)
+    }
+
+    /// Starts the auto-tiering daemon: a background thread that runs one
+    /// migration round every `interval_ms`. Idempotent — a second call is
+    /// a no-op while a daemon is running. Stopped by
+    /// [`NetCluster::stop_autotier`] or [`NetCluster::shutdown`].
+    pub fn start_autotier(
+        &mut self,
+        classifier: Arc<dyn octopus_policies::TierClassifier>,
+        cfg: octopus_master::AutoTierConfig,
+        interval_ms: u64,
+    ) {
+        if self.autotier_thread.is_some() {
+            return;
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let master = Arc::clone(&self.master);
+        let addrs = Arc::clone(&self.addrs);
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("octopus-autotier".to_string())
+            .spawn(move || {
+                while !thread_stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+                    if thread_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let snapshot = addrs.read().clone();
+                    if let Err(e) = super::monitor::run_migration_round(
+                        &master,
+                        &snapshot,
+                        classifier.as_ref(),
+                        &cfg,
+                    ) {
+                        log_warn!(
+                            target: "net::cluster",
+                            "msg=\"autotier round failed\" error={e}"
+                        );
+                    }
+                }
+            })
+            .expect("spawn autotier thread");
+        self.autotier_stop = Some(stop);
+        self.autotier_thread = Some(handle);
+    }
+
+    /// Stops the auto-tiering daemon, waiting for an in-flight round to
+    /// finish. No-op if it is not running.
+    pub fn stop_autotier(&mut self) {
+        if let Some(stop) = self.autotier_stop.take() {
+            stop.store(true, Ordering::Relaxed);
+        }
+        if let Some(h) = self.autotier_thread.take() {
+            let _ = h.join();
+        }
     }
 
     /// Merged cluster-wide metrics snapshot: the master's registry, every
@@ -361,6 +431,7 @@ impl NetCluster {
 
     /// Stops heartbeats and servers.
     pub fn shutdown(&mut self) {
+        self.stop_autotier();
         for stop in &self.hb_stops {
             stop.store(true, Ordering::Relaxed);
         }

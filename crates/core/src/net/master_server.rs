@@ -250,5 +250,6 @@ fn dispatch_inner(state: &MasterState, req: MasterRequest) -> Result<MasterRespo
         Q::ClusterStatus => A::ClusterStatus(master.cluster_status(10)),
         Q::HotFiles(k) => A::HotFiles(master.hot_files(k as usize)),
         Q::Series => A::Series(master.series_points()),
+        Q::Migrations(n) => A::Decisions(master.recent_migrations(n as usize)),
     })
 }

@@ -45,6 +45,6 @@ pub use client::RemoteFs;
 pub use cluster::NetCluster;
 pub use faults::FaultAction;
 pub use master_server::MasterServer;
-pub use monitor::{ReplicationOutcome, ScrubRound, ScrubStatus};
+pub use monitor::{MigrationRound, ReplicationOutcome, ScrubRound, ScrubStatus};
 pub use rpc::RpcClient;
 pub use worker_server::WorkerServer;

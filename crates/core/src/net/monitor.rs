@@ -24,12 +24,16 @@
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
+use std::time::{Duration, Instant};
 
 use octopus_common::log_warn;
 use octopus_common::metrics::Labels;
 use octopus_common::trace::TraceContext;
 use octopus_common::{Location, Result, WorkerId};
-use octopus_master::{Master, ReplicationTask};
+use octopus_master::{
+    AutoTierConfig, Master, MigrationDecision, MigrationDirection, ReplicationTask,
+};
+use octopus_policies::TierClassifier;
 
 use super::proto::{WorkerRequest, WorkerResponse};
 use super::worker_server::call_worker;
@@ -100,6 +104,82 @@ impl ScrubRound {
     }
 }
 
+/// Executes one task against its worker, compensating at the master on
+/// failure. Returns whether the task succeeded; the caller tallies into a
+/// [`ReplicationOutcome`].
+fn run_one_task(
+    master: &Master,
+    addr: Option<SocketAddr>,
+    task: &ReplicationTask,
+    ctx: Option<TraceContext>,
+) -> bool {
+    match task {
+        ReplicationTask::Copy { block, sources, target } => {
+            // Scoped threads don't inherit the round's thread-local
+            // span stack, so the parent context travels explicitly.
+            let mut span = ctx.map(|c| master.trace().child_of("monitor.copy", c));
+            if let Some(s) = span.as_mut() {
+                s.annotate("block", block.id);
+                s.annotate("target", target.worker);
+                s.annotate("tier", target.tier);
+            }
+            let ok = addr.is_some_and(|a| {
+                call_worker(a, &WorkerRequest::Replicate(*block, sources.clone(), target.media))
+                    .is_ok()
+            });
+            if !ok {
+                log_warn!(
+                    target: "net::monitor",
+                    "msg=\"replication copy failed\" block={} target={}",
+                    block.id,
+                    target.worker
+                );
+                master.abort_replica(*block, *target);
+            }
+            ok
+        }
+        ReplicationTask::Delete { block, location } => {
+            let mut span = ctx.map(|c| master.trace().child_of("monitor.delete", c));
+            if let Some(s) = span.as_mut() {
+                s.annotate("block", block.id);
+                s.annotate("target", location.worker);
+            }
+            // `NotFound` counts as done: a retried delete whose first
+            // reply was lost has already removed the replica.
+            let ok = addr.is_some_and(|a| {
+                match call_worker(a, &WorkerRequest::DeleteBlock(location.media, block.id)) {
+                    Ok(_) => true,
+                    Err(octopus_common::FsError::NotFound(_)) => true,
+                    Err(_) => false,
+                }
+            });
+            if !ok {
+                log_warn!(
+                    target: "net::monitor",
+                    "msg=\"replication delete failed, reinstating\" block={} worker={}",
+                    block.id,
+                    location.worker
+                );
+                // The scan already dropped the location; a failed (or
+                // unaddressable) delete means the bytes still exist —
+                // put the replica back so the next scan retries.
+                master.reinstate_replica(*block, *location);
+            }
+            ok
+        }
+    }
+}
+
+/// Folds one task's result into an outcome tally.
+fn tally(out: &mut ReplicationOutcome, task: &ReplicationTask, ok: bool) {
+    match (task, ok) {
+        (ReplicationTask::Copy { .. }, true) => out.copies_ok += 1,
+        (ReplicationTask::Copy { .. }, false) => out.copies_failed += 1,
+        (ReplicationTask::Delete { .. }, true) => out.deletes_ok += 1,
+        (ReplicationTask::Delete { .. }, false) => out.deletes_failed += 1,
+    }
+}
+
 /// Executes one task batch against its worker, sequentially (tasks for
 /// one worker share its data server; concurrency lives across workers).
 fn run_worker_batch(
@@ -110,65 +190,8 @@ fn run_worker_batch(
 ) -> ReplicationOutcome {
     let mut out = ReplicationOutcome::default();
     for task in tasks {
-        match task {
-            ReplicationTask::Copy { block, sources, target } => {
-                // Scoped threads don't inherit the round's thread-local
-                // span stack, so the parent context travels explicitly.
-                let mut span = ctx.map(|c| master.trace().child_of("monitor.copy", c));
-                if let Some(s) = span.as_mut() {
-                    s.annotate("block", block.id);
-                    s.annotate("target", target.worker);
-                    s.annotate("tier", target.tier);
-                }
-                let ok = addr.is_some_and(|a| {
-                    call_worker(a, &WorkerRequest::Replicate(block, sources.clone(), target.media))
-                        .is_ok()
-                });
-                if ok {
-                    out.copies_ok += 1;
-                } else {
-                    log_warn!(
-                        target: "net::monitor",
-                        "msg=\"replication copy failed\" block={} target={}",
-                        block.id,
-                        target.worker
-                    );
-                    master.abort_replica(block, target);
-                    out.copies_failed += 1;
-                }
-            }
-            ReplicationTask::Delete { block, location } => {
-                let mut span = ctx.map(|c| master.trace().child_of("monitor.delete", c));
-                if let Some(s) = span.as_mut() {
-                    s.annotate("block", block.id);
-                    s.annotate("target", location.worker);
-                }
-                // `NotFound` counts as done: a retried delete whose first
-                // reply was lost has already removed the replica.
-                let ok = addr.is_some_and(|a| {
-                    match call_worker(a, &WorkerRequest::DeleteBlock(location.media, block.id)) {
-                        Ok(_) => true,
-                        Err(octopus_common::FsError::NotFound(_)) => true,
-                        Err(_) => false,
-                    }
-                });
-                if ok {
-                    out.deletes_ok += 1;
-                } else {
-                    log_warn!(
-                        target: "net::monitor",
-                        "msg=\"replication delete failed, reinstating\" block={} worker={}",
-                        block.id,
-                        location.worker
-                    );
-                    // The scan already dropped the location; a failed (or
-                    // unaddressable) delete means the bytes still exist —
-                    // put the replica back so the next scan retries.
-                    master.reinstate_replica(block, location);
-                    out.deletes_failed += 1;
-                }
-            }
-        }
+        let ok = run_one_task(master, addr, &task, ctx);
+        tally(&mut out, &task, ok);
     }
     out
 }
@@ -265,5 +288,90 @@ pub fn run_scrub_round(master: &Master, addrs: &Addrs) -> Result<ScrubRound> {
             m.inc("master_scrub_unreachable_total", Labels::worker(*w));
         }
     }
+    Ok(round)
+}
+
+/// What one auto-tiering round planned and executed.
+#[derive(Debug, Clone, Default)]
+pub struct MigrationRound {
+    /// The planner's decisions (vector edits installed this round).
+    pub planned: Vec<MigrationDecision>,
+    /// How many of them promote toward Memory.
+    pub promoted: usize,
+    /// How many demote away from it.
+    pub demoted: usize,
+    /// Execution tally for the round's copy/delete tasks.
+    pub outcome: ReplicationOutcome,
+    /// Bytes moved by successful copies.
+    pub bytes_copied: u64,
+    /// Total time this round slept to honour the bandwidth cap.
+    pub paced: Duration,
+}
+
+/// Runs one auto-tiering round over RPC: plans migrations
+/// ([`Master::autotier_scan`]), then executes the resulting replication
+/// tasks **sequentially with paced copies** so the round's aggregate copy
+/// throughput stays at or below `cfg.max_copy_bps`. Pacing is the
+/// execution-side half of the bandwidth bound (the planner's per-round
+/// caps are the other): after each copy the round sleeps until the
+/// cumulative bytes-per-elapsed ratio is back under the cap, so a
+/// migration burst cannot starve foreground traffic. On the workers the
+/// copies additionally ride the `Replicate` handler's per-medium
+/// `media_io` guard, serializing against foreground I/O per device.
+///
+/// Any replication repair work pending at the same moment executes inside
+/// the same paced loop — it is all background §5 traffic, and the cap is
+/// deliberately shared.
+pub fn run_migration_round(
+    master: &Master,
+    addrs: &Addrs,
+    classifier: &dyn TierClassifier,
+    cfg: &AutoTierConfig,
+) -> Result<MigrationRound> {
+    let mut round_span = master.trace().root_or_child("monitor.migration_round");
+    let ctx = Some(round_span.context());
+
+    let planned = master.autotier_scan(classifier, cfg);
+    let promoted = planned.iter().filter(|d| d.direction == MigrationDirection::Promote).count();
+    let demoted = planned.len() - promoted;
+    round_span.annotate("planned", planned.len());
+
+    let tasks = master.replication_scan();
+    let mut round = MigrationRound {
+        outcome: ReplicationOutcome { attempted: tasks.len(), ..Default::default() },
+        promoted,
+        demoted,
+        planned,
+        ..Default::default()
+    };
+    let started = Instant::now();
+    for task in tasks {
+        let addr = addrs.get(&executing_worker(&task)).copied();
+        let ok = run_one_task(master, addr, &task, ctx);
+        tally(&mut round.outcome, &task, ok);
+        if let (ReplicationTask::Copy { block, .. }, true) = (&task, ok) {
+            round.bytes_copied += block.len;
+            if cfg.max_copy_bps > 0 {
+                // Sleep until cumulative-bytes / elapsed ≤ max_copy_bps.
+                let target =
+                    Duration::from_secs_f64(round.bytes_copied as f64 / cfg.max_copy_bps as f64);
+                let elapsed = started.elapsed();
+                if elapsed < target {
+                    std::thread::sleep(target - elapsed);
+                    round.paced += target - elapsed;
+                }
+            }
+        }
+    }
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let m = master.metrics();
+    m.add("master_migration_bytes_total", Labels::NONE, round.bytes_copied);
+    m.add("master_migration_paced_ms_total", Labels::NONE, round.paced.as_millis() as u64);
+    if round.bytes_copied > 0 && elapsed > 0.0 {
+        m.gauge("master_migration_round_bps", Labels::NONE)
+            .set((round.bytes_copied as f64 / elapsed) as i64);
+    }
+    round_span.annotate("bytes", round.bytes_copied);
     Ok(round)
 }

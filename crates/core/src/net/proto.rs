@@ -83,6 +83,8 @@ pub enum MasterRequest {
     HotFiles(u32),
     /// The master's gauge time-series ring.
     Series,
+    /// The `n` most recent auto-tiering migration decisions, oldest first.
+    Migrations(u32),
 }
 
 impl MasterRequest {
@@ -138,6 +140,7 @@ impl MasterRequest {
             ClusterStatus => "ClusterStatus",
             HotFiles(..) => "HotFiles",
             Series => "Series",
+            Migrations(..) => "Migrations",
         }
     }
 }
@@ -223,6 +226,7 @@ impl Wire for MasterRequest {
             ClusterStatus => tagged!(buf, 26),
             HotFiles(n) => tagged!(buf, 27, n),
             Series => tagged!(buf, 28),
+            Migrations(n) => tagged!(buf, 29, n),
         }
     }
 
@@ -274,6 +278,7 @@ impl Wire for MasterRequest {
             26 => ClusterStatus,
             27 => HotFiles(Wire::get(r)?),
             28 => Series,
+            29 => Migrations(Wire::get(r)?),
             t => return Err(FsError::Io(format!("bad master request tag {t}"))),
         })
     }
@@ -724,6 +729,7 @@ mod tests {
         assert!(MasterRequest::ExplainPlacement(BlockId(1)).is_idempotent());
         assert!(MasterRequest::ClusterStatus.is_idempotent());
         assert!(MasterRequest::HotFiles(5).is_idempotent());
+        assert!(MasterRequest::Migrations(5).is_idempotent());
         assert!(MasterRequest::Series.is_idempotent());
         assert!(WorkerRequest::Series.is_idempotent());
         assert!(MasterRequest::CommitReplica(
@@ -807,6 +813,7 @@ mod tests {
         rt(MasterRequest::ExplainPlacement(BlockId(9)));
         rt(MasterRequest::ClusterStatus);
         rt(MasterRequest::HotFiles(10));
+        rt(MasterRequest::Migrations(10));
         rt(MasterRequest::Series);
         rt(WorkerRequest::Series);
         assert_eq!(MasterRequest::Heat("/f".into()).name(), "Heat");

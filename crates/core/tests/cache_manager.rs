@@ -101,6 +101,68 @@ fn clear_demotes_everything() {
 }
 
 #[test]
+fn eviction_releases_what_promotion_charged() {
+    // Regression: promotion charged the file's length at promote time,
+    // but every later access refreshed the entry's length — so evicting
+    // a file that grew while cached released the *new* length. With two
+    // cached files, growing and evicting one saturating-subtracted the
+    // other file's charge away, and `used` drifted to 0 while a replica
+    // still sat in memory.
+    let (_cluster, client) = setup(&[("/grow", MB as usize), ("/stay", MB as usize)]);
+    let mut cache = CacheManager::new(client.clone(), 8 * MB, 1);
+    cache.on_access("/grow").unwrap();
+    cache.on_access("/stay").unwrap();
+    assert_eq!(cache.used(), 2 * MB);
+
+    // /grow triples in size while cached.
+    let mut w = client.append("/grow").unwrap();
+    w.write(&vec![3u8; 2 * MB as usize]).unwrap();
+    w.close().unwrap();
+
+    // The next access reconciles the charge to the current size…
+    cache.on_access("/grow").unwrap();
+    assert_eq!(cache.used(), 4 * MB, "charge follows the file's current size");
+
+    // …and a full clear returns the budget to exactly zero.
+    let evicted = cache.clear().unwrap();
+    assert_eq!(evicted.len(), 2);
+    assert_eq!(cache.used(), 0, "eviction must release exactly what was charged");
+}
+
+#[test]
+fn eviction_of_grown_file_keeps_other_charges_intact() {
+    // The sharpest form of the bug: a cached file grows, a later access
+    // refreshes the entry's recorded length, and eviction then released
+    // that new length instead of the charge — the saturating subtraction
+    // silently wiped the *other* cached file's budget share too.
+    let (_cluster, client) = setup(&[("/grow", MB as usize), ("/stay", MB as usize)]);
+    let mut cache = CacheManager::new(client.clone(), 2 * MB, 1);
+    cache.on_access("/grow").unwrap();
+    cache.on_access("/stay").unwrap();
+    assert_eq!(cache.used(), 2 * MB);
+
+    // /grow triples in size while cached.
+    let mut w = client.append("/grow").unwrap();
+    w.write(&vec![3u8; 2 * MB as usize]).unwrap();
+    w.close().unwrap();
+
+    // Refresh /grow's entry, then make /stay most-recent so /grow is the
+    // LRU victim when a third file needs the space.
+    cache.on_access("/grow").unwrap();
+    cache.on_access("/stay").unwrap();
+    client.write_file("/third", &[1u8; MB as usize], ReplicationVector::msh(0, 0, 2)).unwrap();
+    let actions = cache.on_access("/third").unwrap();
+    assert!(actions.contains(&CacheAction::Evicted("/grow".into())), "actions: {actions:?}");
+    assert!(actions.contains(&CacheAction::Promoted("/third".into())), "actions: {actions:?}");
+
+    // /stay's 1 MB and /third's 1 MB remain charged.
+    assert_eq!(cache.used(), 2 * MB, "evicting /grow must not release more than its charge");
+    let mut cached = cache.cached();
+    cached.sort();
+    assert_eq!(cached, vec!["/stay".to_string(), "/third".to_string()]);
+}
+
+#[test]
 fn deleted_file_eviction_is_graceful() {
     let (_cluster, client) = setup(&[("/gone", MB as usize), ("/stay", MB as usize)]);
     let mut cache = CacheManager::new(client.clone(), MB, 1);

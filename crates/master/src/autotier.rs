@@ -1,0 +1,79 @@
+//! Auto-tiering migration planning: configuration and decision records.
+//!
+//! The planner itself is [`crate::Master::autotier_scan`]: it classifies
+//! every complete file's temperature through a pluggable
+//! [`octopus_policies::TierClassifier`], and turns classification changes
+//! into `setReplication`-style vector edits — promote hot files by adding
+//! a Memory-tier replica, demote cold ones by dropping it — which the §5
+//! replication monitor then realizes as ordinary copy/delete tasks. The
+//! monitor side executes those tasks with *bounded background bandwidth*
+//! (see `octopus_core::net::monitor::run_migration_round`), so migrations
+//! never starve foreground traffic.
+//!
+//! Every planned move is recorded as a
+//! [`octopus_common::DecisionKind::Migration`] event in the master's audit
+//! ring, queryable over the `Migrations` RPC / `octofs-remote migrations`.
+
+use octopus_common::{INodeId, ReplicationVector};
+
+/// Bounds on one auto-tiering planning round. The per-round caps are the
+/// *planning-side* half of the bandwidth bound: the planner never flips
+/// more vectors than one paced execution round can absorb, so the backlog
+/// of migration copies stays shallow.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoTierConfig {
+    /// Most files migrated (either direction) per round.
+    pub max_files_per_round: usize,
+    /// Most *copy* bytes scheduled per round (a promotion of an `n`-byte
+    /// file that needs one new replica counts `n`; demotions that only
+    /// drop a replica count 0).
+    pub max_bytes_per_round: u64,
+    /// Execution-side pacing: aggregate migration copy bandwidth, in
+    /// bytes/second, that the monitor round may consume.
+    pub max_copy_bps: u64,
+}
+
+impl Default for AutoTierConfig {
+    fn default() -> Self {
+        Self { max_files_per_round: 32, max_bytes_per_round: 256 << 20, max_copy_bps: 64 << 20 }
+    }
+}
+
+/// Which way a migration moves a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationDirection {
+    /// Toward faster tiers (a Memory-tier replica is added).
+    Promote,
+    /// Toward slower tiers (the Memory-tier replica is dropped).
+    Demote,
+}
+
+impl MigrationDirection {
+    /// Short display label (also the metrics `request_type`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MigrationDirection::Promote => "promote",
+            MigrationDirection::Demote => "demote",
+        }
+    }
+}
+
+/// One file's planned tier move, as returned by
+/// [`crate::Master::autotier_scan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationDecision {
+    /// The migrated file.
+    pub file: INodeId,
+    /// Its namespace path at planning time.
+    pub path: String,
+    /// The heat score that triggered the move.
+    pub score: f64,
+    /// Promotion or demotion.
+    pub direction: MigrationDirection,
+    /// The file's replication vector before the move.
+    pub from: ReplicationVector,
+    /// The vector the planner installed.
+    pub to: ReplicationVector,
+    /// Copy bytes this move schedules (file length × new replicas).
+    pub copy_bytes: u64,
+}

@@ -4,6 +4,8 @@
 //! *directory namespace* and the *block locations* — plus the cluster
 //! statistics that feed the data-management policies:
 //!
+//! - [`autotier`]: configuration and decision records for the automated
+//!   tiering planner ([`Master::autotier_scan`](master::Master::autotier_scan));
 //! - [`namespace`]: the inode tree with files, directories, per-file
 //!   replication vectors, and per-tier directory quotas;
 //! - [`editlog`]: a durable, self-describing binary log of namespace
@@ -17,6 +19,7 @@
 //! - [`backup`]: the backup master that tails the edit log, keeps an
 //!   up-to-date namespace image, and produces checkpoints.
 
+pub mod autotier;
 pub mod backup;
 pub mod blockmap;
 pub mod cluster;
@@ -26,6 +29,7 @@ pub mod master;
 pub mod mount;
 pub mod namespace;
 
+pub use autotier::{AutoTierConfig, MigrationDecision, MigrationDirection};
 pub use backup::BackupMaster;
 pub use blockmap::{BlockInfo, BlockMap};
 pub use cluster::{ClusterState, WorkerInfo};

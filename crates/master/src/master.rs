@@ -9,13 +9,14 @@ use octopus_common::{
     AuditRing, Block, BlockId, BlockTouches, ClientLocation, ClusterConfig, ClusterStatusReport,
     DecisionEvent, DecisionKind, DecisionRound, FsError, GenStamp, HeatInfo, HeatTracker, HotFile,
     IdGenerator, LocatedBlock, Location, MediaId, MediaStats, RackId, ReplicationVector, Result,
-    SeriesPoint, SeriesRing, StorageTierReport, TierId, WorkerId, WorkerStatusLine,
+    SeriesPoint, SeriesRing, StorageTier, StorageTierReport, TierId, WorkerId, WorkerStatusLine,
 };
 use octopus_policies::{
     build_placement_policy, build_retrieval_policy, choose_replica_to_remove_explained,
-    PlacementPolicy, PlacementRequest, RetrievalPolicy,
+    PlacementPolicy, PlacementRequest, RetrievalPolicy, Temperature, TierClassifier,
 };
 
+use crate::autotier::{AutoTierConfig, MigrationDecision, MigrationDirection};
 use crate::blockmap::{replication_state, BlockMap};
 use crate::cluster::ClusterState;
 use crate::editlog::{decode_stream, encode_image, EditLog, EditOp};
@@ -324,6 +325,13 @@ impl Master {
                 }
             }
             g.leases.release(&path);
+        }
+        // Heat hygiene: drop files whose EWMA has decayed to nothing, so
+        // the tracker is bounded by *recently active* files rather than
+        // every file ever touched.
+        let gc_dropped = self.heat.lock().gc(now);
+        if gc_dropped > 0 {
+            self.metrics.add("master_heat_gc_dropped_total", Labels::NONE, gc_dropped as u64);
         }
         self.update_liveness_gauge(&g);
         let sample_at = g.clock_ms;
@@ -898,21 +906,46 @@ impl Master {
         self.inner.read().mounts.mount_points().into_iter().map(String::from).collect()
     }
 
-    /// Renames a file or directory.
+    /// Every file inode at or under `path`, for heat-lifecycle bookkeeping.
+    /// Must run *before* the namespace mutation that motivates it.
+    fn files_under(g: &Inner, path: &str) -> Vec<octopus_common::INodeId> {
+        let Ok(id) = g.ns.resolve(path) else { return Vec::new() };
+        let base = g.ns.path_of(id);
+        let prefix = format!("{}/", base.trim_end_matches('/'));
+        g.ns.iter_files()
+            .into_iter()
+            .filter(|(fid, p, _)| *fid == id || p.starts_with(&prefix))
+            .map(|(fid, _, _)| fid)
+            .collect()
+    }
+
+    /// Renames a file or directory. The renamed subtree's heat is reset:
+    /// the common write-then-rename-into-place pattern would otherwise
+    /// carry a staging file's write heat onto the published path and
+    /// wrongly promote it, so a renamed file starts cold and earns its
+    /// temperature from post-rename accesses.
     pub fn rename(&self, src: &str, dst: &str) -> Result<()> {
         let mut g = self.inner.write();
         Self::check_writable(&g)?;
+        let moved = Self::files_under(&g, src);
         g.ns.rename(src, dst)?;
         g.leases.rename(src, dst);
-        g.log.append(EditOp::Rename { src: src.to_string(), dst: dst.to_string() })
+        g.log.append(EditOp::Rename { src: src.to_string(), dst: dst.to_string() })?;
+        let mut heat = self.heat.lock();
+        for f in moved {
+            heat.forget(f);
+        }
+        Ok(())
     }
 
     /// Deletes a path; block replicas are dropped from the block map and
     /// returned as `(block, location)` pairs for invalidation at the
-    /// workers.
+    /// workers. Heat entries of the deleted files are forgotten — without
+    /// this the tracker leaks one EWMA per deleted file forever.
     pub fn delete(&self, path: &str, recursive: bool) -> Result<Vec<(BlockId, Location)>> {
         let mut g = self.inner.write();
         Self::check_writable(&g)?;
+        let doomed = Self::files_under(&g, path);
         let blocks = g.ns.delete(path, recursive)?;
         g.leases.release(path);
         g.log.append(EditOp::Delete { path: path.to_string() })?;
@@ -921,6 +954,10 @@ impl Master {
             if let Some(info) = g.blocks.remove_block(b) {
                 dropped.extend(info.locations.into_iter().map(|l| (b, l)));
             }
+        }
+        let mut heat = self.heat.lock();
+        for f in doomed {
+            heat.forget(f);
         }
         Ok(dropped)
     }
@@ -1041,6 +1078,14 @@ impl Master {
                 for &(tier, count) in &state.over {
                     let mut current = confirmed.clone();
                     for _ in 0..count {
+                        // Never trim the last confirmed replica: a
+                        // demotion like ⟨1,0,0⟩ → ⟨0,0,1⟩ makes the memory
+                        // replica surplus while it is still the only copy
+                        // (and the source of this round's HDD copy). The
+                        // trim waits until the new replica confirms.
+                        if current.len() <= 1 {
+                            break;
+                        }
                         let (victim, candidates) = choose_replica_to_remove_explained(
                             &snap,
                             &current,
@@ -1171,6 +1216,173 @@ impl Master {
         tasks
     }
 
+    // -- Automated tiering (ROADMAP item 3) ----------------------------------
+
+    /// The auto-tiering migration planner: classifies every complete file's
+    /// temperature from its heat EWMA through `classifier`, and turns
+    /// classification changes into replication-vector edits — a hot file
+    /// without a Memory-tier replica gains one (promotion), a cold file
+    /// with one loses it (demotion). Warm files, and files already placed
+    /// to match their temperature, are left alone; that hysteresis band
+    /// stops tier ping-pong.
+    ///
+    /// Vector edits are exactly what `setReplication` would do, so the §5
+    /// replication monitor realizes them as ordinary copy/delete tasks on
+    /// the next scan; callers wanting bounded background bandwidth execute
+    /// that scan through the paced migration round (net monitor). Rounds
+    /// are bounded by `cfg` (files and copy bytes per round), promotions
+    /// are capacity-checked against the Memory tier, demotions run first
+    /// so they free budget for promotions, and every move is recorded as a
+    /// [`DecisionKind::Migration`] audit event.
+    pub fn autotier_scan(
+        &self,
+        classifier: &dyn TierClassifier,
+        cfg: &AutoTierConfig,
+    ) -> Vec<MigrationDecision> {
+        let mut g = self.inner.write();
+        if g.safe_mode {
+            return Vec::new();
+        }
+        let now = g.clock_ms;
+        let mem = StorageTier::Memory.id();
+        let hdd = StorageTier::Hdd.id();
+        if mem.0 as usize >= self.config.tiers.len() {
+            return Vec::new(); // no memory tier configured: nothing to tier
+        }
+
+        let files: Vec<(octopus_common::INodeId, String, ReplicationVector, u64, BlockId)> =
+            g.ns.iter_files()
+                .into_iter()
+                .filter(|(_, _, meta)| meta.complete && !meta.blocks.is_empty())
+                .map(|(id, path, meta)| {
+                    (id, path, meta.rv, meta.len, *meta.blocks.first().expect("non-empty"))
+                })
+                .collect();
+        let scored: Vec<(
+            octopus_common::INodeId,
+            String,
+            ReplicationVector,
+            u64,
+            BlockId,
+            HeatInfo,
+        )> = {
+            let heat = self.heat.lock();
+            files
+                .into_iter()
+                .map(|(id, path, rv, len, b)| {
+                    let info = heat.info(id, now);
+                    (id, path, rv, len, b, info)
+                })
+                .collect()
+        };
+
+        // Headroom for promotions: what the Memory tier can still absorb.
+        let mut mem_remaining = g
+            .cluster
+            .tier_reports(&self.config.tiers)
+            .iter()
+            .find(|r| r.stats.tier == mem)
+            .map(|r| r.stats.remaining)
+            .unwrap_or(0);
+
+        // Demotions first (they free memory), then promotions hottest
+        // first, so a tight round spends its budget on the hottest files.
+        let mut demotions = Vec::new();
+        let mut promotions = Vec::new();
+        for (id, path, rv, len, b, info) in scored {
+            match classifier.classify(&info) {
+                Temperature::Cold if rv.tier(mem) > 0 => {
+                    let mut to = rv.with_tier(mem, 0);
+                    if to.total() == 0 {
+                        // Never demote a file out of existence: the memory
+                        // pin was its only replica, so it moves to HDD.
+                        to = to.with_tier(hdd, 1);
+                    }
+                    demotions.push((id, path, rv, to, len, b, info.score));
+                }
+                Temperature::Hot if rv.tier(mem) == 0 => {
+                    let to = rv.with_tier(mem, 1);
+                    promotions.push((id, path, rv, to, len, b, info.score));
+                }
+                _ => {}
+            }
+        }
+        promotions.sort_by(|a, b| b.6.partial_cmp(&a.6).unwrap().then(a.0.cmp(&b.0)));
+
+        let mut decisions = Vec::new();
+        let mut copy_bytes_planned = 0u64;
+        for (id, path, from, to, len, block, score) in demotions.into_iter().chain(promotions) {
+            if decisions.len() >= cfg.max_files_per_round {
+                break;
+            }
+            let direction = if to.tier(mem) > from.tier(mem) {
+                MigrationDirection::Promote
+            } else {
+                MigrationDirection::Demote
+            };
+            let added: u64 = from.diff(to).additions().map(|(_, n)| n as u64).sum();
+            let copy_bytes = len.saturating_mul(added);
+            if copy_bytes_planned.saturating_add(copy_bytes) > cfg.max_bytes_per_round {
+                continue; // a smaller file later in the order may still fit
+            }
+            if direction == MigrationDirection::Promote {
+                if len > mem_remaining {
+                    continue; // no headroom: wait for demotions to land
+                }
+                mem_remaining -= len;
+            }
+            if to.validate(self.config.tiers.len(), self.config.max_replication).is_err() {
+                continue;
+            }
+            if g.ns.set_replication(&path, to).is_err() {
+                continue; // quota or concurrent change: skip this round
+            }
+            if g.log.append(EditOp::SetReplication { path: path.clone(), rv: to }).is_err() {
+                // Keep namespace and log consistent if the log write fails.
+                let _ = g.ns.set_replication(&path, from);
+                continue;
+            }
+            copy_bytes_planned += copy_bytes;
+            self.audit.push(DecisionEvent {
+                seq: 0,
+                when_ms: now,
+                kind: DecisionKind::Migration,
+                block,
+                file: id,
+                policy: format!(
+                    "{}: {} score={score:.3} {from} -> {to}",
+                    classifier.name(),
+                    direction.label(),
+                ),
+                chosen: Vec::new(),
+                rounds: Vec::new(),
+            });
+            self.metrics.inc("master_migrations_total", Labels::req(direction.label()));
+            self.metrics.add("master_migration_copy_bytes_total", Labels::NONE, copy_bytes);
+            decisions.push(MigrationDecision {
+                file: id,
+                path,
+                score,
+                direction,
+                from,
+                to,
+                copy_bytes,
+            });
+        }
+        decisions
+    }
+
+    /// The most recent `n` retained [`DecisionKind::Migration`] audit
+    /// events, oldest first (the `Migrations` RPC / `octofs-remote
+    /// migrations`).
+    pub fn recent_migrations(&self, n: usize) -> Vec<DecisionEvent> {
+        let all = self.audit.recent(usize::MAX);
+        let migrations: Vec<DecisionEvent> =
+            all.into_iter().filter(|e| e.kind == DecisionKind::Migration).collect();
+        let skip = migrations.len().saturating_sub(n);
+        migrations.into_iter().skip(skip).collect()
+    }
+
     // -- Checkpointing -------------------------------------------------------
 
     /// Serializes the namespace to a checkpoint image.
@@ -1232,6 +1444,13 @@ impl Master {
             (g.ns.resolve(path)?, g.clock_ms)
         };
         Ok(self.heat.lock().info(file, now))
+    }
+
+    /// Number of files the heat tracker currently holds state for. Bounded
+    /// by delete/rename forgetting and the per-tick decay GC — the
+    /// heat-leak regression tests pin that behaviour.
+    pub fn heat_tracked_files(&self) -> usize {
+        self.heat.lock().len()
     }
 
     /// The `k` hottest files by EWMA heat score, hottest first, with their
@@ -1315,6 +1534,7 @@ impl Master {
 mod tests {
     use super::*;
     use octopus_common::{MediaId, StorageTier};
+    use octopus_policies::EwmaThresholdClassifier;
 
     /// Registers `n` live workers with one medium per tier each, as if
     /// heartbeats had arrived.
@@ -1624,5 +1844,208 @@ mod tests {
         let (q, usage) = m.quota_usage("/tenant").unwrap();
         assert_eq!(q, TierQuota::limit_tier(0, 1 << 20));
         assert_eq!(usage[0], 1 << 20);
+    }
+
+    /// Writes a complete one-block file and returns its block.
+    fn put_file(m: &Master, path: &str, rv: ReplicationVector) -> Block {
+        m.create_file(path, rv, None).unwrap();
+        let (block, locs) = m.add_block(path, 1 << 20, ClientLocation::OffCluster).unwrap();
+        for l in &locs {
+            m.commit_replica(block, *l).unwrap();
+        }
+        m.complete_file(path).unwrap();
+        block
+    }
+
+    fn touch(m: &Master, block: Block, reads: u32, now_ms: u64) {
+        m.observe_touches(&[BlockTouches { block: block.id, reads, writes: 0 }], now_ms);
+    }
+
+    #[test]
+    fn delete_forgets_file_heat_and_recreated_file_starts_cold() {
+        // Regression: heat entries used to outlive their inode — delete
+        // left the tracker entry in place forever, and a file re-created
+        // at the same path could inherit nothing (new inode id) while the
+        // dead entry still leaked memory and polluted `hot_files`.
+        let m = boot_master(3);
+        let block = put_file(&m, "/f", rv_u(1));
+        touch(&m, block, 5, 0);
+        assert_eq!(m.heat_tracked_files(), 1);
+        assert_eq!(m.hot_files(10).len(), 1);
+
+        m.delete("/f", false).unwrap();
+        assert_eq!(m.heat_tracked_files(), 0, "delete must forget the file's heat");
+        assert!(m.hot_files(10).is_empty());
+
+        // Re-creating the path yields a cold file: no tracked heat and no
+        // promotion from the auto-tiering planner.
+        put_file(&m, "/f", rv_u(1));
+        assert_eq!(m.heat_tracked_files(), 0);
+        let decisions =
+            m.autotier_scan(&EwmaThresholdClassifier::default(), &AutoTierConfig::default());
+        assert!(
+            !decisions.iter().any(|d| d.direction == MigrationDirection::Promote),
+            "recreated file must start cold"
+        );
+    }
+
+    #[test]
+    fn delete_recursive_forgets_subtree_heat() {
+        let m = boot_master(3);
+        m.mkdir("/d").unwrap();
+        let a = put_file(&m, "/d/a", rv_u(1));
+        let b = put_file(&m, "/d/b", rv_u(1));
+        touch(&m, a, 3, 0);
+        touch(&m, b, 3, 0);
+        assert_eq!(m.heat_tracked_files(), 2);
+        m.delete("/d", true).unwrap();
+        assert_eq!(m.heat_tracked_files(), 0);
+    }
+
+    #[test]
+    fn rename_resets_heat() {
+        // A common pattern writes to a staging path and renames into
+        // place; the published file should not inherit staging heat.
+        let m = boot_master(3);
+        let block = put_file(&m, "/staging", rv_u(1));
+        touch(&m, block, 5, 0);
+        assert_eq!(m.heat_tracked_files(), 1);
+        m.rename("/staging", "/published").unwrap();
+        assert_eq!(m.heat_tracked_files(), 0, "rename must reset the file's heat");
+    }
+
+    #[test]
+    fn tick_gcs_decayed_heat_entries() {
+        let m = boot_master(3);
+        let block = put_file(&m, "/f", rv_u(1));
+        touch(&m, block, 5, 0);
+        assert_eq!(m.heat_tracked_files(), 1);
+        // A short tick keeps the entry alive (score still well above zero).
+        m.tick(100);
+        assert_eq!(m.heat_tracked_files(), 1);
+        // After a long idle stretch the EWMA decays to ~0 and the tick-time
+        // GC drops the entry (workers also go dead at this clock; the GC
+        // must still run).
+        m.tick(1_000_000);
+        assert_eq!(m.heat_tracked_files(), 0, "tick must GC fully decayed heat entries");
+    }
+
+    #[test]
+    fn autotier_promotes_hot_and_leaves_warm_alone() {
+        let m = boot_master(3);
+        let hot = put_file(&m, "/hot", ReplicationVector::msh(0, 0, 1));
+        let warm = put_file(&m, "/warm", ReplicationVector::msh(0, 0, 1));
+        // 5 touches this epoch → score 0.4·5 = 2.0 (hot); 1 touch → 0.4
+        // (inside the warm hysteresis band).
+        touch(&m, hot, 5, 0);
+        touch(&m, warm, 1, 0);
+
+        let decisions =
+            m.autotier_scan(&EwmaThresholdClassifier::default(), &AutoTierConfig::default());
+        assert_eq!(decisions.len(), 1);
+        let d = &decisions[0];
+        assert_eq!(d.path, "/hot");
+        assert_eq!(d.direction, MigrationDirection::Promote);
+        assert_eq!(d.from, ReplicationVector::msh(0, 0, 1));
+        assert_eq!(d.to, ReplicationVector::msh(1, 0, 1));
+        assert_eq!(d.copy_bytes, 1 << 20);
+
+        // The vector edit is visible in the namespace and the §5 monitor
+        // realizes it as a copy toward the Memory tier.
+        assert_eq!(m.status("/hot").unwrap().rv, ReplicationVector::msh(1, 0, 1));
+        assert_eq!(m.status("/warm").unwrap().rv, ReplicationVector::msh(0, 0, 1));
+        let tasks = m.replication_scan();
+        assert_eq!(tasks.len(), 1);
+        let ReplicationTask::Copy { target, .. } = &tasks[0] else {
+            panic!("expected a copy task");
+        };
+        assert_eq!(target.tier, StorageTier::Memory.id());
+
+        // The move is recorded in the audit ring.
+        let events = m.recent_migrations(10);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, DecisionKind::Migration);
+        assert!(events[0].policy.contains("promote"), "policy line: {}", events[0].policy);
+
+        // Idempotent: the file already has its memory replica planned.
+        assert!(m
+            .autotier_scan(&EwmaThresholdClassifier::default(), &AutoTierConfig::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn autotier_demotes_cold_files_without_losing_last_replica() {
+        let m = boot_master(3);
+        put_file(&m, "/cold", ReplicationVector::msh(1, 0, 1));
+        // A memory-only file must be demoted *to* somewhere, not to zero
+        // replicas.
+        put_file(&m, "/pinned", ReplicationVector::msh(1, 0, 0));
+
+        let decisions =
+            m.autotier_scan(&EwmaThresholdClassifier::default(), &AutoTierConfig::default());
+        assert_eq!(decisions.len(), 2);
+        for d in &decisions {
+            assert_eq!(d.direction, MigrationDirection::Demote);
+        }
+        assert_eq!(m.status("/cold").unwrap().rv, ReplicationVector::msh(0, 0, 1));
+        assert_eq!(m.status("/pinned").unwrap().rv, ReplicationVector::msh(0, 0, 1));
+
+        // The monitor turns the /cold demotion into a memory-replica
+        // delete, and copies /pinned to HDD before trimming memory: the
+        // memory replica is /pinned's only copy, so its trim must wait.
+        let tasks = m.replication_scan();
+        let deletes: Vec<_> = tasks
+            .iter()
+            .filter_map(|t| match t {
+                ReplicationTask::Delete { location, .. } => Some(*location),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(deletes.len(), 1, "only the safely-replicated file is trimmed immediately");
+        assert_eq!(deletes[0].tier, StorageTier::Memory.id());
+        let copies: Vec<_> = tasks
+            .iter()
+            .filter_map(|t| match t {
+                ReplicationTask::Copy { block, target, .. } => Some((*block, *target)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(copies.len(), 1);
+        let (pinned_block, target) = copies[0];
+        assert_eq!(target.tier, StorageTier::Hdd.id());
+
+        // Once the HDD copy confirms, the next scan completes the demotion
+        // by trimming the now-redundant memory replica.
+        m.commit_replica(pinned_block, target).unwrap();
+        let tasks = m.replication_scan();
+        assert_eq!(tasks.len(), 1);
+        let ReplicationTask::Delete { location, .. } = &tasks[0] else {
+            panic!("expected the deferred memory trim");
+        };
+        assert_eq!(location.tier, StorageTier::Memory.id());
+    }
+
+    #[test]
+    fn autotier_respects_round_budgets() {
+        let m = boot_master(3);
+        let blocks: Vec<Block> = (0..4)
+            .map(|i| put_file(&m, &format!("/f{i}"), ReplicationVector::msh(0, 0, 1)))
+            .collect();
+        for (i, b) in blocks.iter().enumerate() {
+            // Distinct hotness so the ordering is deterministic: f0 hottest.
+            touch(&m, *b, 10 - i as u32, 0);
+        }
+
+        let cfg = AutoTierConfig { max_files_per_round: 2, ..AutoTierConfig::default() };
+        let decisions = m.autotier_scan(&EwmaThresholdClassifier::default(), &cfg);
+        assert_eq!(decisions.len(), 2, "file cap bounds the round");
+        assert_eq!(decisions[0].path, "/f0", "hottest files migrate first");
+        assert_eq!(decisions[1].path, "/f1");
+
+        // Byte budget: one 1 MB file fits, the rest wait for later rounds.
+        let cfg = AutoTierConfig { max_bytes_per_round: 1 << 20, ..AutoTierConfig::default() };
+        let decisions = m.autotier_scan(&EwmaThresholdClassifier::default(), &cfg);
+        assert_eq!(decisions.len(), 1);
+        assert_eq!(decisions[0].path, "/f2");
     }
 }

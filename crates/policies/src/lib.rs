@@ -12,6 +12,8 @@
 //!   ordering of Eq. 12 and the HDFS locality-only baseline.
 //! - [`removal`]: leave-one-out replica removal for over-replicated blocks
 //!   (§5).
+//! - [`tiering`]: the [`TierClassifier`] trait judging files hot/warm/cold
+//!   from heat telemetry, driving the master's auto-migration planner.
 //!
 //! Policies are pure: they consume a [`ClusterSnapshot`] (media and worker
 //! statistics as reported via heartbeats) and return decisions. This makes
@@ -23,6 +25,7 @@ pub mod placement;
 pub mod removal;
 pub mod retrieval;
 pub mod snapshot;
+pub mod tiering;
 
 pub use placement::{
     build_placement_policy, GreedyPolicy, HdfsPolicy, Objective, PlacementPolicy, PlacementRequest,
@@ -31,3 +34,4 @@ pub use placement::{
 pub use removal::{choose_replica_to_remove, choose_replica_to_remove_explained};
 pub use retrieval::{build_retrieval_policy, HdfsLocalityPolicy, RateBasedPolicy, RetrievalPolicy};
 pub use snapshot::ClusterSnapshot;
+pub use tiering::{EwmaThresholdClassifier, Temperature, TierClassifier};

@@ -1,0 +1,142 @@
+//! Tier classification for automated data movement.
+//!
+//! The paper's MOOP placement (§3.2) only decides where *new* data lands;
+//! the authors' follow-up work on automated tiered-storage management
+//! moves data continuously based on observed access patterns. The moving
+//! part needs a judgement call — "is this file hot, warm, or cold right
+//! now?" — and that judgement is a policy like any other: pluggable,
+//! pure, and unit-testable. [`TierClassifier`] is the trait; the default
+//! [`EwmaThresholdClassifier`] applies fixed thresholds to the master's
+//! per-file EWMA heat score (see `octopus_common::heat`). Model-driven
+//! classifiers (HMM- or RL-based, as explored in later literature) slot
+//! in behind the same trait without touching the planner.
+//!
+//! Classification is deliberately three-valued: the *warm* band between
+//! the hot and cold thresholds is a hysteresis zone in which the planner
+//! leaves placement alone, so a file oscillating around a single cutoff
+//! does not ping-pong between tiers.
+
+use octopus_common::HeatInfo;
+
+/// A file's temperature as judged by a [`TierClassifier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Temperature {
+    /// Accessed heavily right now: worth a replica on a faster tier.
+    Hot,
+    /// In the hysteresis band: leave its placement alone.
+    Warm,
+    /// Effectively idle: fast-tier replicas are wasted on it.
+    Cold,
+}
+
+impl Temperature {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Temperature::Hot => "hot",
+            Temperature::Warm => "warm",
+            Temperature::Cold => "cold",
+        }
+    }
+}
+
+/// Classifies a file's temperature from its heat telemetry. Implementations
+/// must be pure functions of the input (no wall clock, no I/O) so the
+/// migration planner stays deterministic and replayable.
+pub trait TierClassifier: Send + Sync {
+    /// Stable name, recorded in migration audit events.
+    fn name(&self) -> &'static str;
+
+    /// Judges one file from its current heat.
+    fn classify(&self, heat: &HeatInfo) -> Temperature;
+}
+
+/// The default classifier: two fixed thresholds over the blended EWMA heat
+/// score (`α·current + (1-α)·ewma`, in touches per epoch).
+///
+/// ```
+/// use octopus_common::HeatInfo;
+/// use octopus_policies::{EwmaThresholdClassifier, Temperature, TierClassifier};
+///
+/// let c = EwmaThresholdClassifier::new(1.0, 0.25);
+/// let heat = |score| HeatInfo { score, ..Default::default() };
+/// assert_eq!(c.classify(&heat(2.0)), Temperature::Hot);
+/// assert_eq!(c.classify(&heat(0.5)), Temperature::Warm);
+/// assert_eq!(c.classify(&heat(0.1)), Temperature::Cold);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct EwmaThresholdClassifier {
+    /// Score at or above which a file is [`Temperature::Hot`].
+    pub hot_threshold: f64,
+    /// Score at or below which a file is [`Temperature::Cold`].
+    pub cold_threshold: f64,
+}
+
+impl EwmaThresholdClassifier {
+    /// A classifier with the given thresholds. `cold_threshold` is clamped
+    /// to at most `hot_threshold` so the warm band cannot invert.
+    pub fn new(hot_threshold: f64, cold_threshold: f64) -> Self {
+        Self { hot_threshold, cold_threshold: cold_threshold.min(hot_threshold) }
+    }
+}
+
+impl Default for EwmaThresholdClassifier {
+    /// One touch per epoch sustains hotness; a file decayed below a tenth
+    /// of a touch per epoch is cold. With the default α = 0.4 a file goes
+    /// from untouched to hot after a single epoch of two touches, and
+    /// from hot to cold after roughly six idle epochs.
+    fn default() -> Self {
+        Self::new(1.0, 0.1)
+    }
+}
+
+impl TierClassifier for EwmaThresholdClassifier {
+    fn name(&self) -> &'static str {
+        "ewma-threshold"
+    }
+
+    fn classify(&self, heat: &HeatInfo) -> Temperature {
+        if heat.score >= self.hot_threshold {
+            Temperature::Hot
+        } else if heat.score <= self.cold_threshold {
+            Temperature::Cold
+        } else {
+            Temperature::Warm
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heat(score: f64) -> HeatInfo {
+        HeatInfo { score, ..Default::default() }
+    }
+
+    #[test]
+    fn thresholds_partition_the_score_axis() {
+        let c = EwmaThresholdClassifier::new(2.0, 0.5);
+        assert_eq!(c.classify(&heat(5.0)), Temperature::Hot);
+        assert_eq!(c.classify(&heat(2.0)), Temperature::Hot, "hot boundary inclusive");
+        assert_eq!(c.classify(&heat(1.0)), Temperature::Warm);
+        assert_eq!(c.classify(&heat(0.5)), Temperature::Cold, "cold boundary inclusive");
+        assert_eq!(c.classify(&heat(0.0)), Temperature::Cold);
+    }
+
+    #[test]
+    fn inverted_thresholds_clamp_instead_of_misclassifying() {
+        // cold > hot would make every score both hot and cold; the
+        // constructor collapses the warm band instead.
+        let c = EwmaThresholdClassifier::new(1.0, 3.0);
+        assert_eq!(c.cold_threshold, 1.0);
+        assert_eq!(c.classify(&heat(2.0)), Temperature::Hot);
+        assert_eq!(c.classify(&heat(0.5)), Temperature::Cold);
+    }
+
+    #[test]
+    fn default_marks_untouched_files_cold() {
+        let c = EwmaThresholdClassifier::default();
+        assert_eq!(c.classify(&HeatInfo::default()), Temperature::Cold);
+    }
+}

@@ -118,6 +118,28 @@ if [ ! -s results/heat.json ]; then
 fi
 grep "^GATE" <<<"$heat_sweep"
 
+echo "==> auto-tiering smoke"
+# The migration robustness suite on a real TCP cluster (promote/demote
+# rounds, setrep downgrade convergence, bandwidth-cap pacing, worker
+# death on both sides of a copy, fault-injected abort/retry, foreground
+# p99 under a live autotier daemon), then the quick shifting-working-set
+# sweep. The GATE line asserts auto-tiering beats static placement
+# ≥1.3x end-to-end with every working-set file promoted;
+# results/autotier.json is the machine-readable artifact CI uploads
+# and diffs across runs.
+cargo test --release -q -p octopus-core --test autotier
+autotier_out=$(cargo run --release --quiet -p octopus-bench --bin exp_autotier -- --quick)
+if ! grep -q "^GATE autotier .* pass=true" <<<"$autotier_out"; then
+    echo "auto-tiering smoke: shifting-working-set gate failed" >&2
+    grep "^GATE" <<<"$autotier_out" >&2 || true
+    exit 1
+fi
+if [ ! -s results/autotier.json ]; then
+    echo "auto-tiering smoke: missing results/autotier.json" >&2
+    exit 1
+fi
+grep "^GATE" <<<"$autotier_out"
+
 echo "==> operator status smoke"
 # Boot the real daemons (one master, two workers) and check that
 # `octofs-remote status` renders the live cluster: every tier line must

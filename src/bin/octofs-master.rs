@@ -6,13 +6,18 @@
 //!
 //! ```text
 //! octofs-master --listen 127.0.0.1:7000 --workers 3 \
-//!               [--block-size BYTES] [--capacity BYTES] [--heartbeat-ms MS]
+//!               [--block-size BYTES] [--capacity BYTES] [--heartbeat-ms MS] \
+//!               [--autotier-ms MS] [--autotier-bps B]
 //! ```
 //!
 //! The `--workers/--block-size/--capacity` trio defines the expected
 //! cluster shape (three tiers per worker, as `ClusterConfig::test_cluster`
 //! lays out); every `octofs-worker` must be started with the same values
-//! so that media identities agree.
+//! so that media identities agree. `--autotier-ms` enables the
+//! auto-tiering daemon (DESIGN.md §10): every MS milliseconds a paced
+//! migration round classifies files by access heat (EWMA thresholds)
+//! and promotes/demotes them across tiers, with background copies
+//! capped at `--autotier-bps` bytes/sec (default 64 MB/s; 0 = unpaced).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -27,6 +32,8 @@ fn run(args: &[String]) -> Result<()> {
     let mut block_size = 1u64 << 20;
     let mut capacity = 256u64 << 20;
     let mut heartbeat_ms = 1000u64;
+    let mut autotier_ms = 0u64;
+    let mut autotier_bps: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -50,6 +57,14 @@ fn run(args: &[String]) -> Result<()> {
                 heartbeat_ms = args[i + 1].parse().map_err(|_| bad("--heartbeat-ms"))?;
                 i += 2;
             }
+            "--autotier-ms" => {
+                autotier_ms = args[i + 1].parse().map_err(|_| bad("--autotier-ms"))?;
+                i += 2;
+            }
+            "--autotier-bps" => {
+                autotier_bps = Some(args[i + 1].parse().map_err(|_| bad("--autotier-bps"))?);
+                i += 2;
+            }
             a => return Err(bad(a)),
         }
     }
@@ -59,6 +74,35 @@ fn run(args: &[String]) -> Result<()> {
     let server = MasterServer::spawn_on(Arc::clone(&master), listen.as_str())?;
     // The line below is machine-readable: tests and scripts parse it.
     println!("octofs-master listening on {}", server.addr());
+
+    // Auto-tiering daemon (DESIGN.md §10): opt-in paced migration rounds
+    // (EWMA classification → vector edits → bandwidth-capped copies).
+    if autotier_ms > 0 {
+        let master = Arc::clone(&master);
+        let state = Arc::clone(server.state());
+        let cfg = octopusfs::master::AutoTierConfig {
+            max_copy_bps: autotier_bps
+                .unwrap_or(octopusfs::master::AutoTierConfig::default().max_copy_bps),
+            ..octopusfs::master::AutoTierConfig::default()
+        };
+        std::thread::Builder::new()
+            .name("octofs-autotier".into())
+            .spawn(move || {
+                let classifier = octopusfs::policies::EwmaThresholdClassifier::default();
+                loop {
+                    std::thread::sleep(std::time::Duration::from_millis(autotier_ms));
+                    let addrs = state.resolved_addrs();
+                    if let Err(e) = monitor::run_migration_round(&master, &addrs, &classifier, &cfg)
+                    {
+                        octopus_common::log_warn!(
+                            target: "octofs-master",
+                            "msg=\"migration round failed\" err=\"{e}\""
+                        );
+                    }
+                }
+            })
+            .expect("spawn autotier thread");
+    }
 
     // Replication monitor (§5): periodically heal under/over-replication
     // by RPC-ing the workers.
@@ -74,7 +118,8 @@ fn run(args: &[String]) -> Result<()> {
 fn bad(flag: &str) -> octopusfs::FsError {
     octopusfs::FsError::InvalidArgument(format!(
         "bad or unknown flag {flag}; usage: octofs-master --listen ADDR --workers N \
-         [--block-size B] [--capacity B] [--heartbeat-ms MS]"
+         [--block-size B] [--capacity B] [--heartbeat-ms MS] [--autotier-ms MS] \
+         [--autotier-bps B]"
     ))
 }
 

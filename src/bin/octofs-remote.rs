@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! octofs-remote --master ADDR <mkdir|put|get|cat|ls|rm|mv|setrep|report|
-//!                              status|heat|explain-placement|metrics|trace> [args]
+//!                              status|heat|explain-placement|migrations|metrics|trace> [args]
 //! ```
 //!
 //! `trace read PATH` / `trace write PATH [BYTES]` runs the operation with
@@ -13,7 +13,8 @@
 //! `status` prints the live cluster summary (per-tier capacity, per-worker
 //! lines, hottest files); `heat PATH` prints one file's access-heat EWMA;
 //! `explain-placement BLOCK_ID` replays the audited MOOP decisions for a
-//! block, candidate scores included.
+//! block, candidate scores included; `migrations [N]` lists the most
+//! recent auto-tiering promote/demote decisions.
 
 use std::io::Write as _;
 use std::net::ToSocketAddrs;
@@ -47,7 +48,7 @@ fn run(args: &[String]) -> Result<()> {
         return Err(FsError::InvalidArgument(
             "usage: octofs-remote --master ADDR \
              <mkdir|put|get|cat|ls|rm|mv|setrep|report|status|heat|explain-placement|\
-             metrics|trace>"
+             migrations|metrics|trace>"
                 .into(),
         ));
     };
@@ -263,6 +264,22 @@ fn run(args: &[String]) -> Result<()> {
                         );
                     }
                 }
+            }
+        }
+        "migrations" => {
+            let n: u32 = match args.first() {
+                Some(s) => s.parse().map_err(|_| usage("migrations [N]"))?,
+                None => 20,
+            };
+            let events = fs.migrations(n)?;
+            if events.is_empty() {
+                println!("no retained migration decisions");
+            }
+            for e in events {
+                println!(
+                    "#{} t={}ms file={} block={} {}",
+                    e.seq, e.when_ms, e.file, e.block, e.policy
+                );
             }
         }
         other => return Err(usage(&format!("unknown command {other}"))),
