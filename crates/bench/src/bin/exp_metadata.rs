@@ -1,0 +1,11 @@
+//! Measures master metadata-path throughput, latency quantiles, and lock
+//! contention on a 1M-file in-process namespace. Run with --release;
+//! `--quick` runs the reduced 100k-file CI smoke variant.
+
+fn main() {
+    if std::env::args().any(|a| a == "--quick") {
+        octopus_bench::experiments::metadata::run_quick();
+    } else {
+        octopus_bench::experiments::metadata::run();
+    }
+}

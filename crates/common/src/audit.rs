@@ -15,10 +15,11 @@
 //! retains the ring.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::Arc;
 
 use crate::block::Location;
 use crate::ids::{BlockId, INodeId, MediaId, WorkerId};
+use crate::lockstat::{LockStats, StatMutex};
 use crate::tier::TierId;
 use crate::wire::{Wire, WireReader};
 use crate::{FsError, Result};
@@ -220,15 +221,17 @@ impl Wire for DecisionEvent {
 
 struct RingInner {
     next_seq: u64,
+    dropped: u64,
     events: VecDeque<DecisionEvent>,
 }
 
 /// A bounded, internally locked ring of [`DecisionEvent`]s. Oldest events
-/// are evicted at capacity; pushing never panics or blocks on readers
-/// beyond the short mutex hold.
+/// are evicted at capacity — counted in [`AuditRing::dropped`], never
+/// silently — and pushing never panics or blocks on readers beyond the
+/// short mutex hold.
 pub struct AuditRing {
     capacity: usize,
-    inner: Mutex<RingInner>,
+    inner: StatMutex<RingInner>,
 }
 
 impl Default for AuditRing {
@@ -242,39 +245,52 @@ impl AuditRing {
     pub fn new(capacity: usize) -> Self {
         AuditRing {
             capacity: capacity.max(1),
-            inner: Mutex::new(RingInner { next_seq: 0, events: VecDeque::new() }),
+            inner: StatMutex::new(RingInner { next_seq: 0, dropped: 0, events: VecDeque::new() }),
+        }
+    }
+
+    /// [`AuditRing::new`] with the internal mutex instrumented for lock
+    /// contention statistics.
+    pub fn with_stats(capacity: usize, stats: Arc<LockStats>) -> Self {
+        AuditRing {
+            capacity: capacity.max(1),
+            inner: StatMutex::instrumented(
+                RingInner { next_seq: 0, dropped: 0, events: VecDeque::new() },
+                stats,
+            ),
         }
     }
 
     /// Records an event, stamping its `seq`, and returns that sequence
     /// number. Evicts the oldest event when full.
     pub fn push(&self, mut event: DecisionEvent) -> u64 {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.inner.lock();
         let seq = g.next_seq;
         g.next_seq += 1;
         event.seq = seq;
         g.events.push_back(event);
         while g.events.len() > self.capacity {
             g.events.pop_front();
+            g.dropped += 1;
         }
         seq
     }
 
     /// Every retained event about `block`, oldest first.
     pub fn by_block(&self, block: BlockId) -> Vec<DecisionEvent> {
-        self.inner.lock().unwrap().events.iter().filter(|e| e.block == block).cloned().collect()
+        self.inner.lock().events.iter().filter(|e| e.block == block).cloned().collect()
     }
 
     /// The most recent `n` events, oldest first.
     pub fn recent(&self, n: usize) -> Vec<DecisionEvent> {
-        let g = self.inner.lock().unwrap();
+        let g = self.inner.lock();
         let skip = g.events.len().saturating_sub(n);
         g.events.iter().skip(skip).cloned().collect()
     }
 
     /// Number of retained events.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().events.len()
+        self.inner.lock().events.len()
     }
 
     /// Whether the ring holds no events.
@@ -284,7 +300,12 @@ impl AuditRing {
 
     /// Total events ever recorded (retained or evicted).
     pub fn recorded(&self) -> u64 {
-        self.inner.lock().unwrap().next_seq
+        self.inner.lock().next_seq
+    }
+
+    /// Total events evicted to make room (the ring wrapped past them).
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
     }
 }
 
@@ -348,6 +369,7 @@ mod tests {
         }
         assert_eq!(ring.len(), 3);
         assert_eq!(ring.recorded(), 10);
+        assert_eq!(ring.dropped(), 7, "every eviction must be accounted for");
         // Oldest evicted: only blocks 7, 8, 9 survive, with their stamped
         // sequence numbers intact.
         assert!(ring.by_block(BlockId(0)).is_empty());

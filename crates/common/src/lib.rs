@@ -18,6 +18,7 @@ pub mod error;
 pub mod fstypes;
 pub mod heat;
 pub mod ids;
+pub mod lockstat;
 pub mod log;
 pub mod metrics;
 pub mod repvector;
@@ -39,9 +40,11 @@ pub use error::{FsError, Result};
 pub use fstypes::{DirEntry, FileStatus};
 pub use heat::{BlockTouches, HeatInfo, HeatRecorder, HeatTracker};
 pub use ids::{BlockId, GenStamp, INodeId, IdGenerator, MediaId, WorkerId};
+pub use lockstat::{LockStats, StatMutex, StatRwLock};
 pub use log::Level;
 pub use metrics::{
-    Counter, Gauge, GaugeGuard, Histogram, Labels, MetricsRegistry, MetricsSnapshot, OwnedLabels,
+    BucketLayout, Counter, Gauge, GaugeGuard, Histogram, Labels, MetricsRegistry, MetricsSnapshot,
+    OwnedLabels,
 };
 pub use repvector::{ReplicationVector, VectorDiff};
 pub use series::{SeriesPoint, SeriesRing};

@@ -28,8 +28,8 @@
 //! `<component>_<what>[_<unit>][_total]`, with the component one of
 //! `rpc_client`, `master`, `worker`, `client`, or `cache`. Counters end in
 //! `_total`; latency histograms end in `_us` (microseconds). Labels are
-//! the closed set `{tier, worker, request_type}`; absent labels are
-//! omitted from the exposition.
+//! the closed set `{tier, worker, request_type, op, mode}`; absent labels
+//! are omitted from the exposition.
 //!
 //! # Exposition format
 //!
@@ -56,10 +56,53 @@ use crate::tier::TierId;
 use crate::wire::{Wire, WireReader};
 use crate::Result;
 
-/// Histogram bucket upper bounds for latencies, in microseconds. The last
-/// implicit bucket is `+Inf`.
+/// Histogram bucket upper bounds for I/O latencies, in microseconds. The
+/// last implicit bucket is `+Inf`.
 pub const LATENCY_BUCKETS_US: [u64; 12] =
     [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000];
+
+/// Histogram bucket upper bounds for sub-millisecond operations
+/// (metadata ops, lock wait/hold times), in microseconds. Metadata p50s
+/// sit around 1–20µs; the I/O layout's first bucket (≤50µs) would swallow
+/// them whole. The last implicit bucket is `+Inf`.
+pub const MICRO_BUCKETS_US: [u64; 17] = [
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 25_000, 50_000, 100_000,
+    250_000,
+];
+
+/// Which bucket bound table a histogram uses. The layout is recoverable
+/// from a sample's bucket *count* (the two tables have distinct lengths),
+/// so [`HistogramSample`]'s wire format is unchanged and snapshots from
+/// older peers — always I/O-layout — still decode and render correctly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BucketLayout {
+    /// [`LATENCY_BUCKETS_US`]: 50µs–250ms, tuned for block I/O and RPCs.
+    #[default]
+    Io,
+    /// [`MICRO_BUCKETS_US`]: 1µs–250ms, tuned for metadata ops and locks.
+    Micro,
+}
+
+impl BucketLayout {
+    /// The finite bucket upper bounds for this layout.
+    pub fn bounds(self) -> &'static [u64] {
+        match self {
+            BucketLayout::Io => &LATENCY_BUCKETS_US,
+            BucketLayout::Micro => &MICRO_BUCKETS_US,
+        }
+    }
+
+    /// Recovers the layout from a sample's bucket count (finite bounds
+    /// plus the `+Inf` bucket). Unknown counts fall back to `Io` so
+    /// foreign samples still render.
+    pub fn for_bucket_count(n: usize) -> Self {
+        if n == MICRO_BUCKETS_US.len() + 1 {
+            BucketLayout::Micro
+        } else {
+            BucketLayout::Io
+        }
+    }
+}
 
 /// The closed label set every metric may carry. Instrument sites use
 /// `&'static str` request types, so constructing labels never allocates.
@@ -72,11 +115,17 @@ pub struct Labels {
     pub worker: Option<WorkerId>,
     /// RPC request type (`"ReadBlock"`, `"Heartbeat"`, ...).
     pub request_type: Option<&'static str>,
+    /// Logical operation or instrumented lock the sample refers to
+    /// (`"create"`, `"delete"`, `"master.inner"`, ...).
+    pub op: Option<&'static str>,
+    /// Lock acquisition mode (`"sh"` shared / `"ex"` exclusive).
+    pub mode: Option<&'static str>,
 }
 
 impl Labels {
     /// No labels.
-    pub const NONE: Labels = Labels { tier: None, worker: None, request_type: None };
+    pub const NONE: Labels =
+        Labels { tier: None, worker: None, request_type: None, op: None, mode: None };
 
     /// Labels with only a request type.
     pub fn req(request_type: &'static str) -> Self {
@@ -86,6 +135,11 @@ impl Labels {
     /// Labels with only a worker.
     pub fn worker(worker: WorkerId) -> Self {
         Labels { worker: Some(worker), ..Self::NONE }
+    }
+
+    /// Labels with only an operation (or lock) name.
+    pub fn op(op: &'static str) -> Self {
+        Labels { op: Some(op), ..Self::NONE }
     }
 
     /// Adds a tier.
@@ -99,6 +153,12 @@ impl Labels {
         self.request_type = Some(request_type);
         self
     }
+
+    /// Adds a lock acquisition mode.
+    pub fn with_mode(mut self, mode: &'static str) -> Self {
+        self.mode = Some(mode);
+        self
+    }
 }
 
 /// Owned form of [`Labels`] carried inside snapshots (wire-encodable).
@@ -110,6 +170,10 @@ pub struct OwnedLabels {
     pub worker: Option<WorkerId>,
     /// RPC request type.
     pub request_type: Option<String>,
+    /// Logical operation or instrumented lock.
+    pub op: Option<String>,
+    /// Lock acquisition mode.
+    pub mode: Option<String>,
 }
 
 impl From<Labels> for OwnedLabels {
@@ -118,6 +182,8 @@ impl From<Labels> for OwnedLabels {
             tier: l.tier,
             worker: l.worker,
             request_type: l.request_type.map(String::from),
+            op: l.op.map(String::from),
+            mode: l.mode.map(String::from),
         }
     }
 }
@@ -151,6 +217,12 @@ impl OwnedLabels {
         if let Some(r) = &self.request_type {
             parts.push(format!("request_type=\"{}\"", escape_label_value(r)));
         }
+        if let Some(o) = &self.op {
+            parts.push(format!("op=\"{}\"", escape_label_value(o)));
+        }
+        if let Some(m) = &self.mode {
+            parts.push(format!("mode=\"{}\"", escape_label_value(m)));
+        }
         if let Some((k, v)) = extra {
             parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
         }
@@ -167,9 +239,17 @@ impl Wire for OwnedLabels {
         self.tier.put(buf);
         self.worker.put(buf);
         self.request_type.put(buf);
+        self.op.put(buf);
+        self.mode.put(buf);
     }
     fn get(r: &mut WireReader<'_>) -> Result<Self> {
-        Ok(OwnedLabels { tier: Wire::get(r)?, worker: Wire::get(r)?, request_type: Wire::get(r)? })
+        Ok(OwnedLabels {
+            tier: Wire::get(r)?,
+            worker: Wire::get(r)?,
+            request_type: Wire::get(r)?,
+            op: Wire::get(r)?,
+            mode: Wire::get(r)?,
+        })
     }
 }
 
@@ -239,19 +319,28 @@ impl Drop for GaugeGuard {
 }
 
 /// Shared storage of one histogram: per-bucket counts plus sum/count.
+/// One slot per finite bound of its [`BucketLayout`], plus `+Inf`.
 pub struct HistogramCore {
-    buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    layout: BucketLayout,
+    buckets: Box<[AtomicU64]>,
     sum: AtomicU64,
     count: AtomicU64,
 }
 
-impl Default for HistogramCore {
-    fn default() -> Self {
+impl HistogramCore {
+    fn with_layout(layout: BucketLayout) -> Self {
         Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            layout,
+            buckets: (0..layout.bounds().len() + 1).map(|_| AtomicU64::new(0)).collect(),
             sum: AtomicU64::new(0),
             count: AtomicU64::new(0),
         }
+    }
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        Self::with_layout(BucketLayout::Io)
     }
 }
 
@@ -260,9 +349,15 @@ impl Default for HistogramCore {
 pub struct Histogram(Arc<HistogramCore>);
 
 impl Histogram {
+    /// An unregistered histogram with the given bucket layout (registered
+    /// ones come from [`MetricsRegistry::histogram_with`]).
+    pub fn with_layout(layout: BucketLayout) -> Self {
+        Histogram(Arc::new(HistogramCore::with_layout(layout)))
+    }
+
     /// Records one observation, in microseconds.
     pub fn observe_us(&self, us: u64) {
-        let idx = LATENCY_BUCKETS_US.partition_point(|&b| us > b);
+        let idx = self.0.layout.bounds().partition_point(|&b| us > b);
         self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.0.sum.fetch_add(us, Ordering::Relaxed);
         self.0.count.fetch_add(1, Ordering::Relaxed);
@@ -276,6 +371,11 @@ impl Histogram {
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
     }
 }
 
@@ -313,9 +413,31 @@ impl MetricsRegistry {
         get_or_insert(&self.gauges, (name, labels))
     }
 
-    /// The histogram registered under `(name, labels)`, creating it empty.
+    /// The histogram registered under `(name, labels)`, creating it empty
+    /// with the I/O bucket layout.
     pub fn histogram(&self, name: &'static str, labels: Labels) -> Histogram {
-        get_or_insert(&self.histograms, (name, labels))
+        self.histogram_with(name, labels, BucketLayout::Io)
+    }
+
+    /// The histogram registered under `(name, labels)`, creating it empty
+    /// with `layout`. The layout applies only on first registration; later
+    /// lookups return the existing histogram unchanged.
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        labels: Labels,
+        layout: BucketLayout,
+    ) -> Histogram {
+        let key = (name, labels);
+        if let Some(v) = self.histograms.read().unwrap().get(&key) {
+            return v.clone();
+        }
+        self.histograms
+            .write()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Histogram::with_layout(layout))
+            .clone()
     }
 
     /// Convenience: `counter(name, labels).inc()`.
@@ -404,13 +526,50 @@ pub struct HistogramSample {
     pub name: String,
     /// Label set.
     pub labels: OwnedLabels,
-    /// Per-bucket observation counts, aligned to [`LATENCY_BUCKETS_US`]
-    /// plus a final `+Inf` bucket.
+    /// Per-bucket observation counts, aligned to the finite bounds of the
+    /// histogram's [`BucketLayout`] (recovered from the bucket count) plus
+    /// a final `+Inf` bucket.
     pub buckets: Vec<u64>,
     /// Sum of observations (µs).
     pub sum: u64,
     /// Number of observations.
     pub count: u64,
+}
+
+impl HistogramSample {
+    /// The finite bucket bounds this sample was recorded against.
+    pub fn bounds(&self) -> &'static [u64] {
+        BucketLayout::for_bucket_count(self.buckets.len()).bounds()
+    }
+
+    /// Estimated quantile (`q` in `[0, 1]`), in microseconds: the upper
+    /// bound of the bucket containing the `ceil(q·count)`-th observation.
+    /// Observations in the `+Inf` bucket clamp to the last finite bound.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let bounds = self.bounds();
+        let mut cumulative = 0u64;
+        for (i, v) in self.buckets.iter().enumerate() {
+            cumulative += v;
+            if cumulative >= rank {
+                return bounds.get(i).copied().unwrap_or(*bounds.last().unwrap());
+            }
+        }
+        *bounds.last().unwrap()
+    }
+
+    /// Mean observation, in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
 }
 
 macro_rules! wire_sample {
@@ -531,13 +690,11 @@ impl MetricsSnapshot {
             let _ = writeln!(out, " {}", s.value);
         }
         for s in &self.histograms {
+            let bounds = s.bounds();
             let mut cumulative = 0u64;
             for (i, v) in s.buckets.iter().enumerate() {
                 cumulative += v;
-                let le = LATENCY_BUCKETS_US
-                    .get(i)
-                    .map(|b| b.to_string())
-                    .unwrap_or_else(|| "+Inf".to_string());
+                let le = bounds.get(i).map(|b| b.to_string()).unwrap_or_else(|| "+Inf".to_string());
                 let _ = write!(out, "{}_bucket", s.name);
                 s.labels.render(&mut out, Some(("le", &le)));
                 let _ = writeln!(out, " {cumulative}");
@@ -647,16 +804,92 @@ mod tests {
         let mut snap = MetricsSnapshot::default();
         snap.counters.push(CounterSample {
             name: "evil_total".into(),
-            labels: OwnedLabels {
-                tier: None,
-                worker: None,
-                request_type: Some("a\"b\\c\nd".into()),
-            },
+            labels: OwnedLabels { request_type: Some("a\"b\\c\nd".into()), ..Default::default() },
             value: 1,
         });
         let text = snap.render_text();
         assert_eq!(text, "evil_total{request_type=\"a\\\"b\\\\c\\nd\"} 1\n");
         assert_eq!(text.lines().count(), 1, "newline in a value must not split the line");
+    }
+
+    #[test]
+    fn micro_layout_resolves_sub_millisecond_latencies() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram_with("meta_us", Labels::op("create"), BucketLayout::Micro);
+        h.observe_us(1); // bucket 0 (≤1)
+        h.observe_us(8); // bucket 3 (≤10)
+        h.observe_us(9); // bucket 3 (≤10)
+        h.observe_us(400); // bucket 8 (≤500)
+        assert_eq!(h.sum_us(), 1 + 8 + 9 + 400);
+        let snap = r.snapshot();
+        let s = &snap.histograms[0];
+        assert_eq!(s.buckets.len(), MICRO_BUCKETS_US.len() + 1);
+        assert_eq!(s.bounds(), &MICRO_BUCKETS_US);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[3], 2);
+        assert_eq!(s.buckets[8], 1);
+        // Layout survives the wire and renders with micro `le=` bounds.
+        let back: MetricsSnapshot = decode(&encode(&snap)).unwrap();
+        let text = back.render_text();
+        assert!(text.contains("meta_us_bucket{op=\"create\",le=\"10\"} 3"), "{text}");
+        assert!(text.contains("meta_us_bucket{op=\"create\",le=\"+Inf\"} 4"), "{text}");
+        // Mixed layouts in one registry stay independent.
+        let io = r.histogram("io_us", Labels::NONE);
+        io.observe_us(8);
+        let s = &r.snapshot().histograms[0];
+        assert_eq!(s.buckets.len(), LATENCY_BUCKETS_US.len() + 1);
+        assert_eq!(s.buckets[0], 1, "8µs lands in the ≤50µs I/O bucket");
+    }
+
+    #[test]
+    fn quantile_estimates_from_bucket_bounds() {
+        let h = Histogram::with_layout(BucketLayout::Micro);
+        for _ in 0..90 {
+            h.observe_us(7); // ≤10 bucket
+        }
+        for _ in 0..10 {
+            h.observe_us(450); // ≤500 bucket
+        }
+        let snap = MetricsSnapshot {
+            histograms: vec![HistogramSample {
+                name: "q_us".into(),
+                labels: OwnedLabels::default(),
+                buckets: (0..h.0.buckets.len())
+                    .map(|i| h.0.buckets[i].load(Ordering::Relaxed))
+                    .collect(),
+                sum: h.sum_us(),
+                count: h.count(),
+            }],
+            ..Default::default()
+        };
+        let s = &snap.histograms[0];
+        assert_eq!(s.quantile_us(0.5), 10);
+        assert_eq!(s.quantile_us(0.99), 500);
+        assert_eq!(s.quantile_us(1.0), 500);
+        assert!((s.mean_us() - (90.0 * 7.0 + 10.0 * 450.0) / 100.0).abs() < 1e-9);
+        let empty = HistogramSample {
+            name: "e_us".into(),
+            labels: OwnedLabels::default(),
+            buckets: vec![0; MICRO_BUCKETS_US.len() + 1],
+            sum: 0,
+            count: 0,
+        };
+        assert_eq!(empty.quantile_us(0.99), 0);
+    }
+
+    #[test]
+    fn op_and_mode_labels_render_and_round_trip() {
+        let r = MetricsRegistry::new();
+        r.add("lock_contended_total", Labels::op("master.inner").with_mode("ex"), 2);
+        let snap = r.snapshot();
+        let text = snap.render_text();
+        assert!(text.contains("lock_contended_total{op=\"master.inner\",mode=\"ex\"} 2"), "{text}");
+        let back: MetricsSnapshot = decode(&encode(&snap)).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(
+            snap.counter_where("lock_contended_total", |l| l.mode.as_deref() == Some("ex")),
+            2
+        );
     }
 
     #[test]

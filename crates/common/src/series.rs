@@ -9,8 +9,9 @@
 //! and an idle cluster samples nothing.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::Arc;
 
+use crate::lockstat::{LockStats, StatMutex};
 use crate::wire::{Wire, WireReader};
 use crate::Result;
 
@@ -48,14 +49,22 @@ impl SeriesPoint {
 
 struct SeriesInner {
     last_ms: Option<u64>,
+    dropped: u64,
     points: VecDeque<SeriesPoint>,
 }
 
+impl SeriesInner {
+    fn empty() -> Self {
+        SeriesInner { last_ms: None, dropped: 0, points: VecDeque::new() }
+    }
+}
+
 /// A bounded ring of [`SeriesPoint`]s sampled at most once per interval.
+/// Points evicted on wrap are counted in [`SeriesRing::dropped`].
 pub struct SeriesRing {
     interval_ms: u64,
     capacity: usize,
-    inner: Mutex<SeriesInner>,
+    inner: StatMutex<SeriesInner>,
 }
 
 impl Default for SeriesRing {
@@ -71,7 +80,17 @@ impl SeriesRing {
         SeriesRing {
             interval_ms: interval_ms.max(1),
             capacity: capacity.max(1),
-            inner: Mutex::new(SeriesInner { last_ms: None, points: VecDeque::new() }),
+            inner: StatMutex::new(SeriesInner::empty()),
+        }
+    }
+
+    /// [`SeriesRing::new`] with the internal mutex instrumented for lock
+    /// contention statistics.
+    pub fn with_stats(interval_ms: u64, capacity: usize, stats: Arc<LockStats>) -> Self {
+        SeriesRing {
+            interval_ms: interval_ms.max(1),
+            capacity: capacity.max(1),
+            inner: StatMutex::instrumented(SeriesInner::empty(), stats),
         }
     }
 
@@ -79,7 +98,7 @@ impl SeriesRing {
     /// last one (or none was ever taken); `sample` is only invoked when a
     /// point will actually be stored. Returns whether a point was taken.
     pub fn maybe_sample(&self, now_ms: u64, sample: impl FnOnce() -> Vec<(String, i64)>) -> bool {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.inner.lock();
         if let Some(last) = g.last_ms {
             if now_ms < last.saturating_add(self.interval_ms) {
                 return false;
@@ -90,23 +109,29 @@ impl SeriesRing {
         g.points.push_back(point);
         while g.points.len() > self.capacity {
             g.points.pop_front();
+            g.dropped += 1;
         }
         true
     }
 
     /// Every retained point, oldest first.
     pub fn points(&self) -> Vec<SeriesPoint> {
-        self.inner.lock().unwrap().points.iter().cloned().collect()
+        self.inner.lock().points.iter().cloned().collect()
     }
 
     /// Number of retained points.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().points.len()
+        self.inner.lock().points.len()
     }
 
     /// Whether no points are retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Total points evicted to make room (the ring wrapped past them).
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
     }
 }
 
@@ -126,6 +151,7 @@ mod tests {
         }
         let pts = r.points();
         assert_eq!(pts.len(), 3, "ring stays bounded");
+        assert_eq!(r.dropped(), 3, "every eviction must be accounted for");
         assert_eq!(pts.iter().map(|p| p.t_ms).collect::<Vec<_>>(), vec![300, 400, 500]);
         assert_eq!(pts[2].value("x"), Some(6));
         assert_eq!(pts[2].value("y"), None);

@@ -157,6 +157,16 @@ impl RemoteFs {
         self.rpc.trace()
     }
 
+    /// The master's registry alone, over one `Metrics` RPC — no worker
+    /// fan-out. The fast path for `status`/`perf` views that only read
+    /// `master_*` and `lock_*` series; one slow worker cannot stall them.
+    pub fn master_metrics_snapshot(&self) -> Result<MetricsSnapshot> {
+        match self.call(MasterRequest::Metrics)? {
+            MasterResponse::Metrics(s) => Ok(s),
+            r => Err(FsError::Io(format!("unexpected response {r:?}"))),
+        }
+    }
+
     /// Cluster-wide metrics: the master's registry plus every reachable
     /// worker's (both over the idempotent `Metrics` RPC), merged with this
     /// client's own series. Unreachable workers are skipped so scraping

@@ -238,10 +238,7 @@ fn dispatch_inner(state: &MasterState, req: MasterRequest) -> Result<MasterRespo
             A::Addresses(state.addrs.read().iter().map(|(w, a)| (*w, a.clone())).collect())
         }
         Q::Metrics => {
-            master
-                .metrics()
-                .counter("trace_spans_dropped_total", Labels::NONE)
-                .set_max(master.trace().dropped());
+            master.stamp_scrape_metrics();
             A::Metrics(master.metrics().snapshot())
         }
         Q::Trace => A::Trace(master.trace().snapshot()),

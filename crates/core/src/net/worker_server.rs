@@ -322,12 +322,17 @@ fn dispatch_inner(
             Ok(WorkerResponse::Scrubbed(scrub_and_report(worker, master, corrupt)))
         }
         WorkerRequest::Metrics => {
-            // Stamp the drop counter at scrape time: spans are dropped
-            // inside the collector without a metrics hook of their own.
+            // Stamp drop counters at scrape time: spans and series points
+            // are dropped inside their rings without a metrics hook of
+            // their own.
             worker
                 .metrics()
                 .counter("trace_spans_dropped_total", Labels::worker(worker.id()))
                 .set_max(worker.trace().dropped());
+            worker
+                .metrics()
+                .counter("worker_series_dropped_total", Labels::worker(worker.id()))
+                .set_max(worker.series_dropped());
             Ok(WorkerResponse::Metrics(worker.metrics().snapshot()))
         }
         WorkerRequest::Trace => Ok(WorkerResponse::Trace(worker.trace().snapshot())),

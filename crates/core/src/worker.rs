@@ -252,6 +252,11 @@ impl Worker {
         self.series.points()
     }
 
+    /// Series points evicted by ring wrap, for scrape-time drop counters.
+    pub fn series_dropped(&self) -> u64 {
+        self.series.dropped()
+    }
+
     /// Block report payload: every block on every medium (paper §5).
     pub fn block_report(&self) -> Vec<(Block, MediaId)> {
         let mut out = Vec::new();

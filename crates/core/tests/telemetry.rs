@@ -182,3 +182,89 @@ fn master_and_worker_series_accumulate_points() {
     assert!(wl.value("net_conn").is_some(), "worker sample: {wl:?}");
     assert!(wl.value("io_conn").is_some());
 }
+
+#[test]
+fn scrape_stamps_ring_drop_counters() {
+    let cluster = NetCluster::start(config()).unwrap();
+    let client = cluster.client(ClientLocation::OffCluster);
+    client.write_file("/drop-probe", &payload(MB as usize / 4, 5), rf(2)).unwrap();
+
+    // The drop counters are pre-registered at zero and stamped from the
+    // rings at scrape time, so they must be visible (not merely absent)
+    // even before any ring has wrapped — a dashboard can alert on them
+    // without a blind spot between boot and first eviction.
+    let snap = client.cluster_metrics_snapshot().unwrap();
+    for name in
+        ["master_audit_dropped_total", "master_series_dropped_total", "trace_spans_dropped_total"]
+    {
+        assert!(snap.contains(name), "scraped snapshot lacks {name}");
+    }
+    assert!(
+        snap.counters
+            .iter()
+            .any(|c| c.name == "worker_series_dropped_total" && c.labels.worker.is_some()),
+        "worker series drop counter missing or unlabeled"
+    );
+}
+
+#[test]
+fn metadata_op_histograms_populate_through_rpc_scrape() {
+    let cluster = NetCluster::start(config()).unwrap();
+    let client = cluster.client(ClientLocation::OffCluster);
+
+    // The exp_metadata mix in miniature, driven over RPC: every op must
+    // land in its own `master_meta_op_us{op=…}` histogram on the master.
+    client.mkdir("/meta").unwrap();
+    client.write_file("/meta/f", &payload(MB as usize / 4, 11), rf(2)).unwrap();
+    client.status("/meta/f").unwrap();
+    client.list("/meta").unwrap();
+    client.rename("/meta/f", "/meta/g").unwrap();
+    client.delete("/meta/g", false).unwrap();
+
+    let snap = client.master_metrics_snapshot().unwrap();
+    let hist = |op: &str| {
+        snap.histograms
+            .iter()
+            .find(|h| h.name == "master_meta_op_us" && h.labels.op.as_deref() == Some(op))
+            .unwrap_or_else(|| panic!("no master_meta_op_us sample for op={op}"))
+    };
+    for op in ["mkdir", "create", "complete", "stat", "list", "rename", "delete"] {
+        let h = hist(op);
+        assert!(h.count >= 1, "op={op} recorded no observations");
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count, "op={op} bucket/count mismatch");
+        // Segment histograms ride the same label; their counts match the
+        // total's, so per-op attribution is computable from one scrape.
+        for seg in
+            ["master_meta_op_lock_wait_us", "master_meta_op_work_us", "master_meta_op_log_us"]
+        {
+            let s = snap
+                .histograms
+                .iter()
+                .find(|h| h.name == seg && h.labels.op.as_deref() == Some(op))
+                .unwrap_or_else(|| panic!("no {seg} sample for op={op}"));
+            assert_eq!(s.count, h.count, "segment {seg} count diverges for op={op}");
+        }
+        let counted = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "master_meta_ops_total" && c.labels.op.as_deref() == Some(op))
+            .map(|c| c.value)
+            .unwrap_or(0);
+        assert_eq!(counted, h.count, "ops counter diverges for op={op}");
+    }
+
+    // Lockstat series surface through the same scrape: the instrumented
+    // master.inner lock has recorded holds in both modes by now.
+    for mode in ["sh", "ex"] {
+        let hold = snap
+            .histograms
+            .iter()
+            .find(|h| {
+                h.name == "lock_hold_us"
+                    && h.labels.op.as_deref() == Some("master.inner")
+                    && h.labels.mode.as_deref() == Some(mode)
+            })
+            .unwrap_or_else(|| panic!("no lock_hold_us sample for master.inner mode={mode}"));
+        assert!(hold.count > 0, "master.inner {mode} lock recorded no holds");
+    }
+}

@@ -1,9 +1,8 @@
 //! The [`Master`] facade: the client-facing namespace/block API (Table 1),
 //! heartbeat and block-report processing, and the replication monitor (§5).
 
-use parking_lot::{Mutex, RwLock};
-
-use octopus_common::metrics::{Labels, MetricsRegistry};
+use octopus_common::lockstat::{LockStats, StatMutex, StatReadGuard, StatRwLock, StatWriteGuard};
+use octopus_common::metrics::{BucketLayout, Counter, Histogram, Labels, MetricsRegistry};
 use octopus_common::trace::TraceCollector;
 use octopus_common::{
     AuditRing, Block, BlockId, BlockTouches, ClientLocation, ClusterConfig, ClusterStatusReport,
@@ -23,7 +22,9 @@ use crate::editlog::{decode_stream, encode_image, EditLog, EditOp};
 use crate::lease::{ClientId, LeaseManager};
 use crate::mount::{ExternalCatalog, MountTable};
 use crate::namespace::{DirEntry, FileStatus, Namespace, TierQuota};
+use std::cell::Cell;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Fraction of known blocks that must have at least one confirmed replica
 /// before a restarted master leaves safe mode automatically.
@@ -67,9 +68,181 @@ struct Inner {
     mounts: MountTable,
 }
 
+/// The metadata operations the master profiles individually. Every public
+/// metadata entry point maps to one of these; its latency lands in
+/// `master_meta_op_us{op=…}` split into lock-wait / work / edit-log
+/// segments (the contention observatory feeding ROADMAP item 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetaOp {
+    Mkdir,
+    Create,
+    AddBlock,
+    ReassignBlock,
+    AbandonBlock,
+    CommitReplica,
+    AbortReplica,
+    Append,
+    Complete,
+    Locations,
+    Stat,
+    List,
+    SetReplication,
+    Rename,
+    Delete,
+    SetQuota,
+    Heartbeat,
+    BlockReport,
+}
+
+impl MetaOp {
+    const ALL: [MetaOp; 18] = [
+        MetaOp::Mkdir,
+        MetaOp::Create,
+        MetaOp::AddBlock,
+        MetaOp::ReassignBlock,
+        MetaOp::AbandonBlock,
+        MetaOp::CommitReplica,
+        MetaOp::AbortReplica,
+        MetaOp::Append,
+        MetaOp::Complete,
+        MetaOp::Locations,
+        MetaOp::Stat,
+        MetaOp::List,
+        MetaOp::SetReplication,
+        MetaOp::Rename,
+        MetaOp::Delete,
+        MetaOp::SetQuota,
+        MetaOp::Heartbeat,
+        MetaOp::BlockReport,
+    ];
+
+    fn label(self) -> &'static str {
+        match self {
+            MetaOp::Mkdir => "mkdir",
+            MetaOp::Create => "create",
+            MetaOp::AddBlock => "add_block",
+            MetaOp::ReassignBlock => "reassign_block",
+            MetaOp::AbandonBlock => "abandon_block",
+            MetaOp::CommitReplica => "commit_replica",
+            MetaOp::AbortReplica => "abort_replica",
+            MetaOp::Append => "append",
+            MetaOp::Complete => "complete",
+            MetaOp::Locations => "get_block_locations",
+            MetaOp::Stat => "stat",
+            MetaOp::List => "list",
+            MetaOp::SetReplication => "set_replication",
+            MetaOp::Rename => "rename",
+            MetaOp::Delete => "delete",
+            MetaOp::SetQuota => "set_quota",
+            MetaOp::Heartbeat => "heartbeat",
+            MetaOp::BlockReport => "block_report",
+        }
+    }
+}
+
+/// Cached metric handles for one [`MetaOp`], so the hot path never takes
+/// the registry map lock.
+struct OpStat {
+    ops: Counter,
+    errors: Counter,
+    total: Histogram,
+    lock_wait: Histogram,
+    work: Histogram,
+    log: Histogram,
+}
+
+/// One [`OpStat`] per [`MetaOp`], indexed by discriminant.
+struct MetaOpStats(Vec<OpStat>);
+
+impl MetaOpStats {
+    fn register(reg: &MetricsRegistry) -> Self {
+        MetaOpStats(
+            MetaOp::ALL
+                .iter()
+                .map(|&op| {
+                    let l = Labels::op(op.label());
+                    let micro = BucketLayout::Micro;
+                    OpStat {
+                        ops: reg.counter("master_meta_ops_total", l),
+                        errors: reg.counter("master_meta_op_errors_total", l),
+                        total: reg.histogram_with("master_meta_op_us", l, micro),
+                        lock_wait: reg.histogram_with("master_meta_op_lock_wait_us", l, micro),
+                        work: reg.histogram_with("master_meta_op_work_us", l, micro),
+                        log: reg.histogram_with("master_meta_op_log_us", l, micro),
+                    }
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Per-call measurement context for one metadata operation: accumulates
+/// lock-wait and edit-log time as the op touches those resources, then
+/// [`OpCtx::finish`] stamps total / lock-wait / log / work (= the
+/// remainder, i.e. time under the lock doing namespace work plus the thin
+/// return path) into the op's histograms.
+struct OpCtx<'m> {
+    stat: &'m OpStat,
+    start: Instant,
+    lock_wait_us: Cell<u64>,
+    log_us: Cell<u64>,
+}
+
+impl OpCtx<'_> {
+    /// Acquires the namespace write lock, folding its measured wait into
+    /// this op's lock-wait segment.
+    fn write<'a>(&self, lock: &'a StatRwLock<Inner>) -> StatWriteGuard<'a, Inner> {
+        let g = lock.write();
+        self.lock_wait_us.set(self.lock_wait_us.get() + g.wait_us());
+        g
+    }
+
+    /// Acquires the namespace read lock, folding its measured wait into
+    /// this op's lock-wait segment.
+    fn read<'a>(&self, lock: &'a StatRwLock<Inner>) -> StatReadGuard<'a, Inner> {
+        let g = lock.read();
+        self.lock_wait_us.set(self.lock_wait_us.get() + g.wait_us());
+        g
+    }
+
+    /// Appends to the edit log, timing the append into this op's log
+    /// segment.
+    fn append(&self, log: &mut EditLog, op: EditOp) -> Result<()> {
+        let t = Instant::now();
+        let r = log.append(op);
+        self.log_us.set(self.log_us.get() + t.elapsed().as_micros() as u64);
+        r
+    }
+
+    /// Runs the op body, then [`OpCtx::finish`]es the measurement from its
+    /// outcome — the standard wrapper for entry points that return
+    /// `Result`.
+    fn finish_with<T>(&self, body: impl FnOnce() -> Result<T>) -> Result<T> {
+        let r = body();
+        self.finish(r.is_ok());
+        r
+    }
+
+    /// Completes the measurement: one op counted (an error, if `!ok`),
+    /// and the total split into lock-wait + log + work.
+    fn finish(&self, ok: bool) {
+        let total = self.start.elapsed().as_micros() as u64;
+        let wait = self.lock_wait_us.get();
+        let logged = self.log_us.get();
+        self.stat.ops.inc();
+        if !ok {
+            self.stat.errors.inc();
+        }
+        self.stat.total.observe_us(total);
+        self.stat.lock_wait.observe_us(wait);
+        self.stat.log.observe_us(logged);
+        self.stat.work.observe_us(total.saturating_sub(wait).saturating_sub(logged));
+    }
+}
+
 /// The OctopusFS (primary) master.
 pub struct Master {
-    inner: RwLock<Inner>,
+    inner: StatRwLock<Inner>,
     config: ClusterConfig,
     placement: Box<dyn PlacementPolicy>,
     retrieval: Box<dyn RetrievalPolicy>,
@@ -77,11 +250,12 @@ pub struct Master {
     gen_stamps: IdGenerator,
     metrics: MetricsRegistry,
     trace: TraceCollector,
+    ops: MetaOpStats,
     // Telemetry state lives outside `inner` on purpose: heat queries and
     // audit lookups must not contend with (or upgrade) the namespace lock,
     // and `get_file_block_locations` records retrieval decisions while
     // holding only a read lock.
-    heat: Mutex<HeatTracker>,
+    heat: StatMutex<HeatTracker>,
     audit: AuditRing,
     series: SeriesRing,
 }
@@ -118,34 +292,80 @@ impl Master {
         // A master that boots with pre-existing blocks (restart/failover)
         // starts in safe mode until block reports confirm the data (§2.1).
         let safe_mode = !blocks.is_empty();
+        let metrics = MetricsRegistry::new();
+        // Pre-register the scrape-time drop counters so they are present
+        // (at zero) in every snapshot, not only after the first wrap.
+        metrics.counter("master_audit_dropped_total", Labels::NONE);
+        metrics.counter("master_series_dropped_total", Labels::NONE);
+        let ops = MetaOpStats::register(&metrics);
+        let inner_stats = LockStats::register(&metrics, "master.inner");
+        let heat_stats = LockStats::register(&metrics, "master.heat");
+        let audit_stats = LockStats::register(&metrics, "master.audit");
+        let series_stats = LockStats::register(&metrics, "master.series");
         Ok(Self {
-            inner: RwLock::new(Inner {
-                ns,
-                blocks,
-                cluster: ClusterState::new(&config),
-                log,
-                leases: LeaseManager::new(config.heartbeat_ms * LEASE_HEARTBEATS),
-                safe_mode,
-                clock_ms: 0,
-                mounts: MountTable::new(),
-            }),
+            inner: StatRwLock::instrumented(
+                Inner {
+                    ns,
+                    blocks,
+                    cluster: ClusterState::new(&config),
+                    log,
+                    leases: LeaseManager::new(config.heartbeat_ms * LEASE_HEARTBEATS),
+                    safe_mode,
+                    clock_ms: 0,
+                    mounts: MountTable::new(),
+                },
+                inner_stats,
+            ),
             config,
             placement,
             retrieval,
             block_ids,
             gen_stamps: IdGenerator::new(1),
-            metrics: MetricsRegistry::new(),
+            metrics,
             trace: TraceCollector::new("master"),
-            heat: Mutex::new(HeatTracker::new(
-                octopus_common::heat::DEFAULT_HEAT_EPOCH_MS,
-                octopus_common::heat::DEFAULT_HEAT_ALPHA,
-            )),
-            audit: AuditRing::new(octopus_common::audit::DEFAULT_AUDIT_CAPACITY),
-            series: SeriesRing::new(
+            ops,
+            heat: StatMutex::instrumented(
+                HeatTracker::new(
+                    octopus_common::heat::DEFAULT_HEAT_EPOCH_MS,
+                    octopus_common::heat::DEFAULT_HEAT_ALPHA,
+                ),
+                heat_stats,
+            ),
+            audit: AuditRing::with_stats(
+                octopus_common::audit::DEFAULT_AUDIT_CAPACITY,
+                audit_stats,
+            ),
+            series: SeriesRing::with_stats(
                 octopus_common::series::DEFAULT_SERIES_INTERVAL_MS,
                 octopus_common::series::DEFAULT_SERIES_POINTS,
+                series_stats,
             ),
         })
+    }
+
+    /// Opens a per-call measurement context for `op` (see [`OpCtx`]).
+    fn op(&self, op: MetaOp) -> OpCtx<'_> {
+        OpCtx {
+            stat: &self.ops.0[op as usize],
+            start: Instant::now(),
+            lock_wait_us: Cell::new(0),
+            log_us: Cell::new(0),
+        }
+    }
+
+    /// Stamps externally accumulated drop totals (trace spans, audit and
+    /// series ring evictions) into the registry. Called at `Metrics`
+    /// scrape time: the rings evict without a metrics hook of their own.
+    pub fn stamp_scrape_metrics(&self) {
+        self.metrics
+            .counter("trace_spans_dropped_total", Labels::NONE)
+            .set_max(self.trace.dropped());
+        self.metrics
+            .counter("master_audit_dropped_total", Labels::NONE)
+            .set_max(self.audit.dropped());
+        self.metrics
+            .counter("master_series_dropped_total", Labels::NONE)
+            .set_max(self.series.dropped());
     }
 
     /// The master's metrics registry (`master_*` counters, gauges, and
@@ -193,12 +413,15 @@ impl Master {
         nr_conn: u32,
         now_ms: u64,
     ) -> Result<()> {
-        let mut g = self.inner.write();
-        g.clock_ms = g.clock_ms.max(now_ms);
-        let out = g.cluster.heartbeat(worker, media, nr_conn, now_ms);
-        self.metrics.inc("master_heartbeats_total", Labels::worker(worker));
-        self.update_liveness_gauge(&g);
-        out
+        let ctx = self.op(MetaOp::Heartbeat);
+        ctx.finish_with(|| {
+            let mut g = ctx.write(&self.inner);
+            g.clock_ms = g.clock_ms.max(now_ms);
+            let out = g.cluster.heartbeat(worker, media, nr_conn, now_ms);
+            self.metrics.inc("master_heartbeats_total", Labels::worker(worker));
+            self.update_liveness_gauge(&g);
+            out
+        })
     }
 
     /// [`Master::heartbeat`] carrying a worker's drained access-heat epoch:
@@ -258,7 +481,19 @@ impl Master {
         worker: WorkerId,
         reported: &[(Block, octopus_common::MediaId)],
     ) -> Result<Vec<BlockId>> {
-        let mut g = self.inner.write();
+        let ctx = self.op(MetaOp::BlockReport);
+        let out = self.block_report_inner(&ctx, worker, reported);
+        ctx.finish(out.is_ok());
+        out
+    }
+
+    fn block_report_inner(
+        &self,
+        ctx: &OpCtx<'_>,
+        worker: WorkerId,
+        reported: &[(Block, octopus_common::MediaId)],
+    ) -> Result<Vec<BlockId>> {
+        let mut g = ctx.write(&self.inner);
         let mut invalidate = Vec::new();
         // Confirm (or reject) reported replicas.
         for (block, media) in reported {
@@ -350,6 +585,16 @@ impl Master {
                     r.stats.capacity as i64,
                 ));
             }
+            // Cumulative lock pressure, so operators can see contention
+            // *trends* (the histograms only give totals): deltas between
+            // consecutive points are the per-interval wait/hold time.
+            for (name, stats) in [("inner", self.inner.stats()), ("heat", self.heat.stats())] {
+                if let Some(s) = stats {
+                    values.push((format!("lock_{name}_wait_us"), s.wait_total_us() as i64));
+                    values.push((format!("lock_{name}_hold_us"), s.hold_total_us() as i64));
+                    values.push((format!("lock_{name}_contended"), s.contended_total() as i64));
+                }
+            }
             values
         });
         dead
@@ -431,10 +676,13 @@ impl Master {
 
     /// Creates a directory (and parents).
     pub fn mkdir(&self, path: &str) -> Result<()> {
-        let mut g = self.inner.write();
-        Self::check_writable(&g)?;
-        g.ns.mkdir(path, true)?;
-        g.log.append(EditOp::Mkdir { path: path.to_string() })
+        let ctx = self.op(MetaOp::Mkdir);
+        ctx.finish_with(|| {
+            let mut g = ctx.write(&self.inner);
+            Self::check_writable(&g)?;
+            g.ns.mkdir(path, true)?;
+            ctx.append(&mut g.log, EditOp::Mkdir { path: path.to_string() })
+        })
     }
 
     /// Creates a file open for writing. `block_size = None` uses the
@@ -458,23 +706,29 @@ impl Master {
         block_size: Option<u64>,
         holder: ClientId,
     ) -> Result<FileStatus> {
-        rv.validate(self.config.tiers.len(), self.config.max_replication)?;
-        if rv.total() == 0 {
-            return Err(FsError::InvalidReplicationVector(
-                "a file needs at least one replica".into(),
-            ));
-        }
-        let bs = block_size.unwrap_or(self.config.block_size);
-        let mut g = self.inner.write();
-        Self::check_writable(&g)?;
-        let now = g.clock_ms;
-        g.leases.acquire(path, holder, now)?;
-        if let Err(e) = g.ns.create_file(path, rv, bs) {
-            g.leases.release(path);
-            return Err(e);
-        }
-        g.log.append(EditOp::CreateFile { path: path.to_string(), rv, block_size: bs })?;
-        g.ns.status(path)
+        let ctx = self.op(MetaOp::Create);
+        ctx.finish_with(|| {
+            rv.validate(self.config.tiers.len(), self.config.max_replication)?;
+            if rv.total() == 0 {
+                return Err(FsError::InvalidReplicationVector(
+                    "a file needs at least one replica".into(),
+                ));
+            }
+            let bs = block_size.unwrap_or(self.config.block_size);
+            let mut g = ctx.write(&self.inner);
+            Self::check_writable(&g)?;
+            let now = g.clock_ms;
+            g.leases.acquire(path, holder, now)?;
+            if let Err(e) = g.ns.create_file(path, rv, bs) {
+                g.leases.release(path);
+                return Err(e);
+            }
+            ctx.append(
+                &mut g.log,
+                EditOp::CreateFile { path: path.to_string(), rv, block_size: bs },
+            )?;
+            g.ns.status(path)
+        })
     }
 
     /// Allocates the next block of an open file: runs the placement policy
@@ -513,7 +767,22 @@ impl Master {
         holder: ClientId,
         excluded: &[WorkerId],
     ) -> Result<(Block, Vec<Location>)> {
-        let mut g = self.inner.write();
+        let ctx = self.op(MetaOp::AddBlock);
+        let r = self.add_block_timed(&ctx, path, len, client, holder, excluded);
+        ctx.finish(r.is_ok());
+        r
+    }
+
+    fn add_block_timed(
+        &self,
+        ctx: &OpCtx<'_>,
+        path: &str,
+        len: u64,
+        client: ClientLocation,
+        holder: ClientId,
+        excluded: &[WorkerId],
+    ) -> Result<(Block, Vec<Location>)> {
+        let mut g = ctx.write(&self.inner);
         Self::check_writable(&g)?;
         let now = g.clock_ms;
         g.leases.check(path, holder, now)?;
@@ -565,12 +834,10 @@ impl Master {
             g.cluster.schedule_write(l.media, len);
         }
         g.blocks.insert(block, file, locations.clone());
-        g.log.append(EditOp::AddBlock {
-            path: path.to_string(),
-            block: block.id,
-            gen: block.gen.0,
-            len,
-        })?;
+        ctx.append(
+            &mut g.log,
+            EditOp::AddBlock { path: path.to_string(), block: block.id, gen: block.gen.0, len },
+        )?;
         self.audit.push(DecisionEvent {
             seq: 0,
             when_ms: now,
@@ -586,10 +853,13 @@ impl Master {
 
     /// Acknowledges that a pipeline stage stored its replica.
     pub fn commit_replica(&self, block: Block, loc: Location) -> Result<()> {
-        let mut g = self.inner.write();
-        g.blocks.confirm(block.id, loc)?;
-        g.cluster.complete_write(loc.media, block.len);
-        Ok(())
+        let ctx = self.op(MetaOp::CommitReplica);
+        ctx.finish_with(|| {
+            let mut g = ctx.write(&self.inner);
+            g.blocks.confirm(block.id, loc)?;
+            g.cluster.complete_write(loc.media, block.len);
+            Ok(())
+        })
     }
 
     /// Records that a scheduled replica will not be written (pipeline
@@ -600,13 +870,18 @@ impl Master {
     /// still-pending reservation is cleared, and its scheduled-write
     /// capacity is returned (cancelled, not consumed — no bytes landed).
     pub fn abort_replica(&self, block: Block, loc: Location) {
-        let mut g = self.inner.write();
-        if g.blocks.get(block.id).is_some_and(|info| info.locations.contains(&loc)) {
-            return;
+        let ctx = self.op(MetaOp::AbortReplica);
+        {
+            let mut g = ctx.write(&self.inner);
+            if g.blocks.get(block.id).is_some_and(|info| info.locations.contains(&loc)) {
+                ctx.finish(true);
+                return;
+            }
+            if g.blocks.abandon_pending(block.id, &loc) {
+                g.cluster.cancel_write(loc.media, block.len);
+            }
         }
-        if g.blocks.abandon_pending(block.id, &loc) {
-            g.cluster.cancel_write(loc.media, block.len);
-        }
+        ctx.finish(true);
     }
 
     /// Re-records a replica the replication monitor failed to delete: the
@@ -627,21 +902,23 @@ impl Master {
     /// Replicas that *did* commit before the failure become unknown blocks
     /// and are invalidated through their owners' next block reports.
     pub fn abandon_block_as(&self, path: &str, block: Block, holder: ClientId) -> Result<()> {
-        let mut g = self.inner.write();
-        Self::check_writable(&g)?;
-        let now = g.clock_ms;
-        g.leases.check(path, holder, now)?;
-        let file = g.ns.resolve(path)?;
-        g.ns.remove_last_block(file, block.id, block.len)?;
-        if let Some(info) = g.blocks.remove_block(block.id) {
-            for loc in info.pending {
-                g.cluster.cancel_write(loc.media, block.len);
+        let ctx = self.op(MetaOp::AbandonBlock);
+        ctx.finish_with(|| {
+            let mut g = ctx.write(&self.inner);
+            Self::check_writable(&g)?;
+            let now = g.clock_ms;
+            g.leases.check(path, holder, now)?;
+            let file = g.ns.resolve(path)?;
+            g.ns.remove_last_block(file, block.id, block.len)?;
+            if let Some(info) = g.blocks.remove_block(block.id) {
+                for loc in info.pending {
+                    g.cluster.cancel_write(loc.media, block.len);
+                }
             }
-        }
-        g.log.append(EditOp::AbandonBlock {
-            path: path.to_string(),
-            block: block.id,
-            len: block.len,
+            ctx.append(
+                &mut g.log,
+                EditOp::AbandonBlock { path: path.to_string(), block: block.id, len: block.len },
+            )
         })
     }
 
@@ -675,7 +952,22 @@ impl Master {
         holder: ClientId,
         excluded: &[WorkerId],
     ) -> Result<Vec<Location>> {
-        let mut g = self.inner.write();
+        let ctx = self.op(MetaOp::ReassignBlock);
+        let r = self.reassign_block_timed(&ctx, path, block, client, holder, excluded);
+        ctx.finish(r.is_ok());
+        r
+    }
+
+    fn reassign_block_timed(
+        &self,
+        ctx: &OpCtx<'_>,
+        path: &str,
+        block: Block,
+        client: ClientLocation,
+        holder: ClientId,
+        excluded: &[WorkerId],
+    ) -> Result<Vec<Location>> {
+        let mut g = ctx.write(&self.inner);
         Self::check_writable(&g)?;
         let now = g.clock_ms;
         g.leases.check(path, holder, now)?;
@@ -741,17 +1033,20 @@ impl Master {
     /// last block is not reopened — appends start a fresh block). The
     /// caller takes the file's write lease.
     pub fn append_file_as(&self, path: &str, holder: ClientId) -> Result<FileStatus> {
-        let mut g = self.inner.write();
-        Self::check_writable(&g)?;
-        let now = g.clock_ms;
-        g.leases.acquire(path, holder, now)?;
-        let file = g.ns.resolve(path)?;
-        if let Err(e) = g.ns.reopen_file(file) {
-            g.leases.release(path);
-            return Err(e);
-        }
-        g.log.append(EditOp::AppendFile { path: path.to_string() })?;
-        g.ns.status(path)
+        let ctx = self.op(MetaOp::Append);
+        ctx.finish_with(|| {
+            let mut g = ctx.write(&self.inner);
+            Self::check_writable(&g)?;
+            let now = g.clock_ms;
+            g.leases.acquire(path, holder, now)?;
+            let file = g.ns.resolve(path)?;
+            if let Err(e) = g.ns.reopen_file(file) {
+                g.leases.release(path);
+                return Err(e);
+            }
+            ctx.append(&mut g.log, EditOp::AppendFile { path: path.to_string() })?;
+            g.ns.status(path)
+        })
     }
 
     /// Closes a file.
@@ -762,14 +1057,17 @@ impl Master {
     /// [`Master::complete_file`] on behalf of a specific client; releases
     /// the lease.
     pub fn complete_file_as(&self, path: &str, holder: ClientId) -> Result<()> {
-        let mut g = self.inner.write();
-        Self::check_writable(&g)?;
-        let now = g.clock_ms;
-        g.leases.check(path, holder, now)?;
-        let file = g.ns.resolve(path)?;
-        g.ns.finalize_file(file)?;
-        g.leases.release(path);
-        g.log.append(EditOp::CloseFile { path: path.to_string() })
+        let ctx = self.op(MetaOp::Complete);
+        ctx.finish_with(|| {
+            let mut g = ctx.write(&self.inner);
+            Self::check_writable(&g)?;
+            let now = g.clock_ms;
+            g.leases.check(path, holder, now)?;
+            let file = g.ns.resolve(path)?;
+            g.ns.finalize_file(file)?;
+            g.leases.release(path);
+            ctx.append(&mut g.log, EditOp::CloseFile { path: path.to_string() })
+        })
     }
 
     /// `getFileBlockLocations` (Table 1): blocks overlapping the byte range
@@ -781,7 +1079,21 @@ impl Master {
         len: u64,
         client: ClientLocation,
     ) -> Result<Vec<LocatedBlock>> {
-        let g = self.inner.read();
+        let ctx = self.op(MetaOp::Locations);
+        let r = self.block_locations_timed(&ctx, path, start, len, client);
+        ctx.finish(r.is_ok());
+        r
+    }
+
+    fn block_locations_timed(
+        &self,
+        ctx: &OpCtx<'_>,
+        path: &str,
+        start: u64,
+        len: u64,
+        client: ClientLocation,
+    ) -> Result<Vec<LocatedBlock>> {
+        let g = ctx.read(&self.inner);
         let file = g.ns.resolve(path)?;
         let meta = g.ns.file_meta(file)?;
         let snap = g.cluster.snapshot();
@@ -831,11 +1143,14 @@ impl Master {
                 "use delete() to drop a file entirely".into(),
             ));
         }
-        let mut g = self.inner.write();
-        Self::check_writable(&g)?;
-        let old = g.ns.set_replication(path, rv)?;
-        g.log.append(EditOp::SetReplication { path: path.to_string(), rv })?;
-        Ok(old)
+        let ctx = self.op(MetaOp::SetReplication);
+        ctx.finish_with(|| {
+            let mut g = ctx.write(&self.inner);
+            Self::check_writable(&g)?;
+            let old = g.ns.set_replication(path, rv)?;
+            ctx.append(&mut g.log, EditOp::SetReplication { path: path.to_string(), rv })?;
+            Ok(old)
+        })
     }
 
     /// `getStorageTierReports` (Table 1).
@@ -846,29 +1161,35 @@ impl Master {
     /// Status of a path. Paths under a mount point resolve against the
     /// external catalog (§2.4, stand-alone mode).
     pub fn status(&self, path: &str) -> Result<FileStatus> {
-        let g = self.inner.read();
-        if let Some((cat, rel)) = g.mounts.resolve(path) {
-            let st = cat.status(&rel)?;
-            return Ok(FileStatus {
-                id: octopus_common::INodeId(0),
-                path: path.to_string(),
-                is_dir: st.is_dir,
-                len: st.len,
-                rv: ReplicationVector::EMPTY,
-                block_size: 0,
-                complete: true,
-            });
-        }
-        g.ns.status(path)
+        let ctx = self.op(MetaOp::Stat);
+        ctx.finish_with(|| {
+            let g = ctx.read(&self.inner);
+            if let Some((cat, rel)) = g.mounts.resolve(path) {
+                let st = cat.status(&rel)?;
+                return Ok(FileStatus {
+                    id: octopus_common::INodeId(0),
+                    path: path.to_string(),
+                    is_dir: st.is_dir,
+                    len: st.len,
+                    rv: ReplicationVector::EMPTY,
+                    block_size: 0,
+                    complete: true,
+                });
+            }
+            g.ns.status(path)
+        })
     }
 
     /// Lists a directory (external catalogs included — §2.4).
     pub fn list(&self, path: &str) -> Result<Vec<DirEntry>> {
-        let g = self.inner.read();
-        if let Some((cat, rel)) = g.mounts.resolve(path) {
-            return cat.list(&rel);
-        }
-        g.ns.list(path)
+        let ctx = self.op(MetaOp::List);
+        ctx.finish_with(|| {
+            let g = ctx.read(&self.inner);
+            if let Some((cat, rel)) = g.mounts.resolve(path) {
+                return cat.list(&rel);
+            }
+            g.ns.list(path)
+        })
     }
 
     /// Mounts an external catalog at `mount_point` (§2.4, stand-alone
@@ -910,6 +1231,13 @@ impl Master {
     /// Must run *before* the namespace mutation that motivates it.
     fn files_under(g: &Inner, path: &str) -> Vec<octopus_common::INodeId> {
         let Ok(id) = g.ns.resolve(path) else { return Vec::new() };
+        if g.ns.file_meta(id).is_ok() {
+            // Plain file: no subtree to walk. Skipping the full-namespace
+            // scan below matters — it is O(total files) with a path
+            // allocation per file, which dominates single-file delete and
+            // rename latency on large namespaces.
+            return vec![id];
+        }
         let base = g.ns.path_of(id);
         let prefix = format!("{}/", base.trim_end_matches('/'));
         g.ns.iter_files()
@@ -925,17 +1253,20 @@ impl Master {
     /// wrongly promote it, so a renamed file starts cold and earns its
     /// temperature from post-rename accesses.
     pub fn rename(&self, src: &str, dst: &str) -> Result<()> {
-        let mut g = self.inner.write();
-        Self::check_writable(&g)?;
-        let moved = Self::files_under(&g, src);
-        g.ns.rename(src, dst)?;
-        g.leases.rename(src, dst);
-        g.log.append(EditOp::Rename { src: src.to_string(), dst: dst.to_string() })?;
-        let mut heat = self.heat.lock();
-        for f in moved {
-            heat.forget(f);
-        }
-        Ok(())
+        let ctx = self.op(MetaOp::Rename);
+        ctx.finish_with(|| {
+            let mut g = ctx.write(&self.inner);
+            Self::check_writable(&g)?;
+            let moved = Self::files_under(&g, src);
+            g.ns.rename(src, dst)?;
+            g.leases.rename(src, dst);
+            ctx.append(&mut g.log, EditOp::Rename { src: src.to_string(), dst: dst.to_string() })?;
+            let mut heat = self.heat.lock();
+            for f in moved {
+                heat.forget(f);
+            }
+            Ok(())
+        })
     }
 
     /// Deletes a path; block replicas are dropped from the block map and
@@ -943,31 +1274,37 @@ impl Master {
     /// workers. Heat entries of the deleted files are forgotten — without
     /// this the tracker leaks one EWMA per deleted file forever.
     pub fn delete(&self, path: &str, recursive: bool) -> Result<Vec<(BlockId, Location)>> {
-        let mut g = self.inner.write();
-        Self::check_writable(&g)?;
-        let doomed = Self::files_under(&g, path);
-        let blocks = g.ns.delete(path, recursive)?;
-        g.leases.release(path);
-        g.log.append(EditOp::Delete { path: path.to_string() })?;
-        let mut dropped = Vec::new();
-        for b in blocks {
-            if let Some(info) = g.blocks.remove_block(b) {
-                dropped.extend(info.locations.into_iter().map(|l| (b, l)));
+        let ctx = self.op(MetaOp::Delete);
+        ctx.finish_with(|| {
+            let mut g = ctx.write(&self.inner);
+            Self::check_writable(&g)?;
+            let doomed = Self::files_under(&g, path);
+            let blocks = g.ns.delete(path, recursive)?;
+            g.leases.release(path);
+            ctx.append(&mut g.log, EditOp::Delete { path: path.to_string() })?;
+            let mut dropped = Vec::new();
+            for b in blocks {
+                if let Some(info) = g.blocks.remove_block(b) {
+                    dropped.extend(info.locations.into_iter().map(|l| (b, l)));
+                }
             }
-        }
-        let mut heat = self.heat.lock();
-        for f in doomed {
-            heat.forget(f);
-        }
-        Ok(dropped)
+            let mut heat = self.heat.lock();
+            for f in doomed {
+                heat.forget(f);
+            }
+            Ok(dropped)
+        })
     }
 
     /// Sets a per-tier quota on a directory.
     pub fn set_quota(&self, path: &str, quota: TierQuota) -> Result<()> {
-        let mut g = self.inner.write();
-        Self::check_writable(&g)?;
-        g.ns.set_quota(path, quota)?;
-        g.log.append(EditOp::SetQuota { path: path.to_string(), quota })
+        let ctx = self.op(MetaOp::SetQuota);
+        ctx.finish_with(|| {
+            let mut g = ctx.write(&self.inner);
+            Self::check_writable(&g)?;
+            g.ns.set_quota(path, quota)?;
+            ctx.append(&mut g.log, EditOp::SetQuota { path: path.to_string(), quota })
+        })
     }
 
     /// A directory's quota and usage.

@@ -140,6 +140,26 @@ if [ ! -s results/autotier.json ]; then
 fi
 grep "^GATE" <<<"$autotier_out"
 
+echo "==> metadata path smoke"
+# The lockstat unit suite (contended/uncontended wait accounting), then
+# the quick 100k-file metadata microbenchmark against an in-process
+# master. The GATE line asserts a minimum aggregate ops/sec and that
+# ≥90% of measured op time is attributed to the named segments (lock
+# wait, work under lock, edit-log append); results/metadata.json is the
+# machine-readable artifact CI uploads and diffs across runs.
+cargo test --release -q -p octopus-common lockstat
+meta_out=$(cargo run --release --quiet -p octopus-bench --bin exp_metadata -- --quick)
+if ! grep -q "^GATE metadata .* pass=true" <<<"$meta_out"; then
+    echo "metadata smoke: throughput/attribution gate failed" >&2
+    grep "^GATE" <<<"$meta_out" >&2 || true
+    exit 1
+fi
+if [ ! -s results/metadata.json ]; then
+    echo "metadata smoke: missing results/metadata.json" >&2
+    exit 1
+fi
+grep "^GATE" <<<"$meta_out"
+
 echo "==> operator status smoke"
 # Boot the real daemons (one master, two workers) and check that
 # `octofs-remote status` renders the live cluster: every tier line must
@@ -185,5 +205,28 @@ if grep "^tier " <<<"$status_out" | grep -q "capacity=0 B"; then
     exit 1
 fi
 echo "status smoke: $(grep -c "^tier " <<<"$status_out") tiers with non-zero capacity"
+
+# The contention observatory against the same live daemons: after one
+# metadata op, `status` must render per-op latency lines and `perf` must
+# rank ops and tabulate master lock wait/hold statistics.
+./target/release/octofs-remote --master "$master_addr" mkdir /ci-perf
+status_out=$(./target/release/octofs-remote --master "$master_addr" status)
+if ! grep -q "^meta mkdir .*p99=" <<<"$status_out"; then
+    echo "status smoke: no per-op metadata line for mkdir" >&2
+    printf '%s\n' "$status_out" >&2
+    exit 1
+fi
+perf_out=$(./target/release/octofs-remote --master "$master_addr" perf)
+if ! grep -q "^mkdir " <<<"$perf_out"; then
+    echo "perf smoke: mkdir missing from the op ranking" >&2
+    printf '%s\n' "$perf_out" >&2
+    exit 1
+fi
+if ! grep -q "^master.inner " <<<"$perf_out"; then
+    echo "perf smoke: master.inner missing from the lock table" >&2
+    printf '%s\n' "$perf_out" >&2
+    exit 1
+fi
+echo "perf smoke: per-op ranking and lock table rendered"
 
 echo "CI green."

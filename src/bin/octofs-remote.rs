@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! octofs-remote --master ADDR <mkdir|put|get|cat|ls|rm|mv|setrep|report|
-//!                              status|heat|explain-placement|migrations|metrics|trace> [args]
+//!                              status|heat|explain-placement|migrations|metrics|perf|trace> [args]
 //! ```
 //!
 //! `trace read PATH` / `trace write PATH [BYTES]` runs the operation with
@@ -11,7 +11,9 @@
 //! full span tree to `results/traces/trace-<id>.jsonl`.
 //!
 //! `status` prints the live cluster summary (per-tier capacity, per-worker
-//! lines, hottest files); `heat PATH` prints one file's access-heat EWMA;
+//! lines, hottest files, per-op metadata latency); `perf [N]` ranks the
+//! top-N metadata operations by p99 latency and tabulates master lock
+//! wait/hold statistics; `heat PATH` prints one file's access-heat EWMA;
 //! `explain-placement BLOCK_ID` replays the audited MOOP decisions for a
 //! block, candidate scores included; `migrations [N]` lists the most
 //! recent auto-tiering promote/demote decisions.
@@ -20,9 +22,56 @@ use std::io::Write as _;
 use std::net::ToSocketAddrs;
 use std::process::ExitCode;
 
+use octopusfs::common::metrics::{HistogramSample, MetricsSnapshot};
 use octopusfs::common::units::fmt_bytes;
 use octopusfs::core::net::RemoteFs;
 use octopusfs::{ClientLocation, FsError, ReplicationVector, Result};
+
+/// The histogram sample carrying `name{op="<op>"}`, if recorded.
+fn hist<'s>(snap: &'s MetricsSnapshot, name: &str, op: &str) -> Option<&'s HistogramSample> {
+    snap.histograms.iter().find(|h| h.name == name && h.labels.op.as_deref() == Some(op))
+}
+
+/// One per-op metadata latency row, joined across the `master_meta_*`
+/// series by `op` label.
+struct MetaRow {
+    count: u64,
+    errors: u64,
+    p50: u64,
+    p99: u64,
+    mean: f64,
+    wait_p99: u64,
+    log_p99: u64,
+}
+
+/// Builds the [`MetaRow`] for one op label; `None` for ops never invoked.
+fn meta_op_row(snap: &MetricsSnapshot, op: &str) -> Option<MetaRow> {
+    let total = hist(snap, "master_meta_op_us", op)?;
+    if total.count == 0 {
+        return None;
+    }
+    let errors = snap.counter_where("master_meta_op_errors_total", |l| l.op.as_deref() == Some(op));
+    let wait_p99 = hist(snap, "master_meta_op_lock_wait_us", op).map_or(0, |h| h.quantile_us(0.99));
+    let log_p99 = hist(snap, "master_meta_op_log_us", op).map_or(0, |h| h.quantile_us(0.99));
+    Some(MetaRow {
+        count: total.count,
+        errors,
+        p50: total.quantile_us(0.50),
+        p99: total.quantile_us(0.99),
+        mean: total.mean_us(),
+        wait_p99,
+        log_p99,
+    })
+}
+
+/// Every op name that has a recorded `master_meta_op_us` histogram.
+fn meta_op_names(snap: &MetricsSnapshot) -> Vec<String> {
+    snap.histograms
+        .iter()
+        .filter(|h| h.name == "master_meta_op_us" && h.count > 0)
+        .filter_map(|h| h.labels.op.clone())
+        .collect()
+}
 
 fn run(args: &[String]) -> Result<()> {
     let mut master = None;
@@ -48,7 +97,7 @@ fn run(args: &[String]) -> Result<()> {
         return Err(FsError::InvalidArgument(
             "usage: octofs-remote --master ADDR \
              <mkdir|put|get|cat|ls|rm|mv|setrep|report|status|heat|explain-placement|\
-             migrations|metrics|trace>"
+             migrations|metrics|perf|trace>"
                 .into(),
         ));
     };
@@ -116,6 +165,79 @@ fn run(args: &[String]) -> Result<()> {
         }
         "metrics" => {
             print!("{}", fs.cluster_metrics_snapshot()?.render_text());
+        }
+        "perf" => {
+            let n: usize = match args.first() {
+                Some(s) => s.parse().map_err(|_| usage("perf [N]"))?,
+                None => 10,
+            };
+            let snap = fs.master_metrics_snapshot()?;
+            let mut rows: Vec<(String, MetaRow)> = meta_op_names(&snap)
+                .into_iter()
+                .filter_map(|op| meta_op_row(&snap, &op).map(|r| (op, r)))
+                .collect();
+            if rows.is_empty() {
+                println!("no metadata operations recorded yet");
+                return Ok(());
+            }
+            // Slowest tail first: the contention view, not the volume view.
+            rows.sort_by(|a, b| b.1.p99.cmp(&a.1.p99).then_with(|| a.0.cmp(&b.0)));
+            println!(
+                "{:<22} {:>9} {:>7} {:>8} {:>8} {:>9} {:>9} {:>8}",
+                "op", "count", "errors", "p50_us", "p99_us", "mean_us", "wait_p99", "log_p99"
+            );
+            for (op, r) in rows.iter().take(n) {
+                println!(
+                    "{op:<22} {:>9} {:>7} {:>8} {:>8} {:>9.1} {:>9} {:>8}",
+                    r.count, r.errors, r.p50, r.p99, r.mean, r.wait_p99, r.log_p99
+                );
+            }
+            let mut locks: Vec<(String, String)> = snap
+                .counters
+                .iter()
+                .filter(|c| c.name == "lock_acquire_total")
+                .filter_map(|c| Some((c.labels.op.clone()?, c.labels.mode.clone()?)))
+                .collect();
+            locks.sort();
+            if !locks.is_empty() {
+                println!();
+                println!(
+                    "{:<16} {:>4} {:>10} {:>10} {:>11} {:>11} {:>11} {:>11}",
+                    "lock",
+                    "mode",
+                    "acquires",
+                    "contended",
+                    "wait_p99",
+                    "wait_us",
+                    "hold_p99",
+                    "hold_us"
+                );
+            }
+            for (lock, mode) in locks {
+                let by = |name: &str| {
+                    snap.counter_where(name, |l| {
+                        l.op.as_deref() == Some(&lock) && l.mode.as_deref() == Some(&mode)
+                    })
+                };
+                let sample = |name: &str| {
+                    snap.histograms.iter().find(|h| {
+                        h.name == name
+                            && h.labels.op.as_deref() == Some(&lock)
+                            && h.labels.mode.as_deref() == Some(&mode)
+                    })
+                };
+                let wait = sample("lock_wait_us");
+                let hold = sample("lock_hold_us");
+                println!(
+                    "{lock:<16} {mode:>4} {:>10} {:>10} {:>11} {:>11} {:>11} {:>11}",
+                    by("lock_acquire_total"),
+                    by("lock_contended_total"),
+                    wait.map_or(0, |h| h.quantile_us(0.99)),
+                    wait.map_or(0, |h| h.sum),
+                    hold.map_or(0, |h| h.quantile_us(0.99)),
+                    hold.map_or(0, |h| h.sum),
+                );
+            }
         }
         "trace" => {
             if args.len() < 2 {
@@ -209,6 +331,17 @@ fn run(args: &[String]) -> Result<()> {
                     "hot {:<30} score={:.3} reads_ewma={:.2} writes_ewma={:.2}",
                     h.path, h.heat.score, h.heat.reads_ewma, h.heat.writes_ewma
                 );
+            }
+            let snap = fs.master_metrics_snapshot()?;
+            let mut ops = meta_op_names(&snap);
+            ops.sort();
+            for op in ops {
+                if let Some(r) = meta_op_row(&snap, &op) {
+                    println!(
+                        "meta {:<22} count={} errors={} p50={}us p99={}us",
+                        op, r.count, r.errors, r.p50, r.p99
+                    );
+                }
             }
         }
         "heat" => {
