@@ -94,6 +94,17 @@ impl LockStats {
         })
     }
 
+    /// Registers the metric series for a lock whose name is built at
+    /// runtime — the sharded master labels each namespace/blockmap stripe
+    /// individually (`master.shard0`, `master.shard1`, …) so contention
+    /// rankings (`octofs-remote perf`) show per-shard hot spots instead of
+    /// aggregating every stripe under one fixed name. Lock names are
+    /// process-lifetime static by design (metric labels outlive any lock),
+    /// so the handful of shard names are interned once here.
+    pub fn register_owned(reg: &MetricsRegistry, lock: String) -> Arc<Self> {
+        Self::register(reg, Box::leak(lock.into_boxed_str()))
+    }
+
     /// The lock's name.
     pub fn name(&self) -> &'static str {
         self.name

@@ -253,18 +253,19 @@ fn metadata_op_histograms_populate_through_rpc_scrape() {
         assert_eq!(counted, h.count, "ops counter diverges for op={op}");
     }
 
-    // Lockstat series surface through the same scrape: the instrumented
-    // master.inner lock has recorded holds in both modes by now.
+    // Lockstat series surface through the same scrape, one label per
+    // namespace shard. mkdir writes every mirror and list reads every
+    // mirror, so shard 0 has recorded holds in both modes by now.
     for mode in ["sh", "ex"] {
         let hold = snap
             .histograms
             .iter()
             .find(|h| {
                 h.name == "lock_hold_us"
-                    && h.labels.op.as_deref() == Some("master.inner")
+                    && h.labels.op.as_deref() == Some("master.shard0")
                     && h.labels.mode.as_deref() == Some(mode)
             })
-            .unwrap_or_else(|| panic!("no lock_hold_us sample for master.inner mode={mode}"));
-        assert!(hold.count > 0, "master.inner {mode} lock recorded no holds");
+            .unwrap_or_else(|| panic!("no lock_hold_us sample for master.shard0 mode={mode}"));
+        assert!(hold.count > 0, "master.shard0 {mode} lock recorded no holds");
     }
 }

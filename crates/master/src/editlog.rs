@@ -15,6 +15,8 @@ use std::path::Path;
 
 use octopus_common::checksum::crc32;
 use octopus_common::{BlockId, FsError, ReplicationVector, Result, MAX_TIERS};
+use parking_lot::Mutex;
+use std::sync::{Condvar, PoisonError};
 
 use crate::namespace::{Namespace, TierQuota};
 
@@ -372,6 +374,28 @@ impl EditLog {
         Ok(())
     }
 
+    /// Appends a batch of ops with one coalesced write and a single
+    /// `fsync` — the durability half of group commit. Records only become
+    /// part of the in-memory sequence once the whole batch is on stable
+    /// storage, so tailing readers (the backup master) never see an op
+    /// that a crash could take back.
+    pub fn append_batch(&mut self, ops: Vec<EditOp>) -> Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        if let Some(f) = &mut self.file {
+            let mut buf = Vec::with_capacity(ops.len() * 64);
+            for op in &ops {
+                buf.extend_from_slice(&frame(op));
+            }
+            f.write_all(&buf)?;
+            f.flush()?;
+            f.sync_data()?;
+        }
+        self.ops.extend(ops);
+        Ok(())
+    }
+
     /// All recorded ops.
     pub fn ops(&self) -> &[EditOp] {
         &self.ops
@@ -409,6 +433,142 @@ impl EditLog {
             f.set_len(0)?;
         }
         Ok(())
+    }
+}
+
+/// Staging state of the group-commit batcher: ops accepted but not yet on
+/// stable storage, plus the sequence bookkeeping that tells a waiter when
+/// its op became durable.
+struct GroupState {
+    /// Ops staged since the last committed batch, in sequence order.
+    staged: Vec<EditOp>,
+    /// Sequence number the next staged op receives.
+    next_seq: u64,
+    /// All ops with sequence `< resolved_seq` have been resolved —
+    /// committed durably, or failed with [`GroupState::poisoned`] set.
+    resolved_seq: u64,
+    /// Whether a committer is currently flushing a batch.
+    committing: bool,
+    /// A batch write failed; the log refuses further durability claims
+    /// (matching the usual journal discipline: an fsync failure means the
+    /// tail of the log is unknowable).
+    poisoned: Option<String>,
+}
+
+/// A group-commit edit log: writers *stage* ops (cheap, done while still
+/// holding the namespace-shard lock so the log order is a valid
+/// linearization), then *wait* for durability after releasing the shard
+/// lock. The first waiter that finds no committer running becomes the
+/// committer: it takes the whole staged batch, writes and fsyncs it as one
+/// coalesced record run, and wakes every waiter the batch covered. Log
+/// latency thus amortizes across all concurrently-staging writers instead
+/// of serializing behind per-op fsyncs under a lock.
+pub struct GroupCommitLog {
+    state: Mutex<GroupState>,
+    /// The durable log. Separate from `state` so stagers are never blocked
+    /// behind an in-progress fsync; only the single active committer and
+    /// snapshot readers take this lock.
+    log: Mutex<EditLog>,
+    cond: Condvar,
+}
+
+impl GroupCommitLog {
+    /// Wraps an edit log (file-backed or in-memory) in the batcher. Ops
+    /// already in the log count as resolved.
+    pub fn new(log: EditLog) -> Self {
+        let existing = log.len() as u64;
+        Self {
+            state: Mutex::new(GroupState {
+                staged: Vec::new(),
+                next_seq: existing,
+                resolved_seq: existing,
+                committing: false,
+                poisoned: None,
+            }),
+            log: Mutex::new(log),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Stages an op for the next batch and returns its sequence number.
+    /// Call while holding the lock that ordered the op (its namespace
+    /// shard); the assigned sequence then agrees with every dependency.
+    pub fn stage(&self, op: EditOp) -> u64 {
+        let mut st = self.state.lock();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.staged.push(op);
+        seq
+    }
+
+    /// Blocks until the op with sequence `seq` is durable (or the log is
+    /// poisoned by an I/O failure). Acked-to-client therefore implies
+    /// fsynced. The first waiter to arrive while no batch is in flight
+    /// commits the entire staged batch itself.
+    pub fn wait_durable(&self, seq: u64) -> Result<()> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(e) = &st.poisoned {
+                return Err(FsError::Io(format!("edit log poisoned: {e}")));
+            }
+            if seq < st.resolved_seq {
+                return Ok(());
+            }
+            if !st.committing {
+                st.committing = true;
+                let batch = std::mem::take(&mut st.staged);
+                let n = batch.len() as u64;
+                drop(st);
+                let res = self.log.lock().append_batch(batch);
+                st = self.state.lock();
+                st.resolved_seq += n;
+                st.committing = false;
+                if let Err(e) = res {
+                    st.poisoned = Some(e.to_string());
+                }
+                self.cond.notify_all();
+            } else {
+                st = self.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    /// Stages an op and waits for its durability — the synchronous path
+    /// used by internal callers (auto-tiering, lease recovery) that roll
+    /// back namespace state when the log rejects an op.
+    pub fn append_sync(&self, op: EditOp) -> Result<()> {
+        let seq = self.stage(op);
+        self.wait_durable(seq)
+    }
+
+    /// Number of durable ops.
+    pub fn durable_len(&self) -> usize {
+        self.log.lock().len()
+    }
+
+    /// Clones the durable ops recorded at or after index `from` (for
+    /// incremental tailing by the backup master). Staged-but-unflushed ops
+    /// are invisible here by design.
+    pub fn since(&self, from: usize) -> Vec<EditOp> {
+        self.log.lock().since(from).to_vec()
+    }
+
+    /// Flushes anything staged and runs `f` over the durable op sequence.
+    pub fn with_durable<R>(&self, f: impl FnOnce(&[EditOp]) -> R) -> Result<R> {
+        self.flush()?;
+        Ok(f(self.log.lock().ops()))
+    }
+
+    /// Forces every staged op to stable storage.
+    pub fn flush(&self) -> Result<()> {
+        let latest = {
+            let st = self.state.lock();
+            st.next_seq
+        };
+        if latest == 0 {
+            return Ok(());
+        }
+        self.wait_durable(latest - 1)
     }
 }
 

@@ -1,0 +1,395 @@
+//! Global per-directory quota accounting for the sharded master.
+//!
+//! The sharded namespace mirrors every directory into each stripe, so a
+//! directory's *local* usage inside one stripe only covers the files that
+//! hash there. Enforcing tier quotas against any single stripe would
+//! multiply every limit by the stripe count. The [`QuotaLedger`] is the
+//! single authority instead: stripes keep their internal usage counters
+//! (harmlessly unlimited), and every operation that changes a file's
+//! charged bytes consults the ledger first, under its own small mutex —
+//! quota checks are rare compared to the metadata hot path (zero-length
+//! create/stat/list/delete never touch it).
+//!
+//! Keys are normalized absolute directory paths (`"/"`, `"/a"`, `"/a/b"`);
+//! the master normalizes before calling in. Usage charged is the same
+//! quantity [`crate::namespace::Namespace`] charges: file length × the
+//! tier's pinned replica count.
+
+use std::collections::{BTreeMap, HashSet};
+
+use octopus_common::{FsError, Result, MAX_TIERS};
+
+use crate::namespace::TierQuota;
+
+#[derive(Debug, Clone, Default)]
+struct Entry {
+    quota: TierQuota,
+    usage: [u64; MAX_TIERS],
+}
+
+/// The global quota table: one entry per directory, usage aggregated over
+/// the whole subtree (exactly like the per-`Dir` counters inside a single
+/// unsharded [`crate::namespace::Namespace`]).
+#[derive(Debug)]
+pub struct QuotaLedger {
+    dirs: BTreeMap<String, Entry>,
+}
+
+impl Default for QuotaLedger {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Every proper ancestor directory of a normalized path, shallowest first:
+/// `ancestors("/a/b/c") == ["/", "/a", "/a/b"]`.
+fn ancestors(path: &str) -> Vec<String> {
+    let mut out = vec!["/".to_string()];
+    let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+    let mut cur = String::new();
+    for c in comps.iter().take(comps.len().saturating_sub(1)) {
+        cur.push('/');
+        cur.push_str(c);
+        out.push(cur.clone());
+    }
+    out
+}
+
+fn check_entry(dir: &str, e: &Entry, charge: &[u64; MAX_TIERS]) -> Result<()> {
+    for (t, &c) in charge.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if let Some(limit) = e.quota.per_tier[t] {
+            if e.usage[t] + c > limit {
+                return Err(FsError::QuotaExceeded(format!(
+                    "directory {dir} tier slot {t}: {} + {c} > {limit}",
+                    e.usage[t]
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+impl QuotaLedger {
+    /// A ledger knowing only the root directory.
+    pub fn new() -> Self {
+        let mut dirs = BTreeMap::new();
+        dirs.insert("/".to_string(), Entry::default());
+        Self { dirs }
+    }
+
+    /// Ensures entries exist for `path` and every ancestor (mkdir -p).
+    pub fn register_dirs(&mut self, path: &str) {
+        for d in ancestors(path) {
+            self.dirs.entry(d).or_default();
+        }
+        if path != "/" {
+            self.dirs.entry(path.to_string()).or_default();
+        }
+    }
+
+    /// Installs an entry verbatim (checkpoint/edit-log replay).
+    pub fn restore_entry(&mut self, path: &str, quota: TierQuota, usage: [u64; MAX_TIERS]) {
+        self.dirs.insert(path.to_string(), Entry { quota, usage });
+    }
+
+    /// Charges `charge` bytes-per-tier for a file at `file_path` against
+    /// every ancestor directory, verifying all limits first.
+    pub fn charge(&mut self, file_path: &str, charge: &[u64; MAX_TIERS]) -> Result<()> {
+        if charge.iter().all(|&c| c == 0) {
+            return Ok(());
+        }
+        let anc = ancestors(file_path);
+        for d in &anc {
+            if let Some(e) = self.dirs.get(d) {
+                check_entry(d, e, charge)?;
+            }
+        }
+        for d in anc {
+            let e = self.dirs.entry(d).or_default();
+            for (u, &c) in e.usage.iter_mut().zip(charge) {
+                *u += c;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reverses a previous [`QuotaLedger::charge`].
+    pub fn uncharge(&mut self, file_path: &str, charge: &[u64; MAX_TIERS]) {
+        if charge.iter().all(|&c| c == 0) {
+            return;
+        }
+        for d in ancestors(file_path) {
+            if let Some(e) = self.dirs.get_mut(&d) {
+                for (u, &c) in e.usage.iter_mut().zip(charge) {
+                    *u = u.saturating_sub(c);
+                }
+            }
+        }
+    }
+
+    /// Replaces a file's charge (`set_replication`): verifies the *net*
+    /// growth per tier against every ancestor limit, then swaps old for
+    /// new.
+    pub fn recharge(
+        &mut self,
+        file_path: &str,
+        old: &[u64; MAX_TIERS],
+        new: &[u64; MAX_TIERS],
+    ) -> Result<()> {
+        let anc = ancestors(file_path);
+        for d in &anc {
+            let Some(e) = self.dirs.get(d) else { continue };
+            for t in 0..MAX_TIERS {
+                let projected = e.usage[t].saturating_sub(old[t]) + new[t];
+                if let Some(limit) = e.quota.per_tier[t] {
+                    if projected > limit {
+                        return Err(FsError::QuotaExceeded(format!(
+                            "directory {d} tier slot {t}: {projected} > {limit}",
+                        )));
+                    }
+                }
+            }
+        }
+        for d in anc {
+            let e = self.dirs.entry(d).or_default();
+            for t in 0..MAX_TIERS {
+                e.usage[t] = e.usage[t].saturating_sub(old[t]) + new[t];
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves one file's charge from `src` to `dst` (file rename). Limits
+    /// are verified only on directories that gain usage (ancestors of the
+    /// destination that are not also ancestors of the source — a rename
+    /// within one quota'd directory is always admissible).
+    pub fn transfer_file(&mut self, src: &str, dst: &str, charge: &[u64; MAX_TIERS]) -> Result<()> {
+        if charge.iter().all(|&c| c == 0) {
+            return Ok(());
+        }
+        let src_anc: HashSet<String> = ancestors(src).into_iter().collect();
+        let dst_anc = ancestors(dst);
+        for d in &dst_anc {
+            if src_anc.contains(d) {
+                continue;
+            }
+            if let Some(e) = self.dirs.get(d) {
+                check_entry(d, e, charge)?;
+            }
+        }
+        for d in src_anc.iter().filter(|d| !dst_anc.contains(*d)) {
+            if let Some(e) = self.dirs.get_mut(d) {
+                for (u, &c) in e.usage.iter_mut().zip(charge) {
+                    *u = u.saturating_sub(c);
+                }
+            }
+        }
+        for d in dst_anc.into_iter().filter(|d| !src_anc.contains(d)) {
+            let e = self.dirs.entry(d).or_default();
+            for (u, &c) in e.usage.iter_mut().zip(charge) {
+                *u += c;
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves a whole directory subtree (`rename` of a directory): rewrites
+    /// every entry key under `src` to live under `dst` and shifts the
+    /// subtree's aggregate usage between the two ancestor chains. Verifies
+    /// limits only on directories that gain usage.
+    pub fn rename_subtree(&mut self, src: &str, dst: &str) -> Result<()> {
+        let usage = self.dirs.get(src).map(|e| e.usage).unwrap_or_default();
+        let src_anc: HashSet<String> = ancestors(src).into_iter().collect();
+        let dst_anc = ancestors(dst);
+        for d in &dst_anc {
+            if src_anc.contains(d) {
+                continue;
+            }
+            if let Some(e) = self.dirs.get(d) {
+                check_entry(d, e, &usage)?;
+            }
+        }
+        let prefix = format!("{src}/");
+        let moved: Vec<String> = self
+            .dirs
+            .keys()
+            .filter(|k| k.as_str() == src || k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        for k in moved {
+            if let Some(e) = self.dirs.remove(&k) {
+                let nk = format!("{dst}{}", &k[src.len()..]);
+                self.dirs.insert(nk, e);
+            }
+        }
+        for d in src_anc.iter().filter(|d| !dst_anc.contains(*d)) {
+            if let Some(e) = self.dirs.get_mut(d) {
+                for (u, &c) in e.usage.iter_mut().zip(&usage) {
+                    *u = u.saturating_sub(c);
+                }
+            }
+        }
+        for d in dst_anc.into_iter().filter(|d| !src_anc.contains(d)) {
+            let e = self.dirs.entry(d).or_default();
+            for (u, &c) in e.usage.iter_mut().zip(&usage) {
+                *u += c;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops a directory subtree (`delete` of a directory), refunding its
+    /// aggregate usage to the ancestor chain.
+    pub fn delete_subtree(&mut self, dir: &str) {
+        let usage = self.dirs.get(dir).map(|e| e.usage).unwrap_or_default();
+        let prefix = format!("{dir}/");
+        let doomed: Vec<String> = self
+            .dirs
+            .keys()
+            .filter(|k| k.as_str() == dir || k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        for k in doomed {
+            self.dirs.remove(&k);
+        }
+        for d in ancestors(dir) {
+            if let Some(e) = self.dirs.get_mut(&d) {
+                for (u, &c) in e.usage.iter_mut().zip(&usage) {
+                    *u = u.saturating_sub(c);
+                }
+            }
+        }
+    }
+
+    /// Sets a directory's quota; rejected if current usage already exceeds
+    /// any new limit (matching `Namespace::set_quota`).
+    pub fn set_quota(&mut self, dir: &str, quota: TierQuota) -> Result<()> {
+        let e = self.dirs.entry(dir.to_string()).or_default();
+        for t in 0..MAX_TIERS {
+            if let Some(limit) = quota.per_tier[t] {
+                if e.usage[t] > limit {
+                    return Err(FsError::QuotaExceeded(format!(
+                        "directory {dir} tier slot {t}: current usage {} exceeds new limit {limit}",
+                        e.usage[t]
+                    )));
+                }
+            }
+        }
+        e.quota = quota;
+        Ok(())
+    }
+
+    /// A directory's quota and aggregate subtree usage.
+    pub fn quota_usage(&self, dir: &str) -> (TierQuota, [u64; MAX_TIERS]) {
+        self.dirs.get(dir).map(|e| (e.quota, e.usage)).unwrap_or_default()
+    }
+
+    /// All entries, path-sorted (checkpointing).
+    pub fn entries(&self) -> Vec<(String, TierQuota, [u64; MAX_TIERS])> {
+        self.dirs.iter().map(|(k, e)| (k.clone(), e.quota, e.usage)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(tier: usize, bytes: u64) -> [u64; MAX_TIERS] {
+        let mut x = [0u64; MAX_TIERS];
+        x[tier] = bytes;
+        x
+    }
+
+    #[test]
+    fn charge_respects_ancestor_limits() {
+        let mut l = QuotaLedger::new();
+        l.register_dirs("/a/b");
+        l.set_quota("/a", TierQuota::limit_tier(0, 100)).unwrap();
+        l.charge("/a/b/f", &c(0, 80)).unwrap();
+        assert!(matches!(l.charge("/a/b/g", &c(0, 30)), Err(FsError::QuotaExceeded(_))));
+        // Usage aggregates on every ancestor.
+        assert_eq!(l.quota_usage("/").1[0], 80);
+        assert_eq!(l.quota_usage("/a").1[0], 80);
+        assert_eq!(l.quota_usage("/a/b").1[0], 80);
+        l.uncharge("/a/b/f", &c(0, 80));
+        assert_eq!(l.quota_usage("/a").1[0], 0);
+    }
+
+    #[test]
+    fn transfer_within_one_quota_dir_never_trips_its_limit() {
+        let mut l = QuotaLedger::new();
+        l.register_dirs("/q/x");
+        l.register_dirs("/q/y");
+        l.set_quota("/q", TierQuota::limit_tier(0, 100)).unwrap();
+        l.charge("/q/x/f", &c(0, 100)).unwrap();
+        // /q stays at 100 through the move; only gaining dirs are checked.
+        l.transfer_file("/q/x/f", "/q/y/f", &c(0, 100)).unwrap();
+        assert_eq!(l.quota_usage("/q").1[0], 100);
+        assert_eq!(l.quota_usage("/q/x").1[0], 0);
+        assert_eq!(l.quota_usage("/q/y").1[0], 100);
+    }
+
+    #[test]
+    fn transfer_into_limited_dir_is_checked() {
+        let mut l = QuotaLedger::new();
+        l.register_dirs("/a");
+        l.register_dirs("/b");
+        l.set_quota("/b", TierQuota::limit_tier(1, 10)).unwrap();
+        l.charge("/a/f", &c(1, 50)).unwrap();
+        assert!(l.transfer_file("/a/f", "/b/f", &c(1, 50)).is_err());
+        // Nothing moved on failure.
+        assert_eq!(l.quota_usage("/a").1[1], 50);
+        assert_eq!(l.quota_usage("/b").1[1], 0);
+    }
+
+    #[test]
+    fn rename_subtree_moves_entries_and_usage() {
+        let mut l = QuotaLedger::new();
+        l.register_dirs("/src/deep");
+        l.register_dirs("/dst");
+        l.set_quota("/src/deep", TierQuota::limit_tier(0, 1000)).unwrap();
+        l.charge("/src/deep/f", &c(0, 7)).unwrap();
+        l.rename_subtree("/src", "/moved").unwrap();
+        assert_eq!(l.quota_usage("/moved").1[0], 7);
+        assert_eq!(l.quota_usage("/moved/deep").1[0], 7);
+        // The moved entry kept its quota.
+        assert_eq!(l.quota_usage("/moved/deep").0, TierQuota::limit_tier(0, 1000));
+        assert_eq!(l.quota_usage("/").1[0], 7);
+        // Old keys are gone.
+        assert_eq!(l.quota_usage("/src").1[0], 0);
+    }
+
+    #[test]
+    fn delete_subtree_refunds_ancestors() {
+        let mut l = QuotaLedger::new();
+        l.register_dirs("/a/b");
+        l.charge("/a/b/f", &c(2, 42)).unwrap();
+        l.delete_subtree("/a/b");
+        assert_eq!(l.quota_usage("/a").1[2], 0);
+        assert_eq!(l.quota_usage("/").1[2], 0);
+    }
+
+    #[test]
+    fn recharge_checks_net_growth() {
+        let mut l = QuotaLedger::new();
+        l.register_dirs("/t");
+        l.set_quota("/t", TierQuota::limit_tier(0, 100)).unwrap();
+        l.charge("/t/f", &c(0, 90)).unwrap();
+        // Same-size swap is fine even near the limit.
+        l.recharge("/t/f", &c(0, 90), &c(0, 100)).unwrap();
+        assert!(l.recharge("/t/f", &c(0, 100), &c(0, 101)).is_err());
+        assert_eq!(l.quota_usage("/t").1[0], 100);
+    }
+
+    #[test]
+    fn set_quota_rejects_limit_below_usage() {
+        let mut l = QuotaLedger::new();
+        l.register_dirs("/d");
+        l.charge("/d/f", &c(0, 50)).unwrap();
+        assert!(l.set_quota("/d", TierQuota::limit_tier(0, 10)).is_err());
+        l.set_quota("/d", TierQuota::limit_tier(0, 50)).unwrap();
+    }
+}

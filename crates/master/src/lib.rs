@@ -25,6 +25,7 @@ pub mod blockmap;
 pub mod cluster;
 pub mod editlog;
 pub mod lease;
+pub mod ledger;
 pub mod master;
 pub mod mount;
 pub mod namespace;
@@ -33,8 +34,9 @@ pub use autotier::{AutoTierConfig, MigrationDecision, MigrationDirection};
 pub use backup::BackupMaster;
 pub use blockmap::{BlockInfo, BlockMap};
 pub use cluster::{ClusterState, WorkerInfo};
-pub use editlog::{EditLog, EditOp};
+pub use editlog::{EditLog, EditOp, GroupCommitLog};
 pub use lease::{ClientId, LeaseManager};
+pub use ledger::QuotaLedger;
 pub use master::{Master, ReplicationTask};
 pub use mount::{ExternalCatalog, ExternalStatus, InMemoryCatalog, LocalDirCatalog, MountTable};
 pub use namespace::{DirEntry, FileStatus, Namespace, TierQuota};

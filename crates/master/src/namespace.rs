@@ -4,6 +4,7 @@
 //! mentioned in §1).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use octopus_common::{
     BlockId, FsError, INodeId, IdGenerator, ReplicationVector, Result, MAX_TIERS,
@@ -92,7 +93,7 @@ pub fn parse_path(path: &str) -> Result<Vec<&str>> {
 pub struct Namespace {
     nodes: BTreeMap<INodeId, INode>,
     root: INodeId,
-    ids: IdGenerator,
+    ids: Arc<IdGenerator>,
 }
 
 impl Default for Namespace {
@@ -104,7 +105,15 @@ impl Default for Namespace {
 impl Namespace {
     /// A namespace containing only `/`.
     pub fn new() -> Self {
-        let ids = IdGenerator::new(1);
+        Self::with_ids(Arc::new(IdGenerator::new(1)))
+    }
+
+    /// A namespace containing only `/`, drawing inode ids from a shared
+    /// generator. The sharded master mirrors directories into every
+    /// namespace stripe; sharing one generator keeps inode ids globally
+    /// unique so heat tracking and the blockmap (both keyed by `INodeId`)
+    /// never see collisions across stripes.
+    pub fn with_ids(ids: Arc<IdGenerator>) -> Self {
         let root = INodeId(ids.next());
         let mut nodes = BTreeMap::new();
         nodes.insert(
@@ -312,7 +321,7 @@ impl Namespace {
 
     /// The per-tier quota charge of growing/shrinking a file by
     /// `len_delta` bytes with vector `rv` (pinned tiers only).
-    fn charge_of(rv: ReplicationVector, len: u64) -> [u64; MAX_TIERS] {
+    pub(crate) fn charge_of(rv: ReplicationVector, len: u64) -> [u64; MAX_TIERS] {
         let mut c = [0u64; MAX_TIERS];
         for (tier, count) in rv.iter_tiers() {
             c[tier.0 as usize] = len * count as u64;
@@ -705,6 +714,66 @@ impl Namespace {
             .collect();
         dirs.sort_by(|a, b| a.0.cmp(&b.0));
         dirs
+    }
+
+    /// Removes a file leaf from the tree *without* touching its blocks,
+    /// refunding its quota charge from the ancestor chain, and returns the
+    /// inode id and metadata. Together with [`Namespace::implant_file`]
+    /// this moves a file between namespace stripes when a rename changes
+    /// which stripe its path hashes to.
+    pub fn extract_file(&mut self, path: &str) -> Result<(INodeId, FileMeta)> {
+        let id = self.resolve(path)?;
+        let meta = self.file_meta(id)?.clone();
+        let charge = Self::charge_of(meta.rv, meta.len);
+        self.apply_charge(id, &charge, -1)?;
+        let parent = self.node(id)?.parent.expect("files are never the root");
+        let name = self.node(id)?.name.clone();
+        if let INodeKind::Dir { children, .. } = &mut self.node_mut(parent)?.kind {
+            children.remove(&name);
+        }
+        self.nodes.remove(&id);
+        Ok((id, meta))
+    }
+
+    /// Inserts a file node with a caller-provided inode id and metadata
+    /// (the inverse of [`Namespace::extract_file`]). The parent directory
+    /// must exist and the name must be free; the file's quota charge is
+    /// applied (and verified) along the new ancestor chain, unwinding the
+    /// insertion on failure. The internal id generator is advanced past
+    /// `id` so future allocations never collide.
+    pub fn implant_file(&mut self, path: &str, id: INodeId, meta: FileMeta) -> Result<()> {
+        let (parent, name) = self.resolve_parent(path)?;
+        {
+            let node = self.node(parent)?;
+            let INodeKind::Dir { children, .. } = &node.kind else {
+                return Err(FsError::NotADirectory(self.path_of(parent)));
+            };
+            if children.contains_key(name) {
+                return Err(FsError::AlreadyExists(path.to_string()));
+            }
+        }
+        if self.nodes.contains_key(&id) {
+            return Err(FsError::Internal(format!("inode {id} already present")));
+        }
+        self.ids.ensure_above(id.0);
+        let charge = Self::charge_of(meta.rv, meta.len);
+        self.nodes.insert(
+            id,
+            INode { id, name: name.to_string(), parent: Some(parent), kind: INodeKind::File(meta) },
+        );
+        if let INodeKind::Dir { children, .. } = &mut self.node_mut(parent)?.kind {
+            children.insert(name.to_string(), id);
+        }
+        if let Err(e) = self.apply_charge(id, &charge, 1) {
+            // Unwind: the charge was never applied, so only unlink.
+            let name = name.to_string();
+            if let INodeKind::Dir { children, .. } = &mut self.node_mut(parent)?.kind {
+                children.remove(&name);
+            }
+            self.nodes.remove(&id);
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// Iterates all files as `(id, path, meta)`.
